@@ -1,0 +1,75 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/strings.h"
+
+namespace piggyweb::bench {
+
+double scale_arg(int argc, char** argv, double fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (util::starts_with(arg, "--scale=")) {
+      double value = 0;
+      if (util::parse_double(arg.substr(std::strlen("--scale=")), value) &&
+          value > 0) {
+        return value;
+      }
+      std::fprintf(stderr, "ignoring malformed %s\n", argv[i]);
+    }
+  }
+  return fallback;
+}
+
+sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,
+                               int level, const sim::EvalConfig& config,
+                               std::size_t max_candidates) {
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = level;
+  dvc.max_candidates = max_candidates;
+  volume::DirectoryVolumes volumes(dvc);
+  volumes.bind_paths(workload.trace.paths());
+  server::TraceMetaOracle meta(workload.trace);
+  return sim::PredictionEvaluator(config).run(workload.trace, volumes, meta);
+}
+
+volume::PairCounts pair_counts(const trace::SyntheticWorkload& workload,
+                               std::uint64_t min_resource_count,
+                               util::Seconds window) {
+  volume::PairCounterConfig pcc;
+  pcc.window = window;
+  return volume::PairCounterBuilder(pcc).build(workload.trace,
+                                               min_resource_count);
+}
+
+ProbabilityRun eval_probability_with_counts(
+    const trace::SyntheticWorkload& workload,
+    const volume::PairCounts& counts,
+    const volume::ProbabilityVolumeConfig& pvc,
+    const sim::EvalConfig& config) {
+  const auto set =
+      volume::build_probability_volumes(workload.trace, counts, pvc);
+  volume::ProbabilityVolumes provider(&set, pvc.max_candidates);
+  server::TraceMetaOracle meta(workload.trace);
+  return {sim::PredictionEvaluator(config).run(workload.trace, provider,
+                                               meta),
+          set.stats()};
+}
+
+ProbabilityRun eval_probability(const trace::SyntheticWorkload& workload,
+                                const volume::ProbabilityVolumeConfig& pvc,
+                                const sim::EvalConfig& config,
+                                std::uint64_t min_resource_count) {
+  const auto counts =
+      pair_counts(workload, min_resource_count, pvc.window);
+  return eval_probability_with_counts(workload, counts, pvc, config);
+}
+
+void print_banner(const std::string& title,
+                  const std::string& what_to_check) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("shape to check: %s\n\n", what_to_check.c_str());
+}
+
+}  // namespace piggyweb::bench

@@ -1,0 +1,65 @@
+// Shared plumbing for the table/figure reproduction binaries: cached
+// workload generation, evaluator runners for the two volume families, and
+// a --scale command-line knob.
+//
+// Every binary prints the rows/series of one table or figure from the
+// paper. Absolute values differ from 1998 (synthetic logs, scaled sizes);
+// the *shape* — orderings, crossovers, knees — is the reproduction target,
+// and each binary states what to look for.
+#pragma once
+
+#include <string>
+
+#include "server/meta.h"
+#include "sim/prediction_eval.h"
+#include "trace/profiles.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+
+namespace piggyweb::bench {
+
+// Parse "--scale=<x>" from argv; returns fallback when absent.
+double scale_arg(int argc, char** argv, double fallback);
+
+// Default bench scales keep each binary within seconds on one core while
+// leaving enough traffic for stable statistics.
+inline constexpr double kAiusaScale = 0.30;   // ~54 k requests
+inline constexpr double kMarimbaScale = 0.25; // ~55 k requests
+inline constexpr double kApacheScale = 0.02;  // ~58 k requests
+inline constexpr double kSunScale = 0.012;    // ~156 k requests
+inline constexpr double kAttScale = 0.06;     // ~66 k requests
+inline constexpr double kDigitalScale = 0.012;
+
+// Evaluate directory-based volumes over a workload.
+sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,
+                               int level, const sim::EvalConfig& config,
+                               std::size_t max_candidates = 200);
+
+// Build probability volumes (optionally thinned/combined) and evaluate.
+struct ProbabilityRun {
+  sim::EvalResult result;
+  volume::VolumeSetStats volume_stats;
+};
+ProbabilityRun eval_probability(const trace::SyntheticWorkload& workload,
+                                const volume::ProbabilityVolumeConfig& pvc,
+                                const sim::EvalConfig& config,
+                                std::uint64_t min_resource_count = 10);
+
+// Same, but reusing precomputed pair counts (sweeps over p_t re-threshold
+// the same counters, like the paper's post-processing).
+ProbabilityRun eval_probability_with_counts(
+    const trace::SyntheticWorkload& workload,
+    const volume::PairCounts& counts,
+    const volume::ProbabilityVolumeConfig& pvc,
+    const sim::EvalConfig& config);
+
+// Pair counts for a workload (exact counters, window T = 300 s).
+volume::PairCounts pair_counts(const trace::SyntheticWorkload& workload,
+                               std::uint64_t min_resource_count = 10,
+                               util::Seconds window = 300);
+
+// Header banner shared by all binaries.
+void print_banner(const std::string& title, const std::string& what_to_check);
+
+}  // namespace piggyweb::bench

@@ -1,0 +1,65 @@
+// Figure 2: average piggyback size vs access filter for directory-based
+// volumes — (a) AIUSA, (b) Sun. The access filter omits resources accessed
+// fewer than N times in the whole trace; the paper caps plots at an
+// average size of 200 and skips the 0-level Sun volume (it would be one
+// 29436-element volume).
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/report.h"
+
+using namespace piggyweb;
+
+namespace {
+
+void run_log(const trace::LogProfile& profile, bool include_level0,
+             const std::vector<std::uint32_t>& filters) {
+  const auto workload = trace::generate(profile);
+  std::printf("(%s: %zu requests, %zu resources)\n", profile.name.c_str(),
+              workload.trace.size(), workload.trace.paths().size());
+
+  std::vector<std::string> headers = {"access filter"};
+  std::vector<int> levels;
+  if (include_level0) levels.push_back(0);
+  levels.push_back(1);
+  levels.push_back(2);
+  for (const auto level : levels) {
+    headers.push_back("level-" + std::to_string(level) + " avg size");
+  }
+  sim::Table table(headers);
+  for (const auto filter : filters) {
+    std::vector<std::string> row = {sim::Table::count(filter)};
+    for (const auto level : levels) {
+      sim::EvalConfig config;
+      config.filter.min_access_count = filter;
+      const auto result = bench::eval_directory(workload, level, config);
+      row.push_back(sim::Table::num(result.avg_piggyback_size(), 1));
+    }
+    table.row(std::move(row));
+  }
+  table.print(std::cout);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_arg(argc, argv, 1.0);
+  bench::print_banner(
+      "Figure 2: avg piggyback size vs access filter (directory volumes)",
+      "size drops dramatically both with deeper prefix levels and with "
+      "larger access filters; Sun sizes dwarf AIUSA at equal settings");
+
+  // Filters are scaled relative to trace length (the paper filtered up to
+  // 5000 on a 13M-request log; our logs are ~100x smaller).
+  run_log(trace::aiusa_profile(bench::kAiusaScale * scale), true,
+          {1, 10, 25, 50, 100, 200, 400});
+  run_log(trace::sun_profile(bench::kSunScale * scale), false,
+          {1, 50, 100, 250, 500, 1000, 2500, 5000});
+  std::printf(
+      "paper: Sun 1-level volumes fall under 20 elements once resources "
+      "with <5000 accesses are filtered; AIUSA/Apache sizes are far "
+      "smaller throughout.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 4: enforcing a minimum time between piggybacks for the Apache
+// log. RPV lists suppress repeat piggybacks of the same volume for a
+// window; the paper shows (a) piggyback traffic collapsing as the minimum
+// interval grows, while (b) the fraction predicted barely moves, with a
+// 30-second interval already capturing most of the savings.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "sim/report.h"
+
+using namespace piggyweb;
+
+int main(int argc, char** argv) {
+  const double scale = bench::scale_arg(argc, argv, 1.0);
+  bench::print_banner(
+      "Figure 4: RPV minimum time between piggybacks (Apache)",
+      "(a) piggyback elements per request drop steeply with the minimum "
+      "interval — most of the drop arrives by ~30 s; (b) fraction "
+      "predicted is nearly flat across the sweep; both hold for levels "
+      "0 and 1 and both access filters (scaled to this trace's intensity)");
+
+  const auto workload =
+      trace::generate(trace::apache_profile(bench::kApacheScale * scale));
+  std::printf("(apache: %zu requests)\n", workload.trace.size());
+
+  sim::Table table({"min interval (s)", "level", "filter",
+                    "elements/request", "avg msg size",
+                    "fraction predicted"});
+  for (const int level : {0, 1}) {
+    for (const std::uint32_t filter : {100u, 1000u}) {
+      for (const util::Seconds interval : {0, 10, 30, 60, 120, 300}) {
+        sim::EvalConfig config;
+        config.filter.min_access_count = filter;
+        config.use_rpv = interval > 0;
+        config.rpv.timeout = interval;
+        const auto result = bench::eval_directory(workload, level, config);
+        table.row({sim::Table::count(static_cast<std::uint64_t>(interval)),
+                   sim::Table::count(static_cast<std::uint64_t>(level)),
+                   sim::Table::count(filter),
+                   sim::Table::num(result.elements_per_request(), 2),
+                   sim::Table::num(result.avg_piggyback_size(), 1),
+                   sim::Table::pct(result.fraction_predicted())});
+      }
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\npaper: the RPV list is extremely effective at cutting piggyback "
+      "traffic with no significant recall loss; 30 s achieves most of the "
+      "reduction.\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// google-benchmark microbenchmarks for the protocol's hot data structures:
+// directory-volume maintenance (the paper claims constant-time ops),
+// sampled vs exact pair counting, RPV list maintenance, filter
+// application, and the chunked/P-volume codecs.
+#include <benchmark/benchmark.h>
+
+#include "core/filter.h"
+#include "core/rpv.h"
+#include "http/chunked.h"
+#include "http/piggy_headers.h"
+#include "server/meta.h"
+#include "trace/profiles.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+
+namespace {
+
+using namespace piggyweb;
+
+const trace::SyntheticWorkload& workload() {
+  static const trace::SyntheticWorkload w =
+      trace::generate(trace::apache_profile(0.004));
+  return w;
+}
+
+void BM_DirectoryVolumeOnRequest(benchmark::State& state) {
+  volume::DirectoryVolumeConfig config;
+  config.level = static_cast<int>(state.range(0));
+  config.max_candidates = 50;
+  volume::DirectoryVolumes volumes(config);
+  volumes.bind_paths(workload().trace.paths());
+  const auto& requests = workload().trace.requests();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& req = requests[i];
+    core::VolumeRequest vr;
+    vr.server = req.server;
+    vr.source = req.source;
+    vr.path = req.path;
+    vr.time = req.time;
+    vr.size = req.size;
+    benchmark::DoNotOptimize(volumes.on_request(vr));
+    i = (i + 1) % requests.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DirectoryVolumeOnRequest)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_PairCounterBuild(benchmark::State& state) {
+  volume::PairCounterConfig config;
+  config.sample_counters = state.range(0) != 0;
+  for (auto _ : state) {
+    volume::PairCounterBuilder builder(config);
+    benchmark::DoNotOptimize(builder.build(workload().trace, 10));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() *
+      static_cast<std::int64_t>(workload().trace.size())));
+  state.SetLabel(config.sample_counters ? "sampled" : "exact");
+}
+BENCHMARK(BM_PairCounterBuild)->Arg(0)->Arg(1);
+
+void BM_ProbabilityVolumeBuild(benchmark::State& state) {
+  volume::PairCounterConfig pcc;
+  const auto counts =
+      volume::PairCounterBuilder(pcc).build(workload().trace, 10);
+  volume::ProbabilityVolumeConfig pvc;
+  pvc.probability_threshold = 0.2;
+  pvc.effectiveness_threshold = state.range(0) != 0 ? 0.2 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        volume::build_probability_volumes(workload().trace, counts, pvc));
+  }
+  state.SetLabel(pvc.effectiveness_threshold > 0 ? "thinned" : "base");
+}
+BENCHMARK(BM_ProbabilityVolumeBuild)->Arg(0)->Arg(1);
+
+void BM_RpvListNoteAndLive(benchmark::State& state) {
+  core::RpvConfig config;
+  config.timeout = 60;
+  config.max_entries = static_cast<std::size_t>(state.range(0));
+  core::RpvList list(config);
+  util::Seconds now = 0;
+  core::VolumeId volume = 0;
+  for (auto _ : state) {
+    list.note(volume, {now});
+    benchmark::DoNotOptimize(list.live({now}));
+    ++now;
+    volume = (volume + 1) % 64;
+  }
+}
+BENCHMARK(BM_RpvListNoteAndLive)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ApplyFilter(benchmark::State& state) {
+  server::TraceMetaOracle meta(workload().trace);
+  core::VolumePrediction prediction;
+  prediction.volume = 1;
+  for (util::InternId i = 0;
+       i < static_cast<util::InternId>(state.range(0)); ++i) {
+    prediction.resources.push_back(
+        i % static_cast<util::InternId>(workload().trace.paths().size()));
+  }
+  core::VolumeRequest request;
+  request.path = 0;
+  core::ProxyFilter filter;
+  filter.max_elements = 20;
+  filter.min_access_count = 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::apply_filter(prediction, request, filter, meta));
+  }
+}
+BENCHMARK(BM_ApplyFilter)->Arg(10)->Arg(50)->Arg(200);
+
+void BM_ChunkedRoundTrip(benchmark::State& state) {
+  const std::string body(static_cast<std::size_t>(state.range(0)), 'x');
+  http::HeaderMap trailers;
+  trailers.add("P-volume", "vid=7; e=\"/a/b.html 875000000 2048\"");
+  for (auto _ : state) {
+    const auto encoded = http::chunk_encode(body, trailers);
+    http::ChunkedDecode decoded;
+    benchmark::DoNotOptimize(http::chunk_decode(encoded, decoded));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(body.size())));
+}
+BENCHMARK(BM_ChunkedRoundTrip)->Arg(512)->Arg(16 * 1024)->Arg(256 * 1024);
+
+void BM_PVolumeSerializeParse(benchmark::State& state) {
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 7;
+  for (int i = 0; i < state.range(0); ++i) {
+    message.elements.push_back(
+        {paths.intern("/products/current/item" + std::to_string(i) +
+                      ".html"),
+         2048, 875000000});
+  }
+  for (auto _ : state) {
+    const auto wire = http::serialize_pvolume(message, paths);
+    util::InternTable scratch;
+    benchmark::DoNotOptimize(http::parse_pvolume(wire, scratch));
+  }
+}
+BENCHMARK(BM_PVolumeSerializeParse)->Arg(1)->Arg(6)->Arg(30);
+
+void BM_FilterSerializeParse(benchmark::State& state) {
+  core::ProxyFilter filter;
+  filter.max_elements = 10;
+  for (core::VolumeId v = 0;
+       v < static_cast<core::VolumeId>(state.range(0)); ++v) {
+    filter.rpv.push_back(v);
+  }
+  filter.probability_threshold = 0.2;
+  for (auto _ : state) {
+    const auto wire = http::serialize_filter(filter);
+    benchmark::DoNotOptimize(http::parse_filter(wire));
+  }
+}
+BENCHMARK(BM_FilterSerializeParse)->Arg(0)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

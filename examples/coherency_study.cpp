@@ -1,0 +1,90 @@
+// Cache-coherency study (§4): how much staleness and validation traffic
+// does piggybacking remove for a proxy in front of an Apache-like site?
+//
+// Runs the end-to-end simulator three ways — no piggybacking, directory
+// volumes, and thinned probability volumes — and compares freshness,
+// If-Modified-Since traffic, connection counts and user latency.
+//
+// Build & run:  ./build/examples/coherency_study [--scale=<x>]
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/end_to_end.h"
+#include "sim/report.h"
+#include "trace/profiles.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+
+using namespace piggyweb;
+
+namespace {
+
+sim::EndToEndConfig base_config() {
+  sim::EndToEndConfig config;
+  config.cache.capacity_bytes = 24ULL * 1024 * 1024;
+  config.cache.freshness_interval = 2 * util::kHour;
+  config.base_filter.max_elements = 20;
+  config.volumes.level = 1;
+  config.rpv.timeout = 60;
+  config.enable_coherency = true;
+  return config;
+}
+
+void add_row(sim::Table& table, const std::string& name,
+             const sim::EndToEndResult& result) {
+  table.row({name, sim::Table::pct(result.cache.fresh_hit_rate()),
+             sim::Table::count(result.validations),
+             sim::Table::count(result.coherency.refreshed),
+             sim::Table::count(result.coherency.invalidated),
+             sim::Table::pct(result.stale_rate(), 2),
+             sim::Table::count(result.connections.opened),
+             sim::Table::num(result.mean_user_latency(), 3)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 0.02;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) scale = std::stod(arg.substr(8));
+  }
+  const auto workload = trace::generate(trace::apache_profile(scale));
+  std::printf("workload: %zu requests from %zu clients\n\n",
+              workload.trace.size(), workload.trace.sources().size());
+
+  sim::Table table({"configuration", "fresh hit rate", "IMS validations",
+                    "refreshed", "invalidated", "stale rate",
+                    "connections opened", "mean latency (s)"});
+
+  auto off = base_config();
+  off.piggybacking = false;
+  add_row(table, "no piggybacking",
+          sim::EndToEndSimulator(workload, off).run());
+
+  add_row(table, "directory volumes",
+          sim::EndToEndSimulator(workload, base_config()).run());
+
+  volume::PairCounterConfig pcc;
+  const auto counts =
+      volume::PairCounterBuilder(pcc).build(workload.trace, 10);
+  volume::ProbabilityVolumeConfig pvc;
+  pvc.probability_threshold = 0.2;
+  pvc.effectiveness_threshold = 0.2;
+  const auto volumes =
+      volume::build_probability_volumes(workload.trace, counts, pvc);
+  auto prob = base_config();
+  prob.probability_volumes = &volumes;
+  add_row(table, "probability volumes",
+          sim::EndToEndSimulator(workload, prob).run());
+
+  table.print(std::cout);
+  std::printf(
+      "\nreading: piggyback refreshes substitute for If-Modified-Since "
+      "round trips (fewer validations, more fresh hits, lower latency); "
+      "invalidations drop stale copies before a client can receive them; "
+      "directory volumes refresh more aggressively, probability volumes "
+      "more precisely.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// §5 future-work features working together over real HTTP bytes:
+//
+//   * popularity volumes top up piggybacks for a brand-new proxy that has
+//     no co-access history with the server yet;
+//   * the proxy counts cache hits attributable to each piggybacked volume
+//     and reports them back with `Piggy-hits`;
+//   * the server aggregates usefulness per volume with no per-proxy state
+//     — input for tuning volume construction.
+//
+// Build & run:  ./build/examples/feedback_demo
+#include <cstdio>
+
+#include "core/feedback.h"
+#include "http/piggy_headers.h"
+#include "proxy/cache.h"
+#include "proxy/coherency.h"
+#include "server/origin.h"
+#include "util/rng.h"
+#include "volume/directory.h"
+#include "volume/popularity.h"
+
+using namespace piggyweb;
+
+int main() {
+  util::Rng rng(0xFEED);
+  trace::SiteShape shape;
+  shape.host = "www.example.org";
+  shape.pages = 30;
+  shape.top_dirs = 3;
+  const trace::SiteModel site(shape, 10 * util::kDay, rng);
+
+  util::InternTable paths;
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = 1;
+  volume::DirectoryVolumes directory(dvc);
+  directory.bind_paths(paths);
+  volume::PopularityVolumeConfig pop_config;
+  pop_config.top_n = 5;
+  pop_config.min_primary = 2;
+  volume::PopularityVolumes volumes(pop_config, directory);
+  server::OriginServer origin(site, volumes, paths);
+
+  proxy::CacheConfig cache_config;
+  cache_config.freshness_interval = 600;
+  proxy::ProxyCache cache(cache_config);
+  proxy::CoherencyAgent coherency(cache);
+  core::HitFeedback feedback;
+  util::InternTable proxy_paths;
+  const auto server_id = proxy_paths.intern(site.host());
+
+  // Warm the popular volume: other proxies hammer the top pages.
+  const auto& pages = site.pages_by_popularity();
+  for (int i = 0; i < 40; ++i) {
+    http::Request request;
+    request.target = site.resource(pages[static_cast<std::size_t>(i) % 3]).path;
+    core::ProxyFilter filter;
+    http::attach_filter(request, filter);
+    origin.handle(request, {100 + i}, /*source=*/2);
+  }
+  std::printf("popular volume after warm-up traffic:\n");
+  for (const auto res : volumes.popular()) {
+    std::printf("  %s\n", std::string(paths.str(res)).c_str());
+  }
+
+  // A brand-new proxy's very first request: the directory volume for this
+  // cold corner is thin, so the popular volume tops the piggyback up.
+  http::Request first;
+  first.target = site.resource(pages[pages.size() - 1]).path;  // unpopular
+  core::ProxyFilter filter;
+  filter.max_elements = 8;
+  http::attach_filter(first, filter);
+  const auto response = origin.handle(first, {200}, /*source=*/7);
+
+  const auto piggyback = http::extract_pvolume(response, proxy_paths);
+  if (!piggyback) {
+    std::printf("no piggyback received\n");
+    return 1;
+  }
+  std::printf("\nfirst-contact piggyback (volume %u, %zu elements):\n",
+              piggyback->volume, piggyback->elements.size());
+  for (const auto& element : piggyback->elements) {
+    std::printf("  %s\n",
+                std::string(proxy_paths.str(element.resource)).c_str());
+  }
+  coherency.process(server_id, *piggyback, {200});
+  feedback.note_piggyback(server_id, *piggyback);
+
+  // The proxy prefetches the piggybacked resources and later serves three
+  // client requests from cache — hits attributable to that volume.
+  for (const auto& element : piggyback->elements) {
+    cache.insert({server_id, element.resource}, element.size,
+                 element.last_modified, {201});
+  }
+  for (int i = 0; i < 3; ++i) {
+    const auto& element =
+        piggyback->elements[static_cast<std::size_t>(i) %
+                            piggyback->elements.size()];
+    if (cache.lookup({server_id, element.resource}, {300 + i}) ==
+        proxy::LookupOutcome::kFreshHit) {
+      feedback.note_cache_hit(server_id, element.resource);
+    }
+  }
+
+  // The next request reports the tallies; the server aggregates them.
+  http::Request next;
+  next.target = site.resource(pages[0]).path;
+  http::attach_filter(next, filter);
+  http::attach_hits(next, feedback.drain(server_id));
+  std::printf("\nnext request carries: Piggy-hits: %s\n",
+              std::string(*next.headers.get("Piggy-hits")).c_str());
+  origin.handle(next, {400}, /*source=*/7);
+
+  std::printf("\nserver-side usefulness ranking:\n");
+  for (const auto& entry : origin.feedback().ranked()) {
+    std::printf("  volume %5u: %u cache hits reported\n", entry.volume,
+                entry.hits);
+  }
+  return 0;
+}

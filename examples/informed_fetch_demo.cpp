@@ -1,0 +1,60 @@
+// Informed fetching (§4): piggybacked size attributes let the proxy
+// schedule its fetch queue shortest-first over a congested link, so users
+// asking for small text aren't stuck behind big downloads ("users
+// requesting small files do not have to wait long").
+//
+// The demo drains a burst of heavy-tailed fetches over a 128 KB/s link
+// under FIFO (no size knowledge) vs shortest-first (piggyback-informed)
+// and reports the waiting-time distribution for each.
+//
+// Build & run:  ./build/examples/informed_fetch_demo
+#include <cstdio>
+#include <iostream>
+
+#include "proxy/informed_fetch.h"
+#include "sim/report.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+using namespace piggyweb;
+
+int main() {
+  util::Rng rng(0xF47C);
+  // A burst: 300 requests arriving over 60 seconds; lognormal body sizes
+  // with a Pareto tail (a few multi-megabyte downloads).
+  std::vector<proxy::PendingFetch> fetches;
+  for (std::uint64_t id = 0; id < 300; ++id) {
+    const double arrival = rng.uniform() * 60.0;
+    std::uint64_t bytes =
+        static_cast<std::uint64_t>(rng.lognormal(8.5, 1.2));
+    if (rng.chance(0.04)) {
+      bytes = static_cast<std::uint64_t>(
+          rng.pareto(1.1, 512.0 * 1024, 8.0 * 1024 * 1024));
+    }
+    fetches.push_back({id, bytes, arrival});
+  }
+  constexpr double kBandwidth = 128.0 * 1024;
+
+  sim::Table table({"discipline", "mean wait (s)", "mean completion (s)",
+                    "p50 completion", "p90 completion", "max (s)"});
+  for (const auto discipline : {proxy::FetchDiscipline::kFifo,
+                                proxy::FetchDiscipline::kShortestFirst}) {
+    const auto result =
+        proxy::schedule_fetches(fetches, kBandwidth, discipline);
+    util::Quantiles completions;
+    for (const auto c : result.completion_by_id) completions.add(c);
+    table.row({proxy::discipline_name(discipline),
+               sim::Table::num(result.mean_wait, 2),
+               sim::Table::num(result.mean_completion, 2),
+               sim::Table::num(completions.quantile(0.5), 2),
+               sim::Table::num(completions.quantile(0.9), 2),
+               sim::Table::num(result.max_completion, 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nreading: with piggybacked sizes the proxy runs shortest-first — "
+      "median completion collapses while only the few largest transfers "
+      "wait longer (the max row). Without the metadata it is stuck with "
+      "FIFO.\n");
+  return 0;
+}

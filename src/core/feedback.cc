@@ -1,0 +1,80 @@
+#include "core/feedback.h"
+
+#include <algorithm>
+
+namespace piggyweb::core {
+
+void HitFeedback::note_piggyback(util::InternId server,
+                                 const PiggybackMessage& message) {
+  if (message.empty()) return;
+  auto& state = pending_[server];
+  for (const auto& element : message.elements) {
+    auto [it, inserted] =
+        state.volume_of.try_emplace(element.resource, message.volume);
+    if (!inserted) {
+      it->second = message.volume;  // newest attribution wins
+      continue;
+    }
+    state.attribution_order.push_back(element.resource);
+    while (state.attribution_order.size() > max_attributions_) {
+      state.volume_of.erase(state.attribution_order.front());
+      state.attribution_order.erase(state.attribution_order.begin());
+    }
+  }
+}
+
+void HitFeedback::note_cache_hit(util::InternId server,
+                                 util::InternId resource) {
+  const auto state_it = pending_.find(server);
+  if (state_it == pending_.end()) return;
+  auto& state = state_it->second;
+  const auto it = state.volume_of.find(resource);
+  if (it == state.volume_of.end()) return;
+  ++state.tallies[it->second];
+}
+
+std::vector<VolumeHitCount> HitFeedback::drain(util::InternId server) {
+  const auto state_it = pending_.find(server);
+  if (state_it == pending_.end()) return {};
+  auto& tallies = state_it->second.tallies;
+  std::vector<VolumeHitCount> out;
+  out.reserve(tallies.size());
+  for (const auto& [volume, hits] : tallies) {
+    out.push_back({volume, hits});
+  }
+  tallies.clear();
+  std::sort(out.begin(), out.end(),
+            [](const VolumeHitCount& a, const VolumeHitCount& b) {
+              return a.volume < b.volume;
+            });
+  return out;
+}
+
+void FeedbackCollector::ingest(const std::vector<VolumeHitCount>& counts) {
+  for (const auto& count : counts) {
+    hits_[count.volume] += count.hits;
+    total_ += count.hits;
+  }
+}
+
+std::uint64_t FeedbackCollector::hits_for(VolumeId volume) const {
+  const auto it = hits_.find(volume);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+std::vector<VolumeHitCount> FeedbackCollector::ranked() const {
+  std::vector<VolumeHitCount> out;
+  out.reserve(hits_.size());
+  for (const auto& [volume, hits] : hits_) {
+    out.push_back({volume, static_cast<std::uint32_t>(
+                               std::min<std::uint64_t>(hits, 0xffffffffu))});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VolumeHitCount& a, const VolumeHitCount& b) {
+              if (a.hits != b.hits) return a.hits > b.hits;
+              return a.volume < b.volume;
+            });
+  return out;
+}
+
+}  // namespace piggyweb::core

@@ -1,0 +1,74 @@
+// Proxy-to-server feedback (§5 future work: "ways for the proxy to
+// piggyback information to the server about accesses that are satisfied
+// at the cache").
+//
+// The server never sees cache hits, so it cannot tell which piggybacked
+// volumes actually helped. The proxy closes the loop: it remembers which
+// volume each piggybacked resource belonged to, counts cache hits against
+// those volumes, and piggybacks the tallies onto its next request to that
+// server (`Piggy-hits` header). The server aggregates the tallies per
+// volume — a usefulness signal for tuning volume construction — still
+// with no per-proxy state.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/piggyback.h"
+
+namespace piggyweb::core {
+
+struct VolumeHitCount {
+  VolumeId volume = kNoVolume;
+  std::uint32_t hits = 0;
+};
+
+// Proxy side: per-server tallies of cache hits attributable to volumes.
+class HitFeedback {
+ public:
+  // Bound memory: at most this many (resource -> volume) attributions are
+  // remembered per server, FIFO.
+  explicit HitFeedback(std::size_t max_attributions_per_server = 4096)
+      : max_attributions_(max_attributions_per_server) {}
+
+  // A piggyback arrived: remember which volume mentioned each resource.
+  void note_piggyback(util::InternId server, const PiggybackMessage& message);
+
+  // A client request was satisfied from the cache; if the resource was
+  // piggybacked earlier, credit its volume.
+  void note_cache_hit(util::InternId server, util::InternId resource);
+
+  // Pending tallies for `server`, clearing them (they ride the next
+  // request). Sorted by volume id for deterministic wire output.
+  std::vector<VolumeHitCount> drain(util::InternId server);
+
+  std::size_t pending_servers() const { return pending_.size(); }
+
+ private:
+  struct ServerState {
+    std::unordered_map<util::InternId, VolumeId> volume_of;  // attribution
+    std::vector<util::InternId> attribution_order;           // FIFO bound
+    std::unordered_map<VolumeId, std::uint32_t> tallies;
+  };
+  std::size_t max_attributions_;
+  std::unordered_map<util::InternId, ServerState> pending_;
+};
+
+// Server side: aggregate usefulness per volume across all proxies.
+class FeedbackCollector {
+ public:
+  void ingest(const std::vector<VolumeHitCount>& counts);
+
+  std::uint64_t hits_for(VolumeId volume) const;
+  std::uint64_t total_hits() const { return total_; }
+
+  // Volumes sorted by descending usefulness (ties by ascending id).
+  std::vector<VolumeHitCount> ranked() const;
+
+ private:
+  std::unordered_map<VolumeId, std::uint64_t> hits_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace piggyweb::core

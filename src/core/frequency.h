@@ -1,0 +1,80 @@
+// Proxy-side frequency control (§2.2): deciding per request whether to set
+// the piggyback enable bit at all, independent of RPV contents. "The proxy
+// can randomly set an enable/disable bit, or employ simple frequency
+// control techniques, such as disabling piggybacks from servers which have
+// sent piggybacks within the last minute."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "util/intern.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace piggyweb::core {
+
+class FrequencyPolicy {
+ public:
+  virtual ~FrequencyPolicy() = default;
+
+  // Should this request to `server` at `now` enable piggybacking?
+  virtual bool should_enable(util::InternId server, util::TimePoint now) = 0;
+
+  // The proxy observed a (non-empty) piggyback from `server` at `now`.
+  virtual void on_piggyback(util::InternId server, util::TimePoint now) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+// Always ask for piggybacks (the baseline and the RPV experiments' mode).
+class AlwaysEnable final : public FrequencyPolicy {
+ public:
+  bool should_enable(util::InternId, util::TimePoint) override {
+    return true;
+  }
+  void on_piggyback(util::InternId, util::TimePoint) override {}
+  const char* name() const override { return "always"; }
+};
+
+// Randomly set the enable bit with probability p — the stateless option
+// suited to servers with very many volumes (probability-based volumes).
+class RandomEnable final : public FrequencyPolicy {
+ public:
+  RandomEnable(double probability, std::uint64_t seed)
+      : probability_(probability), rng_(seed) {}
+
+  bool should_enable(util::InternId, util::TimePoint) override {
+    return rng_.chance(probability_);
+  }
+  void on_piggyback(util::InternId, util::TimePoint) override {}
+  const char* name() const override { return "random"; }
+
+ private:
+  double probability_;
+  util::Rng rng_;
+};
+
+// Disable piggybacks from servers that piggybacked within the last
+// `min_interval` seconds. Small transient per-server state at the proxy.
+class MinIntervalEnable final : public FrequencyPolicy {
+ public:
+  explicit MinIntervalEnable(util::Seconds min_interval)
+      : min_interval_(min_interval) {}
+
+  bool should_enable(util::InternId server, util::TimePoint now) override {
+    const auto it = last_.find(server);
+    return it == last_.end() || now - it->second >= min_interval_;
+  }
+  void on_piggyback(util::InternId server, util::TimePoint now) override {
+    last_[server] = now;
+  }
+  const char* name() const override { return "min-interval"; }
+
+ private:
+  util::Seconds min_interval_;
+  std::unordered_map<util::InternId, util::TimePoint> last_;
+};
+
+}  // namespace piggyweb::core

@@ -1,0 +1,65 @@
+#include "core/rpv.h"
+
+#include <algorithm>
+
+namespace piggyweb::core {
+
+void RpvList::expire(util::TimePoint now) {
+  while (!entries_.empty() &&
+         now - entries_.front().when > config_.timeout) {
+    entries_.pop_front();
+  }
+}
+
+void RpvList::note(VolumeId volume, util::TimePoint now) {
+  expire(now);
+  const auto it = std::find_if(
+      entries_.begin(), entries_.end(),
+      [volume](const Entry& e) { return e.volume == volume; });
+  if (it != entries_.end()) entries_.erase(it);
+  entries_.push_back({volume, now});
+  while (entries_.size() > config_.max_entries) entries_.pop_front();
+}
+
+std::vector<VolumeId> RpvList::live(util::TimePoint now) {
+  expire(now);
+  std::vector<VolumeId> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.volume);
+  return out;
+}
+
+bool RpvList::contains(VolumeId volume, util::TimePoint now) {
+  expire(now);
+  return std::any_of(entries_.begin(), entries_.end(),
+                     [volume](const Entry& e) { return e.volume == volume; });
+}
+
+void RpvTable::note(util::InternId server, VolumeId volume,
+                    util::TimePoint now) {
+  auto [it, inserted] = lists_.try_emplace(server, config_);
+  it->second.note(volume, now);
+  if (inserted) use_order_.push_back(server);
+  evict_if_needed(server);
+}
+
+std::vector<VolumeId> RpvTable::live(util::InternId server,
+                                     util::TimePoint now) {
+  const auto it = lists_.find(server);
+  if (it == lists_.end()) return {};
+  return it->second.live(now);
+}
+
+void RpvTable::evict_if_needed(util::InternId just_used) {
+  while (lists_.size() > max_servers_ && !use_order_.empty()) {
+    const auto victim = use_order_.front();
+    use_order_.pop_front();
+    if (victim == just_used) {
+      use_order_.push_back(victim);  // re-queue the active server
+      continue;
+    }
+    lists_.erase(victim);
+  }
+}
+
+}  // namespace piggyweb::core

@@ -1,0 +1,76 @@
+// Recently-Piggybacked-Volume (RPV) lists (§2.2).
+//
+// The proxy keeps, per server, a short FIFO of (volume id, last piggyback
+// time). On each request it sends the still-live volume ids as the `rpv`
+// filter field, letting the server suppress redundant piggybacks without
+// maintaining any per-proxy state. The list is bounded both by a timeout
+// (never longer than the freshness interval Δ, or the server could never
+// refresh the volume) and by a maximum length.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/piggyback.h"
+#include "util/time.h"
+
+namespace piggyweb::core {
+
+struct RpvConfig {
+  util::Seconds timeout = 60;      // entry lifetime; must be <= Δ
+  std::size_t max_entries = 16;    // per-server FIFO bound
+};
+
+// FIFO of recently piggybacked volumes for one server.
+class RpvList {
+ public:
+  explicit RpvList(const RpvConfig& config) : config_(config) {}
+
+  // Record that a piggyback for `volume` arrived at `now`. An existing
+  // entry is refreshed (moved to the back of the FIFO).
+  void note(VolumeId volume, util::TimePoint now);
+
+  // Live volume ids at `now` (after expiring stale entries), oldest first.
+  std::vector<VolumeId> live(util::TimePoint now);
+
+  // True if `volume` has been piggybacked within the timeout.
+  bool contains(VolumeId volume, util::TimePoint now);
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  void expire(util::TimePoint now);
+
+  struct Entry {
+    VolumeId volume;
+    util::TimePoint when;
+  };
+  RpvConfig config_;
+  std::deque<Entry> entries_;
+};
+
+// Per-server RPV lists, hash-keyed by server id ("maintained efficiently
+// as FIFO lists in a hash table keyed on the server IP address", §2.2).
+// Bounded to the most recently active servers.
+class RpvTable {
+ public:
+  explicit RpvTable(const RpvConfig& config, std::size_t max_servers = 256)
+      : config_(config), max_servers_(max_servers) {}
+
+  void note(util::InternId server, VolumeId volume, util::TimePoint now);
+  std::vector<VolumeId> live(util::InternId server, util::TimePoint now);
+
+  std::size_t tracked_servers() const { return lists_.size(); }
+
+ private:
+  void evict_if_needed(util::InternId just_used);
+
+  RpvConfig config_;
+  std::size_t max_servers_;
+  std::unordered_map<util::InternId, RpvList> lists_;
+  std::deque<util::InternId> use_order_;  // rough LRU of servers
+};
+
+}  // namespace piggyweb::core

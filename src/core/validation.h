@@ -1,0 +1,42 @@
+// Piggyback cache validation (PCV) — the proxy-to-server companion of
+// the volume mechanism, after Krishnamurthy & Wills (the paper's [10],
+// cited for "validating a list of cached resources at the proxy").
+//
+// The proxy batches cached entries that are about to expire onto its next
+// request to their server (`Piggy-validate` request header); the server
+// answers, in the same response, which of them are still current and
+// which changed (`P-validate`). One round trip revalidates a batch that
+// would otherwise cost one If-Modified-Since exchange each. This library
+// implements PCV both as a §5-style extension and as the coherency
+// *baseline* the volume approach is compared against
+// (bench/coherency_baselines).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/intern.h"
+
+namespace piggyweb::core {
+
+// One cached copy the proxy asks the server to validate.
+struct ValidationItem {
+  util::InternId resource = util::kInvalidIntern;
+  std::int64_t last_modified = -1;  // version the proxy holds
+};
+
+// The server's verdicts. Fresh resources are listed by id; stale ones
+// carry the server's current Last-Modified so the proxy can decide
+// whether to refetch.
+struct ValidationReply {
+  struct Stale {
+    util::InternId resource = util::kInvalidIntern;
+    std::int64_t last_modified = -1;  // current version at the server
+  };
+  std::vector<util::InternId> fresh;
+  std::vector<Stale> stale;
+
+  bool empty() const { return fresh.empty() && stale.empty(); }
+};
+
+}  // namespace piggyweb::core

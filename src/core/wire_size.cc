@@ -1,0 +1,34 @@
+#include "core/wire_size.h"
+
+namespace piggyweb::core {
+
+std::uint64_t piggyback_bytes(const PiggybackMessage& message,
+                              const util::InternTable& paths) {
+  if (message.empty()) return 0;
+  std::uint64_t bytes = kVolumeIdBytes;
+  for (const auto& element : message.elements) {
+    bytes += paths.str(element.resource).size() + kLastModifiedBytes +
+             kSizeBytes;
+    if (element.probability > 0) bytes += kProbabilityBytes;
+  }
+  return bytes;
+}
+
+std::uint64_t packets_for(std::uint64_t payload_bytes) {
+  constexpr std::uint64_t kPayloadPerPacket = kMtuBytes - kTcpIpHeaderBytes;
+  if (payload_bytes == 0) return 1;  // a bare (e.g. 304) response packet
+  return (payload_bytes + kPayloadPerPacket - 1) / kPayloadPerPacket;
+}
+
+WireCost piggyback_wire_cost(std::uint64_t response_bytes,
+                             const PiggybackMessage& message,
+                             const util::InternTable& paths) {
+  WireCost cost;
+  cost.bytes = piggyback_bytes(message, paths);
+  const auto base = packets_for(response_bytes);
+  const auto with_piggy = packets_for(response_bytes + cost.bytes);
+  cost.extra_packets = with_piggy - base;
+  return cost;
+}
+
+}  // namespace piggyweb::core

@@ -1,0 +1,47 @@
+// Wire-overhead accounting (§2.3).
+//
+// The paper argues piggyback messages are cheap: a 2-byte volume id plus
+// ~66 bytes per element (≈50-byte URL + 8-byte Last-Modified + 8-byte
+// size), so a typical message (~6 elements, 398 bytes) usually fits in the
+// same packet as the response, while every avoided future TCP connection
+// saves at least two packets. These helpers compute that arithmetic on
+// actual messages so bench/overhead_bytes can regenerate the numbers.
+#pragma once
+
+#include <cstdint>
+
+#include "core/piggyback.h"
+#include "util/intern.h"
+
+namespace piggyweb::core {
+
+inline constexpr std::uint64_t kVolumeIdBytes = 2;
+inline constexpr std::uint64_t kLastModifiedBytes = 8;
+inline constexpr std::uint64_t kSizeBytes = 8;
+inline constexpr std::uint64_t kProbabilityBytes = 4;  // optional field
+inline constexpr std::uint64_t kMtuBytes = 1500;
+inline constexpr std::uint64_t kTcpIpHeaderBytes = 40;
+// A TCP connection costs at least two extra packets (SYN, SYN-ACK) beyond
+// the data exchange; the paper counts "at least two packets" saved per
+// connection obviated.
+inline constexpr std::uint64_t kPacketsPerAvoidedConnection = 2;
+
+struct WireCost {
+  std::uint64_t bytes = 0;          // piggyback payload bytes
+  std::uint64_t extra_packets = 0;  // packets beyond the bare response
+};
+
+// Payload bytes of a piggyback message: volume id + per-element URL length
+// (server-relative path) + timestamp + size fields.
+std::uint64_t piggyback_bytes(const PiggybackMessage& message,
+                              const util::InternTable& paths);
+
+// Packets a response body occupies on its own, and with the piggyback
+// appended; `extra_packets` is the difference (0 when the piggyback fits in
+// the final partially-filled packet).
+std::uint64_t packets_for(std::uint64_t payload_bytes);
+WireCost piggyback_wire_cost(std::uint64_t response_bytes,
+                             const PiggybackMessage& message,
+                             const util::InternTable& paths);
+
+}  // namespace piggyweb::core

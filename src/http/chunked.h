@@ -1,0 +1,39 @@
+// Chunked transfer-coding (RFC 2616 §3.6.1) with trailer support — the
+// HTTP 1.1 mechanism the paper uses to append piggyback information after
+// the response body ("the server's chunked response ends with the
+// mandatory zero-length chunk", §2.3).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "http/header_map.h"
+
+namespace piggyweb::http {
+
+// Encode `body` as chunked data followed by the zero-length chunk and
+// `trailers`. chunk_size bounds each data chunk.
+std::string chunk_encode(std::string_view body, const HeaderMap& trailers,
+                         std::size_t chunk_size = 4096);
+
+enum class ChunkedStatus {
+  kComplete,    // decoded through the trailer's final CRLF
+  kIncomplete,  // prefix is valid but more bytes are needed
+  kMalformed,   // can never become valid
+};
+
+struct ChunkedDecode {
+  std::string body;
+  HeaderMap trailers;
+  std::size_t consumed = 0;  // bytes of `input` consumed
+};
+
+// Decode a chunked body from the start of `input`. kIncomplete lets a
+// connection buffer wait for the rest of a pipelined response.
+ChunkedStatus chunk_decode_status(std::string_view input,
+                                  ChunkedDecode& out);
+
+// Convenience for whole-message callers: true iff kComplete.
+bool chunk_decode(std::string_view input, ChunkedDecode& out);
+
+}  // namespace piggyweb::http

@@ -1,0 +1,46 @@
+#include "http/connection.h"
+
+namespace piggyweb::http {
+
+std::optional<Request> MessageBuffer::try_parse_request(ParseError& error) {
+  if (buffer_.empty()) {
+    error = {};
+    error.message = "buffer empty";
+    error.incomplete = true;
+    return std::nullopt;
+  }
+  auto parsed = parse_request(buffer_, error);
+  if (!parsed) return std::nullopt;
+  buffer_.erase(0, parsed->consumed);
+  return std::move(parsed->request);
+}
+
+std::optional<Response> MessageBuffer::try_parse_response(
+    ParseError& error) {
+  if (buffer_.empty()) {
+    error = {};
+    error.message = "buffer empty";
+    error.incomplete = true;
+    return std::nullopt;
+  }
+  auto parsed = parse_response(buffer_, error);
+  if (!parsed) return std::nullopt;
+  buffer_.erase(0, parsed->consumed);
+  return std::move(parsed->response);
+}
+
+void Connection::send_request(const Request& request) {
+  const auto wire = request.serialize();
+  bytes_to_server_ += wire.size();
+  ++requests_sent_;
+  to_server_.append(wire);
+}
+
+void Connection::send_response(const Response& response) {
+  const auto wire = response.serialize();
+  bytes_to_client_ += wire.size();
+  ++responses_sent_;
+  to_client_.append(wire);
+}
+
+}  // namespace piggyweb::http

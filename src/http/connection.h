@@ -1,0 +1,79 @@
+// Persistent-connection plumbing (HTTP/1.1 keep-alive + pipelining).
+//
+// The paper's motivation leans on persistent connections: piggybacks ride
+// existing responses, and "the proxy and the server can both decide to
+// maintain an open TCP connection if the piggyback information suggests
+// that more proxy requests are likely". This module models one such
+// connection in process: byte-accurate buffers in each direction, with
+// incremental parsing so pipelined messages and partial deliveries behave
+// exactly as they would on a socket.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "http/message.h"
+
+namespace piggyweb::http {
+
+// An elastic byte buffer with incremental message extraction. Append
+// arbitrary byte slices; try_* parses and consumes one complete message,
+// returning nullopt with error.incomplete=true while bytes are missing.
+class MessageBuffer {
+ public:
+  void append(std::string_view bytes) { buffer_.append(bytes); }
+
+  std::optional<Request> try_parse_request(ParseError& error);
+  std::optional<Response> try_parse_response(ParseError& error);
+
+  std::size_t buffered_bytes() const { return buffer_.size(); }
+  bool empty() const { return buffer_.empty(); }
+
+ private:
+  std::string buffer_;
+};
+
+// A full-duplex proxy<->server connection. The client side enqueues
+// serialized requests and drains parsed responses; the server side drains
+// parsed requests and enqueues serialized responses. Pipelining falls out
+// naturally: any number of requests may be in flight.
+class Connection {
+ public:
+  // --- client (proxy) side --------------------------------------------------
+  void send_request(const Request& request);
+  std::optional<Response> receive_response(ParseError& error) {
+    return to_client_.try_parse_response(error);
+  }
+
+  // --- server side -----------------------------------------------------------
+  std::optional<Request> receive_request(ParseError& error) {
+    return to_server_.try_parse_request(error);
+  }
+  void send_response(const Response& response);
+
+  // --- wire accounting --------------------------------------------------------
+  std::uint64_t bytes_to_server() const { return bytes_to_server_; }
+  std::uint64_t bytes_to_client() const { return bytes_to_client_; }
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+
+  // Bytes currently in flight (sent but not yet parsed out).
+  std::size_t pending_to_server() const {
+    return to_server_.buffered_bytes();
+  }
+  std::size_t pending_to_client() const {
+    return to_client_.buffered_bytes();
+  }
+
+ private:
+  MessageBuffer to_server_;
+  MessageBuffer to_client_;
+  std::uint64_t bytes_to_server_ = 0;
+  std::uint64_t bytes_to_client_ = 0;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t responses_sent_ = 0;
+};
+
+}  // namespace piggyweb::http

@@ -1,0 +1,71 @@
+#include "http/date.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/date.h"
+#include "util/strings.h"
+
+namespace piggyweb::http {
+namespace {
+
+constexpr std::array<std::string_view, 7> kDays = {
+    "Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+int month_index(std::string_view name) {
+  for (int i = 0; i < 12; ++i) {
+    if (util::iequals(kMonths[static_cast<std::size_t>(i)], name)) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string format_http_date(std::int64_t unix_seconds) {
+  std::int64_t days = unix_seconds / 86400;
+  std::int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  std::int64_t year = 0;
+  int mon = 0, day = 0;
+  util::civil_from_days(days, year, mon, day);
+  const int wd = util::weekday_from_days(days);
+  char buf[40];
+  std::snprintf(
+      buf, sizeof(buf), "%s, %02d %s %04lld %02lld:%02lld:%02lld GMT",
+      std::string(kDays[static_cast<std::size_t>(wd)]).c_str(), day,
+      std::string(kMonths[static_cast<std::size_t>(mon - 1)]).c_str(),
+      static_cast<long long>(year), static_cast<long long>(rem / 3600),
+      static_cast<long long>((rem / 60) % 60),
+      static_cast<long long>(rem % 60));
+  return buf;
+}
+
+bool parse_http_date(std::string_view s, std::int64_t& out) {
+  // "Sun, 06 Nov 1994 08:49:37 GMT" — fixed layout after the weekday.
+  s = util::trim(s);
+  const auto comma = s.find(',');
+  if (comma == std::string_view::npos) return false;
+  const auto rest = util::trim(s.substr(comma + 1));
+  // rest: "06 Nov 1994 08:49:37 GMT"
+  if (rest.size() < 20) return false;
+  std::int64_t day = 0, year = 0, hh = 0, mm = 0, ss = 0;
+  if (!util::parse_i64(rest.substr(0, 2), day)) return false;
+  const int mon = month_index(rest.substr(3, 3));
+  if (mon < 0) return false;
+  if (!util::parse_i64(rest.substr(7, 4), year)) return false;
+  if (!util::parse_i64(rest.substr(12, 2), hh)) return false;
+  if (!util::parse_i64(rest.substr(15, 2), mm)) return false;
+  if (!util::parse_i64(rest.substr(18, 2), ss)) return false;
+  if (day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) return false;
+  out = util::days_from_civil(year, mon + 1, static_cast<int>(day)) * 86400 +
+        hh * 3600 + mm * 60 + ss;
+  return true;
+}
+
+}  // namespace piggyweb::http

@@ -1,0 +1,14 @@
+// RFC 1123 HTTP dates ("Sun, 06 Nov 1994 08:49:37 GMT") — the format of
+// Last-Modified and If-Modified-Since header values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace piggyweb::http {
+
+std::string format_http_date(std::int64_t unix_seconds);
+bool parse_http_date(std::string_view s, std::int64_t& out);
+
+}  // namespace piggyweb::http

@@ -1,0 +1,56 @@
+#include "http/header_map.h"
+
+#include "util/strings.h"
+
+namespace piggyweb::http {
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  fields_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (util::iequals(f.name, name)) return std::string_view(f.value);
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(
+    std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& f : fields_) {
+    if (util::iequals(f.name, name)) out.emplace_back(f.value);
+  }
+  return out;
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  std::size_t removed = 0;
+  for (auto it = fields_.begin(); it != fields_.end();) {
+    if (util::iequals(it->name, name)) {
+      it = fields_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::string HeaderMap::serialize() const {
+  std::string out;
+  for (const auto& f : fields_) {
+    out += f.name;
+    out += ": ";
+    out += f.value;
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace piggyweb::http

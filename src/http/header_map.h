@@ -1,0 +1,48 @@
+// Case-insensitive, order-preserving HTTP header map. Field names compare
+// ASCII-case-insensitively (RFC 2616 §4.2); insertion order is preserved
+// because serialization should round-trip and trailers care about order.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace piggyweb::http {
+
+class HeaderMap {
+ public:
+  struct Field {
+    std::string name;
+    std::string value;
+  };
+
+  // Append a field (duplicates allowed, as HTTP permits repeated fields).
+  void add(std::string_view name, std::string_view value);
+
+  // Replace all fields named `name` with a single field.
+  void set(std::string_view name, std::string_view value);
+
+  // First value for `name`.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  // All values for `name`, in insertion order.
+  std::vector<std::string_view> get_all(std::string_view name) const;
+
+  bool contains(std::string_view name) const { return get(name).has_value(); }
+
+  // Remove all fields named `name`; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  const std::vector<Field>& fields() const { return fields_; }
+  std::size_t size() const { return fields_.size(); }
+  bool empty() const { return fields_.empty(); }
+
+  // "Name: value\r\n" for every field.
+  std::string serialize() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace piggyweb::http

@@ -1,0 +1,71 @@
+// HTTP/1.1 request/response messages: value types plus parse/serialize.
+//
+// The subset implemented is what the piggybacking protocol needs (§2.3):
+// request lines, status lines, headers, Content-Length bodies, and chunked
+// transfer-coding with trailers (the vehicle for the P-volume response
+// header, which must trail the body so piggyback construction cannot delay
+// the response).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/header_map.h"
+#include "trace/record.h"
+
+namespace piggyweb::http {
+
+struct Request {
+  trace::Method method = trace::Method::kGet;
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  HeaderMap headers;
+  std::string body;
+
+  std::string serialize() const;
+};
+
+struct Response {
+  std::string version = "HTTP/1.1";
+  int status = 200;
+  std::string reason = "OK";
+  HeaderMap headers;
+  std::string body;
+  // When true the body is sent chunked and `trailers` follow the final
+  // chunk; the Trailer header should announce trailer field names.
+  bool chunked = false;
+  HeaderMap trailers;
+
+  std::string serialize() const;
+};
+
+// Parse results carry how many input bytes were consumed so a connection
+// buffer can hold pipelined messages. `incomplete` distinguishes "feed me
+// more bytes" (a valid prefix) from "never going to parse" — connection
+// buffers block on the former and fail on the latter.
+struct ParseError {
+  std::string message;
+  bool incomplete = false;
+};
+
+struct RequestParse {
+  Request request;
+  std::size_t consumed = 0;
+};
+struct ResponseParse {
+  Response response;
+  std::size_t consumed = 0;
+};
+
+// Parse one complete message from `input`. Returns nullopt with `error`
+// filled if the bytes are malformed; PW-incomplete inputs are also errors
+// (this is an in-process library, callers always hand over whole messages).
+std::optional<RequestParse> parse_request(std::string_view input,
+                                          ParseError& error);
+std::optional<ResponseParse> parse_response(std::string_view input,
+                                            ParseError& error);
+
+std::string_view reason_for_status(int status);
+
+}  // namespace piggyweb::http

@@ -1,0 +1,116 @@
+// Wire grammar for the protocol's two extension headers (§2.3).
+//
+// Request side — the proxy filter:
+//
+//   Piggy-filter: maxpiggy=10; rpv="3,4"; pt=0.2; maxsize=65536;
+//                 types=html,image; minfreq=5
+//   Piggy-filter: nopiggy
+//
+// Response side — the piggybacked volume, carried as a trailer field of a
+// chunked response (announced via `Trailer: P-volume`) so building it
+// never delays the body:
+//
+//   P-volume: vid=7; e="/dir/a.html 887637622 2366"; e="/dir/b.gif 887636681 4034"
+//
+// Each element quotes "<url> <last-modified-unix-seconds> <size-bytes>".
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/feedback.h"
+#include "core/filter.h"
+#include "core/piggyback.h"
+#include "core/validation.h"
+#include "http/message.h"
+#include "util/intern.h"
+
+namespace piggyweb::http {
+
+inline constexpr std::string_view kPiggyFilterHeader = "Piggy-filter";
+inline constexpr std::string_view kPVolumeHeader = "P-volume";
+inline constexpr std::string_view kPiggyHitsHeader = "Piggy-hits";
+inline constexpr std::string_view kPiggyValidateHeader = "Piggy-validate";
+inline constexpr std::string_view kPValidateHeader = "P-validate";
+
+// --- Piggy-filter -----------------------------------------------------------
+
+std::string serialize_filter(const core::ProxyFilter& filter);
+std::optional<core::ProxyFilter> parse_filter(std::string_view value);
+
+// Attach the filter (and the TE: chunked willingness it depends on) to a
+// request. A disabled filter serializes as "nopiggy" so the server knows
+// this proxy speaks the protocol but wants silence.
+void attach_filter(Request& request, const core::ProxyFilter& filter);
+
+// Extract the filter from a request. nullopt means the client doesn't
+// speak the protocol (no Piggy-filter header) — the server must not
+// piggyback at all.
+std::optional<core::ProxyFilter> extract_filter(const Request& request);
+
+// --- Piggy-hits (§5 proxy-to-server feedback) -------------------------------
+//
+//   Piggy-hits: 3:12, 7:4
+//
+// "volume 3 served 12 cache hits since my last report, volume 7 served 4".
+
+std::string serialize_hits(const std::vector<core::VolumeHitCount>& counts);
+std::optional<std::vector<core::VolumeHitCount>> parse_hits(
+    std::string_view value);
+
+// Attach pending feedback to a request (no-op for an empty report).
+void attach_hits(Request& request,
+                 const std::vector<core::VolumeHitCount>& counts);
+std::optional<std::vector<core::VolumeHitCount>> extract_hits(
+    const Request& request);
+
+// --- Piggy-validate / P-validate (PCV, after [10]) --------------------------
+//
+//   Piggy-validate: e="/a.html 886291300"; e="/b.gif 886291500"
+//   P-validate: f="/b.gif"; s="/a.html 886295000"
+//
+// Each request item quotes "<url> <last-modified>"; the reply lists fresh
+// urls (f) and stale urls with their current Last-Modified (s).
+
+std::string serialize_validate(const std::vector<core::ValidationItem>& items,
+                               const util::InternTable& paths);
+std::optional<std::vector<core::ValidationItem>> parse_validate(
+    std::string_view value, util::InternTable& paths);
+void attach_validate(Request& request,
+                     const std::vector<core::ValidationItem>& items,
+                     const util::InternTable& paths);
+std::optional<std::vector<core::ValidationItem>> extract_validate(
+    const Request& request, util::InternTable& paths);
+
+std::string serialize_validate_reply(const core::ValidationReply& reply,
+                                     const util::InternTable& paths);
+std::optional<core::ValidationReply> parse_validate_reply(
+    std::string_view value, util::InternTable& paths);
+void attach_validate_reply(Response& response,
+                           const core::ValidationReply& reply,
+                           const util::InternTable& paths);
+std::optional<core::ValidationReply> extract_validate_reply(
+    const Response& response, util::InternTable& paths);
+
+// --- P-volume ---------------------------------------------------------------
+
+std::string serialize_pvolume(const core::PiggybackMessage& message,
+                              const util::InternTable& paths);
+std::optional<core::PiggybackMessage> parse_pvolume(
+    std::string_view value, util::InternTable& paths);
+
+// Turn `response` into a chunked response whose trailer carries the
+// piggyback. No-op for empty messages. The volume id must fit the 2-byte
+// wire bound (kMaxWireVolumeId); callers keep wire ids in range by
+// construction (directory volumes) or by hashing into range.
+void attach_pvolume(Response& response,
+                    const core::PiggybackMessage& message,
+                    const util::InternTable& paths);
+
+// Read a piggyback from a response's trailers (or headers, for servers
+// that chose not to chunk). Interns any new paths into `paths`.
+std::optional<core::PiggybackMessage> extract_pvolume(
+    const Response& response, util::InternTable& paths);
+
+}  // namespace piggyweb::http

@@ -1,0 +1,48 @@
+#include "net/cost_model.h"
+
+#include "util/expect.h"
+
+namespace piggyweb::net {
+
+bool ConnectionManager::use(util::InternId source, util::InternId server,
+                            util::TimePoint now) {
+  const auto k = key(source, server);
+  const auto it = last_use_.find(k);
+  const bool reused =
+      it != last_use_.end() && now - it->second <= idle_timeout_;
+  last_use_[k] = now;
+  if (reused) {
+    ++stats_.reused;
+  } else {
+    ++stats_.opened;
+  }
+  return reused;
+}
+
+std::uint64_t CostModel::packets_for(std::uint64_t payload_bytes) const {
+  const auto per_packet = config_.mtu_bytes - config_.tcp_ip_header_bytes;
+  PW_EXPECT(per_packet > 0);
+  if (payload_bytes == 0) return 1;
+  return (payload_bytes + per_packet - 1) / per_packet;
+}
+
+TransferCost CostModel::exchange(std::uint64_t request_bytes,
+                                 std::uint64_t response_bytes,
+                                 bool reused_connection) const {
+  TransferCost cost;
+  cost.opened_connection = !reused_connection;
+  cost.bytes = request_bytes + response_bytes;
+  cost.packets = packets_for(request_bytes) + packets_for(response_bytes);
+  // Request + response is one round trip; a new connection prepends the
+  // TCP handshake (one more round trip, two more packets — SYN, SYN-ACK).
+  cost.latency_seconds =
+      config_.rtt_seconds + config_.server_think_seconds +
+      static_cast<double>(response_bytes) / config_.bandwidth_bytes_per_sec;
+  if (!reused_connection) {
+    cost.latency_seconds += config_.rtt_seconds;
+    cost.packets += 2;
+  }
+  return cost;
+}
+
+}  // namespace piggyweb::net

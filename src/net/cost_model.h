@@ -1,0 +1,85 @@
+// Network cost accounting: TCP connections (new vs persistent reuse),
+// packets, bytes, and a simple latency model. The paper's end-to-end
+// argument is about exactly these quantities — piggybacks ride existing
+// packets while avoided validations/prefetch misses save round trips and
+// connections.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "util/intern.h"
+#include "util/time.h"
+
+namespace piggyweb::net {
+
+struct NetworkConfig {
+  double rtt_seconds = 0.1;                  // proxy <-> server round trip
+  double bandwidth_bytes_per_sec = 256 * 1024;
+  double server_think_seconds = 0.05;
+  util::Seconds persistent_idle_timeout = 60;  // HTTP/1.1 keep-alive
+  std::uint64_t mtu_bytes = 1500;
+  std::uint64_t tcp_ip_header_bytes = 40;
+};
+
+struct TransferCost {
+  double latency_seconds = 0;
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  bool opened_connection = false;
+};
+
+struct ConnectionStats {
+  std::uint64_t opened = 0;
+  std::uint64_t reused = 0;
+
+  double reuse_fraction() const {
+    const auto total = opened + reused;
+    return total == 0 ? 0.0
+                      : static_cast<double>(reused) /
+                            static_cast<double>(total);
+  }
+};
+
+// Tracks persistent connections between (source, server) pairs; a transfer
+// within the idle timeout reuses the connection, otherwise a new one is
+// opened (costing an extra round trip and handshake packets).
+class ConnectionManager {
+ public:
+  explicit ConnectionManager(util::Seconds idle_timeout)
+      : idle_timeout_(idle_timeout) {}
+
+  // Returns true if an existing connection was reused; records the use.
+  bool use(util::InternId source, util::InternId server, util::TimePoint now);
+
+  const ConnectionStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t key(util::InternId source, util::InternId server) {
+    return (static_cast<std::uint64_t>(source) << 32) | server;
+  }
+  util::Seconds idle_timeout_;
+  std::unordered_map<std::uint64_t, util::TimePoint> last_use_;
+  ConnectionStats stats_;
+};
+
+// Pure cost arithmetic for a request/response exchange.
+class CostModel {
+ public:
+  explicit CostModel(const NetworkConfig& config) : config_(config) {}
+
+  // One HTTP exchange: `request_bytes` up, `response_bytes` down.
+  // `reused_connection` skips the TCP handshake RTT and its packets.
+  TransferCost exchange(std::uint64_t request_bytes,
+                        std::uint64_t response_bytes,
+                        bool reused_connection) const;
+
+  std::uint64_t packets_for(std::uint64_t payload_bytes) const;
+
+  const NetworkConfig& config() const { return config_; }
+
+ private:
+  NetworkConfig config_;
+};
+
+}  // namespace piggyweb::net

@@ -1,0 +1,39 @@
+#include "proxy/adaptive_ttl.h"
+
+#include <algorithm>
+
+namespace piggyweb::proxy {
+
+void AdaptiveTtl::observe(const CacheKey& key, std::int64_t last_modified) {
+  if (last_modified < 0) return;
+  auto& state = state_[key.packed()];
+  if (state.last_lm < 0) {
+    state.last_lm = last_modified;
+    return;
+  }
+  if (last_modified <= state.last_lm) return;  // same or older version
+  const auto gap = static_cast<double>(last_modified - state.last_lm);
+  state.ewma_gap = state.ewma_gap == 0
+                       ? gap
+                       : config_.ewma_alpha * gap +
+                             (1.0 - config_.ewma_alpha) * state.ewma_gap;
+  state.last_lm = last_modified;
+}
+
+util::Seconds AdaptiveTtl::freshness_for(const CacheKey& key,
+                                         util::Seconds fallback) const {
+  const auto it = state_.find(key.packed());
+  if (it == state_.end() || it->second.ewma_gap == 0) return fallback;
+  const auto delta = static_cast<util::Seconds>(config_.delta_factor *
+                                                it->second.ewma_gap);
+  return std::clamp(delta, config_.min_delta, config_.max_delta);
+}
+
+void AdaptiveTtl::apply_to(ProxyCache& cache, const CacheKey& key) const {
+  const auto it = state_.find(key.packed());
+  if (it == state_.end() || it->second.ewma_gap == 0) return;
+  cache.set_freshness_override(key,
+                               freshness_for(key, cache.freshness_interval()));
+}
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,49 @@
+// Adaptive freshness interval (§4): estimate each resource's rate of
+// change from the Last-Modified times observed in responses and
+// piggybacks, and derive a per-resource freshness interval Δ — long for
+// stable resources (fewer validations), short for volatile ones (less
+// staleness risk).
+#pragma once
+
+#include <unordered_map>
+
+#include "proxy/cache.h"
+#include "util/time.h"
+
+namespace piggyweb::proxy {
+
+struct AdaptiveTtlConfig {
+  double delta_factor = 0.5;          // Δ = factor * estimated change gap
+  util::Seconds min_delta = 60;
+  util::Seconds max_delta = 24 * util::kHour;
+  double ewma_alpha = 0.3;            // weight of the newest gap sample
+};
+
+class AdaptiveTtl {
+ public:
+  explicit AdaptiveTtl(const AdaptiveTtlConfig& config) : config_(config) {}
+
+  // Observe a Last-Modified value for a resource (from any response or
+  // piggyback element). Consecutive distinct values yield gap samples.
+  void observe(const CacheKey& key, std::int64_t last_modified);
+
+  // Recommended Δ; falls back to `fallback` until two distinct
+  // modifications have been seen.
+  util::Seconds freshness_for(const CacheKey& key,
+                              util::Seconds fallback) const;
+
+  // Push the recommendation into a cache as a per-resource override.
+  void apply_to(ProxyCache& cache, const CacheKey& key) const;
+
+  std::size_t tracked() const { return state_.size(); }
+
+ private:
+  struct State {
+    std::int64_t last_lm = -1;
+    double ewma_gap = 0;  // seconds; 0 = no estimate yet
+  };
+  AdaptiveTtlConfig config_;
+  std::unordered_map<std::uint64_t, State> state_;
+};
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,32 @@
+#include "proxy/coherency.h"
+
+namespace piggyweb::proxy {
+
+void CoherencyAgent::process(util::InternId server,
+                             const core::PiggybackMessage& message,
+                             util::TimePoint now) {
+  if (message.empty()) return;
+  ++stats_.piggybacks_processed;
+  for (const auto& element : message.elements) {
+    ++stats_.elements_processed;
+    const CacheKey key{server, element.resource};
+    switch (cache_->apply_piggyback(key, element.last_modified, now)) {
+      case ProxyCache::PiggybackEffect::kRefreshed:
+        ++stats_.refreshed;
+        // Server-assisted replacement (§4): the piggybacked implication
+        // probability doubles as a re-access hint for the entry.
+        if (element.probability > 0) {
+          cache_->set_hint(key, element.probability);
+        }
+        break;
+      case ProxyCache::PiggybackEffect::kInvalidated:
+        ++stats_.invalidated;
+        break;
+      case ProxyCache::PiggybackEffect::kNotCached:
+        ++stats_.not_cached;
+        break;
+    }
+  }
+}
+
+}  // namespace piggyweb::proxy

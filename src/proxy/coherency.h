@@ -1,0 +1,34 @@
+// Cache-coherency application (§4): use the Last-Modified times in a
+// piggyback message to freshen valid cache entries (a free revalidation,
+// avoiding a future If-Modified-Since round trip) and evict stale ones.
+#pragma once
+
+#include "core/piggyback.h"
+#include "proxy/cache.h"
+
+namespace piggyweb::proxy {
+
+struct CoherencyStats {
+  std::uint64_t piggybacks_processed = 0;
+  std::uint64_t elements_processed = 0;
+  std::uint64_t refreshed = 0;     // entries revalidated for free
+  std::uint64_t invalidated = 0;   // stale entries dropped a priori
+  std::uint64_t not_cached = 0;    // elements we had nothing for
+};
+
+class CoherencyAgent {
+ public:
+  explicit CoherencyAgent(ProxyCache& cache) : cache_(&cache) {}
+
+  // Apply every element of a piggyback from `server` to the cache.
+  void process(util::InternId server, const core::PiggybackMessage& message,
+               util::TimePoint now);
+
+  const CoherencyStats& stats() const { return stats_; }
+
+ private:
+  ProxyCache* cache_;
+  CoherencyStats stats_;
+};
+
+}  // namespace piggyweb::proxy

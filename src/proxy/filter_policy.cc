@@ -1,0 +1,24 @@
+#include "proxy/filter_policy.h"
+
+namespace piggyweb::proxy {
+
+core::ProxyFilter FilterPolicy::filter_for(util::InternId server,
+                                           util::TimePoint now) {
+  core::ProxyFilter filter = config_.base;
+  if (frequency_ && !frequency_->should_enable(server, now)) {
+    filter.enabled = false;
+    return filter;
+  }
+  if (config_.use_rpv) {
+    filter.rpv = rpv_.live(server, now);
+  }
+  return filter;
+}
+
+void FilterPolicy::on_piggyback(util::InternId server, core::VolumeId volume,
+                                util::TimePoint now) {
+  if (config_.use_rpv) rpv_.note(server, volume, now);
+  if (frequency_) frequency_->on_piggyback(server, now);
+}
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,45 @@
+// Proxy-side filter construction: combines static preferences (maxpiggy,
+// size/type limits, probability threshold) with dynamic frequency control
+// (enable-bit policies of §2.2) and the per-server RPV list into the
+// ProxyFilter that rides each request.
+#pragma once
+
+#include <memory>
+
+#include "core/filter.h"
+#include "core/frequency.h"
+#include "core/rpv.h"
+
+namespace piggyweb::proxy {
+
+struct FilterPolicyConfig {
+  core::ProxyFilter base;        // static preferences
+  core::RpvConfig rpv;           // per-server RPV list bounds
+  bool use_rpv = true;           // include the RPV list in filters
+};
+
+class FilterPolicy {
+ public:
+  FilterPolicy(const FilterPolicyConfig& config,
+               std::unique_ptr<core::FrequencyPolicy> frequency)
+      : config_(config),
+        rpv_(config.rpv),
+        frequency_(std::move(frequency)) {}
+
+  // Filter for a request to `server` at `now`.
+  core::ProxyFilter filter_for(util::InternId server, util::TimePoint now);
+
+  // The response carried a piggyback for `volume`: remember it so future
+  // filters suppress that volume, and inform the frequency policy.
+  void on_piggyback(util::InternId server, core::VolumeId volume,
+                    util::TimePoint now);
+
+  core::RpvTable& rpv() { return rpv_; }
+
+ private:
+  FilterPolicyConfig config_;
+  core::RpvTable rpv_;
+  std::unique_ptr<core::FrequencyPolicy> frequency_;
+};
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,86 @@
+#include "proxy/informed_fetch.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace piggyweb::proxy {
+
+const char* discipline_name(FetchDiscipline d) {
+  switch (d) {
+    case FetchDiscipline::kFifo:
+      return "fifo";
+    case FetchDiscipline::kShortestFirst:
+      return "shortest-first";
+  }
+  return "?";
+}
+
+FetchScheduleResult schedule_fetches(std::vector<PendingFetch> fetches,
+                                     double bandwidth_bytes_per_sec,
+                                     FetchDiscipline discipline) {
+  PW_EXPECT(bandwidth_bytes_per_sec > 0);
+  FetchScheduleResult result;
+  if (fetches.empty()) return result;
+  result.completion_by_id.assign(fetches.size(), 0.0);
+
+  // Event-free simulation: keep the not-yet-started set; at each step pick
+  // the next job among those arrived by `clock` (or jump to the earliest
+  // arrival if the link is idle).
+  std::sort(fetches.begin(), fetches.end(),
+            [](const PendingFetch& a, const PendingFetch& b) {
+              return a.arrival < b.arrival;
+            });
+  std::vector<bool> done(fetches.size(), false);
+  double clock = 0;
+  double total_wait = 0, total_completion = 0;
+  std::size_t completed = 0;
+  while (completed < fetches.size()) {
+    // Candidates: arrived, not done.
+    std::size_t pick = fetches.size();
+    double earliest_arrival = 0;
+    bool any_pending = false;
+    for (std::size_t i = 0; i < fetches.size(); ++i) {
+      if (done[i]) continue;
+      if (!any_pending || fetches[i].arrival < earliest_arrival) {
+        earliest_arrival = fetches[i].arrival;
+        any_pending = true;
+      }
+      if (fetches[i].arrival > clock) continue;
+      if (pick == fetches.size()) {
+        pick = i;
+        continue;
+      }
+      const bool better =
+          discipline == FetchDiscipline::kShortestFirst
+              ? fetches[i].bytes < fetches[pick].bytes
+              : fetches[i].arrival < fetches[pick].arrival;
+      if (better) pick = i;
+    }
+    if (pick == fetches.size()) {
+      // Link idle; jump to the next arrival.
+      clock = earliest_arrival;
+      continue;
+    }
+    const auto& job = fetches[pick];
+    const double start = std::max(clock, job.arrival);
+    const double duration =
+        static_cast<double>(job.bytes) / bandwidth_bytes_per_sec;
+    const double finish = start + duration;
+    total_wait += start - job.arrival;
+    total_completion += finish - job.arrival;
+    PW_EXPECT(job.id < result.completion_by_id.size());
+    result.completion_by_id[job.id] = finish - job.arrival;
+    result.max_completion = std::max(result.max_completion,
+                                     finish - job.arrival);
+    clock = finish;
+    done[pick] = true;
+    ++completed;
+  }
+  result.mean_wait = total_wait / static_cast<double>(fetches.size());
+  result.mean_completion =
+      total_completion / static_cast<double>(fetches.size());
+  return result;
+}
+
+}  // namespace piggyweb::proxy

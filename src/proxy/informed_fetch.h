@@ -1,0 +1,43 @@
+// Informed fetching (§4): the piggyback's size attributes let the proxy
+// schedule its fetch queue before contacting servers — shortest-first on a
+// congested path cuts mean waiting time (small text first, big downloads
+// later). This module models a single bottleneck link and compares
+// scheduling disciplines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.h"
+
+namespace piggyweb::proxy {
+
+struct PendingFetch {
+  std::uint64_t id = 0;
+  std::uint64_t bytes = 0;
+  double arrival = 0;  // seconds
+};
+
+enum class FetchDiscipline : std::uint8_t {
+  kFifo,           // order of arrival (uninformed)
+  kShortestFirst,  // by piggybacked size (informed)
+};
+
+const char* discipline_name(FetchDiscipline d);
+
+struct FetchScheduleResult {
+  double mean_wait = 0;       // queueing delay before transfer starts
+  double mean_completion = 0; // arrival -> fully transferred
+  double max_completion = 0;
+  std::vector<double> completion_by_id;  // indexed by PendingFetch::id
+};
+
+// Simulate draining `fetches` over a link of `bandwidth_bytes_per_sec`,
+// non-preemptively, choosing the next transfer by `discipline` among the
+// requests that have arrived. Ids must be dense 0..n-1.
+FetchScheduleResult schedule_fetches(std::vector<PendingFetch> fetches,
+                                     double bandwidth_bytes_per_sec,
+                                     FetchDiscipline discipline);
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,38 @@
+#include "proxy/pcv.h"
+
+namespace piggyweb::proxy {
+
+std::vector<core::ValidationItem> PcvAgent::plan(util::InternId server,
+                                                 util::TimePoint now) {
+  const auto candidates =
+      cache_->expiring_soon(server, now, config_.horizon, config_.batch);
+  std::vector<core::ValidationItem> items;
+  items.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    items.push_back({candidate.key.path, candidate.last_modified});
+  }
+  if (!items.empty()) {
+    ++stats_.batches_sent;
+    stats_.items_sent += items.size();
+  }
+  return items;
+}
+
+void PcvAgent::process(util::InternId server,
+                       const core::ValidationReply& reply,
+                       util::TimePoint now) {
+  for (const auto fresh : reply.fresh) {
+    cache_->revalidate({server, fresh}, now);
+    ++stats_.freshened;
+  }
+  for (const auto& stale : reply.stale) {
+    // apply_piggyback sees the newer server version and evicts.
+    if (cache_->apply_piggyback({server, stale.resource},
+                                stale.last_modified, now) ==
+        ProxyCache::PiggybackEffect::kInvalidated) {
+      ++stats_.invalidated;
+    }
+  }
+}
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,51 @@
+// Proxy-side piggyback cache validation (PCV, after the paper's [10]).
+//
+// Before each request to a server, the agent batches up to `batch` cached
+// entries from that server whose freshness expires within `horizon`
+// seconds onto the request (`Piggy-validate`). The server's `P-validate`
+// verdicts then revalidate fresh entries in bulk (no per-entry
+// If-Modified-Since round trips) and evict stale ones before a client can
+// be served outdated bytes.
+#pragma once
+
+#include <vector>
+
+#include "core/validation.h"
+#include "proxy/cache.h"
+
+namespace piggyweb::proxy {
+
+struct PcvConfig {
+  std::size_t batch = 10;         // max items per request
+  util::Seconds horizon = 600;    // validate entries expiring this soon
+};
+
+struct PcvStats {
+  std::uint64_t batches_sent = 0;
+  std::uint64_t items_sent = 0;
+  std::uint64_t freshened = 0;    // bulk revalidations
+  std::uint64_t invalidated = 0;  // stale copies evicted a priori
+};
+
+class PcvAgent {
+ public:
+  PcvAgent(const PcvConfig& config, ProxyCache& cache)
+      : config_(config), cache_(&cache) {}
+
+  // Items to piggyback on a request to `server` at `now` (may be empty).
+  std::vector<core::ValidationItem> plan(util::InternId server,
+                                         util::TimePoint now);
+
+  // Apply the server's verdicts to the cache.
+  void process(util::InternId server, const core::ValidationReply& reply,
+               util::TimePoint now);
+
+  const PcvStats& stats() const { return stats_; }
+
+ private:
+  PcvConfig config_;
+  ProxyCache* cache_;
+  PcvStats stats_;
+};
+
+}  // namespace piggyweb::proxy

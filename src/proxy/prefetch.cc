@@ -1,0 +1,67 @@
+#include "proxy/prefetch.h"
+
+namespace piggyweb::proxy {
+
+std::vector<core::PiggybackElement> Prefetcher::plan(
+    util::InternId server, const core::PiggybackMessage& message,
+    util::TimePoint now) {
+  expire(now);
+  std::vector<core::PiggybackElement> chosen;
+  std::uint64_t spent = 0;
+  for (const auto& element : message.elements) {
+    if (element.size > config_.max_resource_bytes) continue;
+    if (spent + element.size > config_.budget_bytes_per_piggyback) continue;
+    // Resources modified moments ago may change again before a client
+    // asks; let them settle (§4).
+    if (element.last_modified >= 0 &&
+        now.value - element.last_modified <
+            config_.skip_if_modified_within) {
+      continue;
+    }
+    const CacheKey key{server, element.resource};
+    if (cache_->contains(key)) continue;        // coherency path handles it
+    if (outstanding_.contains(key.packed())) continue;
+    chosen.push_back(element);
+    spent += element.size;
+  }
+  return chosen;
+}
+
+void Prefetcher::complete(util::InternId server,
+                          const core::PiggybackElement& element,
+                          util::TimePoint now) {
+  const CacheKey key{server, element.resource};
+  cache_->insert(key, element.size, element.last_modified, now);
+  outstanding_[key.packed()] = {now, element.size};
+  by_time_.emplace_back(now, key.packed());
+  ++stats_.issued;
+  stats_.bytes_fetched += element.size;
+}
+
+void Prefetcher::on_client_request(const CacheKey& key, util::TimePoint now) {
+  expire(now);
+  const auto it = outstanding_.find(key.packed());
+  if (it == outstanding_.end()) return;
+  ++stats_.useful;
+  stats_.useful_bytes += it->second.bytes;
+  outstanding_.erase(it);
+}
+
+void Prefetcher::expire(util::TimePoint now) {
+  while (!by_time_.empty() &&
+         now - by_time_.front().first > config_.useful_window) {
+    const auto packed = by_time_.front().second;
+    const auto when = by_time_.front().first;
+    by_time_.pop_front();
+    const auto it = outstanding_.find(packed);
+    // The entry may have been credited useful (erased) or re-prefetched
+    // later (newer timestamp); only a matching stale entry is futile.
+    if (it != outstanding_.end() && it->second.when == when) {
+      ++stats_.futile;
+      stats_.futile_bytes += it->second.bytes;
+      outstanding_.erase(it);
+    }
+  }
+}
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,80 @@
+// Prefetching application (§4): fetch piggybacked resources before the
+// client asks. Wrong predictions waste bandwidth and cache space, so the
+// prefetcher enforces a size ceiling, skips resources modified very
+// recently (they may change again before use), and bounds per-piggyback
+// spend. Usefulness is tracked by watching whether a client request
+// arrives within the prediction window.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/piggyback.h"
+#include "proxy/cache.h"
+
+namespace piggyweb::proxy {
+
+struct PrefetchConfig {
+  std::uint64_t max_resource_bytes = 256 * 1024;
+  std::uint64_t budget_bytes_per_piggyback = 1024 * 1024;
+  util::Seconds skip_if_modified_within = 60;  // too hot to prefetch
+  util::Seconds useful_window = 300;  // T: unused past this = futile
+};
+
+struct PrefetchStats {
+  std::uint64_t issued = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t useful = 0;          // client asked within the window
+  std::uint64_t futile = 0;          // window expired unused
+  std::uint64_t useful_bytes = 0;
+  std::uint64_t futile_bytes = 0;
+
+  double futile_fraction() const {
+    const auto settled = useful + futile;
+    return settled == 0 ? 0.0
+                        : static_cast<double>(futile) /
+                              static_cast<double>(settled);
+  }
+};
+
+class Prefetcher {
+ public:
+  Prefetcher(const PrefetchConfig& config, ProxyCache& cache)
+      : config_(config), cache_(&cache) {}
+
+  // Decide what to prefetch from a piggyback. Returns the chosen elements;
+  // the caller performs the (simulated) fetches and calls complete().
+  std::vector<core::PiggybackElement> plan(
+      util::InternId server, const core::PiggybackMessage& message,
+      util::TimePoint now);
+
+  // A planned prefetch completed: insert into the cache and start the
+  // usefulness clock.
+  void complete(util::InternId server, const core::PiggybackElement& element,
+                util::TimePoint now);
+
+  // A client request arrived; if it hits an outstanding prefetch, credit
+  // it as useful. Call for every client request (cheap no-op otherwise).
+  void on_client_request(const CacheKey& key, util::TimePoint now);
+
+  // Expire outstanding prefetches older than the useful window.
+  void expire(util::TimePoint now);
+
+  const PrefetchStats& stats() const { return stats_; }
+  std::size_t outstanding() const { return outstanding_.size(); }
+
+ private:
+  struct Pending {
+    util::TimePoint when{};
+    std::uint64_t bytes = 0;
+  };
+
+  PrefetchConfig config_;
+  ProxyCache* cache_;
+  PrefetchStats stats_;
+  std::unordered_map<std::uint64_t, Pending> outstanding_;  // CacheKey packed
+  std::deque<std::pair<util::TimePoint, std::uint64_t>> by_time_;
+};
+
+}  // namespace piggyweb::proxy

@@ -1,0 +1,38 @@
+#include "server/meta.h"
+
+namespace piggyweb::server {
+
+core::ResourceMeta SiteMetaOracle::lookup(util::InternId /*server*/,
+                                          util::InternId resource) const {
+  core::ResourceMeta meta;
+  const auto path = paths_.str(resource);
+  const auto idx = site_.index_of(path);
+  if (idx >= site_.size()) return meta;
+  const auto& res = site_.resource(idx);
+  meta.size = res.size;
+  meta.type = res.type;
+  meta.last_modified = site_.last_modified(idx, now_).value;
+  const auto it = access_counts_.find(resource);
+  meta.access_count = it == access_counts_.end() ? 0 : it->second;
+  return meta;
+}
+
+TraceMetaOracle::TraceMetaOracle(const trace::Trace& trace) {
+  for (const auto& r : trace.requests()) {
+    auto& meta = meta_[key(r.server, r.path)];
+    ++meta.access_count;
+    if (r.status == 200 && r.size > meta.size) meta.size = r.size;
+    if (r.last_modified > meta.last_modified) {
+      meta.last_modified = r.last_modified;
+    }
+    meta.type = trace::classify_path(trace.paths().str(r.path));
+  }
+}
+
+core::ResourceMeta TraceMetaOracle::lookup(util::InternId server,
+                                           util::InternId resource) const {
+  const auto it = meta_.find(key(server, resource));
+  return it == meta_.end() ? core::ResourceMeta{} : it->second;
+}
+
+}  // namespace piggyweb::server

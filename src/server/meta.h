@@ -1,0 +1,60 @@
+// MetaOracle implementations — where piggyback-element metadata (size,
+// Last-Modified, content type, access count) comes from.
+//
+//   * SiteMetaOracle: backed by the synthetic SiteModel ground truth plus
+//     online access counters — what a real origin server knows.
+//   * TraceMetaOracle: learned from a full log in a post-processing pass —
+//     how the paper's evaluation knows access counts ("a filter of 100
+//     means resources accessed less than 100 times in the entire trace
+//     are not piggybacked").
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/filter.h"
+#include "trace/record.h"
+#include "trace/synthetic.h"
+
+namespace piggyweb::server {
+
+// Ground-truth oracle for one simulated site. Access counts accumulate as
+// note_access() is called; Last-Modified is evaluated lazily at the time
+// of the piggyback (set via set_now()).
+class SiteMetaOracle final : public core::MetaOracle {
+ public:
+  SiteMetaOracle(const trace::SiteModel& site, const util::InternTable& paths)
+      : site_(site), paths_(paths) {}
+
+  void set_now(util::TimePoint now) { now_ = now; }
+  void note_access(util::InternId resource) { ++access_counts_[resource]; }
+
+  core::ResourceMeta lookup(util::InternId /*server*/,
+                            util::InternId resource) const override;
+
+ private:
+  const trace::SiteModel& site_;
+  const util::InternTable& paths_;
+  util::TimePoint now_{};
+  std::unordered_map<util::InternId, std::uint64_t> access_counts_;
+};
+
+// Whole-trace oracle used by the evaluation benches: sizes are the largest
+// observed 200-response body, access counts are totals over the trace,
+// Last-Modified the last observed value. Works for multi-server traces
+// (keys combine server and resource ids).
+class TraceMetaOracle final : public core::MetaOracle {
+ public:
+  explicit TraceMetaOracle(const trace::Trace& trace);
+
+  core::ResourceMeta lookup(util::InternId server,
+                            util::InternId resource) const override;
+
+ private:
+  static std::uint64_t key(util::InternId server, util::InternId resource) {
+    return (static_cast<std::uint64_t>(server) << 32) | resource;
+  }
+  std::unordered_map<std::uint64_t, core::ResourceMeta> meta_;
+};
+
+}  // namespace piggyweb::server

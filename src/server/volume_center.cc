@@ -1,0 +1,70 @@
+#include "server/volume_center.h"
+
+#include "trace/record.h"
+
+namespace piggyweb::server {
+
+void LearnedMetaOracle::observe(util::InternId server,
+                                util::InternId resource, std::uint64_t size,
+                                std::int64_t last_modified) {
+  auto& meta = meta_[key(server, resource)];
+  ++meta.access_count;
+  if (size > 0) meta.size = size;
+  if (last_modified > meta.last_modified) meta.last_modified = last_modified;
+  meta.type = trace::classify_path(paths_->str(resource));
+}
+
+core::ResourceMeta LearnedMetaOracle::lookup(
+    util::InternId server, util::InternId resource) const {
+  const auto it = meta_.find(key(server, resource));
+  return it == meta_.end() ? core::ResourceMeta{} : it->second;
+}
+
+volume::DirectoryVolumes& VolumeCenter::provider_for(
+    util::InternId server) {
+  auto it = providers_.find(server);
+  if (it == providers_.end()) {
+    auto provider = std::make_unique<volume::DirectoryVolumes>(config_);
+    provider->bind_paths(*paths_);
+    it = providers_.emplace(server, std::move(provider)).first;
+  }
+  return *it->second;
+}
+
+core::PiggybackMessage VolumeCenter::observe(
+    util::InternId server, util::InternId source, util::InternId path,
+    util::TimePoint time, std::uint64_t size, std::int64_t last_modified,
+    const core::ProxyFilter& filter) {
+  ++stats_.exchanges_observed;
+  meta_.observe(server, path, size, last_modified);
+
+  core::VolumeRequest vr;
+  vr.server = server;
+  vr.source = source;
+  vr.path = path;
+  vr.time = time;
+  vr.size = size;
+  vr.type = trace::classify_path(paths_->str(path));
+  auto& provider = provider_override_ != nullptr
+                       ? *provider_override_
+                       : static_cast<core::VolumeProvider&>(
+                             provider_for(server));
+  const auto prediction = provider.on_request(vr);
+  const auto& meta =
+      meta_override_ != nullptr ? *meta_override_
+                                : static_cast<const core::MetaOracle&>(meta_);
+  const auto message = core::apply_filter(prediction, vr, filter, meta);
+  if (!message.empty()) {
+    ++stats_.piggybacks_injected;
+    stats_.elements_injected += message.elements.size();
+  }
+  return message;
+}
+
+VolumeCenterStats VolumeCenter::stats() const {
+  auto s = stats_;
+  s.servers_tracked = providers_.size();
+  return s;
+}
+
+}  // namespace piggyweb::server

@@ -1,0 +1,118 @@
+// End-to-end simulator: the trace's clients sit behind one proxy (cache +
+// piggyback applications) that talks to simulated origin servers over a
+// cost-modelled network, with volume maintenance performed by a
+// transparent volume center on the path (§1's deployment story). This is
+// the harness behind the §4 application trade-off numbers and the examples.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "net/cost_model.h"
+#include "proxy/adaptive_ttl.h"
+#include "proxy/cache.h"
+#include "proxy/coherency.h"
+#include "proxy/filter_policy.h"
+#include "proxy/pcv.h"
+#include "proxy/prefetch.h"
+#include "server/volume_center.h"
+#include "sim/ground_truth.h"
+#include "trace/synthetic.h"
+#include "volume/probability.h"
+
+namespace piggyweb::sim {
+
+struct EndToEndConfig {
+  proxy::CacheConfig cache;
+  core::ProxyFilter base_filter;          // static filter preferences
+  core::RpvConfig rpv;
+  bool use_rpv = true;
+  util::Seconds min_piggyback_interval = 0;  // frequency control
+  bool piggybacking = true;               // master switch (baseline = off)
+  bool enable_coherency = true;
+  bool enable_prefetch = false;
+  proxy::PrefetchConfig prefetch;
+  bool enable_adaptive_ttl = false;
+  proxy::AdaptiveTtlConfig adaptive_ttl;
+  // Piggyback cache validation (the [10]-style baseline/complement): batch
+  // soon-to-expire entries onto requests, get bulk verdicts back.
+  bool enable_pcv = false;
+  proxy::PcvConfig pcv;
+  volume::DirectoryVolumeConfig volumes;  // volume center scheme
+  // When set, the volume center serves piggybacks from this offline-built
+  // probability volume set instead of online directory volumes (the
+  // paper's most accurate configuration; recommended for prefetching).
+  const volume::ProbabilityVolumeSet* probability_volumes = nullptr;
+  std::size_t probability_max_candidates = 50;
+  net::NetworkConfig network;
+  std::uint64_t request_overhead_bytes = 200;   // headers etc.
+  std::uint64_t response_overhead_bytes = 200;
+};
+
+struct EndToEndResult {
+  proxy::CacheStats cache;
+  proxy::CoherencyStats coherency;
+  proxy::PrefetchStats prefetch;
+  proxy::PcvStats pcv;
+  net::ConnectionStats connections;
+  server::VolumeCenterStats center;
+
+  std::uint64_t client_requests = 0;
+  std::uint64_t server_contacts = 0;      // requests reaching a server
+  std::uint64_t validations = 0;          // If-Modified-Since exchanges
+  std::uint64_t validations_not_modified = 0;  // ... answered 304
+  std::uint64_t stale_served = 0;  // fresh hits that were in fact outdated
+  std::uint64_t piggyback_bytes = 0;
+  std::uint64_t body_bytes = 0;
+  std::uint64_t total_packets = 0;
+  double user_latency_sum = 0;    // user-perceived, seconds
+  double prefetch_latency_sum = 0;  // background traffic
+
+  double mean_user_latency() const {
+    return client_requests == 0
+               ? 0.0
+               : user_latency_sum / static_cast<double>(client_requests);
+  }
+  double stale_rate() const {
+    return cache.fresh_hits == 0
+               ? 0.0
+               : static_cast<double>(stale_served) /
+                     static_cast<double>(cache.fresh_hits);
+  }
+};
+
+class EndToEndSimulator {
+ public:
+  EndToEndSimulator(const trace::SyntheticWorkload& workload,
+                    const EndToEndConfig& config);
+
+  EndToEndResult run();
+
+ private:
+  void handle_piggyback(util::InternId server,
+                        const core::PiggybackMessage& message,
+                        util::TimePoint now);
+
+
+  const trace::SyntheticWorkload& workload_;
+  EndToEndConfig config_;
+
+  proxy::ProxyCache cache_;
+  proxy::FilterPolicy filter_policy_;
+  proxy::CoherencyAgent coherency_;
+  proxy::Prefetcher prefetcher_;
+  proxy::AdaptiveTtl adaptive_ttl_;
+  proxy::PcvAgent pcv_;
+  server::VolumeCenter center_;
+  std::optional<volume::ProbabilityVolumes> probability_provider_;
+  GroundTruthMeta truth_meta_;
+  net::ConnectionManager connections_;
+  net::CostModel cost_;
+  EndToEndResult result_;
+  // site index per trace server id (resolved once up front).
+  std::vector<const trace::SiteModel*> site_by_server_;
+  // resource index per (server, path) — memoized lookups.
+  std::unordered_map<std::uint64_t, std::uint32_t> resource_index_;
+};
+
+}  // namespace piggyweb::sim

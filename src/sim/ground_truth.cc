@@ -1,0 +1,23 @@
+#include "sim/ground_truth.h"
+
+namespace piggyweb::sim {
+
+core::ResourceMeta GroundTruthMeta::lookup(util::InternId server,
+                                           util::InternId resource) const {
+  core::ResourceMeta meta;
+  const auto it =
+      counts_.find((static_cast<std::uint64_t>(server) << 32) | resource);
+  meta.access_count = it == counts_.end() ? 0 : it->second;
+  if (server >= site_by_server_->size()) return meta;
+  const auto* site = (*site_by_server_)[server];
+  if (site == nullptr) return meta;
+  const auto idx = site->index_of(workload_->trace.paths().str(resource));
+  if (idx >= site->size()) return meta;
+  const auto& res = site->resource(idx);
+  meta.size = res.size;
+  meta.type = res.type;
+  meta.last_modified = site->last_modified(idx, now_).value;
+  return meta;
+}
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,41 @@
+// Authoritative piggyback metadata for simulators: sizes/types/
+// Last-Modified from the synthetic site models (what a cooperating origin
+// server knows), access counts from observed traffic. Simulators feed this
+// to the volume center so piggybacked Last-Modified values reflect real
+// changes — a center restricted to traffic-learned metadata would keep
+// refreshing entries that changed since their last observed fetch.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/filter.h"
+#include "trace/synthetic.h"
+
+namespace piggyweb::sim {
+
+class GroundTruthMeta final : public core::MetaOracle {
+ public:
+  // `sites` maps trace server ids to site models (nullptr = unknown host)
+  // and may be filled after construction; only the address is captured.
+  GroundTruthMeta(const trace::SyntheticWorkload& workload,
+                  const std::vector<const trace::SiteModel*>& sites)
+      : workload_(&workload), site_by_server_(&sites) {}
+
+  void set_now(util::TimePoint now) { now_ = now; }
+  void note_access(util::InternId server, util::InternId resource) {
+    ++counts_[(static_cast<std::uint64_t>(server) << 32) | resource];
+  }
+
+  core::ResourceMeta lookup(util::InternId server,
+                            util::InternId resource) const override;
+
+ private:
+  const trace::SyntheticWorkload* workload_;
+  const std::vector<const trace::SiteModel*>* site_by_server_;
+  util::TimePoint now_{};
+  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace piggyweb::sim

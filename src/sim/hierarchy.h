@@ -1,0 +1,80 @@
+// Two-level cache hierarchy (§1: "our techniques are applicable to the
+// general case of hierarchical caching"; §5 lists multi-level caches as
+// future work).
+//
+// Clients are partitioned across several child proxies that share one
+// parent proxy; the parent talks to the origin servers (volume center on
+// that path). Piggybacks arrive at the parent and are optionally relayed
+// to the requesting child, so both cache levels get coherency refreshes
+// and invalidations from a single server message.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "proxy/cache.h"
+#include "proxy/coherency.h"
+#include "proxy/filter_policy.h"
+#include "server/volume_center.h"
+#include "trace/synthetic.h"
+
+namespace piggyweb::sim {
+
+struct HierarchyConfig {
+  std::size_t child_proxies = 4;
+  proxy::CacheConfig child_cache;    // small, near the clients
+  proxy::CacheConfig parent_cache;   // large, shared
+  core::ProxyFilter base_filter;
+  core::RpvConfig rpv;
+  volume::DirectoryVolumeConfig volumes;
+  bool piggybacking = true;
+  bool relay_to_children = true;  // parent forwards piggybacks downstream
+};
+
+struct HierarchyResult {
+  std::uint64_t client_requests = 0;
+  std::uint64_t child_fresh_hits = 0;    // served at a child, no upstream
+  std::uint64_t parent_fresh_hits = 0;   // served at the parent
+  std::uint64_t server_contacts = 0;     // reached the origin
+  std::uint64_t stale_served = 0;        // fresh hit of an outdated copy
+  proxy::CoherencyStats parent_coherency;
+  proxy::CoherencyStats child_coherency;  // merged over children
+
+  double child_hit_rate() const {
+    return client_requests == 0
+               ? 0.0
+               : static_cast<double>(child_fresh_hits) /
+                     static_cast<double>(client_requests);
+  }
+  double overall_hit_rate() const {
+    return client_requests == 0
+               ? 0.0
+               : static_cast<double>(child_fresh_hits + parent_fresh_hits) /
+                     static_cast<double>(client_requests);
+  }
+  double server_contact_rate() const {
+    return client_requests == 0
+               ? 0.0
+               : static_cast<double>(server_contacts) /
+                     static_cast<double>(client_requests);
+  }
+};
+
+class HierarchySimulator {
+ public:
+  HierarchySimulator(const trace::SyntheticWorkload& workload,
+                     const HierarchyConfig& config);
+
+  HierarchyResult run();
+
+ private:
+  struct Child {
+    std::unique_ptr<proxy::ProxyCache> cache;
+    std::unique_ptr<proxy::CoherencyAgent> coherency;
+  };
+
+  const trace::SyntheticWorkload& workload_;
+  HierarchyConfig config_;
+};
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,68 @@
+#include "sim/locality.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace piggyweb::sim {
+
+LocalityLevelResult directory_locality(const trace::Trace& trace, int level,
+                                       const LocalityOptions& options) {
+  LocalityLevelResult result;
+  result.level = level;
+
+  // Cache each path id's prefix so we only compute it once.
+  std::vector<std::string> prefix_of(trace.paths().size());
+  std::vector<bool> prefix_ready(trace.paths().size(), false);
+
+  // (server, prefix) -> last time seen. Key built as "serverid|prefix".
+  std::unordered_map<std::string, util::Seconds> last_seen;
+  util::Quantiles interarrivals;
+  util::RunningStats interarrival_stats;
+
+  for (const auto& req : trace.requests()) {
+    if (options.exclude_images &&
+        trace::classify_path(trace.paths().str(req.path)) ==
+            trace::ContentType::kImage) {
+      continue;
+    }
+    ++result.requests;
+    if (!prefix_ready[req.path]) {
+      prefix_of[req.path] = std::string(
+          util::directory_prefix(trace.paths().str(req.path), level));
+      prefix_ready[req.path] = true;
+    }
+    std::string key = std::to_string(req.server);
+    key += '|';
+    key += prefix_of[req.path];
+    const auto it = last_seen.find(key);
+    if (it != last_seen.end()) {
+      ++result.seen_before;
+      const auto gap = static_cast<double>(req.time.value - it->second);
+      interarrivals.add(gap);
+      interarrival_stats.add(gap);
+      it->second = req.time.value;
+    } else {
+      last_seen.emplace(std::move(key), req.time.value);
+    }
+  }
+
+  if (result.requests > 0) {
+    result.seen_before_fraction =
+        static_cast<double>(result.seen_before) /
+        static_cast<double>(result.requests);
+  }
+  if (!interarrivals.empty()) {
+    result.median_interarrival = interarrivals.median();
+    result.mean_interarrival = interarrival_stats.mean();
+    result.cdf_points = options.cdf_points;
+    result.cdf_values.reserve(options.cdf_points.size());
+    for (const auto p : options.cdf_points) {
+      result.cdf_values.push_back(interarrivals.cdf(p));
+    }
+  }
+  return result;
+}
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,41 @@
+// Directory-prefix locality analysis (Figure 1): for a proxy/client trace,
+// at each directory level, what fraction of requests touch a prefix seen
+// earlier in the trace, and how are the interarrival times within a prefix
+// distributed? High short-range locality is what makes directory volumes
+// predictive.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/stats.h"
+
+namespace piggyweb::sim {
+
+struct LocalityLevelResult {
+  int level = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t seen_before = 0;   // prefix occurred earlier in the trace
+  double seen_before_fraction = 0;
+  double median_interarrival = 0;  // seconds, over seen-before requests
+  double mean_interarrival = 0;
+  // Empirical CDF evaluated at these interarrival points (seconds).
+  std::vector<double> cdf_points;
+  std::vector<double> cdf_values;
+};
+
+struct LocalityOptions {
+  // Drop image requests first ("even with [embedded references] removed,
+  // the trace still exhibits significant temporal locality", §3.2.2). Our
+  // logs identify embedded fetches by content type.
+  bool exclude_images = false;
+  std::vector<double> cdf_points = {1,   5,    10,   50,   100,
+                                    500, 1000, 5000, 7200, 86400};
+};
+
+// Level-0 groups by server; level-k adds the k-level directory prefix.
+LocalityLevelResult directory_locality(const trace::Trace& trace, int level,
+                                       const LocalityOptions& options = {});
+
+}  // namespace piggyweb::sim

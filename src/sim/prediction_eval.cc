@@ -1,0 +1,123 @@
+#include "sim/prediction_eval.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace piggyweb::sim {
+namespace {
+
+// Sentinel "long ago" for first-touch comparisons.
+constexpr util::Seconds kNever = -(1LL << 60);
+
+struct ResourceState {
+  util::Seconds last_access = kNever;
+  util::Seconds last_mention = kNever;   // any piggyback mention
+  util::Seconds interval_open = kNever;  // start of current prediction
+  bool fulfilled = false;
+};
+
+}  // namespace
+
+EvalResult PredictionEvaluator::run(const trace::Trace& trace,
+                                    core::VolumeProvider& provider,
+                                    const core::MetaOracle& meta) {
+  const auto& requests = trace.requests();
+  PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
+                           [](const trace::Request& a,
+                              const trace::Request& b) {
+                             return a.time < b.time;
+                           }));
+  const auto T = config_.prediction_window;
+  const auto C = config_.cache_horizon;
+  PW_EXPECT(C > T);
+
+  EvalResult result;
+  // (source, resource) -> state. Sources and resources are both dense ids.
+  std::unordered_map<std::uint64_t, ResourceState> state;
+  state.reserve(requests.size() / 2);
+  const auto skey = [](util::InternId source, util::InternId resource) {
+    return (static_cast<std::uint64_t>(source) << 32) | resource;
+  };
+  // (source, server) -> last piggyback time (frequency control).
+  std::unordered_map<std::uint64_t, util::Seconds> last_piggy;
+  // (source, server) -> RPV list.
+  std::unordered_map<std::uint64_t, core::RpvList> rpv;
+
+  for (const auto& req : requests) {
+    ++result.requests;
+    const auto t = req.time.value;
+    auto& rs = state[skey(req.source, req.path)];
+
+    // --- metrics, evaluated against state from *earlier* requests --------
+    const bool predicted =
+        rs.last_mention != kNever && t - rs.last_mention <= T;
+    if (predicted) ++result.predicted_requests;
+    const bool prev_within_horizon =
+        rs.last_access != kNever && t - rs.last_access <= C;
+    const bool prev_within_window =
+        rs.last_access != kNever && t - rs.last_access <= T;
+    if (prev_within_horizon) ++result.prev_occurrence_within_horizon;
+    if (prev_within_window) ++result.prev_occurrence_within_window;
+    if (predicted && prev_within_horizon && !prev_within_window) {
+      ++result.updated_by_piggyback;
+    }
+
+    // --- true-prediction fulfilment ---------------------------------------
+    if (!rs.fulfilled && rs.interval_open != kNever &&
+        t - rs.interval_open <= T) {
+      ++result.predictions_true;
+      rs.fulfilled = true;
+    }
+
+    rs.last_access = t;
+
+    // --- server side: maintain volumes, maybe piggyback -------------------
+    core::VolumeRequest vr;
+    vr.server = req.server;
+    vr.source = req.source;
+    vr.path = req.path;
+    vr.time = req.time;
+    vr.size = req.size;
+    vr.type = trace::classify_path(trace.paths().str(req.path));
+    const auto prediction = provider.on_request(vr);
+
+    auto filter = config_.filter;
+    const auto pair = skey(req.source, req.server);
+    if (config_.min_piggyback_interval > 0) {
+      const auto it = last_piggy.find(pair);
+      if (it != last_piggy.end() &&
+          t - it->second < config_.min_piggyback_interval) {
+        filter.enabled = false;
+      }
+    }
+    core::RpvList* rpv_list = nullptr;
+    if (config_.use_rpv && filter.enabled) {
+      rpv_list = &rpv.try_emplace(pair, config_.rpv).first->second;
+      filter.rpv = rpv_list->live(req.time);
+    }
+
+    const auto message = core::apply_filter(prediction, vr, filter, meta);
+    if (message.empty()) continue;
+
+    ++result.piggyback_messages;
+    result.piggyback_elements += message.elements.size();
+    last_piggy[pair] = t;
+    if (rpv_list != nullptr) rpv_list->note(message.volume, req.time);
+
+    for (const auto& element : message.elements) {
+      auto& es = state[skey(req.source, element.resource)];
+      es.last_mention = t;
+      if (es.interval_open == kNever || t - es.interval_open > T) {
+        // A new prediction interval opens; multiple mentions within one
+        // interval count once (§3.1).
+        es.interval_open = t;
+        es.fulfilled = false;
+        ++result.predictions_made;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace piggyweb::sim

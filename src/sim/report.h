@@ -1,0 +1,29 @@
+// Minimal fixed-width table rendering for the bench binaries, which print
+// the paper's tables/figure series as aligned text.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace piggyweb::sim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  // Cell formatting helpers.
+  static std::string num(double v, int decimals = 2);
+  static std::string pct(double fraction, int decimals = 1);
+  static std::string count(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,188 @@
+#include "trace/clf.h"
+
+#include <array>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+
+#include "util/date.h"
+#include "util/strings.h"
+
+namespace piggyweb::trace {
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+int month_index(std::string_view name) {
+  for (int i = 0; i < 12; ++i) {
+    if (kMonths[static_cast<std::size_t>(i)] == name) return i;
+  }
+  return -1;
+}
+
+}  // namespace
+
+bool parse_clf_date(std::string_view s, std::int64_t& out) {
+  // dd/Mon/yyyy:HH:MM:SS [+-]HHMM
+  if (s.size() < 20) return false;
+  std::int64_t day = 0, year = 0, hh = 0, mm = 0, ss = 0;
+  if (s[2] != '/' || s[6] != '/' || s[11] != ':' || s[14] != ':' ||
+      s[17] != ':') {
+    return false;
+  }
+  if (!util::parse_i64(s.substr(0, 2), day)) return false;
+  const int mon = month_index(s.substr(3, 3));
+  if (mon < 0) return false;
+  if (!util::parse_i64(s.substr(7, 4), year)) return false;
+  if (!util::parse_i64(s.substr(12, 2), hh)) return false;
+  if (!util::parse_i64(s.substr(15, 2), mm)) return false;
+  if (!util::parse_i64(s.substr(18, 2), ss)) return false;
+  if (day < 1 || day > 31 || hh > 23 || mm > 59 || ss > 60) return false;
+
+  std::int64_t offset = 0;
+  const auto zone = util::trim(s.substr(20));
+  if (!zone.empty()) {
+    if (zone.size() != 5 || (zone[0] != '+' && zone[0] != '-')) return false;
+    std::int64_t zh = 0, zm = 0;
+    if (!util::parse_i64(zone.substr(1, 2), zh) ||
+        !util::parse_i64(zone.substr(3, 2), zm)) {
+      return false;
+    }
+    offset = (zh * 3600 + zm * 60) * (zone[0] == '-' ? -1 : 1);
+  }
+  const auto days = util::days_from_civil(year, mon + 1, static_cast<int>(day));
+  out = days * 86400 + hh * 3600 + mm * 60 + ss - offset;
+  return true;
+}
+
+std::string format_clf_date(std::int64_t unix_seconds) {
+  std::int64_t days = unix_seconds / 86400;
+  std::int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  std::int64_t year = 0;
+  int mon = 0, day = 0;
+  util::civil_from_days(days, year, mon, day);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%02d/%s/%04lld:%02lld:%02lld:%02lld +0000",
+                day, std::string(kMonths[static_cast<std::size_t>(mon - 1)]).c_str(),
+                static_cast<long long>(year),
+                static_cast<long long>(rem / 3600),
+                static_cast<long long>((rem / 60) % 60),
+                static_cast<long long>(rem % 60));
+  return buf;
+}
+
+bool is_uncachable_url(std::string_view path) {
+  return path.find("cgi") != std::string_view::npos ||
+         path.find('?') != std::string_view::npos;
+}
+
+std::optional<ClfEntry> parse_clf_line(std::string_view line) {
+  line = util::trim(line);
+  if (line.empty()) return std::nullopt;
+
+  // host
+  const auto sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  ClfEntry entry;
+  entry.host = std::string(line.substr(0, sp1));
+
+  // skip ident + authuser
+  const auto bracket = line.find('[', sp1);
+  if (bracket == std::string_view::npos) return std::nullopt;
+  const auto bracket_end = line.find(']', bracket);
+  if (bracket_end == std::string_view::npos) return std::nullopt;
+  std::int64_t ts = 0;
+  if (!parse_clf_date(line.substr(bracket + 1, bracket_end - bracket - 1),
+                      ts)) {
+    return std::nullopt;
+  }
+  entry.time = {ts};
+
+  const auto quote = line.find('"', bracket_end);
+  if (quote == std::string_view::npos) return std::nullopt;
+  const auto quote_end = line.find('"', quote + 1);
+  if (quote_end == std::string_view::npos) return std::nullopt;
+  const auto reqline = line.substr(quote + 1, quote_end - quote - 1);
+  const auto parts = util::split_trimmed(reqline, ' ');
+  if (parts.size() < 2) return std::nullopt;
+  if (!parse_method(parts[0], entry.method)) return std::nullopt;
+  entry.path = util::normalize_path(parts[1]);
+
+  const auto tail = util::trim(line.substr(quote_end + 1));
+  const auto tail_parts = util::split_trimmed(tail, ' ');
+  if (tail_parts.empty()) return std::nullopt;
+  std::uint64_t status = 0;
+  if (!util::parse_u64(tail_parts[0], status) || status > 999) {
+    return std::nullopt;
+  }
+  entry.status = static_cast<std::uint16_t>(status);
+  entry.size = 0;
+  if (tail_parts.size() > 1 && tail_parts[1] != "-") {
+    if (!util::parse_u64(tail_parts[1], entry.size)) return std::nullopt;
+  }
+  return entry;
+}
+
+std::string format_clf_line(const ClfEntry& entry) {
+  std::string out;
+  out.reserve(96);
+  out += entry.host;
+  out += " - - [";
+  out += format_clf_date(entry.time.value);
+  out += "] \"";
+  out += method_name(entry.method);
+  out += ' ';
+  out += entry.path;
+  out += " HTTP/1.0\" ";
+  out += std::to_string(entry.status);
+  out += ' ';
+  out += std::to_string(entry.size);
+  return out;
+}
+
+ClfLoadResult load_clf(std::istream& in, Trace& trace,
+                       const ClfLoadOptions& options) {
+  ClfLoadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto entry = parse_clf_line(line);
+    if (!entry) {
+      ++result.skipped_malformed;
+      continue;
+    }
+    if (options.drop_uncachable && is_uncachable_url(entry->path)) {
+      ++result.skipped_filtered;
+      continue;
+    }
+    if (options.drop_post && entry->method != Method::kGet) {
+      ++result.skipped_filtered;
+      continue;
+    }
+    trace.add(entry->time, entry->host, options.server_name, entry->path,
+              entry->method, entry->status, entry->size);
+    ++result.parsed;
+  }
+  return result;
+}
+
+void write_clf(std::ostream& out, const Trace& trace) {
+  for (const auto& r : trace.requests()) {
+    ClfEntry entry;
+    entry.host = std::string(trace.sources().str(r.source));
+    entry.time = r.time;
+    entry.method = r.method;
+    entry.path = std::string(trace.paths().str(r.path));
+    entry.status = r.status;
+    entry.size = r.size;
+    out << format_clf_line(entry) << '\n';
+  }
+}
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,62 @@
+// Common Log Format (CLF) reader/writer. The 1998 server logs the paper
+// used were Apache-style CLF:
+//
+//   host ident authuser [10/Oct/1998:13:55:36 -0700] "GET /p.html HTTP/1.0" 200 2326
+//
+// We parse into Trace records (applying the paper's §A cleanup: path
+// normalization, dropping "cgi"/query URLs if requested) and can write
+// synthetic traces back out as CLF so external tools can consume them.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "trace/record.h"
+
+namespace piggyweb::trace {
+
+struct ClfEntry {
+  std::string host;         // remote client
+  util::TimePoint time;     // seconds since Unix epoch
+  Method method = Method::kGet;
+  std::string path;         // normalized
+  std::uint16_t status = 200;
+  std::uint64_t size = 0;   // "-" maps to 0
+};
+
+// Parse one CLF line. Returns nullopt on malformed input (callers count
+// and skip bad lines, the standard posture for real-world logs).
+std::optional<ClfEntry> parse_clf_line(std::string_view line);
+
+// Serialize an entry back to a CLF line (UTC zone).
+std::string format_clf_line(const ClfEntry& entry);
+
+// Parse "10/Oct/1998:13:55:36 -0700" to Unix seconds. Exposed for tests.
+bool parse_clf_date(std::string_view s, std::int64_t& out);
+std::string format_clf_date(std::int64_t unix_seconds);
+
+struct ClfLoadOptions {
+  std::string server_name = "server";  // server logs don't name themselves
+  bool drop_uncachable = true;   // drop "cgi" substrings and '?' queries (§A)
+  bool drop_post = false;        // optionally drop non-GET methods
+};
+
+struct ClfLoadResult {
+  std::size_t parsed = 0;
+  std::size_t skipped_malformed = 0;
+  std::size_t skipped_filtered = 0;
+};
+
+// Append all lines from `in` to `trace`. Does not sort; call sort_by_time().
+ClfLoadResult load_clf(std::istream& in, Trace& trace,
+                       const ClfLoadOptions& options = {});
+
+// Write a trace as CLF lines (server logs: one line per request).
+void write_clf(std::ostream& out, const Trace& trace);
+
+// §A cleanup predicate: true if the URL should be treated as uncachable.
+bool is_uncachable_url(std::string_view path);
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,94 @@
+#include "trace/log_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/stats.h"
+
+namespace piggyweb::trace {
+
+LogStats compute_log_stats(const Trace& trace) {
+  LogStats s;
+  s.requests = trace.size();
+  s.span = trace.span();
+  if (trace.empty()) return s;
+
+  util::FrequencyTable by_resource;
+  util::FrequencyTable by_source;
+  util::FrequencyTable accesses_by_server;
+  util::Quantiles sizes;
+  std::uint64_t not_modified = 0;
+  std::uint64_t posts = 0;
+  util::RunningStats size_stats;
+
+  for (const auto& r : trace.requests()) {
+    by_resource.add(r.path);
+    by_source.add(r.source);
+    accesses_by_server.add(r.server);
+    if (r.status == 304) ++not_modified;
+    if (r.method == Method::kPost) ++posts;
+    if (r.status == 200 && r.size > 0) {
+      sizes.add(static_cast<double>(r.size));
+      size_stats.add(static_cast<double>(r.size));
+    }
+  }
+
+  s.distinct_sources = by_source.distinct();
+  s.distinct_servers = accesses_by_server.distinct();
+  s.unique_resources = by_resource.distinct();
+  s.requests_per_source =
+      static_cast<double>(s.requests) /
+      static_cast<double>(std::max<std::uint64_t>(1, s.distinct_sources));
+  s.mean_response_size = size_stats.mean();
+  s.median_response_size = sizes.empty() ? 0 : sizes.median();
+  s.not_modified_fraction =
+      static_cast<double>(not_modified) / static_cast<double>(s.requests);
+  s.post_fraction =
+      static_cast<double>(posts) / static_cast<double>(s.requests);
+
+  // Share of requests covered by the top 10% of resources / sources.
+  const auto covered_by_top = [](const util::FrequencyTable& table,
+                                 double top_fraction) {
+    const auto ranked = table.by_rank();
+    if (ranked.empty()) return 0.0;
+    const auto keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(ranked.size()) *
+                                    top_fraction));
+    std::uint64_t covered = 0;
+    for (std::size_t i = 0; i < keep; ++i) covered += table.count(ranked[i]);
+    return static_cast<double>(covered) /
+           static_cast<double>(table.total());
+  };
+  s.top10pct_resource_share = covered_by_top(by_resource, 0.10);
+  s.top10pct_source_share = covered_by_top(by_source, 0.10);
+  s.servers_for_half_accesses =
+      s.distinct_servers > 1 ? accesses_by_server.coverage_share(0.5) : 0.0;
+  return s;
+}
+
+std::string format_server_log_row(const std::string& name,
+                                  const LogStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-10s %10llu %10llu %12.2f %12llu",
+                name.c_str(),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.distinct_sources),
+                stats.requests_per_source,
+                static_cast<unsigned long long>(stats.unique_resources));
+  return buf;
+}
+
+std::string format_client_log_row(const std::string& name,
+                                  const LogStats& stats) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-16s %10llu %10llu %12llu",
+                name.c_str(),
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.distinct_servers),
+                static_cast<unsigned long long>(stats.unique_resources));
+  return buf;
+}
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,44 @@
+// Summary statistics over a trace — the numbers Tables 2 and 3 (and the
+// surrounding Appendix A prose) report: request/client/resource counts,
+// requests per source, response size moments, Not-Modified share, and the
+// concentration statistics ("top 1% of servers held 59% of resources",
+// "85% of requests touch <10% of resources").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.h"
+
+namespace piggyweb::trace {
+
+struct LogStats {
+  std::uint64_t requests = 0;
+  std::uint64_t distinct_sources = 0;
+  std::uint64_t distinct_servers = 0;
+  std::uint64_t unique_resources = 0;
+  double requests_per_source = 0;
+  double mean_response_size = 0;    // over status-200 bodies
+  double median_response_size = 0;
+  double not_modified_fraction = 0; // 304 share of all requests
+  double post_fraction = 0;
+  util::Seconds span = 0;
+
+  // Fraction of all requests hitting the most-popular 10% of resources.
+  double top10pct_resource_share = 0;
+  // Fraction of requests issued by the most-active 10% of sources.
+  double top10pct_source_share = 0;
+  // Smallest fraction of servers covering half of the resource *accesses*
+  // (client traces; 0 for single-server logs).
+  double servers_for_half_accesses = 0;
+};
+
+LogStats compute_log_stats(const Trace& trace);
+
+// Render one row, matching the layout of the paper's Tables 2/3.
+std::string format_server_log_row(const std::string& name,
+                                  const LogStats& stats);
+std::string format_client_log_row(const std::string& name,
+                                  const LogStats& stats);
+
+}  // namespace piggyweb::trace

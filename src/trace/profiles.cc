@@ -1,0 +1,192 @@
+#include "trace/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/expect.h"
+
+namespace piggyweb::trace {
+namespace {
+
+std::size_t scaled(double base, double scale, std::size_t floor_value) {
+  const auto v = static_cast<std::size_t>(base * scale);
+  return std::max(v, floor_value);
+}
+
+// Scale the site's content proportionally to the request scale, so
+// per-resource access intensity (requests/resource — what locality and
+// prediction metrics feed on) matches the paper's logs at every scale.
+// The directory tree shrinks sub-linearly so scaled sites keep enough
+// structure for the level sweeps.
+void scale_site(SiteShape& site, double scale) {
+  site.pages = std::max(30, static_cast<int>(site.pages * scale));
+  const double tree_scale = std::pow(scale, 0.35);
+  site.top_dirs =
+      std::max(4, static_cast<int>(site.top_dirs * tree_scale));
+  site.subdirs_per_dir =
+      std::max(1.0, site.subdirs_per_dir * tree_scale);
+}
+
+}  // namespace
+
+LogProfile aiusa_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "aiusa";
+  p.seed = 0xA105A;
+  p.site.host = "www.amnesty-usa.example.org";
+  p.site.top_dirs = 10;
+  p.site.subdirs_per_dir = 2.0;
+  p.site.max_depth = 3;
+  p.site.pages = 300;  // with images/docs this lands near 1102 resources
+  p.site.images_per_page_mean = 3.2;
+  p.site.image_reuse_prob = 0.35;
+  p.site.links_per_page_mean = 5.0;
+  p.site.other_resources_frac = 0.15;
+  scale_site(p.site, scale);
+  p.browse.target_requests = scaled(180'324, scale, 2'000);
+  p.browse.sessions_per_client_mean = 1.0;  // -> ~23.6 req/source
+  p.browse.duration = 28 * util::kDay;
+  p.browse.pages_per_session_mean = 2.0;
+  p.browse.revisit_prob = 0.22;  // activists visit once; few return soon
+  return p;
+}
+
+LogProfile marimba_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "marimba";
+  p.seed = 0x3A51B;
+  p.site.host = "trans.marimba.example.com";
+  p.site.top_dirs = 3;
+  p.site.subdirs_per_dir = 0.5;
+  p.site.max_depth = 2;
+  p.site.pages = 80;  // ~94 resources once images/others are added
+  p.site.images_per_page_mean = 0.1;
+  p.site.links_per_page_mean = 0.5;
+  p.site.other_resources_frac = 0.1;
+  // Marimba served a tiny fixed set of transfer endpoints: the site does
+  // not shrink with scale (it is already minimal).
+  p.browse.target_requests = scaled(222'393, scale, 2'000);
+  p.browse.sessions_per_client_mean = 2.8;  // -> ~9.2 req/source
+  p.browse.duration = 21 * util::kDay;
+  p.browse.pages_per_session_mean = 1.5;
+  p.browse.post_fraction = 0.97;  // "practically all requests using POST"
+  p.browse.image_fetch_prob = 0.1;
+  p.browse.follow_link_prob = 0.1;
+  p.browse.revisit_prob = 0.15;
+  return p;
+}
+
+LogProfile apache_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "apache";
+  p.seed = 0xA9AC4E;
+  p.site.host = "www.apache.example.org";
+  p.site.top_dirs = 8;
+  p.site.subdirs_per_dir = 2.5;
+  p.site.max_depth = 3;
+  p.site.pages = 220;  // lands near 788 resources
+  p.site.images_per_page_mean = 1.4;
+  p.site.links_per_page_mean = 6.0;
+  p.site.other_resources_frac = 0.5;  // tarballs and docs
+  p.site.other_size_mu = 12.0;        // distribution archives are large
+  scale_site(p.site, scale);
+  p.browse.target_requests = scaled(2'916'549, scale, 5'000);
+  p.browse.sessions_per_client_mean = 1.0;  // -> ~10.7 req/source
+  p.browse.duration = 49 * util::kDay;
+  p.browse.pages_per_session_mean = 1.0;
+  p.browse.other_jump_prob = 0.12;  // downloads are a big share
+  p.browse.revisit_prob = 0.55;     // developers keep coming back
+  return p;
+}
+
+LogProfile sun_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "sun";
+  p.seed = 0x50BEA;
+  p.site.host = "www.sun.example.com";
+  p.site.top_dirs = 18;
+  p.site.subdirs_per_dir = 6.0;
+  p.site.max_depth = 4;
+  p.site.pages = 9'000;  // ~29 k resources once images/docs are added
+  p.site.images_per_page_mean = 1.8;
+  p.site.links_per_page_mean = 7.0;
+  p.site.other_resources_frac = 0.25;
+  p.site.hot_change_frac = 0.08;  // busy corporate site, frequent updates
+  scale_site(p.site, scale);
+  p.browse.target_requests = scaled(13'037'895, scale, 10'000);
+  p.browse.sessions_per_client_mean = 1.5;  // -> ~59.7 req/source
+  p.browse.duration = 9 * util::kDay;
+  p.browse.pages_per_session_mean = 6.0;
+  p.browse.revisit_prob = 0.45;  // heavy repeat visitors (59.7 req/source)
+  return p;
+}
+
+LogProfile att_client_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "att_client";
+  p.is_client_trace = true;
+  p.seed = 0xA77C1;
+  p.multi.sites = std::max(60, static_cast<int>(18'005.0 * scale));
+  p.multi.base_site.pages = 110;
+  p.multi.base_site.top_dirs = 6;
+  p.multi.base_site.max_depth = 5;  // Figure 1 looks at levels 0-4
+  p.multi.base_site.subdirs_per_dir = 3.5;
+  p.multi.base_site.deep_spawn_prob = 0.75;  // deep real-world URL trees
+  p.multi.base_site.dir_popularity_skew = 0.4;  // content spread widely
+  p.multi.base_site.image_same_dir_prob = 0.3;  // 1998-style central /images
+  p.multi.base_site.shared_image_pool = 12;
+  p.multi.site_skew = 0.65;
+  p.browse.target_requests = scaled(1'110'000, scale, 5'000);
+  p.browse.sessions_per_client_mean = 1.3;
+  p.browse.client_cache_prob = 0.55;  // keeps 304s near the paper's 15-25%
+  p.browse.duration = 18 * util::kDay;
+  p.browse.pages_per_session_mean = 10.0;
+  p.browse.page_skew = 0.55;       // client traces spread wide (2 req/resource)
+  p.browse.follow_link_prob = 0.35;
+  return p;
+}
+
+LogProfile digital_client_profile(double scale) {
+  PW_EXPECT(scale > 0);
+  LogProfile p;
+  p.name = "digital_client";
+  p.is_client_trace = true;
+  p.seed = 0xD16174;
+  p.multi.sites = std::max(80, static_cast<int>(57'832.0 * scale));
+  p.multi.base_site.pages = 110;
+  p.multi.base_site.top_dirs = 6;
+  p.multi.base_site.max_depth = 5;
+  p.multi.base_site.subdirs_per_dir = 3.5;
+  p.multi.base_site.deep_spawn_prob = 0.75;
+  p.multi.base_site.dir_popularity_skew = 0.4;
+  p.multi.base_site.image_same_dir_prob = 0.3;
+  p.multi.base_site.shared_image_pool = 12;
+  p.multi.site_skew = 0.65;
+  p.browse.target_requests = scaled(6'410'000, scale, 5'000);
+  p.browse.sessions_per_client_mean = 1.4;
+  p.browse.client_cache_prob = 0.55;
+  p.browse.duration = 7 * util::kDay;
+  p.browse.pages_per_session_mean = 10.0;
+  p.browse.page_skew = 0.55;
+  p.browse.follow_link_prob = 0.35;
+  return p;
+}
+
+std::vector<LogProfile> all_server_profiles() {
+  return {aiusa_profile(), marimba_profile(), apache_profile(),
+          sun_profile()};
+}
+
+SyntheticWorkload generate(const LogProfile& profile) {
+  if (profile.is_client_trace) {
+    return generate_client_trace(profile.multi, profile.browse, profile.seed);
+  }
+  return generate_server_log(profile.site, profile.browse, profile.seed);
+}
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,88 @@
+#include "trace/record.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace piggyweb::trace {
+
+std::string_view method_name(Method m) {
+  switch (m) {
+    case Method::kGet:
+      return "GET";
+    case Method::kPost:
+      return "POST";
+    case Method::kHead:
+      return "HEAD";
+  }
+  return "GET";
+}
+
+bool parse_method(std::string_view s, Method& out) {
+  if (s == "GET") {
+    out = Method::kGet;
+    return true;
+  }
+  if (s == "POST") {
+    out = Method::kPost;
+    return true;
+  }
+  if (s == "HEAD") {
+    out = Method::kHead;
+    return true;
+  }
+  return false;
+}
+
+std::string_view content_type_name(ContentType t) {
+  switch (t) {
+    case ContentType::kHtml:
+      return "html";
+    case ContentType::kImage:
+      return "image";
+    case ContentType::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+ContentType classify_path(std::string_view path) {
+  const auto ext = util::path_extension(path);
+  if (ext.empty() || util::iequals(ext, "html") || util::iequals(ext, "htm")) {
+    return ContentType::kHtml;
+  }
+  for (const auto img : {"gif", "jpg", "jpeg", "png", "xbm", "bmp", "ico"}) {
+    if (util::iequals(ext, img)) return ContentType::kImage;
+  }
+  return ContentType::kOther;
+}
+
+void Trace::add(util::TimePoint time, std::string_view source,
+                std::string_view server, std::string_view path, Method method,
+                std::uint16_t status, std::uint64_t size,
+                std::int64_t last_modified) {
+  Request r;
+  r.time = time;
+  r.source = sources_.intern(source);
+  r.server = servers_.intern(server);
+  r.path = paths_.intern(path);
+  r.method = method;
+  r.status = status;
+  r.size = size;
+  r.last_modified = last_modified;
+  requests_.push_back(r);
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(requests_.begin(), requests_.end(),
+                   [](const Request& a, const Request& b) {
+                     return a.time < b.time;
+                   });
+}
+
+util::Seconds Trace::span() const {
+  if (requests_.size() < 2) return 0;
+  return requests_.back().time - requests_.front().time;
+}
+
+}  // namespace piggyweb::trace

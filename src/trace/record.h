@@ -1,0 +1,79 @@
+// Trace records. A Trace is a time-ordered sequence of requests with
+// interned source / server / path ids; the same structure represents both
+// server logs (single server, many client sources — the paper's
+// "pseudo-proxy traces" group these by source IP) and client/proxy traces
+// (one proxy's clients, many servers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/intern.h"
+#include "util/time.h"
+
+namespace piggyweb::trace {
+
+enum class Method : std::uint8_t { kGet, kPost, kHead };
+
+std::string_view method_name(Method m);
+bool parse_method(std::string_view s, Method& out);
+
+// Coarse content classes used by proxy filters ("a proxy serving
+// low-bandwidth clients does not need piggyback info for images", §2.2).
+enum class ContentType : std::uint8_t { kHtml, kImage, kOther };
+
+std::string_view content_type_name(ContentType t);
+
+// Classify by path extension (html/htm -> html; gif/jpg/jpeg/png/xbm ->
+// image; everything else -> other).
+ContentType classify_path(std::string_view path);
+
+struct Request {
+  util::TimePoint time;
+  util::InternId source = util::kInvalidIntern;    // client / proxy IP
+  util::InternId server = util::kInvalidIntern;    // origin host
+  util::InternId path = util::kInvalidIntern;      // normalized resource path
+  Method method = Method::kGet;
+  std::uint16_t status = 200;
+  std::uint64_t size = 0;            // response body bytes
+  std::int64_t last_modified = -1;   // seconds since epoch; -1 unknown
+};
+
+class Trace {
+ public:
+  // Interns and appends; keeps no ordering invariant (call sort_by_time()).
+  void add(util::TimePoint time, std::string_view source,
+           std::string_view server, std::string_view path,
+           Method method = Method::kGet, std::uint16_t status = 200,
+           std::uint64_t size = 0, std::int64_t last_modified = -1);
+
+  void add(const Request& r) { requests_.push_back(r); }
+
+  void sort_by_time();
+
+  const std::vector<Request>& requests() const { return requests_; }
+  std::vector<Request>& requests() { return requests_; }
+
+  const util::InternTable& sources() const { return sources_; }
+  const util::InternTable& servers() const { return servers_; }
+  const util::InternTable& paths() const { return paths_; }
+  util::InternTable& sources() { return sources_; }
+  util::InternTable& servers() { return servers_; }
+  util::InternTable& paths() { return paths_; }
+
+  std::size_t size() const { return requests_.size(); }
+  bool empty() const { return requests_.empty(); }
+
+  // Duration covered by the trace (0 for empty/singleton traces).
+  util::Seconds span() const;
+
+ private:
+  util::InternTable sources_;
+  util::InternTable servers_;
+  util::InternTable paths_;
+  std::vector<Request> requests_;
+};
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,500 @@
+#include "trace/synthetic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "util/expect.h"
+#include "util/hash.h"
+
+namespace piggyweb::trace {
+namespace {
+
+constexpr std::array<std::string_view, 20> kTopDirNames = {
+    "products", "people",  "research", "news",    "software",
+    "support",  "docs",    "pub",      "archive", "gallery",
+    "projects", "papers",  "releases", "tools",   "data",
+    "info",     "press",   "jobs",     "events",  "library"};
+
+constexpr std::array<std::string_view, 10> kSubDirNames = {
+    "current", "old", "v1", "misc", "notes", "src", "ref", "list", "extra",
+    "more"};
+
+constexpr std::array<std::string_view, 4> kOtherExts = {"pdf", "ps", "zip",
+                                                        "txt"};
+
+std::string top_dir_name(int i) {
+  const auto base = kTopDirNames[static_cast<std::size_t>(i) %
+                                 kTopDirNames.size()];
+  std::string name = "/";
+  name += base;
+  if (static_cast<std::size_t>(i) >= kTopDirNames.size()) {
+    name += std::to_string(i / static_cast<int>(kTopDirNames.size()));
+  }
+  return name;
+}
+
+std::string sub_dir_name(const std::string& parent, int i) {
+  std::string name = parent;
+  name += '/';
+  name += kSubDirNames[static_cast<std::size_t>(i) % kSubDirNames.size()];
+  if (static_cast<std::size_t>(i) >= kSubDirNames.size()) {
+    name += std::to_string(i / static_cast<int>(kSubDirNames.size()));
+  }
+  return name;
+}
+
+std::uint64_t clamp_size(double bytes) {
+  if (bytes < 64.0) return 64;
+  if (bytes > 64.0 * 1024 * 1024) return 64ULL * 1024 * 1024;
+  return static_cast<std::uint64_t>(bytes);
+}
+
+}  // namespace
+
+SiteModel::SiteModel(const SiteShape& shape, util::Seconds duration,
+                     util::Rng& rng)
+    : host_(shape.host) {
+  PW_EXPECT(shape.top_dirs > 0);
+  PW_EXPECT(shape.pages > 0);
+  PW_EXPECT(shape.max_depth >= 1);
+
+  // --- directory tree -----------------------------------------------------
+  std::vector<std::string> dirs;
+  dirs.emplace_back("");  // site root; paths below are "<dir>/<name>"
+  std::vector<std::string> frontier;
+  for (int i = 0; i < shape.top_dirs; ++i) {
+    dirs.push_back(top_dir_name(i));
+    frontier.push_back(dirs.back());
+  }
+  for (int depth = 2; depth <= shape.max_depth; ++depth) {
+    std::vector<std::string> next;
+    for (const auto& parent : frontier) {
+      const auto n = (depth == 2)
+                         ? rng.poisson(shape.subdirs_per_dir)
+                         : (rng.chance(shape.deep_spawn_prob)
+                                ? 1 + rng.below(2)
+                                : 0);
+      for (std::uint64_t j = 0; j < n; ++j) {
+        dirs.push_back(sub_dir_name(parent, static_cast<int>(j)));
+        next.push_back(dirs.back());
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Directory weights: Zipf over a shuffled order so popularity is not
+  // correlated with creation order.
+  std::vector<std::size_t> dir_order(dirs.size());
+  for (std::size_t i = 0; i < dirs.size(); ++i) dir_order[i] = i;
+  for (std::size_t i = dirs.size(); i > 1; --i) {
+    std::swap(dir_order[i - 1], dir_order[rng.below(i)]);
+  }
+  util::ZipfSampler dir_zipf(dirs.size(), shape.dir_popularity_skew);
+  const auto sample_dir = [&]() -> const std::string& {
+    return dirs[dir_order[dir_zipf(rng)]];
+  };
+
+  const auto add_resource = [&](std::string path, ContentType type,
+                                std::uint64_t size) {
+    SyntheticResource res;
+    res.path = std::move(path);
+    res.type = type;
+    res.size = size;
+    const auto idx = static_cast<std::uint32_t>(resources_.size());
+    index_.emplace(res.path, idx);
+    resources_.push_back(std::move(res));
+    return idx;
+  };
+
+  // --- pages ---------------------------------------------------------------
+  std::vector<std::uint32_t> pages;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> pages_by_dir;
+  const auto add_page = [&](const std::string& dir, const std::string& name) {
+    const auto size =
+        clamp_size(rng.lognormal(shape.html_size_mu, shape.html_size_sigma));
+    const auto idx = add_resource(dir + "/" + name, ContentType::kHtml, size);
+    pages.push_back(idx);
+    pages_by_dir[dir].push_back(idx);
+    return idx;
+  };
+
+  add_page("", "index.html");
+  for (int i = 0; i < shape.top_dirs && static_cast<int>(pages.size()) <
+                                            shape.pages;
+       ++i) {
+    add_page(top_dir_name(i), "index.html");
+  }
+  int page_seq = 0;
+  while (static_cast<int>(pages.size()) < shape.pages) {
+    add_page(sample_dir(), "pg" + std::to_string(page_seq++) + ".html");
+  }
+
+  // --- embedded images -----------------------------------------------------
+  std::vector<std::uint32_t> shared_pool;
+  std::unordered_map<std::string, std::vector<std::uint32_t>> images_by_dir;
+  int image_seq = 0;
+  const auto image_size = [&]() {
+    return clamp_size(
+        rng.lognormal(shape.image_size_mu, shape.image_size_sigma));
+  };
+  for (const auto page_idx : pages) {
+    const auto& page_path = resources_[page_idx].path;
+    const auto slash = page_path.find_last_of('/');
+    const std::string dir = page_path.substr(0, slash);
+    const auto n_images = rng.poisson(shape.images_per_page_mean);
+    std::vector<std::uint32_t> embedded;
+    for (std::uint64_t j = 0; j < n_images; ++j) {
+      std::uint32_t img = 0;
+      if (rng.chance(shape.image_same_dir_prob)) {
+        auto& local = images_by_dir[dir];
+        if (!local.empty() && rng.chance(shape.image_reuse_prob)) {
+          img = local[rng.below(local.size())];
+        } else {
+          img = add_resource(
+              dir + "/img" + std::to_string(image_seq++) + ".gif",
+              ContentType::kImage, image_size());
+          local.push_back(img);
+        }
+      } else {
+        if (static_cast<int>(shared_pool.size()) < shape.shared_image_pool) {
+          img = add_resource(
+              "/images/logo" + std::to_string(shared_pool.size()) + ".gif",
+              ContentType::kImage, image_size());
+          shared_pool.push_back(img);
+        } else {
+          img = shared_pool[rng.below(shared_pool.size())];
+        }
+      }
+      if (std::find(embedded.begin(), embedded.end(), img) ==
+          embedded.end()) {
+        embedded.push_back(img);
+      }
+    }
+    resources_[page_idx].embedded = std::move(embedded);
+  }
+
+  // --- other resources (pdf/ps/zip/txt) ------------------------------------
+  const auto n_other = static_cast<int>(
+      shape.other_resources_frac * static_cast<double>(shape.pages));
+  for (int i = 0; i < n_other; ++i) {
+    const auto ext = kOtherExts[rng.below(kOtherExts.size())];
+    add_resource(sample_dir() + "/doc" + std::to_string(i) + "." +
+                     std::string(ext),
+                 ContentType::kOther,
+                 clamp_size(rng.lognormal(shape.other_size_mu,
+                                          shape.other_size_sigma)));
+  }
+
+  // --- HREF links ----------------------------------------------------------
+  for (const auto page_idx : pages) {
+    const auto& page_path = resources_[page_idx].path;
+    const auto slash = page_path.find_last_of('/');
+    const std::string dir = page_path.substr(0, slash);
+    const auto& local = pages_by_dir[dir];
+    const auto n_links = rng.poisson(shape.links_per_page_mean);
+    std::vector<std::uint32_t> links;
+    for (std::uint64_t j = 0; j < n_links; ++j) {
+      std::uint32_t target = 0;
+      if (rng.chance(shape.link_same_dir_prob) && local.size() > 1) {
+        target = local[rng.below(local.size())];
+      } else {
+        target = pages[rng.below(pages.size())];
+      }
+      if (target != page_idx &&
+          std::find(links.begin(), links.end(), target) == links.end()) {
+        links.push_back(target);
+      }
+    }
+    resources_[page_idx].links = std::move(links);
+  }
+
+  // --- popularity ordering ---------------------------------------------------
+  // Index pages (root and top-level) keep the best ranks; remaining pages
+  // are shuffled so popularity is independent of creation order.
+  pages_by_popularity_ = pages;
+  const std::size_t n_index = 1 + static_cast<std::size_t>(std::min(
+                                     shape.top_dirs,
+                                     static_cast<int>(pages.size()) - 1));
+  for (std::size_t i = pages_by_popularity_.size(); i > n_index + 1; --i) {
+    const auto j = n_index + rng.below(i - n_index);
+    std::swap(pages_by_popularity_[i - 1], pages_by_popularity_[j]);
+  }
+
+  // --- modification processes -------------------------------------------------
+  for (auto& res : resources_) {
+    res.created = {-static_cast<util::Seconds>(rng.below(30 * util::kDay))};
+    const double interval = rng.chance(shape.hot_change_frac)
+                                ? shape.hot_change_interval
+                                : shape.cold_change_interval;
+    double t = rng.exponential(interval);
+    while (t < static_cast<double>(duration)) {
+      res.changes.push_back({static_cast<util::Seconds>(t)});
+      t += rng.exponential(interval);
+    }
+  }
+}
+
+std::uint32_t SiteModel::index_of(std::string_view path) const {
+  const auto it = index_.find(std::string(path));
+  return it == index_.end() ? static_cast<std::uint32_t>(resources_.size())
+                            : it->second;
+}
+
+util::TimePoint SiteModel::last_modified(std::uint32_t idx,
+                                         util::TimePoint t) const {
+  PW_EXPECT(idx < resources_.size());
+  const auto& changes = resources_[idx].changes;
+  const auto it = std::upper_bound(changes.begin(), changes.end(), t);
+  if (it == changes.begin()) return resources_[idx].created;
+  return *(it - 1);
+}
+
+bool SiteModel::modified_between(std::uint32_t idx, util::TimePoint since,
+                                 util::TimePoint now) const {
+  PW_EXPECT(idx < resources_.size());
+  const auto& changes = resources_[idx].changes;
+  const auto it = std::upper_bound(changes.begin(), changes.end(), since);
+  return it != changes.end() && *it <= now;
+}
+
+const SiteModel* SyntheticWorkload::site_for(std::string_view host) const {
+  for (const auto& site : sites) {
+    if (site.host() == host) return &site;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Browsing simulation
+
+namespace {
+
+// Per-client transient state shared across that client's sessions.
+struct ClientState {
+  // (site index << 32 | resource index) -> Last-Modified of the copy the
+  // client holds. Used to decide 200 vs 304.
+  std::unordered_map<std::uint64_t, std::int64_t> cache;
+};
+
+class BrowseSimulator {
+ public:
+  BrowseSimulator(const std::vector<SiteModel>& sites,
+                  const BrowseShape& shape, util::Rng& rng, Trace& trace)
+      : sites_(sites), shape_(shape), rng_(rng), trace_(trace) {
+    page_zipfs_.reserve(sites.size());
+    for (const auto& site : sites) {
+      page_zipfs_.emplace_back(
+          std::max<std::size_t>(1, site.pages_by_popularity().size()),
+          shape.page_skew);
+    }
+  }
+
+  void run_until_target() {
+    std::uint64_t next_client = 0;
+    // Lognormal session counts: mean = sessions_per_client_mean, heavy
+    // upper tail (crawlers, proxies, office gateways).
+    const double sigma = shape_.sessions_sigma;
+    const double mu =
+        std::log(std::max(0.05, shape_.sessions_per_client_mean)) -
+        sigma * sigma / 2.0;
+    while (trace_.size() < shape_.target_requests) {
+      auto client = next_client++;
+      if (shape_.client_pool > 0) client %= shape_.client_pool;
+      const auto sessions = static_cast<std::uint64_t>(
+          std::ceil(rng_.lognormal(mu, sigma)));
+      for (std::uint64_t s = 0;
+           s < sessions && trace_.size() < shape_.target_requests; ++s) {
+        run_session(pick_site(), client);
+      }
+    }
+    trace_.sort_by_time();
+  }
+
+  void run_session(std::size_t site_idx, std::uint64_t client) {
+    const auto start = static_cast<double>(
+        rng_.below(static_cast<std::uint64_t>(shape_.duration)));
+    double now = start;
+
+    // A handful of clients disable inline images / have no cache; derive
+    // these stable per-client traits from the client id.
+    const auto trait = util::mix64(client * 0x9e37 + 17);
+    const bool fetch_images =
+        static_cast<double>(trait & 0xffff) / 65536.0 < shape_.image_fetch_prob;
+    const bool has_cache = static_cast<double>((trait >> 16) & 0xffff) /
+                               65536.0 <
+                           shape_.client_cache_prob;
+
+    if (shape_.post_fraction > 0 && rng_.chance(shape_.post_fraction)) {
+      run_post_session(site_idx, client, now);
+      return;
+    }
+
+    const auto& site = sites_[site_idx];
+    if (site.pages_by_popularity().empty()) return;
+    // A visit, plus possible return visits later the same day (the source
+    // of the 5-minute-to-2-hour re-access band).
+    for (int visit = 0; visit < 3; ++visit) {
+      const auto pages = rng_.poisson(shape_.pages_per_session_mean) + 1;
+      std::uint32_t page = pick_page(site_idx);
+      for (std::uint64_t v = 0; v < pages; ++v) {
+        if (now >= static_cast<double>(shape_.duration)) return;
+        if (shape_.other_jump_prob > 0 &&
+            rng_.chance(shape_.other_jump_prob)) {
+          const auto other = pick_other(site_idx);
+          if (other != kNoResource) {
+            emit(site_idx, client, other, now, has_cache, Method::kGet);
+            now += rng_.lognormal(shape_.think_mu, shape_.think_sigma);
+            continue;
+          }
+        }
+        emit(site_idx, client, page, now, has_cache, Method::kGet);
+        if (fetch_images) {
+          for (const auto img : site.resource(page).embedded) {
+            const double gap =
+                0.05 + rng_.uniform() * shape_.embedded_gap_max;
+            emit(site_idx, client, img, now + gap, has_cache, Method::kGet);
+          }
+        }
+        now += rng_.lognormal(shape_.think_mu, shape_.think_sigma);
+        page = next_page(site_idx, page);
+      }
+      if (!rng_.chance(shape_.revisit_prob)) break;
+      now += rng_.exponential(shape_.revisit_delay_mean);
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kNoResource = 0xffffffffu;
+
+  std::size_t pick_site() {
+    if (sites_.size() == 1) return 0;
+    return site_zipf_ ? (*site_zipf_)(rng_) : rng_.below(sites_.size());
+  }
+
+ public:
+  // Zipf site popularity for multi-site (client-trace) generation.
+  void set_site_sampler(util::ZipfSampler sampler) {
+    site_zipf_.emplace(std::move(sampler));
+  }
+
+ private:
+  std::uint32_t pick_page(std::size_t site_idx) {
+    const auto& pop = sites_[site_idx].pages_by_popularity();
+    return pop[page_zipfs_[site_idx](rng_) % pop.size()];
+  }
+
+  std::uint32_t pick_other(std::size_t site_idx) {
+    // Uniform over non-HTML, non-image resources; scan-sample a few tries.
+    const auto& res = sites_[site_idx].resources();
+    for (int tries = 0; tries < 8; ++tries) {
+      const auto idx = static_cast<std::uint32_t>(rng_.below(res.size()));
+      if (res[idx].type == ContentType::kOther) return idx;
+    }
+    return kNoResource;
+  }
+
+  std::uint32_t next_page(std::size_t site_idx, std::uint32_t page) {
+    const auto& links = sites_[site_idx].resource(page).links;
+    if (!links.empty() && rng_.chance(shape_.follow_link_prob)) {
+      return links[rng_.below(links.size())];
+    }
+    return pick_page(site_idx);
+  }
+
+  void run_post_session(std::size_t site_idx, std::uint64_t client,
+                        double now) {
+    const auto n = 1 + rng_.poisson(shape_.pages_per_session_mean);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto res = pick_page(site_idx);
+      emit(site_idx, client, res, now, /*has_cache=*/false, Method::kPost);
+      now += rng_.exponential(20.0);
+    }
+  }
+
+  void emit(std::size_t site_idx, std::uint64_t client, std::uint32_t res_idx,
+            double when, bool has_cache, Method method) {
+    if (when >= static_cast<double>(shape_.duration)) return;
+    const auto& site = sites_[site_idx];
+    const util::TimePoint t{static_cast<util::Seconds>(when)};
+    const auto lm = site.last_modified(res_idx, t);
+
+    Request r;
+    r.time = t;
+    r.method = method;
+    r.last_modified = lm.value;
+    const auto key =
+        (static_cast<std::uint64_t>(site_idx) << 32) | res_idx;
+    auto& cache = clients_[client].cache;
+    if (method == Method::kGet && has_cache) {
+      const auto it = cache.find(key);
+      if (it != cache.end() && it->second >= lm.value) {
+        r.status = 304;
+        r.size = 0;
+      } else {
+        r.status = 200;
+        r.size = site.resource(res_idx).size;
+        cache[key] = lm.value;
+      }
+    } else {
+      r.status = 200;
+      r.size = site.resource(res_idx).size;
+    }
+    r.source = trace_.sources().intern("client-" + std::to_string(client));
+    r.server = trace_.servers().intern(site.host());
+    r.path = trace_.paths().intern(site.resource(res_idx).path);
+    trace_.add(r);
+  }
+
+  const std::vector<SiteModel>& sites_;
+  const BrowseShape& shape_;
+  util::Rng& rng_;
+  Trace& trace_;
+  std::vector<util::ZipfSampler> page_zipfs_;
+  std::optional<util::ZipfSampler> site_zipf_;
+  std::unordered_map<std::uint64_t, ClientState> clients_;
+};
+
+}  // namespace
+
+SyntheticWorkload generate_server_log(const SiteShape& site_shape,
+                                      const BrowseShape& browse,
+                                      std::uint64_t seed) {
+  util::Rng rng(seed);
+  SyntheticWorkload out;
+  out.sites.emplace_back(site_shape, browse.duration, rng);
+  BrowseSimulator sim(out.sites, browse, rng, out.trace);
+  sim.run_until_target();
+  return out;
+}
+
+SyntheticWorkload generate_client_trace(const MultiSiteShape& multi,
+                                        const BrowseShape& browse,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  SyntheticWorkload out;
+  out.sites.reserve(static_cast<std::size_t>(multi.sites));
+  for (int i = 0; i < multi.sites; ++i) {
+    SiteShape shape = multi.base_site;
+    shape.host = "site" + std::to_string(i) + ".example.com";
+    // Per-site page counts follow a bounded Pareto: a few big sites, a
+    // long tail of small ones (matches the client-log observation that a
+    // few servers hold most resources).
+    const double scale = rng.pareto(multi.size_spread_alpha, 1.0, 60.0);
+    shape.pages = std::max(4, static_cast<int>(
+                                  static_cast<double>(shape.pages) * scale /
+                                  4.0));
+    shape.top_dirs = std::max(2, shape.top_dirs * shape.pages /
+                                     std::max(1, multi.base_site.pages));
+    out.sites.emplace_back(shape, browse.duration, rng);
+  }
+  BrowseSimulator sim(out.sites, browse, rng, out.trace);
+  sim.set_site_sampler(util::ZipfSampler(
+      static_cast<std::size_t>(multi.sites), multi.site_skew));
+  sim.run_until_target();
+  return out;
+}
+
+}  // namespace piggyweb::trace

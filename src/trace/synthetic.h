@@ -1,0 +1,162 @@
+// Synthetic workload generation.
+//
+// The paper's evaluation runs over proprietary 1997/98 logs (AT&T and
+// Digital client traces; AIUSA, Apache, Marimba and Sun server logs). Those
+// are not obtainable, so we generate synthetic equivalents that reproduce
+// the structural properties the paper's results depend on:
+//
+//   * Zipf resource popularity (85% of requests to <10% of resources),
+//   * heavy per-source skew (10% of clients producing >50% of requests),
+//   * directory-tree structure with content locality (pages and their
+//     embedded images and HREF neighbours share directory prefixes),
+//   * session-structured client behaviour (page + embedded images within
+//     seconds; think times between page views; link-following),
+//   * heavy-tailed response sizes (lognormal body, Pareto tail),
+//   * per-resource modification processes (hot and cold resources),
+//   * If-Modified-Since revalidations producing 304s.
+//
+// A SiteModel is the server-side ground truth (resources, sizes, types,
+// link/embedding structure, modification times); the browsing simulator
+// emits a Trace against one or more sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace piggyweb::trace {
+
+// ---------------------------------------------------------------------------
+// Site model
+
+struct SiteShape {
+  std::string host = "www.example.com";
+  int top_dirs = 12;             // 1-level directories
+  double subdirs_per_dir = 3.0;  // mean 2-level subdirectories per top dir
+  int max_depth = 3;             // deepest directory nesting level
+  double deep_spawn_prob = 0.4;  // chance a dir spawns subdirs below level 2
+  int pages = 400;               // HTML pages
+  double dir_popularity_skew = 0.8;   // Zipf skew of pages across directories
+  double images_per_page_mean = 4.0;  // embedded images per page
+  double image_same_dir_prob = 0.75;  // embedded image lives in page's dir
+  double image_reuse_prob = 0.5;      // reuse an existing image in that dir
+  int shared_image_pool = 8;          // site-wide logos/banners in /images
+  double links_per_page_mean = 5.0;   // HREF links per page
+  double link_same_dir_prob = 0.7;    // HREF target in same directory
+  double other_resources_frac = 0.1;  // pdf/ps/zip as a fraction of pages
+  double page_popularity_skew = 0.9;  // Zipf skew over pages
+  double html_size_mu = 8.3, html_size_sigma = 1.0;    // ln bytes (~4 KB)
+  double image_size_mu = 7.6, image_size_sigma = 1.2;  // ln bytes (~2 KB)
+  double other_size_mu = 10.5, other_size_sigma = 1.5; // ln bytes (~36 KB)
+  double hot_change_frac = 0.05;      // resources changing ~hourly
+  double hot_change_interval = 2.0 * util::kHour;
+  double cold_change_interval = 30.0 * util::kDay;
+};
+
+struct SyntheticResource {
+  std::string path;
+  ContentType type = ContentType::kHtml;
+  std::uint64_t size = 0;
+  std::vector<std::uint32_t> embedded;  // image indices (html pages only)
+  std::vector<std::uint32_t> links;     // HREF page indices (html only)
+  std::vector<util::TimePoint> changes; // sorted modification times
+  util::TimePoint created{0};           // initial Last-Modified
+};
+
+class SiteModel {
+ public:
+  SiteModel(const SiteShape& shape, util::Seconds duration, util::Rng& rng);
+
+  const std::string& host() const { return host_; }
+  const std::vector<SyntheticResource>& resources() const {
+    return resources_;
+  }
+  const SyntheticResource& resource(std::uint32_t idx) const {
+    return resources_[idx];
+  }
+  std::size_t size() const { return resources_.size(); }
+
+  // Indices of HTML pages, most popular first.
+  const std::vector<std::uint32_t>& pages_by_popularity() const {
+    return pages_by_popularity_;
+  }
+
+  // Lookup by path; returns size() if unknown.
+  std::uint32_t index_of(std::string_view path) const;
+
+  // Last-Modified time of a resource as of time t.
+  util::TimePoint last_modified(std::uint32_t idx, util::TimePoint t) const;
+
+  // True if the resource changed in (since, now].
+  bool modified_between(std::uint32_t idx, util::TimePoint since,
+                        util::TimePoint now) const;
+
+ private:
+  std::string host_;
+  std::vector<SyntheticResource> resources_;
+  std::vector<std::uint32_t> pages_by_popularity_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+};
+
+// ---------------------------------------------------------------------------
+// Browsing model
+
+struct BrowseShape {
+  std::size_t target_requests = 100'000;
+  std::size_t client_pool = 0;           // 0 = unbounded distinct clients
+  // Each client makes a lognormally-distributed number of visits — the
+  // mean controls requests/source, the sigma the per-client skew ("10%
+  // of clients produce >50% of requests").
+  double sessions_per_client_mean = 1.2;
+  double sessions_sigma = 1.6;
+  util::Seconds duration = 7 * util::kDay;
+  double pages_per_session_mean = 6.0;
+  double think_mu = 3.3, think_sigma = 0.9;  // ln seconds between page views
+  double image_fetch_prob = 0.85;        // clients that fetch inline images
+  double embedded_gap_max = 3.0;         // seconds spread of embedded fetches
+  double follow_link_prob = 0.65;        // next page via HREF vs Zipf jump
+  double page_skew = 0.9;                // Zipf skew of page popularity
+  double other_jump_prob = 0.05;         // fetch a non-HTML resource instead
+  double client_cache_prob = 0.7;        // client has a cache (sends IMS)
+  double post_fraction = 0.0;            // Marimba-style POST traffic
+  // After a session ends the client may come back later in the day —
+  // this produces the re-accesses in the 5-minute-to-2-hour band that
+  // cache coherency feeds on (Table 1's "updated by piggyback" column).
+  double revisit_prob = 0.35;
+  double revisit_delay_mean = 2400.0;    // seconds until the return visit
+};
+
+struct SyntheticWorkload {
+  Trace trace;
+  std::vector<SiteModel> sites;  // index aligns with trace server ids when
+                                 // sites were generated through this API
+
+  // Site whose host equals the trace server id's name; nullptr if none.
+  const SiteModel* site_for(std::string_view host) const;
+};
+
+// Generate a server log: one site, many client sources.
+SyntheticWorkload generate_server_log(const SiteShape& site_shape,
+                                      const BrowseShape& browse,
+                                      std::uint64_t seed);
+
+// Generate a client (proxy) trace: many sites, sources are the proxy's
+// clients. Site sizes follow a Pareto distribution scaled from `base_site`;
+// site popularity is Zipf with `site_skew`.
+struct MultiSiteShape {
+  int sites = 300;
+  double site_skew = 0.95;        // Zipf over sites
+  double size_spread_alpha = 1.2; // Pareto shape for per-site page counts
+  SiteShape base_site;            // template; pages scaled per site
+};
+
+SyntheticWorkload generate_client_trace(const MultiSiteShape& multi,
+                                        const BrowseShape& browse,
+                                        std::uint64_t seed);
+
+}  // namespace piggyweb::trace

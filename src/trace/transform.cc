@@ -1,0 +1,54 @@
+#include "trace/transform.h"
+
+#include <vector>
+
+#include "util/expect.h"
+
+namespace piggyweb::trace {
+
+Trace filter_requests(const Trace& trace,
+                      const std::function<bool(const Request&)>& keep) {
+  Trace out;
+  out.sources() = trace.sources();
+  out.servers() = trace.servers();
+  out.paths() = trace.paths();
+  for (const auto& request : trace.requests()) {
+    if (keep(request)) out.add(request);
+  }
+  return out;
+}
+
+Trace slice_by_time(const Trace& trace, util::TimePoint from,
+                    util::TimePoint to) {
+  return filter_requests(trace, [from, to](const Request& r) {
+    return r.time >= from && r.time < to;
+  });
+}
+
+std::pair<Trace, Trace> split_at_fraction(const Trace& trace,
+                                          double fraction) {
+  PW_EXPECT(fraction > 0.0 && fraction < 1.0);
+  if (trace.empty()) return {Trace{}, Trace{}};
+  const auto start = trace.requests().front().time;
+  const auto cut =
+      start + static_cast<util::Seconds>(
+                  fraction * static_cast<double>(trace.span()) + 1);
+  return {slice_by_time(trace, start, cut),
+          slice_by_time(trace, cut,
+                        {trace.requests().back().time.value + 1})};
+}
+
+Trace filter_unpopular(const Trace& trace, std::uint64_t min_count) {
+  std::vector<std::uint64_t> counts(trace.paths().size(), 0);
+  for (const auto& request : trace.requests()) ++counts[request.path];
+  return filter_requests(trace, [&counts, min_count](const Request& r) {
+    return counts[r.path] >= min_count;
+  });
+}
+
+Trace filter_source(const Trace& trace, util::InternId source) {
+  return filter_requests(
+      trace, [source](const Request& r) { return r.source == source; });
+}
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,33 @@
+// Trace transformations. Subsets share the original's intern-id space
+// (tables are copied verbatim), so volumes built on one slice apply
+// directly to another — the basis of train/test evaluation of volume
+// construction (bench/ablation_train_test).
+#pragma once
+
+#include <functional>
+
+#include "trace/record.h"
+
+namespace piggyweb::trace {
+
+// Requests satisfying `keep`, with intern tables copied from `trace`.
+Trace filter_requests(const Trace& trace,
+                      const std::function<bool(const Request&)>& keep);
+
+// Requests with time in [from, to).
+Trace slice_by_time(const Trace& trace, util::TimePoint from,
+                    util::TimePoint to);
+
+// Split at `fraction` of the trace's time span (not request count): the
+// first part covers [start, start + fraction*span), the second the rest.
+std::pair<Trace, Trace> split_at_fraction(const Trace& trace,
+                                          double fraction);
+
+// The paper's §A cleanup: keep only requests to resources accessed at
+// least `min_count` times in the trace.
+Trace filter_unpopular(const Trace& trace, std::uint64_t min_count);
+
+// Requests from a single source (one pseudo-proxy's view).
+Trace filter_source(const Trace& trace, util::InternId source);
+
+}  // namespace piggyweb::trace

@@ -1,0 +1,32 @@
+#include "util/date.h"
+
+namespace piggyweb::util {
+
+std::int64_t days_from_civil(std::int64_t y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);
+  const auto doy = static_cast<unsigned>(
+      (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, std::int64_t& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp) + (mp < 10 ? 3 : -9);
+  y += (m <= 2);
+}
+
+int weekday_from_days(std::int64_t z) {
+  return static_cast<int>(z >= -4 ? (z + 4) % 7 : (z + 5) % 7 + 6);
+}
+
+}  // namespace piggyweb::util

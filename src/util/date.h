@@ -1,0 +1,18 @@
+// Civil-date <-> Unix-day conversions (Howard Hinnant's algorithms),
+// shared by the CLF log dates and the RFC 1123 HTTP dates.
+#pragma once
+
+#include <cstdint>
+
+namespace piggyweb::util {
+
+// Days since 1970-01-01 for a civil date. Months are 1-based.
+std::int64_t days_from_civil(std::int64_t y, int m, int d);
+
+// Inverse of days_from_civil.
+void civil_from_days(std::int64_t z, std::int64_t& y, int& m, int& d);
+
+// Day of week for a Unix day count: 0 = Sunday ... 6 = Saturday.
+int weekday_from_days(std::int64_t z);
+
+}  // namespace piggyweb::util

@@ -1,0 +1,30 @@
+// Lightweight contract checking, in the spirit of the Core Guidelines'
+// Expects()/Ensures(). Violations indicate programming errors, not runtime
+// conditions, so they abort with a message rather than throwing.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace piggyweb::util {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "piggyweb: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace piggyweb::util
+
+// Precondition on function arguments / object state.
+#define PW_EXPECT(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::piggyweb::util::contract_failure("precondition", #cond,    \
+                                               __FILE__, __LINE__))
+
+// Postcondition / internal invariant.
+#define PW_ENSURE(cond)                                                   \
+  ((cond) ? static_cast<void>(0)                                          \
+          : ::piggyweb::util::contract_failure("invariant", #cond,       \
+                                               __FILE__, __LINE__))

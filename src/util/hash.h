@@ -1,0 +1,43 @@
+// Hashing helpers: FNV-1a over bytes/strings, 64-bit mixing, and a
+// hash-combine for composite keys (used heavily by the pair-counter tables).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace piggyweb::util {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view bytes,
+                              std::uint64_t seed = kFnvOffset) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Finalizer from murmur3; good avalanche for integer keys.
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+// Hash for a pair of 32-bit ids packed into one word (pair counters key on
+// (r, s) resource-id pairs).
+constexpr std::uint64_t hash_id_pair(std::uint32_t a, std::uint32_t b) {
+  return mix64((static_cast<std::uint64_t>(a) << 32) | b);
+}
+
+}  // namespace piggyweb::util

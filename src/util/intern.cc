@@ -1,0 +1,27 @@
+#include "util/intern.h"
+
+#include "util/expect.h"
+
+namespace piggyweb::util {
+
+InternId InternTable::intern(std::string_view s) {
+  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
+  PW_EXPECT(strings_.size() < kInvalidIntern);
+  const auto id = static_cast<InternId>(strings_.size());
+  strings_.emplace_back(s);
+  ids_.emplace(strings_.back(), id);
+  return id;
+}
+
+std::optional<InternId> InternTable::find(std::string_view s) const {
+  const auto it = ids_.find(s);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string_view InternTable::str(InternId id) const {
+  PW_EXPECT(id < strings_.size());
+  return strings_[id];
+}
+
+}  // namespace piggyweb::util

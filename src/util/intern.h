@@ -1,0 +1,54 @@
+// String interning: maps strings (URLs, directory prefixes, client names)
+// to dense 32-bit ids and back. Dense ids keep the hot per-resource tables
+// (counters, last-access maps) flat and cache-friendly, which matters when
+// a Sun-scale log touches tens of thousands of resources millions of times.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace piggyweb::util {
+
+using InternId = std::uint32_t;
+inline constexpr InternId kInvalidIntern = 0xffffffffu;
+
+class InternTable {
+ public:
+  InternTable() = default;
+
+  // Returns the id for `s`, interning it if new.
+  InternId intern(std::string_view s);
+
+  // Returns the id if `s` is already interned.
+  std::optional<InternId> find(std::string_view s) const;
+
+  // The interned string for an id. Id must be valid.
+  std::string_view str(InternId id) const;
+
+  std::size_t size() const { return strings_.size(); }
+  bool empty() const { return strings_.empty(); }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct TransparentEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, InternId, TransparentHash, TransparentEq>
+      ids_;
+};
+
+}  // namespace piggyweb::util

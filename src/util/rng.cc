@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace piggyweb::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double skew) : skew_(skew) {
+  PW_EXPECT(n > 0);
+  PW_EXPECT(skew >= 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  PW_EXPECT(rank < cdf_.size());
+  if (rank == 0) return cdf_[0];
+  return cdf_[rank] - cdf_[rank - 1];
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  PW_EXPECT(!weights.empty());
+  cdf_.resize(weights.size());
+  double total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    PW_EXPECT(weights[i] >= 0);
+    total += weights[i];
+    cdf_[i] = total;
+  }
+  PW_EXPECT(total > 0);
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::size_t DiscreteSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace piggyweb::util

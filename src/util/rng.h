@@ -1,0 +1,182 @@
+// Deterministic pseudo-random number generation and the samplers the
+// synthetic workload generator needs (Zipf, lognormal, Pareto, exponential).
+//
+// Everything is seeded explicitly; the library never touches wall-clock
+// time or global random state, so every experiment is reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace piggyweb::util {
+
+// splitmix64: used for seeding and as a cheap standalone mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna — fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9052fe2cf2b9a6e1ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, bound). Lemire's multiply-shift rejection method.
+  std::uint64_t below(std::uint64_t bound) {
+    PW_EXPECT(bound > 0);
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t between(std::int64_t lo, std::int64_t hi) {
+    PW_EXPECT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+  double exponential(double mean) {
+    PW_EXPECT(mean > 0);
+    // 1 - uniform() is in (0, 1]; log of it is finite.
+    return -mean * std::log(1.0 - uniform());
+  }
+
+  // Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u = 0, v = 0, s = 0;
+    do {
+      u = 2.0 * uniform() - 1.0;
+      v = 2.0 * uniform() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  // Lognormal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * normal());
+  }
+
+  // Poisson-distributed count. Knuth multiplication for small means,
+  // normal approximation for large ones.
+  std::uint64_t poisson(double mean) {
+    PW_EXPECT(mean >= 0);
+    if (mean == 0) return 0;
+    if (mean < 30.0) {
+      const double limit = std::exp(-mean);
+      std::uint64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > limit);
+      return k - 1;
+    }
+    const double x = mean + std::sqrt(mean) * normal();
+    return x <= 0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+
+  // Bounded Pareto on [lo, hi] with shape alpha.
+  double pareto(double alpha, double lo, double hi) {
+    PW_EXPECT(alpha > 0 && lo > 0 && hi > lo);
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    const double u = uniform();
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double spare_ = 0;
+  bool have_spare_ = false;
+};
+
+// Zipf(s) sampler over ranks {0, ..., n-1}: P(rank k) proportional to
+// 1/(k+1)^s. Built once (O(n)), sampled in O(log n) by binary search over
+// the CDF. Web resource popularity is classically Zipf with s near 0.7-1.0.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double skew);
+
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+  double skew() const { return skew_; }
+
+  // Probability mass of a given rank.
+  double pmf(std::size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+  double skew_ = 0;
+};
+
+// Weighted discrete sampler (alias-free CDF version; O(log n) per draw).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  std::size_t operator()(Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace piggyweb::util

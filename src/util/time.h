@@ -1,0 +1,30 @@
+// Simulation time. All logs and simulators use integral seconds since an
+// arbitrary epoch (the 1998 logs have 1-second resolution). A thin strong
+// typedef prevents mixing timestamps with durations or byte counts.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace piggyweb::util {
+
+using Seconds = std::int64_t;  // durations
+
+struct TimePoint {
+  Seconds value = 0;
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Seconds d) const { return {value + d}; }
+  constexpr TimePoint operator-(Seconds d) const { return {value - d}; }
+  constexpr Seconds operator-(TimePoint other) const {
+    return value - other.value;
+  }
+};
+
+inline constexpr Seconds kSecond = 1;
+inline constexpr Seconds kMinute = 60;
+inline constexpr Seconds kHour = 3600;
+inline constexpr Seconds kDay = 86400;
+
+}  // namespace piggyweb::util

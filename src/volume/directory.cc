@@ -1,0 +1,137 @@
+#include "volume/directory.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/strings.h"
+
+namespace piggyweb::volume {
+
+DirectoryVolumes::DirectoryVolumes(const DirectoryVolumeConfig& config)
+    : config_(config) {
+  PW_EXPECT(config.level >= 0);
+  PW_EXPECT(config.max_volume_elements > 0);
+}
+
+std::size_t DirectoryVolumes::partition_of(trace::ContentType type,
+                                           std::uint64_t size,
+                                           std::uint64_t large_threshold) {
+  const auto type_idx = static_cast<std::size_t>(type);  // 0..2
+  const std::size_t size_idx = size >= large_threshold ? 1 : 0;
+  return type_idx * 2 + size_idx;
+}
+
+std::string DirectoryVolumes::volume_key(util::InternId server,
+                                         std::string_view path) const {
+  std::string key = std::to_string(server);
+  key += '|';
+  key += util::directory_prefix(path, config_.level);
+  return key;
+}
+
+core::VolumePrediction DirectoryVolumes::on_request(
+    const core::VolumeRequest& request) {
+  PW_EXPECT(paths_ != nullptr);
+  const auto path = paths_->str(request.path);
+  const auto key = volume_key(request.server, path);
+
+  auto [it, inserted] =
+      ids_.try_emplace(key, static_cast<core::VolumeId>(volumes_.size()));
+  if (inserted) volumes_.emplace_back();
+  Volume& volume = volumes_[it->second];
+
+  touch(volume, request);
+  trim(volume);
+
+  core::VolumePrediction prediction;
+  prediction.volume = it->second;
+  prediction.resources = collect(volume);
+  return prediction;
+}
+
+void DirectoryVolumes::touch(Volume& volume,
+                             const core::VolumeRequest& request) {
+  const auto part = partition_of(request.type, request.size,
+                                 config_.large_size_threshold);
+  const auto idx_it = volume.index.find(request.path);
+  if (idx_it != volume.index.end()) {
+    auto [old_part, node] = idx_it->second;
+    node->last_access = request.time;
+    if (old_part == part) {
+      // Move-to-front within its partition — O(1) splice.
+      volume.parts[part].splice(volume.parts[part].begin(),
+                                volume.parts[part], node);
+    } else {
+      // Size/type class changed (e.g. resource grew); migrate partitions.
+      volume.parts[part].splice(volume.parts[part].begin(),
+                                volume.parts[old_part], node);
+      idx_it->second.first = part;
+    }
+    idx_it->second.second = volume.parts[part].begin();
+    return;
+  }
+  volume.parts[part].push_front({request.path, request.time});
+  volume.index.emplace(request.path,
+                       std::make_pair(part, volume.parts[part].begin()));
+}
+
+void DirectoryVolumes::trim(Volume& volume) {
+  while (volume.index.size() > config_.max_volume_elements) {
+    // Evict the least recently used element across the logical FIFO: the
+    // oldest among the partition tails.
+    std::size_t victim_part = kPartitions;
+    util::TimePoint oldest{0};
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      if (volume.parts[p].empty()) continue;
+      const auto t = volume.parts[p].back().last_access;
+      if (victim_part == kPartitions || t < oldest) {
+        victim_part = p;
+        oldest = t;
+      }
+    }
+    PW_ENSURE(victim_part < kPartitions);
+    volume.index.erase(volume.parts[victim_part].back().resource);
+    volume.parts[victim_part].pop_back();
+  }
+}
+
+std::vector<util::InternId> DirectoryVolumes::collect(
+    const Volume& volume) const {
+  // Merge the six MRU-ordered partition lists into one recency-ordered
+  // candidate list (most recent first), up to max_candidates.
+  std::array<ElementList::const_iterator, kPartitions> cursor;
+  std::array<ElementList::const_iterator, kPartitions> end;
+  for (std::size_t p = 0; p < kPartitions; ++p) {
+    cursor[p] = volume.parts[p].begin();
+    end[p] = volume.parts[p].end();
+  }
+  std::vector<util::InternId> out;
+  out.reserve(std::min(volume.index.size(), config_.max_candidates));
+  while (out.size() < config_.max_candidates) {
+    std::size_t best = kPartitions;
+    for (std::size_t p = 0; p < kPartitions; ++p) {
+      if (cursor[p] == end[p]) continue;
+      if (best == kPartitions ||
+          cursor[p]->last_access > cursor[best]->last_access) {
+        best = p;
+      }
+    }
+    if (best == kPartitions) break;
+    out.push_back(cursor[best]->resource);
+    ++cursor[best];
+  }
+  return out;
+}
+
+core::VolumeId DirectoryVolumes::peek_volume(util::InternId server,
+                                             std::string_view path) const {
+  const auto it = ids_.find(volume_key(server, path));
+  return it == ids_.end() ? core::kNoVolume : it->second;
+}
+
+std::size_t DirectoryVolumes::volume_size(core::VolumeId id) const {
+  PW_EXPECT(id < volumes_.size());
+  return volumes_[id].index.size();
+}
+
+}  // namespace piggyweb::volume

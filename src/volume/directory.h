@@ -1,0 +1,96 @@
+// Directory-based volumes (§3.2).
+//
+// Resources sharing a k-level directory prefix form a volume ("one-level
+// volumes put /a/b.html and /a/d/e.html together; zero-level prefixes make
+// one site-wide volume"). Volumes are maintained online exactly as §3.2.1
+// prescribes:
+//   * a collection of FIFO lists partitioned by content type and size
+//     class (so filters can serve "popular items of certain content types
+//     and sizes" without scanning),
+//   * move-to-front on access (last-access-time as the popularity metric,
+//     constant-time maintenance),
+//   * tail-trimming of the logical FIFO to bound volume size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/piggyback.h"
+
+namespace piggyweb::volume {
+
+struct DirectoryVolumeConfig {
+  int level = 1;                          // directory prefix depth
+  std::size_t max_volume_elements = 2000; // tail-trim bound per volume
+  std::size_t max_candidates = 200;       // cap on returned candidate list
+  std::uint64_t large_size_threshold = 8 * 1024;  // size-class boundary
+};
+
+class DirectoryVolumes final : public core::VolumeProvider {
+ public:
+  explicit DirectoryVolumes(const DirectoryVolumeConfig& config);
+
+  // Observes the access (insert or move-to-front) and returns the volume's
+  // current contents in recency order (most recent first), capped at
+  // max_candidates. The requested resource itself is included; the filter
+  // layer strips it.
+  core::VolumePrediction on_request(
+      const core::VolumeRequest& request) override;
+
+  std::size_t volume_count() const override { return volumes_.size(); }
+  const char* scheme_name() const override { return "directory"; }
+
+  // Volume id for a (server, path) pair without mutating state; kNoVolume
+  // if that volume has never been touched.
+  core::VolumeId peek_volume(util::InternId server,
+                             std::string_view path) const;
+
+  // Number of elements currently held by a volume.
+  std::size_t volume_size(core::VolumeId id) const;
+
+  int level() const { return config_.level; }
+
+ private:
+  // Partition index: 3 content types x 2 size classes.
+  static constexpr std::size_t kPartitions = 6;
+  static std::size_t partition_of(trace::ContentType type,
+                                  std::uint64_t size,
+                                  std::uint64_t large_threshold);
+
+  struct Element {
+    util::InternId resource;
+    util::TimePoint last_access;
+  };
+  using ElementList = std::list<Element>;
+
+  struct Volume {
+    std::array<ElementList, kPartitions> parts;
+    // resource -> (partition, node) for O(1) move-to-front
+    std::unordered_map<util::InternId,
+                       std::pair<std::size_t, ElementList::iterator>>
+        index;
+  };
+
+  std::string volume_key(util::InternId server, std::string_view path) const;
+  void touch(Volume& volume, const core::VolumeRequest& request);
+  void trim(Volume& volume);
+  std::vector<util::InternId> collect(const Volume& volume) const;
+
+  DirectoryVolumeConfig config_;
+  std::unordered_map<std::string, core::VolumeId> ids_;
+  std::vector<Volume> volumes_;
+  // The path table is owned by the caller's Trace; we only need prefix
+  // strings, resolved per request from the request's path string.
+  const util::InternTable* paths_ = nullptr;
+
+ public:
+  // The provider needs to turn interned path ids back into strings to
+  // compute directory prefixes; bind the trace's path table once.
+  void bind_paths(const util::InternTable& paths) { paths_ = &paths; }
+};
+
+}  // namespace piggyweb::volume

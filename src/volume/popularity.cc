@@ -1,0 +1,69 @@
+#include "volume/popularity.h"
+
+#include <algorithm>
+
+namespace piggyweb::volume {
+
+void PopularityVolumes::bump(util::InternId resource) {
+  if (resource >= counts_.size()) counts_.resize(resource + 1, 0);
+  ++counts_[resource];
+
+  // Maintain top_: if present, re-sort its neighbourhood; if absent and
+  // it now beats the tail (or there is room), insert.
+  const auto it = std::find(top_.begin(), top_.end(), resource);
+  if (it != top_.end()) {
+    // Bubble towards the front while it outranks its predecessor.
+    auto pos = it;
+    while (pos != top_.begin() &&
+           counts_[*pos] > counts_[*(pos - 1)]) {
+      std::iter_swap(pos, pos - 1);
+      --pos;
+    }
+    return;
+  }
+  if (top_.size() < config_.top_n) {
+    top_.push_back(resource);
+    return;
+  }
+  if (counts_[resource] > counts_[top_.back()]) {
+    top_.back() = resource;
+  }
+}
+
+std::vector<util::InternId> PopularityVolumes::popular() const {
+  return top_;
+}
+
+core::VolumePrediction PopularityVolumes::on_request(
+    const core::VolumeRequest& request) {
+  bump(request.path);
+  auto prediction = primary_->on_request(request);
+  // The requested resource never survives the filter, so count it out
+  // when judging whether the primary came back thin.
+  std::size_t usable = prediction.resources.size();
+  for (const auto res : prediction.resources) {
+    if (res == request.path) --usable;
+  }
+  if (usable >= config_.min_primary) return prediction;
+  // Top up from the popular volume. If the primary had nothing at all,
+  // the message is attributed to the popular volume so RPV suppression
+  // works; otherwise the primary volume id is kept.
+  if (prediction.volume == core::kNoVolume) {
+    prediction.volume = config_.volume_id;
+  }
+  const bool has_probs =
+      !prediction.resources.empty() &&
+      prediction.probs.size() == prediction.resources.size();
+  for (const auto res : top_) {
+    if (res == request.path) continue;
+    if (std::find(prediction.resources.begin(), prediction.resources.end(),
+                  res) != prediction.resources.end()) {
+      continue;
+    }
+    prediction.resources.push_back(res);
+    if (has_probs) prediction.probs.push_back(0.0);
+  }
+  return prediction;
+}
+
+}  // namespace piggyweb::volume

@@ -1,0 +1,171 @@
+#include "volume/probability.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/strings.h"
+
+namespace piggyweb::volume {
+
+void ProbabilityVolumeSet::add_volume(util::InternId r,
+                                      std::vector<VolumeEntry> entries) {
+  PW_EXPECT(!entries.empty());
+  id_of_.try_emplace(r, static_cast<core::VolumeId>(id_of_.size()));
+  volumes_[r] = std::move(entries);
+}
+
+const std::vector<VolumeEntry>* ProbabilityVolumeSet::volume_of(
+    util::InternId r) const {
+  const auto it = volumes_.find(r);
+  return it == volumes_.end() ? nullptr : &it->second;
+}
+
+core::VolumeId ProbabilityVolumeSet::volume_id(util::InternId r) const {
+  const auto it = id_of_.find(r);
+  return it == id_of_.end() ? core::kNoVolume : it->second;
+}
+
+VolumeSetStats ProbabilityVolumeSet::stats() const {
+  VolumeSetStats s;
+  s.volumes = volumes_.size();
+  std::size_t self = 0;
+  std::size_t symmetric = 0;
+  std::unordered_map<util::InternId, std::size_t> memberships;
+  for (const auto& [r, entries] : volumes_) {
+    s.total_entries += entries.size();
+    for (const auto& e : entries) {
+      ++memberships[e.resource];
+      if (e.resource == r) {
+        ++self;
+        continue;
+      }
+      if (const auto* other = volume_of(e.resource)) {
+        const bool has_r = std::any_of(
+            other->begin(), other->end(),
+            [r_id = r](const VolumeEntry& oe) {
+              return oe.resource == r_id;
+            });
+        if (has_r) ++symmetric;
+      }
+    }
+  }
+  if (s.volumes > 0) {
+    s.avg_volume_size = static_cast<double>(s.total_entries) /
+                        static_cast<double>(s.volumes);
+    s.self_fraction =
+        static_cast<double>(self) / static_cast<double>(s.volumes);
+  }
+  if (s.total_entries > 0) {
+    s.symmetric_fraction = static_cast<double>(symmetric) /
+                           static_cast<double>(s.total_entries);
+  }
+  if (!memberships.empty()) {
+    std::size_t total = 0;
+    for (const auto& [res, n] : memberships) total += n;
+    s.avg_volumes_per_resource = static_cast<double>(total) /
+                                 static_cast<double>(memberships.size());
+  }
+  return s;
+}
+
+ProbabilityVolumeSet build_probability_volumes(
+    const trace::Trace& trace, const PairCounts& counts,
+    const ProbabilityVolumeConfig& config) {
+  PW_EXPECT(config.probability_threshold > 0);
+
+  // Candidate volumes: all counted pairs passing p_t (and the prefix
+  // restriction when combining).
+  std::unordered_map<util::InternId, std::vector<VolumeEntry>> candidates;
+  const auto prefix_of = [&](util::InternId path) {
+    return util::directory_prefix(trace.paths().str(path),
+                                  config.combine_prefix_level);
+  };
+  for (const auto& [key, pc] : counts.pairs()) {
+    const auto r = static_cast<util::InternId>(key >> 32);
+    const auto s = static_cast<util::InternId>(key & 0xffffffffu);
+    const double p = counts.probability(r, s);
+    if (p < config.probability_threshold) continue;
+    if (config.combine_prefix_level > 0 && prefix_of(r) != prefix_of(s)) {
+      continue;
+    }
+    candidates[r].push_back({s, p, 0.0});
+  }
+
+  // Effectiveness pass: replay the trace; an implication r -> s is
+  // "effective" at an r-request when s is not already in predicted state
+  // for that source (no volume mentioned s within the last T seconds).
+  if (config.effectiveness_threshold > 0 && !candidates.empty()) {
+    std::unordered_map<std::uint64_t, std::uint64_t> effective;  // pair key
+    // (source, resource) -> last time any volume predicted the resource
+    std::unordered_map<std::uint64_t, util::Seconds> last_predicted;
+    const auto state_key = [](util::InternId source, util::InternId res) {
+      return (static_cast<std::uint64_t>(source) << 32) | res;
+    };
+    for (const auto& req : trace.requests()) {
+      const auto it = candidates.find(req.path);
+      if (it == candidates.end()) continue;
+      for (const auto& entry : it->second) {
+        const auto sk = state_key(req.source, entry.resource);
+        const auto lp = last_predicted.find(sk);
+        const bool is_new =
+            lp == last_predicted.end() ||
+            req.time.value - lp->second > config.window;
+        if (is_new) {
+          ++effective[PairCounts::key(req.path, entry.resource)];
+        }
+        last_predicted[sk] = req.time.value;
+      }
+    }
+    for (auto& [r, entries] : candidates) {
+      const auto cr = counts.occurrences(r);
+      for (auto& entry : entries) {
+        const auto eff_it =
+            effective.find(PairCounts::key(r, entry.resource));
+        const auto eff =
+            eff_it == effective.end() ? 0 : eff_it->second;
+        entry.effectiveness =
+            cr == 0 ? 0.0
+                    : static_cast<double>(eff) / static_cast<double>(cr);
+      }
+      std::erase_if(entries, [&config](const VolumeEntry& e) {
+        return e.effectiveness < config.effectiveness_threshold;
+      });
+    }
+  }
+
+  ProbabilityVolumeSet set;
+  for (auto& [r, entries] : candidates) {
+    if (entries.empty()) continue;
+    std::sort(entries.begin(), entries.end(),
+              [](const VolumeEntry& a, const VolumeEntry& b) {
+                if (a.probability != b.probability) {
+                  return a.probability > b.probability;
+                }
+                return a.resource < b.resource;
+              });
+    if (config.max_entries_per_volume > 0 &&
+        entries.size() > config.max_entries_per_volume) {
+      entries.resize(config.max_entries_per_volume);
+    }
+    set.add_volume(r, std::move(entries));
+  }
+  return set;
+}
+
+core::VolumePrediction ProbabilityVolumes::on_request(
+    const core::VolumeRequest& request) {
+  core::VolumePrediction prediction;
+  const auto* entries = set_->volume_of(request.path);
+  if (entries == nullptr) return prediction;
+  prediction.volume = set_->volume_id(request.path);
+  const auto n = std::min(entries->size(), max_candidates_);
+  prediction.resources.reserve(n);
+  prediction.probs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    prediction.resources.push_back((*entries)[i].resource);
+    prediction.probs.push_back((*entries)[i].probability);
+  }
+  return prediction;
+}
+
+}  // namespace piggyweb::volume

@@ -1,0 +1,33 @@
+// Volume-set persistence. Probability volumes are built offline from logs
+// ("in our experiments, we applied a single set of volumes for the
+// duration of each log") — a production server computes them in a daily
+// batch job and loads the result at startup. The format is line-oriented
+// text, stable and diff-friendly:
+//
+//   piggyweb-volumes 1
+//   volume <resource-path> <entry-count>
+//   <entry-path> <probability> <effectiveness>
+//   ...
+//
+// Volumes are written sorted by resource path, entries in stored
+// (descending-probability) order, so output is deterministic.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "util/intern.h"
+#include "volume/probability.h"
+
+namespace piggyweb::volume {
+
+void save_volume_set(std::ostream& out, const ProbabilityVolumeSet& set,
+                     const util::InternTable& paths);
+
+// Load a set; paths are interned into `paths`. Returns nullopt with
+// `error` filled on malformed input.
+std::optional<ProbabilityVolumeSet> load_volume_set(
+    std::istream& in, util::InternTable& paths, std::string& error);
+
+}  // namespace piggyweb::volume

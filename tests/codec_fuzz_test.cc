@@ -1,0 +1,203 @@
+// Randomized round-trip and robustness tests for every wire codec:
+// chunked transfer-coding, HTTP messages, Piggy-filter / P-volume /
+// Piggy-hits grammars, and CLF lines. Deterministic seeds; two properties
+// per codec: (1) serialize -> parse is the identity, (2) parsing mutated
+// bytes never crashes and either fails cleanly or yields a well-formed
+// value.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "http/chunked.h"
+#include "http/message.h"
+#include "http/piggy_headers.h"
+#include "trace/clf.h"
+#include "util/rng.h"
+
+namespace piggyweb {
+namespace {
+
+std::string random_bytes(util::Rng& rng, std::size_t max_len) {
+  std::string out;
+  const auto len = rng.below(max_len + 1);
+  out.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>(rng.below(256)));
+  }
+  return out;
+}
+
+std::string random_path(util::Rng& rng) {
+  std::string path;
+  const auto depth = rng.below(4);
+  for (std::uint64_t d = 0; d <= depth; ++d) {
+    path += "/d" + std::to_string(rng.below(10));
+  }
+  path += "/r" + std::to_string(rng.below(1000)) + ".html";
+  return path;
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  util::Rng rng_{GetParam()};
+};
+
+TEST_P(CodecFuzz, ChunkedRoundTripArbitraryBytes) {
+  for (int i = 0; i < 50; ++i) {
+    const auto body = random_bytes(rng_, 5000);
+    http::HeaderMap trailers;
+    if (rng_.chance(0.5)) trailers.add("P-volume", "vid=1");
+    const auto chunk_size = 1 + rng_.below(512);
+    const auto encoded = http::chunk_encode(body, trailers, chunk_size);
+    http::ChunkedDecode decoded;
+    ASSERT_TRUE(http::chunk_decode(encoded, decoded)) << "iteration " << i;
+    EXPECT_EQ(decoded.body, body);
+    EXPECT_EQ(decoded.consumed, encoded.size());
+  }
+}
+
+TEST_P(CodecFuzz, ChunkedDecodeSurvivesMutation) {
+  for (int i = 0; i < 200; ++i) {
+    http::HeaderMap trailers;
+    trailers.add("P-volume", "vid=1; e=\"/a 1 2\"");
+    auto encoded = http::chunk_encode(random_bytes(rng_, 300), trailers, 64);
+    // Flip a few bytes.
+    for (int flips = 0; flips < 3; ++flips) {
+      encoded[rng_.below(encoded.size())] =
+          static_cast<char>(rng_.below(256));
+    }
+    http::ChunkedDecode decoded;
+    http::chunk_decode(encoded, decoded);  // must not crash or hang
+  }
+}
+
+TEST_P(CodecFuzz, ResponseRoundTripRandomBodies) {
+  for (int i = 0; i < 50; ++i) {
+    http::Response response;
+    response.status = 200;
+    response.reason = "OK";
+    response.body = random_bytes(rng_, 2000);
+    // CRLF-rich bodies exercise framing; Content-Length vs chunked both.
+    if (rng_.chance(0.5)) {
+      response.chunked = true;
+      response.headers.add("Transfer-Encoding", "chunked");
+      response.trailers.add("P-volume", "vid=2");
+    } else {
+      response.headers.add("Content-Length",
+                           std::to_string(response.body.size()));
+    }
+    http::ParseError error;
+    const auto parsed = http::parse_response(response.serialize(), error);
+    ASSERT_TRUE(parsed.has_value()) << error.message;
+    EXPECT_EQ(parsed->response.body, response.body);
+    EXPECT_EQ(parsed->response.status, 200);
+  }
+}
+
+TEST_P(CodecFuzz, ParsersRejectGarbageWithoutCrashing) {
+  for (int i = 0; i < 300; ++i) {
+    const auto garbage = random_bytes(rng_, 400);
+    http::ParseError error;
+    http::parse_request(garbage, error);
+    http::parse_response(garbage, error);
+    http::ChunkedDecode decoded;
+    http::chunk_decode(garbage, decoded);
+    http::parse_filter(garbage);
+    util::InternTable paths;
+    http::parse_pvolume(garbage, paths);
+    http::parse_hits(garbage);
+    trace::parse_clf_line(garbage);
+  }
+}
+
+TEST_P(CodecFuzz, FilterRoundTripRandomFields) {
+  for (int i = 0; i < 100; ++i) {
+    core::ProxyFilter filter;
+    filter.enabled = rng_.chance(0.9);
+    filter.max_elements = static_cast<std::uint32_t>(rng_.below(1000));
+    const auto n_rpv = rng_.below(8);
+    for (std::uint64_t v = 0; v < n_rpv; ++v) {
+      filter.rpv.push_back(
+          static_cast<core::VolumeId>(rng_.below(32768)));
+    }
+    if (rng_.chance(0.5)) {
+      filter.probability_threshold = rng_.uniform();
+    }
+    if (rng_.chance(0.5)) filter.max_size = rng_.below(1 << 20);
+    filter.allow_image = rng_.chance(0.8);
+    filter.allow_other = rng_.chance(0.8);
+    filter.min_access_count = static_cast<std::uint32_t>(rng_.below(100));
+
+    const auto parsed = http::parse_filter(http::serialize_filter(filter));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->enabled, filter.enabled);
+    if (!filter.enabled) continue;  // nopiggy drops the other fields
+    EXPECT_EQ(parsed->max_elements, filter.max_elements);
+    EXPECT_EQ(parsed->rpv, filter.rpv);
+    EXPECT_EQ(parsed->probability_threshold.has_value(),
+              filter.probability_threshold.has_value());
+    if (filter.probability_threshold) {
+      EXPECT_NEAR(*parsed->probability_threshold,
+                  *filter.probability_threshold, 1e-4);
+    }
+    EXPECT_EQ(parsed->max_size, filter.max_size);
+    EXPECT_EQ(parsed->allow_image, filter.allow_image);
+    EXPECT_EQ(parsed->allow_other, filter.allow_other);
+    EXPECT_EQ(parsed->min_access_count, filter.min_access_count);
+  }
+}
+
+TEST_P(CodecFuzz, PVolumeRoundTripRandomMessages) {
+  for (int i = 0; i < 100; ++i) {
+    util::InternTable paths;
+    core::PiggybackMessage message;
+    message.volume =
+        static_cast<core::VolumeId>(rng_.below(core::kMaxWireVolumeId + 1));
+    const auto n = 1 + rng_.below(20);
+    for (std::uint64_t e = 0; e < n; ++e) {
+      message.elements.push_back(
+          {paths.intern(random_path(rng_)), rng_.below(1 << 30),
+           static_cast<std::int64_t>(rng_.below(1'000'000'000))});
+    }
+    util::InternTable other;
+    const auto parsed =
+        http::parse_pvolume(http::serialize_pvolume(message, paths), other);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->volume, message.volume);
+    ASSERT_EQ(parsed->elements.size(), message.elements.size());
+    for (std::size_t e = 0; e < message.elements.size(); ++e) {
+      EXPECT_EQ(other.str(parsed->elements[e].resource),
+                paths.str(message.elements[e].resource));
+      EXPECT_EQ(parsed->elements[e].size, message.elements[e].size);
+      EXPECT_EQ(parsed->elements[e].last_modified,
+                message.elements[e].last_modified);
+    }
+  }
+}
+
+TEST_P(CodecFuzz, ClfRoundTripRandomEntries) {
+  for (int i = 0; i < 100; ++i) {
+    trace::ClfEntry entry;
+    entry.host = "host-" + std::to_string(rng_.below(1000));
+    entry.time = {static_cast<util::Seconds>(rng_.below(2'000'000'000))};
+    entry.method =
+        rng_.chance(0.8) ? trace::Method::kGet : trace::Method::kPost;
+    entry.path = random_path(rng_);
+    entry.status = rng_.chance(0.8) ? 200 : 304;
+    entry.size = rng_.below(1 << 24);
+    const auto parsed = trace::parse_clf_line(trace::format_clf_line(entry));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->host, entry.host);
+    EXPECT_EQ(parsed->time.value, entry.time.value);
+    EXPECT_EQ(parsed->method, entry.method);
+    EXPECT_EQ(parsed->path, entry.path);
+    EXPECT_EQ(parsed->status, entry.status);
+    EXPECT_EQ(parsed->size, entry.size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace piggyweb

@@ -1,0 +1,112 @@
+#include "core/feedback.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::core {
+namespace {
+
+PiggybackMessage message(VolumeId volume,
+                         std::initializer_list<util::InternId> resources) {
+  PiggybackMessage m;
+  m.volume = volume;
+  for (const auto r : resources) m.elements.push_back({r, 0, 0});
+  return m;
+}
+
+TEST(HitFeedback, AttributesHitsToVolumes) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(3, {10, 11}));
+  feedback.note_cache_hit(1, 10);
+  feedback.note_cache_hit(1, 10);
+  feedback.note_cache_hit(1, 11);
+  const auto drained = feedback.drain(1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].volume, 3u);
+  EXPECT_EQ(drained[0].hits, 3u);
+}
+
+TEST(HitFeedback, UnattributedHitsIgnored) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(3, {10}));
+  feedback.note_cache_hit(1, 99);  // never piggybacked
+  EXPECT_TRUE(feedback.drain(1).empty());
+}
+
+TEST(HitFeedback, DrainClearsTallies) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(3, {10}));
+  feedback.note_cache_hit(1, 10);
+  EXPECT_EQ(feedback.drain(1).size(), 1u);
+  EXPECT_TRUE(feedback.drain(1).empty());
+  // Attribution survives the drain: later hits still count.
+  feedback.note_cache_hit(1, 10);
+  EXPECT_EQ(feedback.drain(1).size(), 1u);
+}
+
+TEST(HitFeedback, ServersIndependent) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(3, {10}));
+  feedback.note_piggyback(2, message(5, {10}));
+  feedback.note_cache_hit(1, 10);
+  const auto s1 = feedback.drain(1);
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0].volume, 3u);
+  EXPECT_TRUE(feedback.drain(2).empty());
+}
+
+TEST(HitFeedback, NewestAttributionWins) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(3, {10}));
+  feedback.note_piggyback(1, message(7, {10}));  // moved volumes
+  feedback.note_cache_hit(1, 10);
+  const auto drained = feedback.drain(1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].volume, 7u);
+}
+
+TEST(HitFeedback, MultipleVolumesSortedById) {
+  HitFeedback feedback;
+  feedback.note_piggyback(1, message(9, {20}));
+  feedback.note_piggyback(1, message(2, {10}));
+  feedback.note_cache_hit(1, 20);
+  feedback.note_cache_hit(1, 10);
+  const auto drained = feedback.drain(1);
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].volume, 2u);
+  EXPECT_EQ(drained[1].volume, 9u);
+}
+
+TEST(HitFeedback, AttributionMemoryBounded) {
+  HitFeedback feedback(/*max_attributions_per_server=*/2);
+  feedback.note_piggyback(1, message(3, {10}));
+  feedback.note_piggyback(1, message(3, {11}));
+  feedback.note_piggyback(1, message(3, {12}));  // evicts 10
+  feedback.note_cache_hit(1, 10);                // forgotten
+  feedback.note_cache_hit(1, 12);
+  const auto drained = feedback.drain(1);
+  ASSERT_EQ(drained.size(), 1u);
+  EXPECT_EQ(drained[0].hits, 1u);
+}
+
+TEST(FeedbackCollector, AggregatesAcrossReports) {
+  FeedbackCollector collector;
+  collector.ingest({{3, 5}, {7, 2}});
+  collector.ingest({{3, 1}});
+  EXPECT_EQ(collector.hits_for(3), 6u);
+  EXPECT_EQ(collector.hits_for(7), 2u);
+  EXPECT_EQ(collector.hits_for(99), 0u);
+  EXPECT_EQ(collector.total_hits(), 8u);
+}
+
+TEST(FeedbackCollector, RankedByUsefulness) {
+  FeedbackCollector collector;
+  collector.ingest({{1, 2}, {2, 9}, {3, 2}});
+  const auto ranked = collector.ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].volume, 2u);
+  EXPECT_EQ(ranked[1].volume, 1u);  // tie with 3, lower id first
+  EXPECT_EQ(ranked[2].volume, 3u);
+}
+
+}  // namespace
+}  // namespace piggyweb::core

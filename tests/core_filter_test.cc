@@ -1,0 +1,235 @@
+#include "core/filter.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::core {
+namespace {
+
+// Fixed-table oracle for tests.
+class FakeMeta final : public MetaOracle {
+ public:
+  void set(util::InternId resource, ResourceMeta meta) {
+    table_[resource] = meta;
+  }
+  ResourceMeta lookup(util::InternId,
+                      util::InternId resource) const override {
+    const auto it = table_.find(resource);
+    return it == table_.end() ? ResourceMeta{} : it->second;
+  }
+
+ private:
+  std::unordered_map<util::InternId, ResourceMeta> table_;
+};
+
+VolumePrediction prediction_with(std::vector<util::InternId> resources,
+                                 VolumeId volume = 1) {
+  VolumePrediction p;
+  p.volume = volume;
+  p.resources = std::move(resources);
+  return p;
+}
+
+VolumeRequest request_for(util::InternId path) {
+  VolumeRequest r;
+  r.server = 0;
+  r.source = 0;
+  r.path = path;
+  r.time = {1000};
+  return r;
+}
+
+TEST(ApplyFilter, PassesThroughByDefault) {
+  FakeMeta meta;
+  const auto message = apply_filter(prediction_with({10, 11, 12}),
+                                    request_for(99), ProxyFilter{}, meta);
+  EXPECT_EQ(message.volume, 1u);
+  ASSERT_EQ(message.elements.size(), 3u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+}
+
+TEST(ApplyFilter, FillsElementMetadata) {
+  FakeMeta meta;
+  meta.set(10, {.size = 2048,
+                .last_modified = 875000000,
+                .type = trace::ContentType::kImage,
+                .access_count = 7});
+  const auto message = apply_filter(prediction_with({10}), request_for(99),
+                                    ProxyFilter{}, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(message.elements[0].size, 2048u);
+  EXPECT_EQ(message.elements[0].last_modified, 875000000);
+}
+
+TEST(ApplyFilter, DisabledFilterSuppresses) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.enabled = false;
+  const auto message = apply_filter(prediction_with({10}), request_for(99),
+                                    filter, meta);
+  EXPECT_TRUE(message.empty());
+}
+
+TEST(ApplyFilter, EmptyPredictionSuppresses) {
+  FakeMeta meta;
+  EXPECT_TRUE(
+      apply_filter(VolumePrediction{}, request_for(99), ProxyFilter{}, meta)
+          .empty());
+}
+
+TEST(ApplyFilter, RpvSuppressesMatchingVolume) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.rpv = {3, 4};
+  EXPECT_TRUE(apply_filter(prediction_with({10}, /*volume=*/3),
+                           request_for(99), filter, meta)
+                  .empty());
+  EXPECT_FALSE(apply_filter(prediction_with({10}, /*volume=*/5),
+                            request_for(99), filter, meta)
+                   .empty());
+}
+
+TEST(ApplyFilter, NeverEchoesRequestedResource) {
+  FakeMeta meta;
+  const auto message = apply_filter(prediction_with({99, 10}),
+                                    request_for(99), ProxyFilter{}, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+}
+
+TEST(ApplyFilter, MaxElementsTruncatesBestFirst) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.max_elements = 2;
+  const auto message = apply_filter(prediction_with({10, 11, 12, 13}),
+                                    request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 2u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+  EXPECT_EQ(message.elements[1].resource, 11u);
+}
+
+TEST(ApplyFilter, MaxElementsZeroSuppresses) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.max_elements = 0;
+  EXPECT_TRUE(apply_filter(prediction_with({10}), request_for(99), filter,
+                           meta)
+                  .empty());
+}
+
+TEST(ApplyFilter, ProbabilityThresholdFiltersElements) {
+  FakeMeta meta;
+  VolumePrediction p;
+  p.volume = 1;
+  p.resources = {10, 11, 12};
+  p.probs = {0.9, 0.3, 0.15};
+  ProxyFilter filter;
+  filter.probability_threshold = 0.25;
+  const auto message = apply_filter(p, request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 2u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+  EXPECT_EQ(message.elements[1].resource, 11u);
+}
+
+TEST(ApplyFilter, ProbabilityThresholdIgnoredWithoutProbs) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.probability_threshold = 0.25;
+  const auto message = apply_filter(prediction_with({10, 11}),
+                                    request_for(99), filter, meta);
+  EXPECT_EQ(message.elements.size(), 2u);
+}
+
+TEST(ApplyFilter, FillsElementProbabilities) {
+  FakeMeta meta;
+  VolumePrediction p;
+  p.volume = 1;
+  p.resources = {10, 11};
+  p.probs = {0.9, 0.3};
+  const auto message = apply_filter(p, request_for(99), ProxyFilter{}, meta);
+  ASSERT_EQ(message.elements.size(), 2u);
+  EXPECT_DOUBLE_EQ(message.elements[0].probability, 0.9);
+  EXPECT_DOUBLE_EQ(message.elements[1].probability, 0.3);
+}
+
+TEST(ApplyFilter, NoProbsMeansZeroProbability) {
+  FakeMeta meta;
+  const auto message = apply_filter(prediction_with({10}), request_for(99),
+                                    ProxyFilter{}, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_DOUBLE_EQ(message.elements[0].probability, 0.0);
+}
+
+TEST(ApplyFilter, MaxSizeDropsLargeResources) {
+  FakeMeta meta;
+  meta.set(10, {.size = 100, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 0});
+  meta.set(11, {.size = 1'000'000, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 0});
+  ProxyFilter filter;
+  filter.max_size = 1000;
+  const auto message = apply_filter(prediction_with({10, 11}),
+                                    request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+}
+
+TEST(ApplyFilter, TypeFilterDropsImages) {
+  // The §2.2 wireless-proxy scenario: no image piggybacks.
+  FakeMeta meta;
+  meta.set(10, {.size = 10, .last_modified = 0,
+                .type = trace::ContentType::kImage, .access_count = 0});
+  meta.set(11, {.size = 10, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 0});
+  ProxyFilter filter;
+  filter.allow_image = false;
+  const auto message = apply_filter(prediction_with({10, 11}),
+                                    request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(message.elements[0].resource, 11u);
+}
+
+TEST(ApplyFilter, MinAccessCountFilters) {
+  FakeMeta meta;
+  meta.set(10, {.size = 1, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 3});
+  meta.set(11, {.size = 1, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 100});
+  ProxyFilter filter;
+  filter.min_access_count = 10;
+  const auto message = apply_filter(prediction_with({10, 11}),
+                                    request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(message.elements[0].resource, 11u);
+}
+
+TEST(ApplyFilter, AllElementsFilteredMeansNoMessage) {
+  FakeMeta meta;
+  ProxyFilter filter;
+  filter.min_access_count = 10;  // FakeMeta default count is 0
+  const auto message = apply_filter(prediction_with({10, 11}),
+                                    request_for(99), filter, meta);
+  EXPECT_TRUE(message.empty());
+  EXPECT_EQ(message.volume, kNoVolume);
+}
+
+TEST(ApplyFilter, TruncationAppliesAfterElementFilters) {
+  // max_elements counts surviving elements, not candidates.
+  FakeMeta meta;
+  meta.set(10, {.size = 1, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 0});
+  meta.set(11, {.size = 1, .last_modified = 0,
+                .type = trace::ContentType::kImage, .access_count = 0});
+  meta.set(12, {.size = 1, .last_modified = 0,
+                .type = trace::ContentType::kHtml, .access_count = 0});
+  ProxyFilter filter;
+  filter.allow_image = false;
+  filter.max_elements = 2;
+  const auto message = apply_filter(prediction_with({10, 11, 12}),
+                                    request_for(99), filter, meta);
+  ASSERT_EQ(message.elements.size(), 2u);
+  EXPECT_EQ(message.elements[0].resource, 10u);
+  EXPECT_EQ(message.elements[1].resource, 12u);
+}
+
+}  // namespace
+}  // namespace piggyweb::core

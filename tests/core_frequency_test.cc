@@ -1,0 +1,66 @@
+#include "core/frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::core {
+namespace {
+
+TEST(AlwaysEnable, AlwaysTrue) {
+  AlwaysEnable policy;
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(policy.should_enable(1, {i}));
+  }
+  EXPECT_STREQ(policy.name(), "always");
+}
+
+TEST(RandomEnable, ZeroNeverEnables) {
+  RandomEnable policy(0.0, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(policy.should_enable(1, {i}));
+}
+
+TEST(RandomEnable, OneAlwaysEnables) {
+  RandomEnable policy(1.0, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(policy.should_enable(1, {i}));
+}
+
+TEST(RandomEnable, RateApproximatelyHonored) {
+  RandomEnable policy(0.25, 7);
+  int enabled = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) enabled += policy.should_enable(1, {i});
+  EXPECT_NEAR(static_cast<double>(enabled) / kN, 0.25, 0.02);
+}
+
+TEST(MinIntervalEnable, FirstRequestEnabled) {
+  MinIntervalEnable policy(60);
+  EXPECT_TRUE(policy.should_enable(1, {0}));
+}
+
+TEST(MinIntervalEnable, SuppressesWithinInterval) {
+  MinIntervalEnable policy(60);
+  policy.on_piggyback(1, {100});
+  EXPECT_FALSE(policy.should_enable(1, {130}));
+  EXPECT_FALSE(policy.should_enable(1, {159}));
+  EXPECT_TRUE(policy.should_enable(1, {160}));  // >= interval
+}
+
+TEST(MinIntervalEnable, PerServerState) {
+  MinIntervalEnable policy(60);
+  policy.on_piggyback(1, {100});
+  EXPECT_FALSE(policy.should_enable(1, {110}));
+  EXPECT_TRUE(policy.should_enable(2, {110}));  // other server unaffected
+}
+
+TEST(MinIntervalEnable, OnlyPiggybacksArm) {
+  // should_enable alone must not arm the timer — only observed piggybacks
+  // do (otherwise a burst of suppressed requests would stay suppressed
+  // forever).
+  MinIntervalEnable policy(60);
+  EXPECT_TRUE(policy.should_enable(1, {0}));
+  EXPECT_TRUE(policy.should_enable(1, {1}));
+  policy.on_piggyback(1, {1});
+  EXPECT_FALSE(policy.should_enable(1, {2}));
+}
+
+}  // namespace
+}  // namespace piggyweb::core

@@ -1,0 +1,110 @@
+#include "core/rpv.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::core {
+namespace {
+
+RpvConfig config(util::Seconds timeout = 60, std::size_t max = 4) {
+  RpvConfig c;
+  c.timeout = timeout;
+  c.max_entries = max;
+  return c;
+}
+
+TEST(RpvList, NoteAndLive) {
+  RpvList list(config());
+  list.note(3, {100});
+  list.note(4, {110});
+  const auto live = list.live({120});
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], 3u);
+  EXPECT_EQ(live[1], 4u);
+}
+
+TEST(RpvList, EntriesExpireAfterTimeout) {
+  RpvList list(config(60));
+  list.note(1, {100});
+  EXPECT_TRUE(list.contains(1, {160}));   // exactly at timeout: still live
+  EXPECT_FALSE(list.contains(1, {161}));  // one past: expired
+  EXPECT_TRUE(list.live({161}).empty());
+}
+
+TEST(RpvList, RefreshMovesToBack) {
+  RpvList list(config());
+  list.note(1, {100});
+  list.note(2, {101});
+  list.note(1, {102});  // refresh
+  const auto live = list.live({103});
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0], 2u);
+  EXPECT_EQ(live[1], 1u);
+}
+
+TEST(RpvList, MaxEntriesEvictsOldest) {
+  RpvList list(config(600, 3));
+  for (VolumeId v = 0; v < 5; ++v) {
+    list.note(v, {100 + static_cast<util::Seconds>(v)});
+  }
+  const auto live = list.live({110});
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_EQ(live[0], 2u);
+  EXPECT_EQ(live[1], 3u);
+  EXPECT_EQ(live[2], 4u);
+}
+
+TEST(RpvList, MixedExpiry) {
+  RpvList list(config(60));
+  list.note(1, {0});
+  list.note(2, {50});
+  const auto live = list.live({70});  // 1 expired, 2 alive
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], 2u);
+}
+
+TEST(RpvList, ContainsChecksSpecificVolume) {
+  RpvList list(config());
+  list.note(7, {10});
+  EXPECT_TRUE(list.contains(7, {20}));
+  EXPECT_FALSE(list.contains(8, {20}));
+}
+
+TEST(RpvTable, IndependentPerServer) {
+  RpvTable table(config());
+  table.note(/*server=*/1, /*volume=*/10, {100});
+  table.note(/*server=*/2, /*volume=*/20, {100});
+  const auto s1 = table.live(1, {110});
+  const auto s2 = table.live(2, {110});
+  ASSERT_EQ(s1.size(), 1u);
+  EXPECT_EQ(s1[0], 10u);
+  ASSERT_EQ(s2.size(), 1u);
+  EXPECT_EQ(s2[0], 20u);
+}
+
+TEST(RpvTable, UnknownServerIsEmpty) {
+  RpvTable table(config());
+  EXPECT_TRUE(table.live(42, {0}).empty());
+}
+
+TEST(RpvTable, BoundsTrackedServers) {
+  RpvTable table(config(), /*max_servers=*/3);
+  for (util::InternId server = 0; server < 10; ++server) {
+    table.note(server, 1, {100});
+  }
+  EXPECT_LE(table.tracked_servers(), 3u);
+  // The most recently used server survives.
+  const auto live = table.live(9, {101});
+  ASSERT_EQ(live.size(), 1u);
+}
+
+TEST(RpvTable, TimeoutAppliesPerServer) {
+  RpvTable table(config(30));
+  table.note(1, 5, {100});
+  const auto live = table.live(1, {130});  // exactly at the timeout
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(live[0], 5u);
+  EXPECT_TRUE(table.live(1, {131}).empty());
+}
+
+}  // namespace
+}  // namespace piggyweb::core

@@ -1,0 +1,86 @@
+#include "core/wire_size.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::core {
+namespace {
+
+TEST(PiggybackBytes, EmptyMessageIsFree) {
+  util::InternTable paths;
+  EXPECT_EQ(piggyback_bytes({}, paths), 0u);
+}
+
+TEST(PiggybackBytes, PaperArithmetic) {
+  // §2.3: a ~50-byte URL plus 8-byte Last-Modified and 8-byte size gives
+  // ~66 bytes per element; 6 elements + the 2-byte volume id ≈ 398 bytes.
+  util::InternTable paths;
+  PiggybackMessage message;
+  message.volume = 1;
+  const std::string url50(50, 'u');
+  for (int i = 0; i < 6; ++i) {
+    message.elements.push_back(
+        {paths.intern(url50 + std::to_string(i)), 1000, 875000000});
+  }
+  // Each URL here is 51 bytes -> 2 + 6*(51+16) = 404.
+  EXPECT_EQ(piggyback_bytes(message, paths), 2u + 6u * (51u + 16u));
+}
+
+TEST(PiggybackBytes, SumsUrlLengths) {
+  util::InternTable paths;
+  PiggybackMessage message;
+  message.volume = 0;
+  message.elements.push_back({paths.intern("/ab"), 1, 1});   // 3 + 16
+  message.elements.push_back({paths.intern("/cdef"), 1, 1}); // 5 + 16
+  EXPECT_EQ(piggyback_bytes(message, paths), 2u + 19u + 21u);
+}
+
+TEST(PacketsFor, Boundaries) {
+  constexpr std::uint64_t kPayload = kMtuBytes - kTcpIpHeaderBytes;  // 1460
+  EXPECT_EQ(packets_for(0), 1u);
+  EXPECT_EQ(packets_for(1), 1u);
+  EXPECT_EQ(packets_for(kPayload), 1u);
+  EXPECT_EQ(packets_for(kPayload + 1), 2u);
+  EXPECT_EQ(packets_for(10 * kPayload), 10u);
+}
+
+TEST(WireCost, SmallPiggybackOftenFitsInLastPacket) {
+  // A 1530-byte response (the paper's median) occupies 2 packets with
+  // 1390 bytes of slack — a 398-byte piggyback adds no packet.
+  util::InternTable paths;
+  PiggybackMessage message;
+  message.volume = 1;
+  const std::string url50(50, 'u');
+  for (int i = 0; i < 6; ++i) {
+    message.elements.push_back(
+        {paths.intern(url50 + std::to_string(i)), 1000, 875000000});
+  }
+  const auto cost = piggyback_wire_cost(1530, message, paths);
+  EXPECT_GT(cost.bytes, 390u);
+  EXPECT_EQ(cost.extra_packets, 0u);
+}
+
+TEST(WireCost, LargePiggybackCanAddAPacket) {
+  util::InternTable paths;
+  PiggybackMessage message;
+  message.volume = 1;
+  const std::string url(100, 'u');
+  for (int i = 0; i < 30; ++i) {
+    message.elements.push_back(
+        {paths.intern(url + std::to_string(i)), 1, 1});
+  }
+  // ~3.5 KB of piggyback on a response that exactly fills its packets.
+  const auto cost = piggyback_wire_cost(1460 * 2, message, paths);
+  EXPECT_GE(cost.extra_packets, 2u);
+}
+
+TEST(WireCost, EmptyMessageCostsNothing) {
+  util::InternTable paths;
+  const auto cost = piggyback_wire_cost(5000, {}, paths);
+  EXPECT_EQ(cost.bytes, 0u);
+  EXPECT_EQ(cost.extra_packets, 0u);
+}
+
+}  // namespace
+}  // namespace piggyweb::core

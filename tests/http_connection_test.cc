@@ -1,0 +1,163 @@
+#include "http/connection.h"
+
+#include <gtest/gtest.h>
+
+#include "http/piggy_headers.h"
+
+namespace piggyweb::http {
+namespace {
+
+Request get_request(const std::string& path) {
+  Request request;
+  request.target = path;
+  request.headers.add("Host", "example.com");
+  return request;
+}
+
+Response ok_response(const std::string& body) {
+  Response response;
+  response.body = body;
+  response.headers.add("Content-Length", std::to_string(body.size()));
+  return response;
+}
+
+TEST(MessageBuffer, EmptyBufferIsIncomplete) {
+  MessageBuffer buffer;
+  ParseError error;
+  EXPECT_FALSE(buffer.try_parse_request(error).has_value());
+  EXPECT_TRUE(error.incomplete);
+}
+
+TEST(MessageBuffer, PartialDeliveryWaitsThenParses) {
+  MessageBuffer buffer;
+  const auto wire = get_request("/a.html").serialize();
+  ParseError error;
+  // Feed one byte at a time; every prefix must report incomplete, never
+  // malformed, until the last byte lands.
+  for (std::size_t i = 0; i < wire.size() - 1; ++i) {
+    buffer.append(wire.substr(i, 1));
+    const auto parsed = buffer.try_parse_request(error);
+    ASSERT_FALSE(parsed.has_value()) << "at byte " << i;
+    ASSERT_TRUE(error.incomplete)
+        << "at byte " << i << ": " << error.message;
+  }
+  buffer.append(wire.substr(wire.size() - 1));
+  const auto parsed = buffer.try_parse_request(error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  EXPECT_EQ(parsed->target, "/a.html");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(MessageBuffer, PartialChunkedResponseWaits) {
+  Response response;
+  response.chunked = true;
+  response.headers.add("Transfer-Encoding", "chunked");
+  response.body = "chunked payload body";
+  response.trailers.add("P-volume", "vid=5");
+  const auto wire = response.serialize();
+
+  MessageBuffer buffer;
+  ParseError error;
+  buffer.append(std::string_view(wire).substr(0, wire.size() / 2));
+  ASSERT_FALSE(buffer.try_parse_response(error).has_value());
+  EXPECT_TRUE(error.incomplete) << error.message;
+  buffer.append(std::string_view(wire).substr(wire.size() / 2));
+  const auto parsed = buffer.try_parse_response(error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  EXPECT_EQ(parsed->body, "chunked payload body");
+  EXPECT_EQ(*parsed->trailers.get("P-volume"), "vid=5");
+}
+
+TEST(MessageBuffer, MalformedIsNotIncomplete) {
+  MessageBuffer buffer;
+  buffer.append("BREW /coffee HTCPCP/1.0\r\n\r\n");
+  ParseError error;
+  EXPECT_FALSE(buffer.try_parse_request(error).has_value());
+  EXPECT_FALSE(error.incomplete);
+}
+
+TEST(Connection, SingleExchange) {
+  Connection connection;
+  connection.send_request(get_request("/x.html"));
+
+  ParseError error;
+  const auto at_server = connection.receive_request(error);
+  ASSERT_TRUE(at_server.has_value()) << error.message;
+  EXPECT_EQ(at_server->target, "/x.html");
+
+  connection.send_response(ok_response("hello"));
+  const auto at_client = connection.receive_response(error);
+  ASSERT_TRUE(at_client.has_value()) << error.message;
+  EXPECT_EQ(at_client->body, "hello");
+  EXPECT_EQ(connection.requests_sent(), 1u);
+  EXPECT_EQ(connection.responses_sent(), 1u);
+  EXPECT_GT(connection.bytes_to_server(), 0u);
+  EXPECT_GT(connection.bytes_to_client(), 0u);
+}
+
+TEST(Connection, PipelinedRequestsKeepOrder) {
+  Connection connection;
+  for (int i = 0; i < 5; ++i) {
+    connection.send_request(get_request("/r" + std::to_string(i)));
+  }
+  ParseError error;
+  // The server drains all five in order, answering each.
+  for (int i = 0; i < 5; ++i) {
+    const auto request = connection.receive_request(error);
+    ASSERT_TRUE(request.has_value()) << error.message;
+    EXPECT_EQ(request->target, "/r" + std::to_string(i));
+    connection.send_response(ok_response("body" + std::to_string(i)));
+  }
+  EXPECT_FALSE(connection.receive_request(error).has_value());
+  EXPECT_TRUE(error.incomplete);
+  // The client drains all five responses in order.
+  for (int i = 0; i < 5; ++i) {
+    const auto response = connection.receive_response(error);
+    ASSERT_TRUE(response.has_value()) << error.message;
+    EXPECT_EQ(response->body, "body" + std::to_string(i));
+  }
+  EXPECT_EQ(connection.pending_to_client(), 0u);
+  EXPECT_EQ(connection.pending_to_server(), 0u);
+}
+
+TEST(Connection, PipelinedChunkedResponsesWithTrailers) {
+  // Mixed plain/chunked responses on one persistent connection — the
+  // embedded-images scenario from the paper's introduction.
+  Connection connection;
+  ParseError error;
+  connection.send_request(get_request("/page.html"));
+  connection.send_request(get_request("/img1.gif"));
+  connection.send_request(get_request("/img2.gif"));
+
+  util::InternTable paths;
+  core::PiggybackMessage piggyback;
+  piggyback.volume = 4;
+  piggyback.elements.push_back({paths.intern("/img3.gif"), 100, 1000});
+
+  int served = 0;
+  while (const auto request = connection.receive_request(error)) {
+    auto response = ok_response("body-of-" + request->target);
+    if (served == 0) attach_pvolume(response, piggyback, paths);
+    connection.send_response(response);
+    ++served;
+  }
+  EXPECT_EQ(served, 3);
+
+  util::InternTable proxy_paths;
+  const auto first = connection.receive_response(error);
+  ASSERT_TRUE(first.has_value()) << error.message;
+  EXPECT_TRUE(first->chunked);
+  const auto extracted = extract_pvolume(*first, proxy_paths);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->volume, 4u);
+
+  const auto second = connection.receive_response(error);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->body, "body-of-/img1.gif");
+  const auto third = connection.receive_response(error);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->body, "body-of-/img2.gif");
+}
+
+}  // namespace
+}  // namespace piggyweb::http

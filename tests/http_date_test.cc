@@ -1,0 +1,56 @@
+#include "http/date.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::http {
+namespace {
+
+// RFC 1123's canonical example: Sun, 06 Nov 1994 08:49:37 GMT == 784111777.
+constexpr std::int64_t kRfcExample = 784111777;
+
+TEST(HttpDate, FormatsCanonicalExample) {
+  EXPECT_EQ(format_http_date(kRfcExample), "Sun, 06 Nov 1994 08:49:37 GMT");
+}
+
+TEST(HttpDate, ParsesCanonicalExample) {
+  std::int64_t out = 0;
+  ASSERT_TRUE(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT", out));
+  EXPECT_EQ(out, kRfcExample);
+}
+
+TEST(HttpDate, RoundTripSweep) {
+  for (std::int64_t ts = 0; ts < 2'000'000'000; ts += 86'400'000 + 12'345) {
+    std::int64_t out = 0;
+    ASSERT_TRUE(parse_http_date(format_http_date(ts), out)) << ts;
+    EXPECT_EQ(out, ts);
+  }
+}
+
+TEST(HttpDate, ParseIsCaseTolerantOnMonth) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(parse_http_date("Sun, 06 NOV 1994 08:49:37 GMT", out));
+  EXPECT_EQ(out, kRfcExample);
+}
+
+TEST(HttpDate, ParseTrimsWhitespace) {
+  std::int64_t out = 0;
+  EXPECT_TRUE(parse_http_date("  Sun, 06 Nov 1994 08:49:37 GMT  ", out));
+  EXPECT_EQ(out, kRfcExample);
+}
+
+TEST(HttpDate, RejectsMalformed) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(parse_http_date("", out));
+  EXPECT_FALSE(parse_http_date("06 Nov 1994 08:49:37 GMT", out));
+  EXPECT_FALSE(parse_http_date("Sun, 06 Foo 1994 08:49:37 GMT", out));
+  EXPECT_FALSE(parse_http_date("Sun, 99 Nov 1994 08:49:37 GMT", out));
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 1994 25:49:37 GMT", out));
+  EXPECT_FALSE(parse_http_date("Sun, 06 Nov 19", out));
+}
+
+TEST(HttpDate, EpochFormats) {
+  EXPECT_EQ(format_http_date(0), "Thu, 01 Jan 1970 00:00:00 GMT");
+}
+
+}  // namespace
+}  // namespace piggyweb::http

@@ -1,0 +1,85 @@
+#include "http/header_map.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::http {
+namespace {
+
+TEST(HeaderMap, AddAndGet) {
+  HeaderMap headers;
+  headers.add("Host", "sig.com");
+  ASSERT_TRUE(headers.get("Host").has_value());
+  EXPECT_EQ(*headers.get("Host"), "sig.com");
+}
+
+TEST(HeaderMap, CaseInsensitiveLookup) {
+  HeaderMap headers;
+  headers.add("Content-Length", "42");
+  EXPECT_TRUE(headers.contains("content-length"));
+  EXPECT_TRUE(headers.contains("CONTENT-LENGTH"));
+  EXPECT_EQ(*headers.get("cOnTeNt-LeNgTh"), "42");
+}
+
+TEST(HeaderMap, PreservesInsertionOrder) {
+  HeaderMap headers;
+  headers.add("A", "1");
+  headers.add("B", "2");
+  headers.add("C", "3");
+  ASSERT_EQ(headers.fields().size(), 3u);
+  EXPECT_EQ(headers.fields()[0].name, "A");
+  EXPECT_EQ(headers.fields()[1].name, "B");
+  EXPECT_EQ(headers.fields()[2].name, "C");
+}
+
+TEST(HeaderMap, DuplicatesAllowed) {
+  HeaderMap headers;
+  headers.add("Via", "proxy1");
+  headers.add("Via", "proxy2");
+  const auto all = headers.get_all("via");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "proxy1");
+  EXPECT_EQ(all[1], "proxy2");
+  EXPECT_EQ(*headers.get("Via"), "proxy1");  // first wins
+}
+
+TEST(HeaderMap, SetReplacesAll) {
+  HeaderMap headers;
+  headers.add("X", "1");
+  headers.add("X", "2");
+  headers.set("x", "3");
+  EXPECT_EQ(headers.get_all("X").size(), 1u);
+  EXPECT_EQ(*headers.get("X"), "3");
+}
+
+TEST(HeaderMap, RemoveReturnsCount) {
+  HeaderMap headers;
+  headers.add("A", "1");
+  headers.add("a", "2");
+  headers.add("B", "3");
+  EXPECT_EQ(headers.remove("A"), 2u);
+  EXPECT_FALSE(headers.contains("A"));
+  EXPECT_TRUE(headers.contains("B"));
+  EXPECT_EQ(headers.remove("A"), 0u);
+}
+
+TEST(HeaderMap, GetMissing) {
+  HeaderMap headers;
+  EXPECT_FALSE(headers.get("Nope").has_value());
+  EXPECT_TRUE(headers.get_all("Nope").empty());
+  EXPECT_TRUE(headers.empty());
+}
+
+TEST(HeaderMap, Serialize) {
+  HeaderMap headers;
+  headers.add("Host", "sig.com");
+  headers.add("TE", "chunked");
+  EXPECT_EQ(headers.serialize(), "Host: sig.com\r\nTE: chunked\r\n");
+}
+
+TEST(HeaderMap, SerializeEmpty) {
+  HeaderMap headers;
+  EXPECT_EQ(headers.serialize(), "");
+}
+
+}  // namespace
+}  // namespace piggyweb::http

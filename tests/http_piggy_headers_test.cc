@@ -1,0 +1,347 @@
+#include "http/piggy_headers.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::http {
+namespace {
+
+TEST(PiggyFilter, SerializePaperExample) {
+  core::ProxyFilter filter;
+  filter.max_elements = 10;
+  filter.rpv = {3, 4};
+  EXPECT_EQ(serialize_filter(filter), "maxpiggy=10; rpv=\"3,4\"");
+}
+
+TEST(PiggyFilter, ParsePaperExample) {
+  const auto filter = parse_filter("maxpiggy=10; rpv=\"3,4\"");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_TRUE(filter->enabled);
+  EXPECT_EQ(filter->max_elements, 10u);
+  ASSERT_EQ(filter->rpv.size(), 2u);
+  EXPECT_EQ(filter->rpv[0], 3u);
+  EXPECT_EQ(filter->rpv[1], 4u);
+}
+
+TEST(PiggyFilter, RoundTripAllFields) {
+  core::ProxyFilter filter;
+  filter.max_elements = 25;
+  filter.rpv = {1, 2, 30000};
+  filter.probability_threshold = 0.2;
+  filter.max_size = 65536;
+  filter.allow_image = false;
+  filter.min_access_count = 5;
+  const auto parsed = parse_filter(serialize_filter(filter));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->max_elements, 25u);
+  EXPECT_EQ(parsed->rpv, filter.rpv);
+  ASSERT_TRUE(parsed->probability_threshold.has_value());
+  EXPECT_DOUBLE_EQ(*parsed->probability_threshold, 0.2);
+  ASSERT_TRUE(parsed->max_size.has_value());
+  EXPECT_EQ(*parsed->max_size, 65536u);
+  EXPECT_TRUE(parsed->allow_html);
+  EXPECT_FALSE(parsed->allow_image);
+  EXPECT_TRUE(parsed->allow_other);
+  EXPECT_EQ(parsed->min_access_count, 5u);
+}
+
+TEST(PiggyFilter, NopiggyRoundTrip) {
+  core::ProxyFilter filter;
+  filter.enabled = false;
+  EXPECT_EQ(serialize_filter(filter), "nopiggy");
+  const auto parsed = parse_filter("nopiggy");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->enabled);
+}
+
+TEST(PiggyFilter, DefaultsSerializeAndParse) {
+  const core::ProxyFilter filter;
+  const auto parsed = parse_filter(serialize_filter(filter));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->enabled);
+  EXPECT_EQ(parsed->max_elements, filter.max_elements);
+}
+
+TEST(PiggyFilter, ParseIgnoresUnknownAttributes) {
+  const auto filter = parse_filter("maxpiggy=5; future=shiny");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_EQ(filter->max_elements, 5u);
+}
+
+TEST(PiggyFilter, ParseRejectsBadValues) {
+  EXPECT_FALSE(parse_filter("maxpiggy=abc").has_value());
+  EXPECT_FALSE(parse_filter("rpv=\"1,x\"").has_value());
+  EXPECT_FALSE(parse_filter("rpv=\"99999\"").has_value());  // > wire bound
+  EXPECT_FALSE(parse_filter("pt=1.5").has_value());
+  EXPECT_FALSE(parse_filter("pt=-0.1").has_value());
+  EXPECT_FALSE(parse_filter("types=video").has_value());
+  EXPECT_FALSE(parse_filter("maxsize=big").has_value());
+}
+
+TEST(PiggyFilter, AttachSetsTeChunked) {
+  Request request;
+  core::ProxyFilter filter;
+  filter.max_elements = 10;
+  attach_filter(request, filter);
+  EXPECT_EQ(*request.headers.get("TE"), "chunked");
+  ASSERT_TRUE(request.headers.get("Piggy-filter").has_value());
+  const auto extracted = extract_filter(request);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->max_elements, 10u);
+}
+
+TEST(PiggyFilter, ExtractMissingHeader) {
+  Request request;
+  EXPECT_FALSE(extract_filter(request).has_value());
+}
+
+TEST(PVolume, SerializeBasic) {
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 7;
+  message.elements.push_back({paths.intern("/dir/a.html"), 2366, 887637622});
+  EXPECT_EQ(serialize_pvolume(message, paths),
+            "vid=7; e=\"/dir/a.html 887637622 2366\"");
+}
+
+TEST(PVolume, RoundTrip) {
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 12345;
+  message.elements.push_back({paths.intern("/a.html"), 100, 5});
+  message.elements.push_back({paths.intern("/b.gif"), 2048, 99999});
+  const auto wire = serialize_pvolume(message, paths);
+
+  util::InternTable other_paths;
+  const auto parsed = parse_pvolume(wire, other_paths);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->volume, 12345u);
+  ASSERT_EQ(parsed->elements.size(), 2u);
+  EXPECT_EQ(other_paths.str(parsed->elements[0].resource), "/a.html");
+  EXPECT_EQ(parsed->elements[0].size, 100u);
+  EXPECT_EQ(parsed->elements[0].last_modified, 5);
+  EXPECT_EQ(other_paths.str(parsed->elements[1].resource), "/b.gif");
+}
+
+TEST(PVolume, ProbabilityFieldRoundTrips) {
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 2;
+  message.elements.push_back({paths.intern("/a.html"), 100, 5, 0.875});
+  message.elements.push_back({paths.intern("/b.gif"), 200, 6, 0.0});
+  const auto wire = serialize_pvolume(message, paths);
+  EXPECT_NE(wire.find("0.875"), std::string::npos);
+
+  util::InternTable other;
+  const auto parsed = parse_pvolume(wire, other);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->elements.size(), 2u);
+  EXPECT_NEAR(parsed->elements[0].probability, 0.875, 1e-6);
+  EXPECT_DOUBLE_EQ(parsed->elements[1].probability, 0.0);
+}
+
+TEST(PVolume, ParseRejectsBadProbability) {
+  util::InternTable paths;
+  EXPECT_FALSE(parse_pvolume("vid=1; e=\"/a 1 2 1.5\"", paths).has_value());
+  EXPECT_FALSE(parse_pvolume("vid=1; e=\"/a 1 2 x\"", paths).has_value());
+  EXPECT_FALSE(
+      parse_pvolume("vid=1; e=\"/a 1 2 0.5 9\"", paths).has_value());
+}
+
+TEST(PVolume, ParseRejectsMalformed) {
+  util::InternTable paths;
+  EXPECT_FALSE(parse_pvolume("", paths).has_value());
+  EXPECT_FALSE(parse_pvolume("e=\"/a 1 2\"", paths).has_value());  // no vid
+  EXPECT_FALSE(parse_pvolume("vid=99999", paths).has_value());
+  EXPECT_FALSE(parse_pvolume("vid=1; e=\"/a 1\"", paths).has_value());
+  EXPECT_FALSE(parse_pvolume("vid=1; e=\"/a x 2\"", paths).has_value());
+}
+
+TEST(PVolume, AttachMakesChunkedWithTrailer) {
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 3;
+  message.elements.push_back({paths.intern("/x.html"), 10, 20});
+
+  Response response;
+  response.body = "body";
+  response.headers.add("Content-Length", "4");
+  attach_pvolume(response, message, paths);
+
+  EXPECT_TRUE(response.chunked);
+  EXPECT_FALSE(response.headers.contains("Content-Length"));
+  EXPECT_EQ(*response.headers.get("Transfer-Encoding"), "chunked");
+  EXPECT_EQ(*response.headers.get("Trailer"), "P-volume");
+
+  util::InternTable proxy_paths;
+  const auto extracted = extract_pvolume(response, proxy_paths);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->volume, 3u);
+  ASSERT_EQ(extracted->elements.size(), 1u);
+}
+
+TEST(PVolume, AttachEmptyIsNoop) {
+  util::InternTable paths;
+  Response response;
+  response.headers.add("Content-Length", "0");
+  attach_pvolume(response, {}, paths);
+  EXPECT_FALSE(response.chunked);
+  EXPECT_TRUE(response.headers.contains("Content-Length"));
+}
+
+TEST(PVolume, ExtractFromHeaderFallback) {
+  util::InternTable paths;
+  Response response;
+  response.status = 304;
+  response.headers.add("P-volume", "vid=2; e=\"/y.gif 7 8\"");
+  const auto extracted = extract_pvolume(response, paths);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->volume, 2u);
+}
+
+TEST(PVolume, WireRoundTripThroughSerializedResponse) {
+  // Full wire round trip: attach -> serialize -> parse -> extract.
+  util::InternTable paths;
+  core::PiggybackMessage message;
+  message.volume = 42;
+  message.elements.push_back({paths.intern("/p/q.html"), 1234, 875000000});
+
+  Response response;
+  response.body = "response body";
+  attach_pvolume(response, message, paths);
+  const auto wire = response.serialize();
+
+  ParseError error;
+  const auto parsed = parse_response(wire, error);
+  ASSERT_TRUE(parsed.has_value()) << error.message;
+  util::InternTable proxy_paths;
+  const auto extracted = extract_pvolume(parsed->response, proxy_paths);
+  ASSERT_TRUE(extracted.has_value());
+  EXPECT_EQ(extracted->volume, 42u);
+  ASSERT_EQ(extracted->elements.size(), 1u);
+  EXPECT_EQ(proxy_paths.str(extracted->elements[0].resource), "/p/q.html");
+  EXPECT_EQ(extracted->elements[0].size, 1234u);
+  EXPECT_EQ(extracted->elements[0].last_modified, 875000000);
+  EXPECT_EQ(parsed->response.body, "response body");
+}
+
+TEST(PiggyHits, SerializeBasic) {
+  EXPECT_EQ(serialize_hits({{3, 12}, {7, 4}}), "3:12, 7:4");
+  EXPECT_EQ(serialize_hits({}), "");
+}
+
+TEST(PiggyHits, RoundTrip) {
+  const std::vector<core::VolumeHitCount> counts = {{0, 1}, {3, 12},
+                                                    {32767, 400}};
+  const auto parsed = parse_hits(serialize_hits(counts));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_EQ((*parsed)[1].volume, 3u);
+  EXPECT_EQ((*parsed)[1].hits, 12u);
+  EXPECT_EQ((*parsed)[2].volume, 32767u);
+}
+
+TEST(PiggyHits, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_hits("3").has_value());
+  EXPECT_FALSE(parse_hits("3:x").has_value());
+  EXPECT_FALSE(parse_hits("99999:1").has_value());  // beyond wire bound
+  EXPECT_FALSE(parse_hits("a:1").has_value());
+}
+
+TEST(PiggyHits, AttachAndExtract) {
+  Request request;
+  attach_hits(request, {{3, 12}});
+  ASSERT_TRUE(request.headers.contains("Piggy-hits"));
+  const auto extracted = extract_hits(request);
+  ASSERT_TRUE(extracted.has_value());
+  ASSERT_EQ(extracted->size(), 1u);
+  EXPECT_EQ((*extracted)[0].hits, 12u);
+}
+
+TEST(PiggyHits, AttachEmptyIsNoop) {
+  Request request;
+  attach_hits(request, {});
+  EXPECT_FALSE(request.headers.contains("Piggy-hits"));
+  EXPECT_FALSE(extract_hits(request).has_value());
+}
+
+TEST(PiggyValidate, SerializeItems) {
+  util::InternTable paths;
+  const std::vector<core::ValidationItem> items = {
+      {paths.intern("/a.html"), 886291300},
+      {paths.intern("/b.gif"), 886291500}};
+  EXPECT_EQ(serialize_validate(items, paths),
+            "e=\"/a.html 886291300\"; e=\"/b.gif 886291500\"");
+}
+
+TEST(PiggyValidate, RoundTripThroughRequest) {
+  util::InternTable paths;
+  const std::vector<core::ValidationItem> items = {
+      {paths.intern("/x/y.html"), 100}, {paths.intern("/z.pdf"), -1}};
+  Request request;
+  attach_validate(request, items, paths);
+  ASSERT_TRUE(request.headers.contains("Piggy-validate"));
+
+  util::InternTable other;
+  const auto parsed = extract_validate(request, other);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  EXPECT_EQ(other.str((*parsed)[0].resource), "/x/y.html");
+  EXPECT_EQ((*parsed)[0].last_modified, 100);
+  EXPECT_EQ((*parsed)[1].last_modified, -1);
+}
+
+TEST(PiggyValidate, AttachEmptyIsNoop) {
+  util::InternTable paths;
+  Request request;
+  attach_validate(request, {}, paths);
+  EXPECT_FALSE(request.headers.contains("Piggy-validate"));
+}
+
+TEST(PiggyValidate, ParseRejectsMalformed) {
+  util::InternTable paths;
+  EXPECT_FALSE(parse_validate("e=\"/a\"", paths).has_value());
+  EXPECT_FALSE(parse_validate("e=\"/a x\"", paths).has_value());
+  EXPECT_FALSE(parse_validate("q=\"/a 1\"", paths).has_value());
+}
+
+TEST(PValidate, ReplyRoundTrip) {
+  util::InternTable paths;
+  core::ValidationReply reply;
+  reply.fresh.push_back(paths.intern("/ok.html"));
+  reply.stale.push_back({paths.intern("/old.html"), 886295000});
+
+  Response response;
+  attach_validate_reply(response, reply, paths);
+  ASSERT_TRUE(response.headers.contains("P-validate"));
+  EXPECT_EQ(*response.headers.get("P-validate"),
+            "f=\"/ok.html\"; s=\"/old.html 886295000\"");
+
+  util::InternTable other;
+  const auto parsed = extract_validate_reply(response, other);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->fresh.size(), 1u);
+  EXPECT_EQ(other.str(parsed->fresh[0]), "/ok.html");
+  ASSERT_EQ(parsed->stale.size(), 1u);
+  EXPECT_EQ(other.str(parsed->stale[0].resource), "/old.html");
+  EXPECT_EQ(parsed->stale[0].last_modified, 886295000);
+}
+
+TEST(PValidate, EmptyReplyIsNoop) {
+  util::InternTable paths;
+  Response response;
+  attach_validate_reply(response, {}, paths);
+  EXPECT_FALSE(response.headers.contains("P-validate"));
+  util::InternTable other;
+  EXPECT_FALSE(extract_validate_reply(response, other).has_value());
+}
+
+TEST(PValidate, ParseRejectsMalformed) {
+  util::InternTable paths;
+  EXPECT_FALSE(parse_validate_reply("x=\"/a\"", paths).has_value());
+  EXPECT_FALSE(parse_validate_reply("s=\"/a\"", paths).has_value());
+  EXPECT_FALSE(parse_validate_reply("s=\"/a b\"", paths).has_value());
+  EXPECT_FALSE(parse_validate_reply("f=", paths).has_value());
+}
+
+}  // namespace
+}  // namespace piggyweb::http

@@ -1,0 +1,141 @@
+// Cross-module pipeline integration: synthetic workload -> pair counters
+// -> probability volumes -> evaluator, and the directory pipeline beside
+// it, asserting the paper's qualitative relationships hold end to end.
+#include <gtest/gtest.h>
+
+#include "server/meta.h"
+#include "sim/prediction_eval.h"
+#include "trace/profiles.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+
+namespace piggyweb {
+namespace {
+
+const trace::SyntheticWorkload& workload() {
+  static const trace::SyntheticWorkload w =
+      trace::generate(trace::aiusa_profile(0.08));
+  return w;
+}
+
+sim::EvalResult eval_directory(int level, std::uint32_t access_filter,
+                               bool use_rpv = false,
+                               util::Seconds rpv_timeout = 30) {
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = level;
+  volume::DirectoryVolumes volumes(dvc);
+  volumes.bind_paths(workload().trace.paths());
+  server::TraceMetaOracle meta(workload().trace);
+  sim::EvalConfig config;
+  config.filter.min_access_count = access_filter;
+  config.use_rpv = use_rpv;
+  config.rpv.timeout = rpv_timeout;
+  return sim::PredictionEvaluator(config).run(workload().trace, volumes,
+                                              meta);
+}
+
+sim::EvalResult eval_probability(double pt, double eff_threshold) {
+  volume::PairCounterConfig pcc;
+  const auto counts =
+      volume::PairCounterBuilder(pcc).build(workload().trace, 10);
+  volume::ProbabilityVolumeConfig pvc;
+  pvc.probability_threshold = pt;
+  pvc.effectiveness_threshold = eff_threshold;
+  const auto set =
+      volume::build_probability_volumes(workload().trace, counts, pvc);
+  volume::ProbabilityVolumes provider(&set, 200);
+  server::TraceMetaOracle meta(workload().trace);
+  sim::EvalConfig config;
+  return sim::PredictionEvaluator(config).run(workload().trace, provider,
+                                              meta);
+}
+
+TEST(Pipeline, DirectoryVolumesPredictMeaningfully) {
+  const auto result = eval_directory(1, 10);
+  EXPECT_GT(result.fraction_predicted(), 0.3);
+  EXPECT_GT(result.avg_piggyback_size(), 1.0);
+}
+
+TEST(Pipeline, DeeperLevelsShrinkPiggybacks) {
+  // Figure 2's main effect: deeper prefixes -> smaller piggybacks.
+  const auto l0 = eval_directory(0, 10);
+  const auto l1 = eval_directory(1, 10);
+  const auto l2 = eval_directory(2, 10);
+  EXPECT_GT(l0.avg_piggyback_size(), l1.avg_piggyback_size());
+  EXPECT_GE(l1.avg_piggyback_size(), l2.avg_piggyback_size());
+}
+
+TEST(Pipeline, AccessFilterShrinksPiggybacks) {
+  const auto loose = eval_directory(1, 1);
+  const auto tight = eval_directory(1, 50);
+  EXPECT_GT(loose.avg_piggyback_size(), tight.avg_piggyback_size());
+  // Aggressive filtering must not destroy the prediction rate (§3.2.2).
+  // (A count-50 filter on this scaled-down trace is proportionally far
+  // more aggressive than on the paper's multi-million-request logs.)
+  EXPECT_GT(tight.fraction_predicted(),
+            loose.fraction_predicted() * 0.35);
+}
+
+TEST(Pipeline, RpvCutsTrafficNotRecall) {
+  // Figure 4: RPV slashes piggyback traffic with little recall loss.
+  const auto without = eval_directory(1, 10, /*use_rpv=*/false);
+  const auto with = eval_directory(1, 10, /*use_rpv=*/true, 30);
+  EXPECT_LT(with.elements_per_request(),
+            without.elements_per_request() * 0.9);
+  EXPECT_GT(with.fraction_predicted(),
+            without.fraction_predicted() * 0.8);
+}
+
+TEST(Pipeline, ProbabilityBeatsDirectoryAtSameSize) {
+  // Figure 6 vs Figure 3: probability volumes reach a given recall with
+  // smaller piggybacks — compare precision at comparable recall instead
+  // of hand-picking sizes.
+  const auto directory = eval_directory(1, 10);
+  const auto probability = eval_probability(0.2, 0.0);
+  EXPECT_LT(probability.avg_piggyback_size(),
+            directory.avg_piggyback_size());
+  EXPECT_GT(probability.true_prediction_fraction(),
+            directory.true_prediction_fraction());
+}
+
+TEST(Pipeline, HigherThresholdRaisesPrecisionShrinksRecall) {
+  const auto loose = eval_probability(0.1, 0.0);
+  const auto tight = eval_probability(0.5, 0.0);
+  EXPECT_GE(loose.fraction_predicted(), tight.fraction_predicted());
+  EXPECT_LE(loose.true_prediction_fraction(),
+            tight.true_prediction_fraction() + 0.05);
+  EXPECT_GT(loose.avg_piggyback_size(), tight.avg_piggyback_size());
+}
+
+TEST(Pipeline, ThinningShrinksPiggybacksKeepsRecall) {
+  // §3.3.2: effectiveness thinning cuts piggyback size without reducing
+  // the prediction rate much.
+  const auto base = eval_probability(0.2, 0.0);
+  const auto thinned = eval_probability(0.2, 0.2);
+  EXPECT_LE(thinned.avg_piggyback_size(), base.avg_piggyback_size());
+  EXPECT_GT(thinned.fraction_predicted(),
+            base.fraction_predicted() * 0.7);
+}
+
+TEST(Pipeline, MarimbaPredictsPoorly) {
+  // Appendix A: the POST-dominated Marimba log yields poor predictions.
+  const auto marimba = trace::generate(trace::marimba_profile(0.05));
+  volume::PairCounterConfig pcc;
+  const auto counts = volume::PairCounterBuilder(pcc).build(marimba.trace, 10);
+  volume::ProbabilityVolumeConfig pvc;
+  pvc.probability_threshold = 0.25;
+  const auto set =
+      volume::build_probability_volumes(marimba.trace, counts, pvc);
+  volume::ProbabilityVolumes provider(&set, 200);
+  server::TraceMetaOracle meta(marimba.trace);
+  sim::EvalConfig config;
+  const auto result =
+      sim::PredictionEvaluator(config).run(marimba.trace, provider, meta);
+
+  const auto aiusa = eval_probability(0.25, 0.0);
+  EXPECT_LT(result.fraction_predicted(), aiusa.fraction_predicted());
+}
+
+}  // namespace
+}  // namespace piggyweb

@@ -1,0 +1,92 @@
+#include "net/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::net {
+namespace {
+
+NetworkConfig config() {
+  NetworkConfig c;
+  c.rtt_seconds = 0.1;
+  c.bandwidth_bytes_per_sec = 1000.0;
+  c.server_think_seconds = 0.05;
+  c.persistent_idle_timeout = 60;
+  return c;
+}
+
+TEST(ConnectionManager, FirstUseOpens) {
+  ConnectionManager manager(60);
+  EXPECT_FALSE(manager.use(1, 2, {100}));
+  EXPECT_EQ(manager.stats().opened, 1u);
+  EXPECT_EQ(manager.stats().reused, 0u);
+}
+
+TEST(ConnectionManager, ReuseWithinIdleTimeout) {
+  ConnectionManager manager(60);
+  manager.use(1, 2, {100});
+  EXPECT_TRUE(manager.use(1, 2, {150}));
+  EXPECT_TRUE(manager.use(1, 2, {210}));  // refreshed by previous use
+  EXPECT_EQ(manager.stats().reused, 2u);
+}
+
+TEST(ConnectionManager, IdleTimeoutCloses) {
+  ConnectionManager manager(60);
+  manager.use(1, 2, {100});
+  EXPECT_FALSE(manager.use(1, 2, {161}));
+  EXPECT_EQ(manager.stats().opened, 2u);
+}
+
+TEST(ConnectionManager, PairsAreIndependent) {
+  ConnectionManager manager(60);
+  manager.use(1, 2, {100});
+  EXPECT_FALSE(manager.use(1, 3, {100}));  // other server
+  EXPECT_FALSE(manager.use(4, 2, {100}));  // other source
+}
+
+TEST(ConnectionManager, ReuseFraction) {
+  ConnectionManager manager(60);
+  manager.use(1, 2, {0});
+  manager.use(1, 2, {1});
+  manager.use(1, 2, {2});
+  manager.use(1, 2, {3});
+  EXPECT_DOUBLE_EQ(manager.stats().reuse_fraction(), 0.75);
+}
+
+TEST(CostModel, PacketsForBoundaries) {
+  const CostModel model(config());
+  EXPECT_EQ(model.packets_for(0), 1u);
+  EXPECT_EQ(model.packets_for(1460), 1u);
+  EXPECT_EQ(model.packets_for(1461), 2u);
+}
+
+TEST(CostModel, ReusedConnectionSkipsHandshake) {
+  const CostModel model(config());
+  const auto fresh = model.exchange(200, 1000, /*reused=*/false);
+  const auto reused = model.exchange(200, 1000, /*reused=*/true);
+  EXPECT_NEAR(fresh.latency_seconds - reused.latency_seconds, 0.1, 1e-9);
+  EXPECT_EQ(fresh.packets - reused.packets, 2u);  // SYN + SYN-ACK
+  EXPECT_TRUE(fresh.opened_connection);
+  EXPECT_FALSE(reused.opened_connection);
+}
+
+TEST(CostModel, LatencyComposition) {
+  const CostModel model(config());
+  const auto cost = model.exchange(0, 2000, /*reused=*/true);
+  // RTT (0.1) + think (0.05) + 2000/1000 bandwidth = 2.15.
+  EXPECT_NEAR(cost.latency_seconds, 2.15, 1e-9);
+}
+
+TEST(CostModel, BytesSumBothDirections) {
+  const CostModel model(config());
+  const auto cost = model.exchange(300, 700, true);
+  EXPECT_EQ(cost.bytes, 1000u);
+}
+
+TEST(CostModel, PacketsSumBothDirections) {
+  const CostModel model(config());
+  const auto cost = model.exchange(200, 3000, true);
+  EXPECT_EQ(cost.packets, 1u + 3u);  // 200B request + ceil(3000/1460)
+}
+
+}  // namespace
+}  // namespace piggyweb::net

@@ -1,0 +1,121 @@
+#include "proxy/adaptive_ttl.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::proxy {
+namespace {
+
+AdaptiveTtlConfig config() {
+  AdaptiveTtlConfig c;
+  c.delta_factor = 0.5;
+  c.min_delta = 60;
+  c.max_delta = 86400;
+  c.ewma_alpha = 0.3;
+  return c;
+}
+
+TEST(AdaptiveTtl, FallbackUntilTwoDistinctModifications) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  EXPECT_EQ(ttl.freshness_for(key, 999), 999);
+  ttl.observe(key, 1000);
+  EXPECT_EQ(ttl.freshness_for(key, 999), 999);  // one LM = no gap yet
+}
+
+TEST(AdaptiveTtl, EstimatesFromGap) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 1000);
+  ttl.observe(key, 3000);  // gap 2000 -> delta = 1000
+  EXPECT_EQ(ttl.freshness_for(key, 999), 1000);
+}
+
+TEST(AdaptiveTtl, ClampsToMin) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 1000);
+  ttl.observe(key, 1010);  // gap 10 -> raw delta 5 -> clamp to 60
+  EXPECT_EQ(ttl.freshness_for(key, 999), 60);
+}
+
+TEST(AdaptiveTtl, ClampsToMax) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 1000);
+  ttl.observe(key, 1000 + 30 * 86400);  // month gap -> clamp to a day
+  EXPECT_EQ(ttl.freshness_for(key, 999), 86400);
+}
+
+TEST(AdaptiveTtl, RepeatedSameLmIgnored) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 1000);
+  ttl.observe(key, 1000);
+  ttl.observe(key, 1000);
+  EXPECT_EQ(ttl.freshness_for(key, 999), 999);
+}
+
+TEST(AdaptiveTtl, OlderLmIgnored) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 1000);
+  ttl.observe(key, 500);  // out-of-order piggyback info
+  EXPECT_EQ(ttl.freshness_for(key, 999), 999);
+}
+
+TEST(AdaptiveTtl, NegativeLmIgnored) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, -1);
+  EXPECT_EQ(ttl.tracked(), 0u);
+}
+
+TEST(AdaptiveTtl, EwmaSmoothsGaps) {
+  AdaptiveTtl ttl(config());
+  const CacheKey key{0, 1};
+  ttl.observe(key, 0);
+  ttl.observe(key, 1000);   // ewma = 1000
+  ttl.observe(key, 11000);  // gap 10000; ewma = 0.3*10000 + 0.7*1000 = 3700
+  EXPECT_EQ(ttl.freshness_for(key, 1), 1850);
+}
+
+TEST(AdaptiveTtl, PerResourceState) {
+  AdaptiveTtl ttl(config());
+  const CacheKey hot{0, 1}, cold{0, 2};
+  ttl.observe(hot, 0);
+  ttl.observe(hot, 200);    // delta 100
+  ttl.observe(cold, 0);
+  ttl.observe(cold, 20000); // delta 10000
+  EXPECT_EQ(ttl.freshness_for(hot, 1), 100);
+  EXPECT_EQ(ttl.freshness_for(cold, 1), 10000);
+}
+
+TEST(AdaptiveTtl, ApplyToCacheSetsOverride) {
+  AdaptiveTtl ttl(config());
+  CacheConfig cc;
+  cc.capacity_bytes = 1000;
+  cc.freshness_interval = 9999;
+  ProxyCache cache(cc);
+  const CacheKey key{0, 1};
+  ttl.observe(key, 0);
+  ttl.observe(key, 400);  // delta 200
+  ttl.apply_to(cache, key);
+  cache.insert(key, 10, 400, {0});
+  EXPECT_EQ(cache.lookup(key, {100}), LookupOutcome::kFreshHit);
+  EXPECT_EQ(cache.lookup(key, {250}), LookupOutcome::kStaleHit);
+}
+
+TEST(AdaptiveTtl, ApplyWithoutEstimateIsNoop) {
+  AdaptiveTtl ttl(config());
+  CacheConfig cc;
+  cc.capacity_bytes = 1000;
+  cc.freshness_interval = 500;
+  ProxyCache cache(cc);
+  const CacheKey key{0, 1};
+  ttl.apply_to(cache, key);  // no estimate yet: default Δ remains
+  cache.insert(key, 10, 0, {0});
+  EXPECT_EQ(cache.lookup(key, {499}), LookupOutcome::kFreshHit);
+}
+
+}  // namespace
+}  // namespace piggyweb::proxy

@@ -1,0 +1,321 @@
+#include "proxy/cache.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace piggyweb::proxy {
+namespace {
+
+CacheConfig config(std::uint64_t capacity = 10'000,
+                   util::Seconds delta = 3600,
+                   ReplacementPolicy policy = ReplacementPolicy::kLru) {
+  CacheConfig c;
+  c.capacity_bytes = capacity;
+  c.freshness_interval = delta;
+  c.policy = policy;
+  return c;
+}
+
+CacheKey key(util::InternId path, util::InternId server = 0) {
+  return {server, path};
+}
+
+TEST(ProxyCache, MissThenFreshHit) {
+  ProxyCache cache(config());
+  EXPECT_EQ(cache.lookup(key(1), {0}), LookupOutcome::kMiss);
+  cache.insert(key(1), 100, /*lm=*/50, {0});
+  EXPECT_EQ(cache.lookup(key(1), {10}), LookupOutcome::kFreshHit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().fresh_hits, 1u);
+}
+
+TEST(ProxyCache, ExpiresAfterFreshnessInterval) {
+  ProxyCache cache(config(10'000, /*delta=*/100));
+  cache.insert(key(1), 100, 50, {0});
+  EXPECT_EQ(cache.lookup(key(1), {99}), LookupOutcome::kFreshHit);
+  EXPECT_EQ(cache.lookup(key(1), {100}), LookupOutcome::kStaleHit);
+}
+
+TEST(ProxyCache, RevalidateExtendsExpiration) {
+  ProxyCache cache(config(10'000, 100));
+  cache.insert(key(1), 100, 50, {0});
+  EXPECT_EQ(cache.lookup(key(1), {150}), LookupOutcome::kStaleHit);
+  cache.revalidate(key(1), {150});
+  EXPECT_EQ(cache.lookup(key(1), {200}), LookupOutcome::kFreshHit);
+}
+
+TEST(ProxyCache, TracksUsedBytes) {
+  ProxyCache cache(config());
+  cache.insert(key(1), 300, 0, {0});
+  cache.insert(key(2), 200, 0, {0});
+  EXPECT_EQ(cache.used_bytes(), 500u);
+  EXPECT_EQ(cache.entry_count(), 2u);
+}
+
+TEST(ProxyCache, ReinsertReplacesSize) {
+  ProxyCache cache(config());
+  cache.insert(key(1), 300, 0, {0});
+  cache.insert(key(1), 100, 1, {5});
+  EXPECT_EQ(cache.used_bytes(), 100u);
+  EXPECT_EQ(cache.entry_count(), 1u);
+  EXPECT_EQ(*cache.cached_last_modified(key(1)), 1);
+}
+
+TEST(ProxyCache, OversizedObjectNotCached) {
+  ProxyCache cache(config(1000));
+  cache.insert(key(1), 5000, 0, {0});
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_EQ(cache.used_bytes(), 0u);
+}
+
+TEST(ProxyCache, LruEvictsLeastRecentlyUsed) {
+  ProxyCache cache(config(300));
+  cache.insert(key(1), 100, 0, {0});
+  cache.insert(key(2), 100, 0, {1});
+  cache.insert(key(3), 100, 0, {2});
+  cache.lookup(key(1), {3});            // touch 1: LRU order now 2,3,1
+  cache.insert(key(4), 100, 0, {4});    // evicts 2
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_FALSE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+  EXPECT_TRUE(cache.contains(key(4)));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ProxyCache, SizePolicyEvictsLargestFirst) {
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kSize));
+  cache.insert(key(1), 500, 0, {0});
+  cache.insert(key(2), 100, 0, {1});
+  cache.insert(key(3), 300, 0, {2});
+  cache.insert(key(4), 400, 0, {3});  // must evict 500 (largest)
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_TRUE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+  EXPECT_TRUE(cache.contains(key(4)));
+}
+
+TEST(ProxyCache, GdSizeFavorsSmallObjects) {
+  // With uniform cost, GD-Size credits small objects more (1/size), so a
+  // large unreferenced object goes first.
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kGdSize));
+  cache.insert(key(1), 800, 0, {0});
+  cache.insert(key(2), 100, 0, {1});
+  cache.insert(key(3), 500, 0, {2});  // overflow: 800 has the lowest H
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_TRUE(cache.contains(key(2)));
+  EXPECT_TRUE(cache.contains(key(3)));
+}
+
+TEST(ProxyCache, GdSizeInflationAgesEntries) {
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kGdSize));
+  cache.insert(key(1), 100, 0, {0});
+  // Fill and overflow repeatedly with small objects; the untouched early
+  // entry should eventually age out despite its small size.
+  for (util::InternId i = 2; i < 60; ++i) {
+    cache.insert(key(i), 400, 0, {static_cast<util::Seconds>(i)});
+    cache.lookup(key(i), {static_cast<util::Seconds>(i)});
+  }
+  EXPECT_FALSE(cache.contains(key(1)));
+}
+
+TEST(ProxyCache, PiggybackRefreshWhenCurrent) {
+  ProxyCache cache(config(10'000, 100));
+  cache.insert(key(1), 100, /*lm=*/50, {0});
+  // Piggyback says the server's copy is still LM=50: free revalidation.
+  EXPECT_EQ(cache.apply_piggyback(key(1), 50, {90}),
+            ProxyCache::PiggybackEffect::kRefreshed);
+  EXPECT_EQ(cache.lookup(key(1), {150}), LookupOutcome::kFreshHit);
+  EXPECT_EQ(cache.stats().piggyback_refreshes, 1u);
+}
+
+TEST(ProxyCache, PiggybackInvalidatesNewerVersion) {
+  ProxyCache cache(config());
+  cache.insert(key(1), 100, /*lm=*/50, {0});
+  EXPECT_EQ(cache.apply_piggyback(key(1), /*lm=*/60, {10}),
+            ProxyCache::PiggybackEffect::kInvalidated);
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_EQ(cache.stats().piggyback_invalidations, 1u);
+}
+
+TEST(ProxyCache, PiggybackForUncachedResource) {
+  ProxyCache cache(config());
+  EXPECT_EQ(cache.apply_piggyback(key(1), 50, {0}),
+            ProxyCache::PiggybackEffect::kNotCached);
+}
+
+TEST(ProxyCache, LruPiggybackPolicyTreatsRefreshAsTouch) {
+  ProxyCache cache(config(300, 3600, ReplacementPolicy::kLruPiggyback));
+  cache.insert(key(1), 100, 10, {0});
+  cache.insert(key(2), 100, 10, {1});
+  cache.insert(key(3), 100, 10, {2});
+  // Refresh 1 via piggyback: 2 becomes the LRU victim.
+  cache.apply_piggyback(key(1), 10, {3});
+  cache.insert(key(4), 100, 10, {4});
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_FALSE(cache.contains(key(2)));
+}
+
+TEST(ProxyCache, PlainLruIgnoresPiggybackForOrdering) {
+  ProxyCache cache(config(300, 3600, ReplacementPolicy::kLru));
+  cache.insert(key(1), 100, 10, {0});
+  cache.insert(key(2), 100, 10, {1});
+  cache.insert(key(3), 100, 10, {2});
+  cache.apply_piggyback(key(1), 10, {3});  // refresh but no touch
+  cache.insert(key(4), 100, 10, {4});      // evicts 1 (still oldest)
+  EXPECT_FALSE(cache.contains(key(1)));
+  EXPECT_TRUE(cache.contains(key(2)));
+}
+
+TEST(ProxyCache, FreshnessOverridePerResource) {
+  ProxyCache cache(config(10'000, /*delta=*/1000));
+  cache.set_freshness_override(key(1), 10);
+  cache.insert(key(1), 100, 0, {0});
+  cache.insert(key(2), 100, 0, {0});
+  EXPECT_EQ(cache.lookup(key(1), {20}), LookupOutcome::kStaleHit);
+  EXPECT_EQ(cache.lookup(key(2), {20}), LookupOutcome::kFreshHit);
+}
+
+TEST(ProxyCache, ServerDistinguishesKeys) {
+  ProxyCache cache(config());
+  cache.insert(key(1, /*server=*/0), 100, 0, {0});
+  EXPECT_FALSE(cache.contains(key(1, /*server=*/7)));
+  EXPECT_TRUE(cache.contains(key(1, 0)));
+}
+
+TEST(ProxyCache, HitRateAccounting) {
+  ProxyCache cache(config(10'000, 100));
+  cache.lookup(key(1), {0});             // miss
+  cache.insert(key(1), 100, 0, {0});
+  cache.lookup(key(1), {10});            // fresh
+  cache.lookup(key(1), {500});           // stale
+  const auto& stats = cache.stats();
+  EXPECT_EQ(stats.lookups, 3u);
+  EXPECT_NEAR(stats.hit_rate(), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(stats.fresh_hit_rate(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(ProxyCache, ExpiringSoonOrdersByExpiry) {
+  ProxyCache cache(config(10'000, /*delta=*/100));
+  cache.insert(key(1), 10, 0, {0});    // expires 100
+  cache.insert(key(2), 10, 0, {50});   // expires 150
+  cache.insert(key(3), 10, 0, {500});  // expires 600
+  const auto soon = cache.expiring_soon(0, {90}, /*horizon=*/100, 10);
+  ASSERT_EQ(soon.size(), 2u);
+  EXPECT_EQ(soon[0].key.path, 1u);
+  EXPECT_EQ(soon[1].key.path, 2u);
+}
+
+TEST(ProxyCache, ExpiringSoonRespectsLimitAndServer) {
+  ProxyCache cache(config(10'000, 100));
+  for (util::InternId i = 0; i < 6; ++i) {
+    cache.insert({i % 2, i}, 10, 0, {0});  // alternating servers
+  }
+  const auto soon = cache.expiring_soon(0, {200}, 100, 2);
+  ASSERT_EQ(soon.size(), 2u);
+  for (const auto& entry : soon) EXPECT_EQ(entry.key.server, 0u);
+}
+
+TEST(ProxyCache, ExpiringSoonTracksRevalidation) {
+  ProxyCache cache(config(10'000, 100));
+  cache.insert(key(1), 10, 0, {0});
+  ASSERT_EQ(cache.expiring_soon(0, {90}, 50, 10).size(), 1u);
+  cache.revalidate(key(1), {90});  // fresh until 190
+  EXPECT_TRUE(cache.expiring_soon(0, {90}, 50, 10).empty());
+  EXPECT_EQ(cache.expiring_soon(0, {150}, 50, 10).size(), 1u);
+}
+
+TEST(ProxyCache, ExpiringSoonDropsEvicted) {
+  ProxyCache cache(config(/*capacity=*/20, 100));
+  cache.insert(key(1), 10, 0, {0});
+  cache.insert(key(2), 10, 0, {1});
+  cache.insert(key(3), 10, 0, {2});  // evicts key 1 (LRU)
+  const auto soon = cache.expiring_soon(0, {200}, 100, 10);
+  ASSERT_EQ(soon.size(), 2u);
+  for (const auto& entry : soon) EXPECT_NE(entry.key.path, 1u);
+}
+
+TEST(ProxyCache, PolicyNames) {
+  EXPECT_STREQ(policy_name(ReplacementPolicy::kLru), "lru");
+  EXPECT_STREQ(policy_name(ReplacementPolicy::kSize), "size");
+  EXPECT_STREQ(policy_name(ReplacementPolicy::kGdSize), "gd-size");
+  EXPECT_STREQ(policy_name(ReplacementPolicy::kLruPiggyback),
+               "lru-piggyback");
+  EXPECT_STREQ(policy_name(ReplacementPolicy::kGdSizeHint),
+               "gd-size-hint");
+}
+
+TEST(ProxyCache, HintProtectsEntryUnderGdSizeHint) {
+  // Two equal-size cold entries; the hinted one must outlive the other.
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kGdSizeHint));
+  cache.insert(key(1), 400, 0, {0});
+  cache.insert(key(2), 400, 0, {1});
+  cache.set_hint(key(1), 0.9);
+  cache.insert(key(3), 400, 0, {2});  // one of 1/2 must go
+  EXPECT_TRUE(cache.contains(key(1)));
+  EXPECT_FALSE(cache.contains(key(2)));
+}
+
+TEST(ProxyCache, HintIgnoredByPlainGdSize) {
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kGdSize));
+  cache.insert(key(1), 400, 0, {0});
+  cache.insert(key(2), 400, 0, {1});
+  cache.set_hint(key(1), 0.9);  // stored but not credited
+  cache.insert(key(3), 400, 0, {2});
+  // Plain GD-Size breaks the tie by queue order: entry 1 (inserted
+  // first at equal H) is evicted despite the hint.
+  EXPECT_FALSE(cache.contains(key(1)));
+}
+
+TEST(ProxyCache, HintOnUncachedKeyIsNoop) {
+  ProxyCache cache(config(1000, 3600, ReplacementPolicy::kGdSizeHint));
+  cache.set_hint(key(77), 1.0);  // must not crash or create entries
+  EXPECT_EQ(cache.entry_count(), 0u);
+}
+
+// Parameterized sweep: all policies keep the byte budget invariant.
+class CachePolicyTest
+    : public ::testing::TestWithParam<ReplacementPolicy> {};
+
+TEST_P(CachePolicyTest, NeverExceedsCapacity) {
+  ProxyCache cache(config(5000, 3600, GetParam()));
+  std::uint64_t state = 7;
+  for (int i = 0; i < 2000; ++i) {
+    const auto r = util::splitmix64(state);
+    const auto path = static_cast<util::InternId>(r % 200);
+    const auto size = 50 + (r >> 8) % 900;
+    const auto now = util::TimePoint{i};
+    if (cache.lookup(key(path), now) == LookupOutcome::kMiss) {
+      cache.insert(key(path), size, 0, now);
+    }
+    EXPECT_LE(cache.used_bytes(), 5000u);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+TEST_P(CachePolicyTest, LookupAfterInsertAlwaysHits) {
+  ProxyCache cache(config(100'000, 3600, GetParam()));
+  for (util::InternId i = 0; i < 50; ++i) {
+    cache.insert(key(i), 10, 0, {0});
+    EXPECT_NE(cache.lookup(key(i), {1}), LookupOutcome::kMiss);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, CachePolicyTest,
+                         ::testing::Values(ReplacementPolicy::kLru,
+                                           ReplacementPolicy::kSize,
+                                           ReplacementPolicy::kGdSize,
+                                           ReplacementPolicy::kLruPiggyback,
+                                           ReplacementPolicy::kGdSizeHint),
+                         [](const auto& param_info) {
+                           std::string name = policy_name(param_info.param);
+                           for (auto& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace piggyweb::proxy

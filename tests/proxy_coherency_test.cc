@@ -1,0 +1,85 @@
+#include "proxy/coherency.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::proxy {
+namespace {
+
+CacheConfig cache_config() {
+  CacheConfig c;
+  c.capacity_bytes = 100'000;
+  c.freshness_interval = 100;
+  return c;
+}
+
+core::PiggybackMessage message_with(
+    std::initializer_list<core::PiggybackElement> elements) {
+  core::PiggybackMessage m;
+  m.volume = 1;
+  m.elements = elements;
+  return m;
+}
+
+TEST(CoherencyAgent, RefreshesCurrentEntries) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  cache.insert({0, 1}, 100, /*lm=*/50, {0});
+
+  agent.process(0, message_with({{1, 100, 50}}), {90});
+  EXPECT_EQ(agent.stats().refreshed, 1u);
+  // The free revalidation pushed the expiry past the original window.
+  EXPECT_EQ(cache.lookup({0, 1}, {150}), LookupOutcome::kFreshHit);
+}
+
+TEST(CoherencyAgent, InvalidatesOutdatedEntries) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  cache.insert({0, 1}, 100, /*lm=*/50, {0});
+
+  agent.process(0, message_with({{1, 100, /*lm=*/75}}), {10});
+  EXPECT_EQ(agent.stats().invalidated, 1u);
+  EXPECT_FALSE(cache.contains({0, 1}));
+}
+
+TEST(CoherencyAgent, CountsUncachedElements) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  agent.process(0, message_with({{9, 10, 10}}), {0});
+  EXPECT_EQ(agent.stats().not_cached, 1u);
+  EXPECT_EQ(agent.stats().refreshed, 0u);
+}
+
+TEST(CoherencyAgent, MixedMessage) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  cache.insert({0, 1}, 100, 50, {0});
+  cache.insert({0, 2}, 100, 50, {0});
+
+  agent.process(
+      0, message_with({{1, 100, 50}, {2, 100, 80}, {3, 100, 10}}), {20});
+  EXPECT_EQ(agent.stats().piggybacks_processed, 1u);
+  EXPECT_EQ(agent.stats().elements_processed, 3u);
+  EXPECT_EQ(agent.stats().refreshed, 1u);
+  EXPECT_EQ(agent.stats().invalidated, 1u);
+  EXPECT_EQ(agent.stats().not_cached, 1u);
+}
+
+TEST(CoherencyAgent, EmptyMessageIgnored) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  agent.process(0, {}, {0});
+  EXPECT_EQ(agent.stats().piggybacks_processed, 0u);
+}
+
+TEST(CoherencyAgent, ServerScopesKeys) {
+  ProxyCache cache(cache_config());
+  CoherencyAgent agent(cache);
+  cache.insert({0, 1}, 100, 50, {0});
+  // Piggyback from a different server must not touch server 0's entry.
+  agent.process(7, message_with({{1, 100, 99}}), {10});
+  EXPECT_EQ(agent.stats().not_cached, 1u);
+  EXPECT_TRUE(cache.contains({0, 1}));
+}
+
+}  // namespace
+}  // namespace piggyweb::proxy

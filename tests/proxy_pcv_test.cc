@@ -1,0 +1,105 @@
+#include "proxy/pcv.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::proxy {
+namespace {
+
+CacheConfig cache_config(util::Seconds delta = 100) {
+  CacheConfig c;
+  c.capacity_bytes = 1'000'000;
+  c.freshness_interval = delta;
+  return c;
+}
+
+PcvConfig pcv_config(std::size_t batch = 10, util::Seconds horizon = 50) {
+  PcvConfig c;
+  c.batch = batch;
+  c.horizon = horizon;
+  return c;
+}
+
+TEST(PcvAgent, PlansOnlyExpiringEntries) {
+  ProxyCache cache(cache_config(/*delta=*/100));
+  PcvAgent agent(pcv_config(10, /*horizon=*/50), cache);
+  cache.insert({1, 10}, 100, 500, {0});   // expires at 100
+  cache.insert({1, 11}, 100, 600, {70});  // expires at 170
+  // At t=60 with horizon 50 (deadline 110): only the first qualifies.
+  const auto items = agent.plan(1, {60});
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].resource, 10u);
+  EXPECT_EQ(items[0].last_modified, 500);
+  EXPECT_EQ(agent.stats().batches_sent, 1u);
+  EXPECT_EQ(agent.stats().items_sent, 1u);
+}
+
+TEST(PcvAgent, IncludesAlreadyStaleEntries) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(), cache);
+  cache.insert({1, 10}, 100, 500, {0});
+  const auto items = agent.plan(1, {500});  // long expired
+  EXPECT_EQ(items.size(), 1u);
+}
+
+TEST(PcvAgent, BatchBound) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(/*batch=*/3), cache);
+  for (util::InternId i = 0; i < 10; ++i) {
+    cache.insert({1, i}, 100, 500, {0});
+  }
+  EXPECT_EQ(agent.plan(1, {200}).size(), 3u);
+}
+
+TEST(PcvAgent, PerServerSelection) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(), cache);
+  cache.insert({1, 10}, 100, 500, {0});
+  cache.insert({2, 11}, 100, 500, {0});
+  const auto items = agent.plan(1, {200});
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].resource, 10u);
+}
+
+TEST(PcvAgent, EmptyPlanDoesNotCountABatch) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(), cache);
+  EXPECT_TRUE(agent.plan(1, {0}).empty());
+  EXPECT_EQ(agent.stats().batches_sent, 0u);
+}
+
+TEST(PcvAgent, ProcessFreshExtendsExpiry) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(), cache);
+  cache.insert({1, 10}, 100, 500, {0});
+  core::ValidationReply reply;
+  reply.fresh.push_back(10);
+  agent.process(1, reply, {90});
+  // Without the bulk revalidation this would be stale at 150.
+  EXPECT_EQ(cache.lookup({1, 10}, {150}), LookupOutcome::kFreshHit);
+  EXPECT_EQ(agent.stats().freshened, 1u);
+}
+
+TEST(PcvAgent, ProcessStaleEvicts) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(), cache);
+  cache.insert({1, 10}, 100, 500, {0});
+  core::ValidationReply reply;
+  reply.stale.push_back({10, /*new lm=*/700});
+  agent.process(1, reply, {50});
+  EXPECT_FALSE(cache.contains({1, 10}));
+  EXPECT_EQ(agent.stats().invalidated, 1u);
+}
+
+TEST(PcvAgent, RevalidatedEntryLeavesTheBatchWindow) {
+  ProxyCache cache(cache_config(100));
+  PcvAgent agent(pcv_config(10, 50), cache);
+  cache.insert({1, 10}, 100, 500, {0});
+  core::ValidationReply reply;
+  reply.fresh.push_back(10);
+  agent.process(1, reply, {60});  // fresh until 160
+  // Immediately afterwards the entry is no longer "expiring soon".
+  EXPECT_TRUE(agent.plan(1, {61}).empty());
+}
+
+}  // namespace
+}  // namespace piggyweb::proxy

@@ -1,0 +1,141 @@
+#include "proxy/prefetch.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::proxy {
+namespace {
+
+CacheConfig cache_config() {
+  CacheConfig c;
+  c.capacity_bytes = 1'000'000;
+  c.freshness_interval = 3600;
+  return c;
+}
+
+PrefetchConfig prefetch_config() {
+  PrefetchConfig c;
+  c.max_resource_bytes = 1000;
+  c.budget_bytes_per_piggyback = 2500;
+  c.skip_if_modified_within = 60;
+  c.useful_window = 300;
+  return c;
+}
+
+core::PiggybackMessage message_with(
+    std::initializer_list<core::PiggybackElement> elements) {
+  core::PiggybackMessage m;
+  m.volume = 1;
+  m.elements = elements;
+  return m;
+}
+
+TEST(Prefetcher, PlansUncachedSmallResources) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  const auto planned = prefetcher.plan(
+      0, message_with({{1, 500, 0}, {2, 400, 0}}), {1000});
+  EXPECT_EQ(planned.size(), 2u);
+}
+
+TEST(Prefetcher, SkipsCachedResources) {
+  ProxyCache cache(cache_config());
+  cache.insert({0, 1}, 500, 0, {0});
+  Prefetcher prefetcher(prefetch_config(), cache);
+  const auto planned =
+      prefetcher.plan(0, message_with({{1, 500, 0}, {2, 400, 0}}), {1000});
+  ASSERT_EQ(planned.size(), 1u);
+  EXPECT_EQ(planned[0].resource, 2u);
+}
+
+TEST(Prefetcher, SkipsOversizedResources) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  const auto planned =
+      prefetcher.plan(0, message_with({{1, 5000, 0}}), {1000});
+  EXPECT_TRUE(planned.empty());
+}
+
+TEST(Prefetcher, RespectsByteBudget) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);  // budget 2500
+  const auto planned = prefetcher.plan(
+      0,
+      message_with({{1, 1000, 0}, {2, 1000, 0}, {3, 1000, 0}, {4, 100, 0}}),
+      {1000});
+  // 1000+1000 fits; the third 1000 would blow the budget; the 100 fits.
+  ASSERT_EQ(planned.size(), 3u);
+  EXPECT_EQ(planned[2].resource, 4u);
+}
+
+TEST(Prefetcher, SkipsRecentlyModified) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  // Modified 30s ago (< 60s settle time): too hot.
+  const auto planned =
+      prefetcher.plan(0, message_with({{1, 500, /*lm=*/970}}), {1000});
+  EXPECT_TRUE(planned.empty());
+  // Modified 120s ago: fine.
+  const auto planned2 =
+      prefetcher.plan(0, message_with({{2, 500, /*lm=*/880}}), {1000});
+  EXPECT_EQ(planned2.size(), 1u);
+}
+
+TEST(Prefetcher, CompleteInsertsIntoCache) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  prefetcher.complete(0, {1, 500, 100}, {1000});
+  EXPECT_TRUE(cache.contains({0, 1}));
+  EXPECT_EQ(prefetcher.stats().issued, 1u);
+  EXPECT_EQ(prefetcher.stats().bytes_fetched, 500u);
+  EXPECT_EQ(prefetcher.outstanding(), 1u);
+}
+
+TEST(Prefetcher, ClientRequestWithinWindowIsUseful) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  prefetcher.complete(0, {1, 500, 100}, {1000});
+  prefetcher.on_client_request({0, 1}, {1200});
+  EXPECT_EQ(prefetcher.stats().useful, 1u);
+  EXPECT_EQ(prefetcher.stats().useful_bytes, 500u);
+  EXPECT_EQ(prefetcher.outstanding(), 0u);
+}
+
+TEST(Prefetcher, UnusedPrefetchExpiresFutile) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  prefetcher.complete(0, {1, 500, 100}, {1000});
+  prefetcher.expire({1400});  // window 300 passed
+  EXPECT_EQ(prefetcher.stats().futile, 1u);
+  EXPECT_EQ(prefetcher.stats().futile_bytes, 500u);
+  EXPECT_EQ(prefetcher.outstanding(), 0u);
+}
+
+TEST(Prefetcher, LateClientRequestDoesNotCredit) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  prefetcher.complete(0, {1, 500, 100}, {1000});
+  prefetcher.on_client_request({0, 1}, {2000});  // past the window
+  EXPECT_EQ(prefetcher.stats().useful, 0u);
+  EXPECT_EQ(prefetcher.stats().futile, 1u);
+}
+
+TEST(Prefetcher, DoesNotReplanOutstanding) {
+  ProxyCache cache(cache_config());
+  Prefetcher prefetcher(prefetch_config(), cache);
+  prefetcher.complete(0, {1, 500, 100}, {1000});
+  // Entry is now cached AND outstanding — a replan must skip it.
+  const auto planned =
+      prefetcher.plan(0, message_with({{1, 500, 100}}), {1100});
+  EXPECT_TRUE(planned.empty());
+}
+
+TEST(Prefetcher, FutileFractionMath) {
+  PrefetchStats stats;
+  EXPECT_DOUBLE_EQ(stats.futile_fraction(), 0.0);
+  stats.useful = 3;
+  stats.futile = 1;
+  EXPECT_DOUBLE_EQ(stats.futile_fraction(), 0.25);
+}
+
+}  // namespace
+}  // namespace piggyweb::proxy

@@ -1,0 +1,266 @@
+#include "server/origin.h"
+
+#include <gtest/gtest.h>
+
+#include "http/date.h"
+#include "http/piggy_headers.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "volume/directory.h"
+
+namespace piggyweb::server {
+namespace {
+
+class OriginServerTest : public ::testing::Test {
+ protected:
+  OriginServerTest()
+      : site_(make_site()),
+        volumes_(make_volume_config()),
+        server_(site_, volumes_, paths_) {
+    volumes_.bind_paths(paths_);
+  }
+
+  static trace::SiteModel make_site() {
+    util::Rng rng(99);
+    trace::SiteShape shape;
+    shape.pages = 30;
+    shape.top_dirs = 3;
+    shape.images_per_page_mean = 2.0;
+    return trace::SiteModel(shape, 10 * util::kDay, rng);
+  }
+
+  static volume::DirectoryVolumeConfig make_volume_config() {
+    volume::DirectoryVolumeConfig config;
+    config.level = 1;
+    return config;
+  }
+
+  http::Request get(std::string_view path, bool with_filter = true,
+                    std::uint32_t maxpiggy = 10) {
+    http::Request request;
+    request.target = std::string(path);
+    request.headers.add("Host", site_.host());
+    if (with_filter) {
+      core::ProxyFilter filter;
+      filter.max_elements = maxpiggy;
+      http::attach_filter(request, filter);
+    }
+    return request;
+  }
+
+  trace::SiteModel site_;
+  util::InternTable paths_;
+  volume::DirectoryVolumes volumes_;
+  OriginServer server_;
+};
+
+TEST_F(OriginServerTest, ServesExistingResource) {
+  const auto& res = site_.resource(0);
+  const auto response = server_.handle(get(res.path), {100}, 1);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), res.size);
+  EXPECT_TRUE(response.headers.contains("Last-Modified"));
+}
+
+TEST_F(OriginServerTest, Returns404ForUnknownPath) {
+  const auto response = server_.handle(get("/no/such/file.html"), {100}, 1);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_EQ(server_.stats().not_found, 1u);
+}
+
+TEST_F(OriginServerTest, ValidatesWithIfModifiedSince) {
+  const auto& res = site_.resource(0);
+  const auto lm = site_.last_modified(0, {100});
+
+  auto request = get(res.path);
+  request.headers.add(
+      "If-Modified-Since",
+      http::format_http_date(lm.value + OriginServer::kWireEpoch));
+  const auto response = server_.handle(request, {100}, 1);
+  EXPECT_EQ(response.status, 304);
+  EXPECT_TRUE(response.body.empty());
+  EXPECT_EQ(server_.stats().not_modified, 1u);
+}
+
+TEST_F(OriginServerTest, StaleIfModifiedSinceGetsFullResponse) {
+  const auto& res = site_.resource(0);
+  const auto lm = site_.last_modified(0, {100});
+  auto request = get(res.path);
+  request.headers.add(
+      "If-Modified-Since",
+      http::format_http_date(lm.value - 10 + OriginServer::kWireEpoch));
+  const auto response = server_.handle(request, {100}, 1);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body.size(), res.size);
+}
+
+TEST_F(OriginServerTest, PiggybacksAfterVolumeWarmup) {
+  // Two resources in the same 1-level directory: the second request's
+  // response should piggyback the first resource.
+  const auto& pages = site_.pages_by_popularity();
+  // Find two pages sharing a top-level directory.
+  std::string first, second;
+  for (const auto a : pages) {
+    for (const auto b : pages) {
+      if (a == b) continue;
+      const auto pa = site_.resource(a).path;
+      const auto pb = site_.resource(b).path;
+      if (util::directory_prefix(pa, 1) == util::directory_prefix(pb, 1) &&
+          util::directory_prefix(pa, 1) != "/") {
+        first = pa;
+        second = pb;
+        break;
+      }
+    }
+    if (!first.empty()) break;
+  }
+  ASSERT_FALSE(first.empty()) << "site has no directory with two pages";
+
+  server_.handle(get(first), {100}, 1);
+  const auto response = server_.handle(get(second), {105}, 1);
+  EXPECT_EQ(response.status, 200);
+  ASSERT_TRUE(response.chunked);
+  util::InternTable proxy_paths;
+  const auto piggyback = http::extract_pvolume(response, proxy_paths);
+  ASSERT_TRUE(piggyback.has_value());
+  bool mentions_first = false;
+  for (const auto& e : piggyback->elements) {
+    mentions_first |= proxy_paths.str(e.resource) == first;
+  }
+  EXPECT_TRUE(mentions_first);
+  EXPECT_GE(server_.stats().piggybacks_sent, 1u);
+}
+
+TEST_F(OriginServerTest, NoFilterNoPiggyback) {
+  const auto& res0 = site_.resource(0).path;
+  server_.handle(get(res0), {100}, 1);
+  const auto response =
+      server_.handle(get(res0, /*with_filter=*/false), {105}, 1);
+  EXPECT_FALSE(response.chunked);
+  util::InternTable proxy_paths;
+  EXPECT_FALSE(http::extract_pvolume(response, proxy_paths).has_value());
+}
+
+TEST_F(OriginServerTest, NopiggyFilterSuppresses) {
+  const auto& res0 = site_.resource(0).path;
+  server_.handle(get(res0), {100}, 1);
+  auto request = get(res0);
+  core::ProxyFilter filter;
+  filter.enabled = false;
+  http::attach_filter(request, filter);
+  const auto response = server_.handle(request, {105}, 1);
+  util::InternTable proxy_paths;
+  EXPECT_FALSE(http::extract_pvolume(response, proxy_paths).has_value());
+}
+
+TEST_F(OriginServerTest, MaxpiggyHonored) {
+  // Warm a directory with several resources, then ask with maxpiggy=2.
+  const auto& pages = site_.pages_by_popularity();
+  std::vector<std::string> in_dir;
+  for (const auto p : pages) {
+    const auto path = site_.resource(p).path;
+    if (util::directory_prefix(path, 1) ==
+        util::directory_prefix(site_.resource(pages[0]).path, 1)) {
+      in_dir.push_back(path);
+    }
+  }
+  for (std::size_t i = 0; i < in_dir.size(); ++i) {
+    server_.handle(get(in_dir[i]), {static_cast<util::Seconds>(100 + i)}, 1);
+  }
+  const auto response = server_.handle(get(in_dir[0], true, /*maxpiggy=*/2),
+                                       {200}, 1);
+  util::InternTable proxy_paths;
+  const auto piggyback = http::extract_pvolume(response, proxy_paths);
+  if (piggyback) {
+    EXPECT_LE(piggyback->elements.size(), 2u);
+  }
+}
+
+TEST_F(OriginServerTest, PiggybackOn304UsesHeader) {
+  const auto& pages = site_.pages_by_popularity();
+  const auto path0 = site_.resource(pages[0]).path;
+  server_.handle(get(path0), {100}, 1);
+
+  // Another resource in the same directory warms the volume further.
+  auto request = get(path0);
+  const auto lm = site_.last_modified(pages[0], {100});
+  request.headers.add(
+      "If-Modified-Since",
+      http::format_http_date(lm.value + OriginServer::kWireEpoch));
+  const auto response = server_.handle(request, {110}, 1);
+  EXPECT_EQ(response.status, 304);
+  EXPECT_FALSE(response.chunked);  // 304 has no body to chunk
+  // A piggyback, if present, rides in a plain header.
+  if (response.headers.contains("P-volume")) {
+    util::InternTable proxy_paths;
+    EXPECT_TRUE(http::extract_pvolume(response, proxy_paths).has_value());
+  }
+}
+
+TEST_F(OriginServerTest, WireVolumeIdWithinBound) {
+  EXPECT_EQ(OriginServer::wire_volume_id(5), 5u);
+  EXPECT_LE(OriginServer::wire_volume_id(1'000'000),
+            core::kMaxWireVolumeId);
+}
+
+TEST_F(OriginServerTest, IngestsPiggyHitsFeedback) {
+  auto request = get(site_.resource(0).path);
+  http::attach_hits(request, {{3, 12}, {7, 4}});
+  server_.handle(request, {100}, 1);
+  EXPECT_EQ(server_.feedback().hits_for(3), 12u);
+  EXPECT_EQ(server_.feedback().hits_for(7), 4u);
+  EXPECT_EQ(server_.feedback().total_hits(), 16u);
+
+  // A second report accumulates.
+  auto again = get(site_.resource(0).path);
+  http::attach_hits(again, {{3, 1}});
+  server_.handle(again, {110}, 1);
+  EXPECT_EQ(server_.feedback().hits_for(3), 13u);
+}
+
+TEST_F(OriginServerTest, NoFeedbackHeaderNoIngest) {
+  server_.handle(get(site_.resource(0).path), {100}, 1);
+  EXPECT_EQ(server_.feedback().total_hits(), 0u);
+}
+
+TEST_F(OriginServerTest, AnswersPiggybackValidation) {
+  const auto lm0 = site_.last_modified(0, {100});
+  const auto lm1 = site_.last_modified(1, {100});
+
+  auto request = get(site_.resource(2).path);
+  const std::vector<core::ValidationItem> items = {
+      // Current copy of resource 0.
+      {paths_.intern(site_.resource(0).path),
+       lm0.value + OriginServer::kWireEpoch},
+      // Outdated copy of resource 1.
+      {paths_.intern(site_.resource(1).path),
+       lm1.value - 10 + OriginServer::kWireEpoch},
+      // Unknown resource: no verdict.
+      {paths_.intern("/not/there.html"), 0}};
+  http::attach_validate(request, items, paths_);
+
+  const auto response = server_.handle(request, {100}, 1);
+  util::InternTable proxy_paths;
+  const auto reply = http::extract_validate_reply(response, proxy_paths);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->fresh.size(), 1u);
+  EXPECT_EQ(proxy_paths.str(reply->fresh[0]), site_.resource(0).path);
+  ASSERT_EQ(reply->stale.size(), 1u);
+  EXPECT_EQ(proxy_paths.str(reply->stale[0].resource),
+            site_.resource(1).path);
+  EXPECT_EQ(reply->stale[0].last_modified,
+            lm1.value + OriginServer::kWireEpoch);
+  EXPECT_EQ(server_.stats().validations_piggybacked, 3u);
+}
+
+TEST_F(OriginServerTest, StatsAccumulate) {
+  const auto& res = site_.resource(0);
+  server_.handle(get(res.path), {100}, 1);
+  server_.handle(get("/missing.html"), {101}, 1);
+  EXPECT_EQ(server_.stats().requests, 2u);
+  EXPECT_EQ(server_.stats().ok_responses, 1u);
+  EXPECT_EQ(server_.stats().not_found, 1u);
+}
+
+}  // namespace
+}  // namespace piggyweb::server

@@ -1,0 +1,101 @@
+#include "server/volume_center.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::server {
+namespace {
+
+class VolumeCenterTest : public ::testing::Test {
+ protected:
+  VolumeCenterTest() : center_(make_config(), paths_) {}
+
+  static volume::DirectoryVolumeConfig make_config() {
+    volume::DirectoryVolumeConfig config;
+    config.level = 1;
+    return config;
+  }
+
+  core::PiggybackMessage observe(util::InternId server,
+                                 std::string_view path, util::Seconds t,
+                                 std::uint64_t size = 100,
+                                 std::int64_t lm = 500) {
+    core::ProxyFilter filter;
+    return center_.observe(server, /*source=*/1, paths_.intern(path), {t},
+                           size, lm, filter);
+  }
+
+  util::InternTable paths_;
+  VolumeCenter center_;
+};
+
+TEST_F(VolumeCenterTest, FirstExchangeHasNothingToSay) {
+  const auto message = observe(0, "/a/x.html", 0);
+  EXPECT_TRUE(message.empty());
+}
+
+TEST_F(VolumeCenterTest, SecondExchangeInDirectoryPiggybacks) {
+  observe(0, "/a/x.html", 0);
+  const auto message = observe(0, "/a/y.html", 5);
+  ASSERT_EQ(message.elements.size(), 1u);
+  EXPECT_EQ(paths_.str(message.elements[0].resource), "/a/x.html");
+  EXPECT_EQ(message.elements[0].size, 100u);
+  EXPECT_EQ(message.elements[0].last_modified, 500);
+}
+
+TEST_F(VolumeCenterTest, ServersIsolated) {
+  observe(0, "/a/x.html", 0);
+  const auto cross = observe(7, "/a/y.html", 5);
+  EXPECT_TRUE(cross.empty());  // server 7 never saw /a/x.html
+  EXPECT_EQ(center_.stats().servers_tracked, 2u);
+}
+
+TEST_F(VolumeCenterTest, LearnsMetadataFromTraffic) {
+  observe(0, "/a/x.gif", 0, /*size=*/2048, /*lm=*/700);
+  const auto meta = center_.meta().lookup(0, *paths_.find("/a/x.gif"));
+  EXPECT_EQ(meta.size, 2048u);
+  EXPECT_EQ(meta.last_modified, 700);
+  EXPECT_EQ(meta.type, trace::ContentType::kImage);
+  EXPECT_EQ(meta.access_count, 1u);
+}
+
+TEST_F(VolumeCenterTest, MetadataTracksNewestLastModified) {
+  observe(0, "/a/x.html", 0, 100, 700);
+  observe(0, "/a/x.html", 10, 100, 600);  // older LM must not regress
+  const auto meta = center_.meta().lookup(0, *paths_.find("/a/x.html"));
+  EXPECT_EQ(meta.last_modified, 700);
+  EXPECT_EQ(meta.access_count, 2u);
+}
+
+TEST_F(VolumeCenterTest, FilterAppliesToInjectedPiggyback) {
+  observe(0, "/a/x.html", 0);
+  observe(0, "/a/y.html", 5);
+  core::ProxyFilter filter;
+  filter.enabled = false;
+  const auto suppressed = center_.observe(
+      0, 1, paths_.intern("/a/z.html"), {10}, 100, 500, filter);
+  EXPECT_TRUE(suppressed.empty());
+}
+
+TEST_F(VolumeCenterTest, StatsCountInjections) {
+  observe(0, "/a/x.html", 0);
+  observe(0, "/a/y.html", 5);
+  observe(0, "/a/z.html", 8);
+  const auto stats = center_.stats();
+  EXPECT_EQ(stats.exchanges_observed, 3u);
+  EXPECT_EQ(stats.piggybacks_injected, 2u);
+  EXPECT_GE(stats.elements_injected, 3u);  // 1 then 2
+}
+
+TEST_F(VolumeCenterTest, MultiServerPiggybacksIndependently) {
+  observe(0, "/a/x.html", 0);
+  observe(7, "/a/p.html", 1);
+  const auto m0 = observe(0, "/a/y.html", 5);
+  const auto m7 = observe(7, "/a/q.html", 6);
+  ASSERT_EQ(m0.elements.size(), 1u);
+  ASSERT_EQ(m7.elements.size(), 1u);
+  EXPECT_EQ(paths_.str(m0.elements[0].resource), "/a/x.html");
+  EXPECT_EQ(paths_.str(m7.elements[0].resource), "/a/p.html");
+}
+
+}  // namespace
+}  // namespace piggyweb::server

@@ -1,0 +1,87 @@
+#include "sim/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/profiles.h"
+
+namespace piggyweb::sim {
+namespace {
+
+class GroundTruthTest : public ::testing::Test {
+ protected:
+  GroundTruthTest()
+      : workload_(trace::generate(trace::aiusa_profile(0.02))) {
+    const auto& servers = workload_.trace.servers();
+    sites_.assign(servers.size(), nullptr);
+    for (std::uint32_t id = 0; id < servers.size(); ++id) {
+      sites_[id] = workload_.site_for(servers.str(id));
+    }
+  }
+
+  trace::SyntheticWorkload workload_;
+  std::vector<const trace::SiteModel*> sites_;
+};
+
+TEST_F(GroundTruthTest, ReportsSiteSizeAndType) {
+  GroundTruthMeta meta(workload_, sites_);
+  const auto& req = workload_.trace.requests().front();
+  meta.set_now(req.time);
+  const auto looked = meta.lookup(req.server, req.path);
+  const auto* site = sites_[req.server];
+  const auto idx =
+      site->index_of(workload_.trace.paths().str(req.path));
+  ASSERT_LT(idx, site->size());
+  EXPECT_EQ(looked.size, site->resource(idx).size);
+  EXPECT_EQ(looked.type, site->resource(idx).type);
+  EXPECT_EQ(looked.last_modified,
+            site->last_modified(idx, req.time).value);
+}
+
+TEST_F(GroundTruthTest, LastModifiedTracksNow) {
+  GroundTruthMeta meta(workload_, sites_);
+  // Find a resource with at least one change.
+  const auto* site = sites_[workload_.trace.requests().front().server];
+  auto idx = static_cast<std::uint32_t>(site->size());
+  for (std::uint32_t i = 0; i < site->size(); ++i) {
+    if (!site->resource(i).changes.empty()) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx >= site->size()) GTEST_SKIP() << "no changing resource";
+  const auto change = site->resource(idx).changes.front();
+  // Resolve the trace path id for this resource.
+  const auto path_id =
+      workload_.trace.paths().find(site->resource(idx).path);
+  ASSERT_TRUE(path_id.has_value());
+  const auto server_id = workload_.trace.requests().front().server;
+
+  meta.set_now({change.value - 1});
+  const auto before = meta.lookup(server_id, *path_id).last_modified;
+  meta.set_now(change);
+  const auto after = meta.lookup(server_id, *path_id).last_modified;
+  EXPECT_LT(before, after);
+  EXPECT_EQ(after, change.value);
+}
+
+TEST_F(GroundTruthTest, CountsAccesses) {
+  GroundTruthMeta meta(workload_, sites_);
+  const auto& req = workload_.trace.requests().front();
+  EXPECT_EQ(meta.lookup(req.server, req.path).access_count, 0u);
+  meta.note_access(req.server, req.path);
+  meta.note_access(req.server, req.path);
+  EXPECT_EQ(meta.lookup(req.server, req.path).access_count, 2u);
+}
+
+TEST_F(GroundTruthTest, UnknownServerOrPathIsEmpty) {
+  GroundTruthMeta meta(workload_, sites_);
+  EXPECT_EQ(meta.lookup(9999, 0).size, 0u);
+  const auto& req = workload_.trace.requests().front();
+  const auto bogus =
+      const_cast<trace::Trace&>(workload_.trace).paths().intern(
+          "/definitely/not/a/site/path.html");
+  EXPECT_EQ(meta.lookup(req.server, bogus).size, 0u);
+}
+
+}  // namespace
+}  // namespace piggyweb::sim

@@ -1,0 +1,98 @@
+#include "sim/hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/profiles.h"
+
+namespace piggyweb::sim {
+namespace {
+
+const trace::SyntheticWorkload& shared_workload() {
+  static const trace::SyntheticWorkload workload =
+      trace::generate(trace::aiusa_profile(0.05));
+  return workload;
+}
+
+HierarchyConfig base_config() {
+  HierarchyConfig config;
+  config.child_proxies = 4;
+  config.child_cache.capacity_bytes = 2ULL * 1024 * 1024;
+  config.child_cache.freshness_interval = 2 * util::kHour;
+  config.parent_cache.capacity_bytes = 32ULL * 1024 * 1024;
+  config.parent_cache.freshness_interval = 2 * util::kHour;
+  config.base_filter.max_elements = 20;
+  config.volumes.level = 1;
+  return config;
+}
+
+TEST(Hierarchy, ProcessesWholeTrace) {
+  HierarchySimulator sim(shared_workload(), base_config());
+  const auto result = sim.run();
+  EXPECT_EQ(result.client_requests, shared_workload().trace.size());
+  EXPECT_EQ(result.client_requests,
+            result.child_fresh_hits + result.parent_fresh_hits +
+                result.server_contacts);
+}
+
+TEST(Hierarchy, ParentAbsorbsChildMisses) {
+  HierarchySimulator sim(shared_workload(), base_config());
+  const auto result = sim.run();
+  EXPECT_GT(result.child_fresh_hits, 0u);
+  EXPECT_GT(result.parent_fresh_hits, 0u);
+  EXPECT_GT(result.overall_hit_rate(), result.child_hit_rate());
+  EXPECT_LT(result.server_contact_rate(), 1.0);
+}
+
+TEST(Hierarchy, PiggybackingReachesBothLevels) {
+  auto config = base_config();
+  config.relay_to_children = true;
+  HierarchySimulator sim(shared_workload(), config);
+  const auto result = sim.run();
+  EXPECT_GT(result.parent_coherency.piggybacks_processed, 0u);
+  EXPECT_GT(result.child_coherency.piggybacks_processed, 0u);
+  EXPECT_GT(result.parent_coherency.refreshed, 0u);
+}
+
+TEST(Hierarchy, RelayOffKeepsChildrenDark) {
+  auto config = base_config();
+  config.relay_to_children = false;
+  HierarchySimulator sim(shared_workload(), config);
+  const auto result = sim.run();
+  EXPECT_EQ(result.child_coherency.piggybacks_processed, 0u);
+  EXPECT_GT(result.parent_coherency.piggybacks_processed, 0u);
+}
+
+TEST(Hierarchy, PiggybackingOffMeansNoCoherency) {
+  auto config = base_config();
+  config.piggybacking = false;
+  HierarchySimulator sim(shared_workload(), config);
+  const auto result = sim.run();
+  EXPECT_EQ(result.parent_coherency.piggybacks_processed, 0u);
+  EXPECT_EQ(result.child_coherency.piggybacks_processed, 0u);
+}
+
+TEST(Hierarchy, PiggybackingCutsServerContacts) {
+  auto off = base_config();
+  off.piggybacking = false;
+  const auto without = HierarchySimulator(shared_workload(), off).run();
+  const auto with =
+      HierarchySimulator(shared_workload(), base_config()).run();
+  // Parent-level refreshes avoid upstream validations, so the origin
+  // sees fewer requests.
+  EXPECT_LT(with.server_contacts, without.server_contacts);
+}
+
+TEST(Hierarchy, MoreChildrenDiluteChildHitRate) {
+  auto few = base_config();
+  few.child_proxies = 1;
+  auto many = base_config();
+  many.child_proxies = 16;
+  const auto one = HierarchySimulator(shared_workload(), few).run();
+  const auto sixteen = HierarchySimulator(shared_workload(), many).run();
+  // One big child sees all cross-client locality; sixteen small ones
+  // fragment it.
+  EXPECT_GE(one.child_hit_rate(), sixteen.child_hit_rate());
+}
+
+}  // namespace
+}  // namespace piggyweb::sim

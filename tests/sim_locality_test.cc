@@ -1,0 +1,113 @@
+#include "sim/locality.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/profiles.h"
+
+namespace piggyweb::sim {
+namespace {
+
+trace::Trace make_trace(
+    std::initializer_list<std::tuple<util::Seconds, const char*,
+                                     const char*, const char*>> events) {
+  trace::Trace t;
+  for (const auto& [time, source, server, path] : events) {
+    t.add({time}, source, server, path);
+  }
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Locality, SeenBeforeFraction) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {10, "c2", "s1", "/a/y.html"},
+                             {20, "c1", "s2", "/a/z.html"}});
+  // Level 1: prefixes (s1,/a) twice, (s2,/a) once.
+  const auto result = directory_locality(t, 1);
+  EXPECT_EQ(result.requests, 3u);
+  EXPECT_EQ(result.seen_before, 1u);
+  EXPECT_NEAR(result.seen_before_fraction, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Locality, LevelZeroGroupsByServer) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {10, "c2", "s1", "/b/y.html"},
+                             {20, "c1", "s2", "/c/z.html"}});
+  const auto result = directory_locality(t, 0);
+  EXPECT_EQ(result.seen_before, 1u);  // second s1 request
+}
+
+TEST(Locality, CrossClientCounts) {
+  // "98.5% of requests access a server that has been accessed before,
+  // perhaps by a different client."
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {5, "c2", "s1", "/a/x.html"}});
+  const auto result = directory_locality(t, 1);
+  EXPECT_EQ(result.seen_before, 1u);
+}
+
+TEST(Locality, InterarrivalMedian) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {10, "c1", "s1", "/a/y.html"},
+                             {40, "c1", "s1", "/a/z.html"}});
+  const auto result = directory_locality(t, 1);
+  // Gaps: 10 and 30 -> median 20.
+  EXPECT_DOUBLE_EQ(result.median_interarrival, 20.0);
+  EXPECT_DOUBLE_EQ(result.mean_interarrival, 20.0);
+}
+
+TEST(Locality, InterarrivalMeasuredFromLastOccurrence) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {100, "c1", "s1", "/a/y.html"},
+                             {110, "c1", "s1", "/a/z.html"}});
+  const auto result = directory_locality(t, 1);
+  // Gaps: 100 (0->100) and 10 (100->110), not 110.
+  EXPECT_DOUBLE_EQ(result.median_interarrival, 55.0);
+}
+
+TEST(Locality, ExcludeImagesOption) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {1, "c1", "s1", "/a/pic.gif"},
+                             {2, "c1", "s1", "/a/y.html"}});
+  LocalityOptions options;
+  options.exclude_images = true;
+  const auto result = directory_locality(t, 1, options);
+  EXPECT_EQ(result.requests, 2u);
+  EXPECT_DOUBLE_EQ(result.median_interarrival, 2.0);  // 0 -> 2
+}
+
+TEST(Locality, CdfEvaluatedAtRequestedPoints) {
+  const auto t = make_trace({{0, "c1", "s1", "/a/x.html"},
+                             {3, "c1", "s1", "/a/y.html"},
+                             {103, "c1", "s1", "/a/z.html"}});
+  LocalityOptions options;
+  options.cdf_points = {5.0, 200.0};
+  const auto result = directory_locality(t, 1, options);
+  ASSERT_EQ(result.cdf_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.cdf_values[0], 0.5);  // gap 3 <= 5; gap 100 not
+  EXPECT_DOUBLE_EQ(result.cdf_values[1], 1.0);
+}
+
+TEST(Locality, DeeperLevelsSeeLessLocality) {
+  // On a client-trace profile: seen-before fraction must fall (weakly)
+  // with deeper prefixes, and median interarrival must rise — Figure 1(a).
+  const auto workload = trace::generate(trace::att_client_profile(0.01));
+  double prev_fraction = 1.1;
+  for (int level = 0; level <= 4; ++level) {
+    const auto result = directory_locality(workload.trace, level);
+    EXPECT_LE(result.seen_before_fraction, prev_fraction + 1e-9)
+        << "level " << level;
+    prev_fraction = result.seen_before_fraction;
+  }
+}
+
+TEST(Locality, EmptyTrace) {
+  trace::Trace t;
+  const auto result = directory_locality(t, 1);
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_DOUBLE_EQ(result.seen_before_fraction, 0.0);
+  EXPECT_TRUE(result.cdf_values.empty());
+}
+
+}  // namespace
+}  // namespace piggyweb::sim

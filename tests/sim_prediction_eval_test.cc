@@ -1,0 +1,235 @@
+#include "sim/prediction_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "server/meta.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+
+namespace piggyweb::sim {
+namespace {
+
+trace::Trace make_trace(
+    std::initializer_list<std::tuple<util::Seconds, const char*,
+                                     const char*>> events) {
+  trace::Trace t;
+  for (const auto& [time, source, path] : events) {
+    t.add({time}, source, "server", path, trace::Method::kGet, 200, 100);
+  }
+  t.sort_by_time();
+  return t;
+}
+
+EvalConfig default_config() {
+  EvalConfig config;
+  config.prediction_window = 300;
+  config.cache_horizon = 7200;
+  return config;
+}
+
+// Runs a trace through 1-level directory volumes.
+EvalResult run_directory(const trace::Trace& t, const EvalConfig& config,
+                         int level = 1) {
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = level;
+  volume::DirectoryVolumes volumes(dvc);
+  volumes.bind_paths(t.paths());
+  server::TraceMetaOracle meta(t);
+  return PredictionEvaluator(config).run(t, volumes, meta);
+}
+
+TEST(PredictionEval, PredictsSecondAccessInDirectory) {
+  // c1 fetches /a/x then /a/y: the piggyback on x's response names y? No —
+  // y wasn't in the volume yet. But a later re-access of y after another
+  // request IS predicted. Classic warm-up sequence:
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // piggyback: {x}
+                             {20, "c1", "/a/x.html"}}); // predicted by msg@10
+  const auto result = run_directory(t, default_config());
+  EXPECT_EQ(result.requests, 3u);
+  EXPECT_EQ(result.predicted_requests, 1u);
+  EXPECT_NEAR(result.fraction_predicted(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(PredictionEval, PredictionExpiresAfterWindow) {
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},    // piggyback: {x}
+                             {400, "c1", "/a/x.html"}}); // 390s later: stale
+  const auto result = run_directory(t, default_config());
+  EXPECT_EQ(result.predicted_requests, 0u);
+}
+
+TEST(PredictionEval, PredictionsScopedToSource) {
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // piggyback to c1
+                             {20, "c2", "/a/x.html"}}); // c2 never got it
+  const auto result = run_directory(t, default_config());
+  EXPECT_EQ(result.predicted_requests, 0u);
+}
+
+TEST(PredictionEval, TruePredictionAccounting) {
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // predicts {x}
+                             {20, "c1", "/a/x.html"}}); // fulfils it
+  const auto result = run_directory(t, default_config());
+  // Predictions made: msg@10 predicts x (1); msg@20 predicts y (1, still
+  // open and unfulfilled at the end).
+  EXPECT_EQ(result.predictions_made, 2u);
+  EXPECT_EQ(result.predictions_true, 1u);
+  EXPECT_DOUBLE_EQ(result.true_prediction_fraction(), 0.5);
+}
+
+TEST(PredictionEval, RepeatMentionsWithinWindowCountOnce) {
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},    // predicts {x}
+                             {20, "c1", "/a/z.html"},    // mentions x again
+                             {30, "c1", "/a/x.html"}});  // fulfils once
+  const auto result = run_directory(t, default_config());
+  // x's two mentions at 10 and 20 fall in one interval -> one prediction.
+  // y is predicted by messages at 20 and 30 (one interval). z by msg@30.
+  EXPECT_EQ(result.predictions_made, 3u);
+  EXPECT_EQ(result.predictions_true, 1u);
+}
+
+TEST(PredictionEval, UpdateFractionBuckets) {
+  EvalConfig config = default_config();  // T=300, C=7200
+  const auto t = make_trace({
+      {0, "c1", "/a/x.html"},
+      {1000, "c1", "/a/y.html"},   // piggyback mentions x
+      {1100, "c1", "/a/x.html"},   // prev occ 1100s ago (>T, <C), predicted
+  });
+  const auto result = run_directory(t, config);
+  EXPECT_EQ(result.prev_occurrence_within_horizon, 1u);
+  EXPECT_EQ(result.prev_occurrence_within_window, 0u);
+  EXPECT_EQ(result.updated_by_piggyback, 1u);
+  EXPECT_NEAR(result.update_fraction(), 1.0 / 3.0, 1e-9);
+}
+
+TEST(PredictionEval, RecentPrevOccurrenceNotCountedAsUpdate) {
+  const auto t = make_trace({
+      {0, "c1", "/a/x.html"},
+      {10, "c1", "/a/y.html"},
+      {20, "c1", "/a/x.html"},  // prev occ 20s ago (<T): already fresh
+  });
+  const auto result = run_directory(t, default_config());
+  EXPECT_EQ(result.prev_occurrence_within_window, 1u);
+  EXPECT_EQ(result.updated_by_piggyback, 0u);
+}
+
+TEST(PredictionEval, AvgPiggybackSize) {
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},    // 1 element {x}
+                             {20, "c1", "/a/z.html"}});  // 2 elements {y,x}
+  const auto result = run_directory(t, default_config());
+  EXPECT_EQ(result.piggyback_messages, 2u);
+  EXPECT_EQ(result.piggyback_elements, 3u);
+  EXPECT_DOUBLE_EQ(result.avg_piggyback_size(), 1.5);
+  EXPECT_DOUBLE_EQ(result.elements_per_request(), 1.0);
+}
+
+TEST(PredictionEval, MaxElementsCapsMessages) {
+  EvalConfig config = default_config();
+  config.filter.max_elements = 1;
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},
+                             {20, "c1", "/a/z.html"}});
+  const auto result = run_directory(t, config);
+  EXPECT_DOUBLE_EQ(result.avg_piggyback_size(), 1.0);
+}
+
+TEST(PredictionEval, AccessFilterSuppressesUnpopular) {
+  EvalConfig config = default_config();
+  config.filter.min_access_count = 3;  // whole-trace counts
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},
+                             {20, "c1", "/a/x.html"},
+                             {30, "c1", "/a/x.html"}});
+  // x occurs 3 times (passes); y occurs once (filtered out of piggybacks).
+  const auto result = run_directory(t, config);
+  EXPECT_GT(result.piggyback_messages, 0u);
+  // Messages must never include y: total elements = mentions of x only.
+  // Requests at 10, 20, 30 each can mention x once.
+  EXPECT_LE(result.piggyback_elements, 3u);
+}
+
+TEST(PredictionEval, MinIntervalThrottlesMessages) {
+  EvalConfig config = default_config();
+  config.min_piggyback_interval = 100;
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // piggyback sent
+                             {20, "c1", "/a/z.html"},   // throttled
+                             {200, "c1", "/a/w.html"}}); // allowed again
+  const auto result = run_directory(t, config);
+  EXPECT_EQ(result.piggyback_messages, 2u);
+}
+
+TEST(PredictionEval, RpvSuppressesSameVolume) {
+  EvalConfig config = default_config();
+  config.use_rpv = true;
+  config.rpv.timeout = 60;
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // piggyback (vol a)
+                             {20, "c1", "/a/z.html"},   // RPV suppresses
+                             {100, "c1", "/a/w.html"}}); // RPV expired
+  const auto result = run_directory(t, config);
+  EXPECT_EQ(result.piggyback_messages, 2u);
+}
+
+TEST(PredictionEval, RpvIsPerSource) {
+  EvalConfig config = default_config();
+  config.use_rpv = true;
+  config.rpv.timeout = 600;
+  const auto t = make_trace({{0, "c1", "/a/x.html"},
+                             {10, "c1", "/a/y.html"},   // c1 piggyback
+                             {20, "c2", "/a/x.html"},   // c2 has no RPV yet:
+                             {30, "c2", "/a/y.html"}}); // gets piggybacks
+  const auto result = run_directory(t, config);
+  // c1: msg at 10. c2: msgs at 20 and 30? At 20, volume has {x,y}; c2's
+  // first message arrives then its RPV suppresses the one at 30.
+  EXPECT_EQ(result.piggyback_messages, 2u);
+}
+
+TEST(PredictionEval, ProbabilityVolumesPredict) {
+  // Train on a strongly-paired trace and evaluate on it (the paper uses
+  // a single volume set for the whole log).
+  trace::Trace t;
+  for (int i = 0; i < 10; ++i) {
+    const auto base = static_cast<util::Seconds>(i * 10000);
+    t.add({base}, "c1", "server", "/page.html", trace::Method::kGet, 200,
+          100);
+    t.add({base + 5}, "c1", "server", "/img.gif", trace::Method::kGet, 200,
+          100);
+  }
+  t.sort_by_time();
+
+  volume::PairCounterConfig pcc;
+  const auto counts = volume::PairCounterBuilder(pcc).build(t);
+  volume::ProbabilityVolumeConfig pvc;
+  pvc.probability_threshold = 0.5;
+  const auto set = volume::build_probability_volumes(t, counts, pvc);
+  volume::ProbabilityVolumes provider(&set, 50);
+  server::TraceMetaOracle meta(t);
+
+  const auto result =
+      PredictionEvaluator(default_config()).run(t, provider, meta);
+  // Every /img.gif access follows a /page.html piggyback mentioning it.
+  EXPECT_GE(result.predicted_requests, 10u);
+  EXPECT_GT(result.true_prediction_fraction(), 0.5);
+}
+
+TEST(PredictionEval, EmptyTrace) {
+  trace::Trace t;
+  volume::DirectoryVolumeConfig dvc;
+  volume::DirectoryVolumes volumes(dvc);
+  volumes.bind_paths(t.paths());
+  server::TraceMetaOracle meta(t);
+  const auto result =
+      PredictionEvaluator(default_config()).run(t, volumes, meta);
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_DOUBLE_EQ(result.fraction_predicted(), 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_piggyback_size(), 0.0);
+}
+
+}  // namespace
+}  // namespace piggyweb::sim

@@ -1,0 +1,55 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::sim {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"name", "value"});
+  table.row({"short", "1"});
+  table.row({"much-longer-name", "22"});
+  std::ostringstream os;
+  table.print(os);
+  const auto text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("much-longer-name"), std::string::npos);
+  // Every line has the same width header/underline treatment.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, PadsShortRows) {
+  Table table({"a", "b", "c"});
+  table.row({"only-one"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("only-one"), std::string::npos);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+TEST(Table, PctFormatting) {
+  EXPECT_EQ(Table::pct(0.123, 1), "12.3%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, CountFormatting) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(1234567), "1234567");
+}
+
+TEST(Table, EmptyTableStillPrintsHeader) {
+  Table table({"col"});
+  std::ostringstream os;
+  table.print(os);
+  EXPECT_NE(os.str().find("col"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace piggyweb::sim

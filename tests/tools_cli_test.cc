@@ -1,0 +1,119 @@
+#include "cli_common.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::tools {
+namespace {
+
+// Build argv from a list of literals.
+class Argv {
+ public:
+  explicit Argv(std::initializer_list<const char*> args) {
+    storage_.emplace_back("test-program");
+    for (const auto* arg : args) storage_.emplace_back(arg);
+    for (auto& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() const { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+FlagSet standard_flags() {
+  FlagSet flags("test");
+  flags.add_string("name", "default", "a string");
+  flags.add_double("ratio", 0.5, "a double");
+  flags.add_int("count", 7, "an int");
+  flags.add_bool("verbose", false, "a bool");
+  return flags;
+}
+
+TEST(FlagSet, DefaultsWhenUnset) {
+  auto flags = standard_flags();
+  Argv argv({});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_string("name"), "default");
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.5);
+  EXPECT_EQ(flags.get_int("count"), 7);
+  EXPECT_FALSE(flags.get_bool("verbose"));
+}
+
+TEST(FlagSet, ParsesAllTypes) {
+  auto flags = standard_flags();
+  Argv argv({"--name=piggy", "--ratio=0.25", "--count=42", "--verbose=true"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_string("name"), "piggy");
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), 0.25);
+  EXPECT_EQ(flags.get_int("count"), 42);
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagSet, BareBooleanFlag) {
+  auto flags = standard_flags();
+  Argv argv({"--verbose"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_TRUE(flags.get_bool("verbose"));
+}
+
+TEST(FlagSet, RejectsUnknownFlag) {
+  auto flags = standard_flags();
+  Argv argv({"--nope=1"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagSet, RejectsTypeMismatches) {
+  {
+    auto flags = standard_flags();
+    Argv argv({"--count=abc"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+  }
+  {
+    auto flags = standard_flags();
+    Argv argv({"--ratio=xyz"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+  }
+  {
+    auto flags = standard_flags();
+    Argv argv({"--verbose=maybe"});
+    EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+  }
+}
+
+TEST(FlagSet, RejectsPositionalArguments) {
+  auto flags = standard_flags();
+  Argv argv({"stray"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagSet, HelpReturnsFalse) {
+  auto flags = standard_flags();
+  Argv argv({"--help"});
+  EXPECT_FALSE(flags.parse(argv.argc(), argv.argv()));
+}
+
+TEST(FlagSet, NegativeNumbers) {
+  auto flags = standard_flags();
+  Argv argv({"--count=-3", "--ratio=-0.5"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio"), -0.5);
+}
+
+TEST(FlagSet, EmptyStringValue) {
+  auto flags = standard_flags();
+  Argv argv({"--name="});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_string("name"), "");
+}
+
+TEST(FlagSet, LastValueWins) {
+  auto flags = standard_flags();
+  Argv argv({"--count=1", "--count=2"});
+  ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
+  EXPECT_EQ(flags.get_int("count"), 2);
+}
+
+}  // namespace
+}  // namespace piggyweb::tools

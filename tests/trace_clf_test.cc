@@ -1,0 +1,153 @@
+#include "trace/clf.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::trace {
+namespace {
+
+constexpr std::string_view kLine =
+    "ppp-12.isp.net - - [10/Oct/1998:13:55:36 +0000] "
+    "\"GET /dir/page.html HTTP/1.0\" 200 2326";
+
+TEST(ClfDate, ParsesUtc) {
+  std::int64_t out = 0;
+  ASSERT_TRUE(parse_clf_date("10/Oct/1998:13:55:36 +0000", out));
+  // 10 Oct 1998 = day 10509; 13:55:36 = 50136 s.
+  EXPECT_EQ(out, 10509 * 86400 + 50136);
+}
+
+TEST(ClfDate, AppliesZoneOffset) {
+  std::int64_t utc = 0, west = 0;
+  ASSERT_TRUE(parse_clf_date("10/Oct/1998:13:55:36 +0000", utc));
+  ASSERT_TRUE(parse_clf_date("10/Oct/1998:06:55:36 -0700", west));
+  EXPECT_EQ(utc, west);
+}
+
+TEST(ClfDate, RejectsMalformed) {
+  std::int64_t out = 0;
+  EXPECT_FALSE(parse_clf_date("1998-10-10 13:55:36", out));
+  EXPECT_FALSE(parse_clf_date("10/Foo/1998:13:55:36 +0000", out));
+  EXPECT_FALSE(parse_clf_date("99/Oct/1998:13:55:36 +0000", out));
+  EXPECT_FALSE(parse_clf_date("10/Oct/1998:25:55:36 +0000", out));
+  EXPECT_FALSE(parse_clf_date("", out));
+}
+
+TEST(ClfDate, FormatParsesBack) {
+  const std::int64_t ts = 10509 * 86400 + 50136;
+  std::int64_t round = 0;
+  ASSERT_TRUE(parse_clf_date(format_clf_date(ts), round));
+  EXPECT_EQ(round, ts);
+}
+
+TEST(ClfLine, ParsesAllFields) {
+  const auto entry = parse_clf_line(kLine);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->host, "ppp-12.isp.net");
+  EXPECT_EQ(entry->method, Method::kGet);
+  EXPECT_EQ(entry->path, "/dir/page.html");
+  EXPECT_EQ(entry->status, 200);
+  EXPECT_EQ(entry->size, 2326u);
+}
+
+TEST(ClfLine, DashSizeMeansZero) {
+  const auto entry = parse_clf_line(
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET /x HTTP/1.0\" 304 -");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->status, 304);
+  EXPECT_EQ(entry->size, 0u);
+}
+
+TEST(ClfLine, NormalizesAbsoluteUrl) {
+  const auto entry = parse_clf_line(
+      "h - - [10/Oct/1998:13:55:36 +0000] "
+      "\"GET http://www.foo.com/a/b.html HTTP/1.0\" 200 10");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->path, "/a/b.html");
+}
+
+TEST(ClfLine, RejectsGarbage) {
+  EXPECT_FALSE(parse_clf_line("").has_value());
+  EXPECT_FALSE(parse_clf_line("not a log line").has_value());
+  EXPECT_FALSE(parse_clf_line(
+                   "h - - [bad date] \"GET /x HTTP/1.0\" 200 1")
+                   .has_value());
+  EXPECT_FALSE(parse_clf_line(
+                   "h - - [10/Oct/1998:13:55:36 +0000] \"PUT /x HTTP/1.0\" "
+                   "200 1")
+                   .has_value());
+  EXPECT_FALSE(parse_clf_line(
+                   "h - - [10/Oct/1998:13:55:36 +0000] \"GET /x HTTP/1.0\" "
+                   "abc 1")
+                   .has_value());
+}
+
+TEST(ClfLine, RoundTripThroughFormat) {
+  const auto entry = parse_clf_line(kLine);
+  ASSERT_TRUE(entry.has_value());
+  const auto again = parse_clf_line(format_clf_line(*entry));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->host, entry->host);
+  EXPECT_EQ(again->time.value, entry->time.value);
+  EXPECT_EQ(again->path, entry->path);
+  EXPECT_EQ(again->status, entry->status);
+  EXPECT_EQ(again->size, entry->size);
+}
+
+TEST(Uncachable, MatchesPaperRules) {
+  EXPECT_TRUE(is_uncachable_url("/cgi-bin/search"));
+  EXPECT_TRUE(is_uncachable_url("/find?q=x"));
+  EXPECT_FALSE(is_uncachable_url("/static/page.html"));
+}
+
+TEST(LoadClf, FiltersAndCounts) {
+  std::istringstream in(
+      "h1 - - [10/Oct/1998:13:55:36 +0000] \"GET /a.html HTTP/1.0\" 200 10\n"
+      "h2 - - [10/Oct/1998:13:55:40 +0000] \"GET /cgi-bin/x HTTP/1.0\" 200 "
+      "5\n"
+      "garbage line\n"
+      "h1 - - [10/Oct/1998:13:56:00 +0000] \"POST /b HTTP/1.0\" 200 7\n");
+  Trace trace;
+  ClfLoadOptions options;
+  options.server_name = "svr";
+  const auto result = load_clf(in, trace, options);
+  EXPECT_EQ(result.parsed, 2u);
+  EXPECT_EQ(result.skipped_filtered, 1u);  // the cgi line
+  EXPECT_EQ(result.skipped_malformed, 1u);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.servers().str(trace.requests()[0].server), "svr");
+}
+
+TEST(LoadClf, DropPostOption) {
+  std::istringstream in(
+      "h1 - - [10/Oct/1998:13:55:36 +0000] \"POST /b HTTP/1.0\" 200 7\n");
+  Trace trace;
+  ClfLoadOptions options;
+  options.drop_post = true;
+  const auto result = load_clf(in, trace, options);
+  EXPECT_EQ(result.parsed, 0u);
+  EXPECT_EQ(result.skipped_filtered, 1u);
+}
+
+TEST(WriteClf, RoundTripsThroughLoad) {
+  Trace original;
+  original.add({875000000}, "c1", "svr", "/a/b.html", Method::kGet, 200, 99);
+  original.add({875000100}, "c2", "svr", "/c.gif", Method::kGet, 304, 0);
+  std::ostringstream out;
+  write_clf(out, original);
+
+  std::istringstream in(out.str());
+  Trace loaded;
+  ClfLoadOptions options;
+  options.server_name = "svr";
+  const auto result = load_clf(in, loaded, options);
+  EXPECT_EQ(result.parsed, 2u);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.requests()[0].time.value, 875000000);
+  EXPECT_EQ(loaded.paths().str(loaded.requests()[0].path), "/a/b.html");
+  EXPECT_EQ(loaded.requests()[1].status, 304);
+}
+
+}  // namespace
+}  // namespace piggyweb::trace

@@ -1,0 +1,80 @@
+#include "trace/log_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "trace/profiles.h"
+
+namespace piggyweb::trace {
+namespace {
+
+TEST(LogStats, EmptyTrace) {
+  Trace trace;
+  const auto stats = compute_log_stats(trace);
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.unique_resources, 0u);
+  EXPECT_DOUBLE_EQ(stats.requests_per_source, 0.0);
+}
+
+TEST(LogStats, BasicCounts) {
+  Trace trace;
+  trace.add({0}, "c1", "s", "/a", Method::kGet, 200, 100);
+  trace.add({1}, "c1", "s", "/b", Method::kGet, 200, 300);
+  trace.add({2}, "c2", "s", "/a", Method::kGet, 304, 0);
+  trace.add({3}, "c2", "s", "/a", Method::kPost, 200, 50);
+  const auto stats = compute_log_stats(trace);
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.distinct_sources, 2u);
+  EXPECT_EQ(stats.distinct_servers, 1u);
+  EXPECT_EQ(stats.unique_resources, 2u);
+  EXPECT_DOUBLE_EQ(stats.requests_per_source, 2.0);
+  EXPECT_DOUBLE_EQ(stats.not_modified_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(stats.post_fraction, 0.25);
+  EXPECT_EQ(stats.span, 3);
+}
+
+TEST(LogStats, ResponseSizeMoments) {
+  Trace trace;
+  trace.add({0}, "c", "s", "/a", Method::kGet, 200, 100);
+  trace.add({1}, "c", "s", "/b", Method::kGet, 200, 200);
+  trace.add({2}, "c", "s", "/c", Method::kGet, 200, 900);
+  trace.add({3}, "c", "s", "/a", Method::kGet, 304, 0);  // excluded
+  const auto stats = compute_log_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.mean_response_size, 400.0);
+  EXPECT_DOUBLE_EQ(stats.median_response_size, 200.0);
+}
+
+TEST(LogStats, SkewMetricsOnSyntheticLog) {
+  const auto workload = generate(aiusa_profile(0.05));
+  const auto stats = compute_log_stats(workload.trace);
+  // Zipf popularity: the top 10% of resources take a disproportionate
+  // share of requests (10% would be the uniform baseline).
+  EXPECT_GT(stats.top10pct_resource_share, 0.25);
+  // Heavy per-client skew.
+  EXPECT_GT(stats.top10pct_source_share, 0.2);
+  // Heavy-tailed sizes: mean well above median.
+  EXPECT_GT(stats.mean_response_size, stats.median_response_size);
+}
+
+TEST(LogStats, ServersForHalfAccessesOnClientTrace) {
+  const auto workload = generate(att_client_profile(0.004));
+  const auto stats = compute_log_stats(workload.trace);
+  EXPECT_GT(stats.distinct_servers, 1u);
+  // Site popularity is Zipf: far fewer than half the servers cover half
+  // the accesses.
+  EXPECT_GT(stats.servers_for_half_accesses, 0.0);
+  EXPECT_LT(stats.servers_for_half_accesses, 0.4);
+}
+
+TEST(LogStats, RowFormatting) {
+  Trace trace;
+  trace.add({0}, "c", "s", "/a", Method::kGet, 200, 10);
+  const auto stats = compute_log_stats(trace);
+  const auto server_row = format_server_log_row("test", stats);
+  EXPECT_NE(server_row.find("test"), std::string::npos);
+  EXPECT_NE(server_row.find('1'), std::string::npos);
+  const auto client_row = format_client_log_row("test", stats);
+  EXPECT_NE(client_row.find("test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace piggyweb::trace

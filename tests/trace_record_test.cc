@@ -1,0 +1,101 @@
+#include "trace/record.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::trace {
+namespace {
+
+TEST(Method, NamesRoundTrip) {
+  for (const auto m : {Method::kGet, Method::kPost, Method::kHead}) {
+    Method parsed{};
+    ASSERT_TRUE(parse_method(method_name(m), parsed));
+    EXPECT_EQ(parsed, m);
+  }
+}
+
+TEST(Method, RejectsUnknown) {
+  Method m{};
+  EXPECT_FALSE(parse_method("PUT", m));
+  EXPECT_FALSE(parse_method("get", m));  // methods are case-sensitive
+  EXPECT_FALSE(parse_method("", m));
+}
+
+TEST(ContentType, ClassifyHtml) {
+  EXPECT_EQ(classify_path("/a/b.html"), ContentType::kHtml);
+  EXPECT_EQ(classify_path("/a/b.htm"), ContentType::kHtml);
+  EXPECT_EQ(classify_path("/a/B.HTML"), ContentType::kHtml);
+  // Extensionless paths are treated as pages.
+  EXPECT_EQ(classify_path("/a/b"), ContentType::kHtml);
+  EXPECT_EQ(classify_path("/"), ContentType::kHtml);
+}
+
+TEST(ContentType, ClassifyImages) {
+  EXPECT_EQ(classify_path("/img/logo.gif"), ContentType::kImage);
+  EXPECT_EQ(classify_path("/img/photo.JPG"), ContentType::kImage);
+  EXPECT_EQ(classify_path("/img/x.jpeg"), ContentType::kImage);
+  EXPECT_EQ(classify_path("/img/x.png"), ContentType::kImage);
+  EXPECT_EQ(classify_path("/img/x.xbm"), ContentType::kImage);
+}
+
+TEST(ContentType, ClassifyOther) {
+  EXPECT_EQ(classify_path("/docs/paper.ps"), ContentType::kOther);
+  EXPECT_EQ(classify_path("/dist/apache.tar.gz"), ContentType::kOther);
+  EXPECT_EQ(classify_path("/docs/spec.pdf"), ContentType::kOther);
+}
+
+TEST(ContentType, Names) {
+  EXPECT_EQ(content_type_name(ContentType::kHtml), "html");
+  EXPECT_EQ(content_type_name(ContentType::kImage), "image");
+  EXPECT_EQ(content_type_name(ContentType::kOther), "other");
+}
+
+TEST(Trace, AddInternsConsistently) {
+  Trace trace;
+  trace.add({100}, "client-1", "www.x.com", "/a.html");
+  trace.add({200}, "client-2", "www.x.com", "/a.html");
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.sources().size(), 2u);
+  EXPECT_EQ(trace.servers().size(), 1u);
+  EXPECT_EQ(trace.paths().size(), 1u);
+  EXPECT_EQ(trace.requests()[0].path, trace.requests()[1].path);
+  EXPECT_NE(trace.requests()[0].source, trace.requests()[1].source);
+}
+
+TEST(Trace, SortByTimeIsStable) {
+  Trace trace;
+  trace.add({300}, "c", "s", "/late.html");
+  trace.add({100}, "c", "s", "/early.html");
+  trace.add({100}, "c", "s", "/early2.html");
+  trace.sort_by_time();
+  EXPECT_EQ(trace.paths().str(trace.requests()[0].path), "/early.html");
+  EXPECT_EQ(trace.paths().str(trace.requests()[1].path), "/early2.html");
+  EXPECT_EQ(trace.paths().str(trace.requests()[2].path), "/late.html");
+}
+
+TEST(Trace, SpanOfEmptyAndSingleton) {
+  Trace trace;
+  EXPECT_EQ(trace.span(), 0);
+  trace.add({42}, "c", "s", "/x");
+  EXPECT_EQ(trace.span(), 0);
+}
+
+TEST(Trace, SpanCoversRange) {
+  Trace trace;
+  trace.add({100}, "c", "s", "/a");
+  trace.add({700}, "c", "s", "/b");
+  trace.sort_by_time();
+  EXPECT_EQ(trace.span(), 600);
+}
+
+TEST(Trace, DefaultRequestFields) {
+  Trace trace;
+  trace.add({1}, "c", "s", "/r");
+  const auto& r = trace.requests()[0];
+  EXPECT_EQ(r.method, Method::kGet);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.size, 0u);
+  EXPECT_EQ(r.last_modified, -1);
+}
+
+}  // namespace
+}  // namespace piggyweb::trace

@@ -1,0 +1,92 @@
+#include "trace/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::trace {
+namespace {
+
+Trace sample_trace() {
+  Trace t;
+  t.add({0}, "c1", "s", "/a");
+  t.add({100}, "c2", "s", "/b");
+  t.add({200}, "c1", "s", "/a");
+  t.add({300}, "c2", "s", "/c");
+  t.add({400}, "c1", "s", "/a");
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Transform, FilterKeepsInternIds) {
+  const auto t = sample_trace();
+  const auto filtered = filter_requests(
+      t, [](const Request& r) { return r.time.value >= 200; });
+  EXPECT_EQ(filtered.size(), 3u);
+  // Same id space: ids resolve to the same strings.
+  EXPECT_EQ(filtered.paths().size(), t.paths().size());
+  EXPECT_EQ(filtered.paths().str(filtered.requests()[0].path), "/a");
+  EXPECT_EQ(*filtered.paths().find("/c"), *t.paths().find("/c"));
+}
+
+TEST(Transform, SliceByTimeHalfOpen) {
+  const auto t = sample_trace();
+  const auto slice = slice_by_time(t, {100}, {300});
+  ASSERT_EQ(slice.size(), 2u);
+  EXPECT_EQ(slice.requests()[0].time.value, 100);
+  EXPECT_EQ(slice.requests()[1].time.value, 200);
+}
+
+TEST(Transform, SplitAtFractionCoversEverything) {
+  const auto t = sample_trace();
+  const auto [train, test] = split_at_fraction(t, 0.5);
+  EXPECT_EQ(train.size() + test.size(), t.size());
+  EXPECT_GT(train.size(), 0u);
+  EXPECT_GT(test.size(), 0u);
+  // Every train request precedes every test request.
+  EXPECT_LT(train.requests().back().time.value,
+            test.requests().front().time.value);
+}
+
+TEST(Transform, SplitEmptyTrace) {
+  Trace empty;
+  const auto [train, test] = split_at_fraction(empty, 0.5);
+  EXPECT_TRUE(train.empty());
+  EXPECT_TRUE(test.empty());
+}
+
+TEST(Transform, FilterUnpopular) {
+  const auto t = sample_trace();  // /a x3, /b x1, /c x1
+  const auto popular = filter_unpopular(t, 2);
+  EXPECT_EQ(popular.size(), 3u);
+  for (const auto& r : popular.requests()) {
+    EXPECT_EQ(popular.paths().str(r.path), "/a");
+  }
+}
+
+TEST(Transform, FilterUnpopularKeepsEverythingAtOne) {
+  const auto t = sample_trace();
+  EXPECT_EQ(filter_unpopular(t, 1).size(), t.size());
+}
+
+TEST(Transform, FilterSource) {
+  const auto t = sample_trace();
+  const auto c1 = filter_source(t, *t.sources().find("c1"));
+  EXPECT_EQ(c1.size(), 3u);
+  for (const auto& r : c1.requests()) {
+    EXPECT_EQ(c1.sources().str(r.source), "c1");
+  }
+}
+
+TEST(Transform, VolumesTrainedOnSliceApplyToOther) {
+  // The id-space guarantee that the train/test ablation depends on: a
+  // path interned in the full trace has the same id in both halves.
+  const auto t = sample_trace();
+  const auto [train, test] = split_at_fraction(t, 0.5);
+  const auto id_in_train = train.paths().find("/a");
+  const auto id_in_test = test.paths().find("/a");
+  ASSERT_TRUE(id_in_train.has_value());
+  ASSERT_TRUE(id_in_test.has_value());
+  EXPECT_EQ(*id_in_train, *id_in_test);
+}
+
+}  // namespace
+}  // namespace piggyweb::trace

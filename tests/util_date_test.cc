@@ -1,0 +1,66 @@
+#include "util/date.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::util {
+namespace {
+
+TEST(CivilDate, Epoch) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+}
+
+TEST(CivilDate, KnownDates) {
+  EXPECT_EQ(days_from_civil(1970, 1, 2), 1);
+  EXPECT_EQ(days_from_civil(1969, 12, 31), -1);
+  EXPECT_EQ(days_from_civil(2000, 1, 1), 10957);
+  // The SIGCOMM'98 era: 1 Feb 1998.
+  EXPECT_EQ(days_from_civil(1998, 2, 1), 10258);
+}
+
+TEST(CivilDate, RoundTripRange) {
+  for (std::int64_t day = -40000; day <= 40000; day += 17) {
+    std::int64_t y = 0;
+    int m = 0, d = 0;
+    civil_from_days(day, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), day);
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 12);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, 31);
+  }
+}
+
+TEST(CivilDate, LeapYears) {
+  // 29 Feb 2000 exists (divisible by 400).
+  const auto feb29 = days_from_civil(2000, 2, 29);
+  std::int64_t y = 0;
+  int m = 0, d = 0;
+  civil_from_days(feb29, y, m, d);
+  EXPECT_EQ(y, 2000);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+  // 1900 was not a leap year: Feb 28 + 1 day = Mar 1.
+  civil_from_days(days_from_civil(1900, 2, 28) + 1, y, m, d);
+  EXPECT_EQ(m, 3);
+  EXPECT_EQ(d, 1);
+}
+
+TEST(Weekday, KnownDays) {
+  // 1 Jan 1970 was a Thursday (4).
+  EXPECT_EQ(weekday_from_days(0), 4);
+  // 6 Nov 1994 was a Sunday (0) — RFC 1123's canonical example.
+  EXPECT_EQ(weekday_from_days(days_from_civil(1994, 11, 6)), 0);
+  // 2 Sep 1998 (SIGCOMM'98 week) was a Wednesday (3).
+  EXPECT_EQ(weekday_from_days(days_from_civil(1998, 9, 2)), 3);
+}
+
+TEST(Weekday, CyclesEverySeven) {
+  const auto base = days_from_civil(1998, 2, 1);
+  const auto wd = weekday_from_days(base);
+  EXPECT_EQ(weekday_from_days(base + 7), wd);
+  EXPECT_EQ(weekday_from_days(base + 14), wd);
+  EXPECT_EQ(weekday_from_days(base + 1), (wd + 1) % 7);
+}
+
+}  // namespace
+}  // namespace piggyweb::util

@@ -1,0 +1,63 @@
+#include "util/hash.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::util {
+namespace {
+
+TEST(Fnv1a, KnownVectors) {
+  // Standard FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a, SeedChaining) {
+  // Hashing "ab" equals hashing "b" seeded with the hash of "a".
+  EXPECT_EQ(fnv1a("ab"), fnv1a("b", fnv1a("a")));
+}
+
+TEST(Fnv1a, Constexpr) {
+  static_assert(fnv1a("piggyweb") != fnv1a("piggywec"));
+  SUCCEED();
+}
+
+TEST(Mix64, AvalancheOnLowBits) {
+  // Sequential inputs must not produce sequential outputs.
+  std::set<std::uint64_t> high_bytes;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    high_bytes.insert(mix64(i) >> 56);
+  }
+  // With good avalanche the top byte takes many distinct values.
+  EXPECT_GT(high_bytes.size(), 100u);
+}
+
+TEST(Mix64, ZeroIsFixedButNotIdentity) {
+  EXPECT_EQ(mix64(0), 0u);  // murmur3 finalizer property
+  EXPECT_NE(mix64(1), 1u);
+  EXPECT_NE(mix64(2), mix64(3));
+}
+
+TEST(HashCombine, OrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashIdPair, DistinctPairsDistinctHashes) {
+  std::set<std::uint64_t> seen;
+  for (std::uint32_t a = 0; a < 30; ++a) {
+    for (std::uint32_t b = 0; b < 30; ++b) {
+      seen.insert(hash_id_pair(a, b));
+    }
+  }
+  EXPECT_EQ(seen.size(), 900u);
+}
+
+TEST(HashIdPair, AsymmetricInArguments) {
+  EXPECT_NE(hash_id_pair(1, 2), hash_id_pair(2, 1));
+}
+
+}  // namespace
+}  // namespace piggyweb::util

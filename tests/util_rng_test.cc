@@ -1,0 +1,244 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::util {
+namespace {
+
+TEST(Splitmix64, DeterministicSequence) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Splitmix64, DifferentSeedsDiffer) {
+  std::uint64_t s1 = 1, s2 = 2;
+  EXPECT_NE(splitmix64(s1), splitmix64(s2));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(13);
+  for (std::uint64_t bound : {1ULL, 2ULL, 7ULL, 100ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(19);
+  std::map<std::uint64_t, int> seen;
+  for (int i = 0; i < 10000; ++i) ++seen[rng.below(5)];
+  EXPECT_EQ(seen.size(), 5u);
+  for (const auto& [v, n] : seen) EXPECT_GT(n, 1500) << "residue " << v;
+}
+
+TEST(Rng, BetweenInclusiveBounds) {
+  Rng rng(23);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.between(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(31);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(37);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.exponential(42.0);
+  EXPECT_NEAR(sum / kN, 42.0, 1.0);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(rng.exponential(5.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(43);
+  double sum = 0, sumsq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(47);
+  std::vector<double> xs;
+  for (int i = 0; i < 50001; ++i) xs.push_back(rng.lognormal(3.0, 1.0));
+  std::nth_element(xs.begin(), xs.begin() + 25000, xs.end());
+  // Median of lognormal(mu, sigma) is e^mu.
+  EXPECT_NEAR(xs[25000], std::exp(3.0), 0.5);
+}
+
+TEST(Rng, ParetoWithinBounds) {
+  Rng rng(53);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.pareto(1.2, 1.0, 100.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, ParetoHeavyTail) {
+  Rng rng(59);
+  // Shape 0.5: a visible share of mass should land above 10x the minimum.
+  int above = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) above += rng.pareto(0.5, 1.0, 1000.0) > 10.0;
+  EXPECT_GT(above, kN / 20);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(61);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, PoissonSmallMean) {
+  Rng rng(67);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.poisson(3.5));
+  }
+  EXPECT_NEAR(sum / kN, 3.5, 0.05);
+}
+
+TEST(Rng, PoissonLargeMeanNormalApprox) {
+  Rng rng(71);
+  double sum = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    sum += static_cast<double>(rng.poisson(100.0));
+  }
+  EXPECT_NEAR(sum / kN, 100.0, 0.5);
+}
+
+TEST(ZipfSampler, SingleElement) {
+  ZipfSampler zipf(1, 1.0);
+  Rng rng(73);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(ZipfSampler, RanksWithinRange) {
+  ZipfSampler zipf(50, 0.9);
+  Rng rng(79);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf(rng), 50u);
+}
+
+TEST(ZipfSampler, RankZeroMostPopular) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(83);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(200, 0.8);
+  double total = 0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) total += zipf.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, SkewZeroIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  ZipfSampler zipf(5, 1.0);
+  Rng rng(89);
+  std::vector<int> counts(5, 0);
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) ++counts[zipf(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kN, zipf.pmf(k), 0.01);
+  }
+}
+
+TEST(DiscreteSampler, RespectsWeights) {
+  DiscreteSampler sampler({1.0, 0.0, 3.0});
+  Rng rng(97);
+  std::vector<int> counts(3, 0);
+  constexpr int kN = 40000;
+  for (int i = 0; i < kN; ++i) ++counts[sampler(rng)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / kN, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / kN, 0.75, 0.02);
+}
+
+TEST(DiscreteSampler, SingleWeight) {
+  DiscreteSampler sampler({5.0});
+  Rng rng(101);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler(rng), 0u);
+}
+
+}  // namespace
+}  // namespace piggyweb::util

@@ -1,0 +1,53 @@
+// Minimal flag parsing shared by the command-line tools. Flags take the
+// form --name=value (or bare --name for booleans); unknown flags are an
+// error so typos never pass silently.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace piggyweb::tools {
+
+class FlagSet {
+ public:
+  explicit FlagSet(std::string program_summary)
+      : summary_(std::move(program_summary)) {}
+
+  // Registration (call before parse()).
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  // Parse argv; returns false (and prints usage + error) on bad input or
+  // when --help was requested.
+  bool parse(int argc, char** argv);
+
+  std::string get_string(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_usage(const char* argv0) const;
+
+ private:
+  enum class Type { kString, kDouble, kInt, kBool };
+  struct Flag {
+    Type type;
+    std::string value;  // canonical text form
+    std::string help;
+    std::string default_text;
+  };
+  const Flag* find(const std::string& name, Type type) const;
+
+  std::string summary_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace piggyweb::tools

@@ -1,0 +1,91 @@
+// piggyweb_analyze — characterize a web log (Common Log Format): the
+// Table 2/3-style summary plus the Figure 1 directory-locality profile.
+//
+//   piggyweb_analyze --log=access.log
+//   piggyweb_analyze --log=proxy.log --levels=4 --exclude-images
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli_common.h"
+#include "sim/locality.h"
+#include "sim/report.h"
+#include "trace/clf.h"
+#include "trace/log_stats.h"
+
+using namespace piggyweb;
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags("summarize a CLF web log and its directory locality");
+  flags.add_string("log", "", "input CLF file (required)");
+  flags.add_string("server-name", "server",
+                   "origin name recorded for server logs");
+  flags.add_int("levels", 4, "deepest directory level to profile");
+  flags.add_bool("exclude-images", false,
+                 "drop image requests from the locality profile");
+  flags.add_bool("keep-uncachable", false,
+                 "keep cgi/query URLs instead of the paper's cleanup");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const auto path = flags.get_string("log");
+  if (path.empty()) {
+    std::fprintf(stderr, "--log is required\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+
+  trace::Trace trace;
+  trace::ClfLoadOptions options;
+  options.server_name = flags.get_string("server-name");
+  options.drop_uncachable = !flags.get_bool("keep-uncachable");
+  const auto load = trace::load_clf(in, trace, options);
+  trace.sort_by_time();
+  std::printf("parsed %zu requests (%zu malformed, %zu filtered)\n\n",
+              load.parsed, load.skipped_malformed, load.skipped_filtered);
+  if (trace.empty()) return 1;
+
+  const auto stats = trace::compute_log_stats(trace);
+  sim::Table summary({"metric", "value"});
+  summary.row({"requests", sim::Table::count(stats.requests)});
+  summary.row({"distinct sources", sim::Table::count(stats.distinct_sources)});
+  summary.row({"distinct servers", sim::Table::count(stats.distinct_servers)});
+  summary.row({"unique resources", sim::Table::count(stats.unique_resources)});
+  summary.row({"requests per source",
+               sim::Table::num(stats.requests_per_source, 2)});
+  summary.row({"span (days)",
+               sim::Table::num(static_cast<double>(stats.span) /
+                                   static_cast<double>(util::kDay),
+                               1)});
+  summary.row({"Not Modified share",
+               sim::Table::pct(stats.not_modified_fraction)});
+  summary.row({"POST share", sim::Table::pct(stats.post_fraction)});
+  summary.row({"mean / median response bytes",
+               sim::Table::num(stats.mean_response_size, 0) + " / " +
+                   sim::Table::num(stats.median_response_size, 0)});
+  summary.row({"top-10% resources' request share",
+               sim::Table::pct(stats.top10pct_resource_share)});
+  summary.row({"top-10% sources' request share",
+               sim::Table::pct(stats.top10pct_source_share)});
+  summary.print(std::cout);
+
+  std::printf("\ndirectory locality (Figure 1 profile):\n");
+  sim::LocalityOptions locality_options;
+  locality_options.exclude_images = flags.get_bool("exclude-images");
+  sim::Table locality({"level", "% seen before", "median interarrival (s)",
+                       "mean interarrival (s)"});
+  for (int level = 0; level <= static_cast<int>(flags.get_int("levels"));
+       ++level) {
+    const auto result =
+        sim::directory_locality(trace, level, locality_options);
+    locality.row({sim::Table::count(static_cast<std::uint64_t>(level)),
+                  sim::Table::pct(result.seen_before_fraction),
+                  sim::Table::num(result.median_interarrival, 1),
+                  sim::Table::num(result.mean_interarrival, 1)});
+  }
+  locality.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,146 @@
+// piggyweb_evaluate — replay a CLF log through the piggybacking protocol
+// and report the paper's §3.1 metrics for a chosen volume scheme/filter.
+//
+//   piggyweb_evaluate --log=site.log --scheme=directory --level=1
+//       --minfreq=10 --rpv-timeout=30
+//   piggyweb_evaluate --log=site.log --scheme=probability --pt=0.2 --eff=0.2
+//   piggyweb_evaluate --log=site.log --scheme=probability
+//       --volumes=pretrained.txt
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "cli_common.h"
+#include "server/meta.h"
+#include "sim/prediction_eval.h"
+#include "sim/report.h"
+#include "trace/clf.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+#include "volume/serialize.h"
+
+using namespace piggyweb;
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags(
+      "evaluate a volume scheme + proxy filter over a CLF web log");
+  flags.add_string("log", "", "input CLF file (required)");
+  flags.add_string("server-name", "server", "origin name for server logs");
+  flags.add_string("scheme", "directory", "directory|probability");
+  flags.add_int("level", 1, "directory scheme: prefix level");
+  flags.add_double("pt", 0.2, "probability scheme: threshold p_t");
+  flags.add_double("eff", 0.0,
+                   "probability scheme: effectiveness threshold (0 = off)");
+  flags.add_int("combine-level", 0,
+                "probability scheme: same-prefix restriction (0 = off)");
+  flags.add_string("volumes", "",
+                   "probability scheme: load pretrained volumes instead of "
+                   "training on the log");
+  flags.add_int("min-count", 10, "training: minimum resource access count");
+  flags.add_int("maxpiggy", 50, "filter: maximum elements per piggyback");
+  flags.add_int("minfreq", 0, "filter: minimum whole-trace access count");
+  flags.add_int("rpv-timeout", 0,
+                "RPV suppression window in seconds (0 = off)");
+  flags.add_int("min-interval", 0,
+                "frequency control: min seconds between piggybacks "
+                "(0 = off)");
+  flags.add_int("window", 300, "prediction window T (seconds)");
+  flags.add_int("horizon", 7200, "cache horizon C (seconds)");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const auto path = flags.get_string("log");
+  if (path.empty()) {
+    std::fprintf(stderr, "--log is required\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  trace::Trace trace;
+  trace::ClfLoadOptions options;
+  options.server_name = flags.get_string("server-name");
+  const auto load = trace::load_clf(in, trace, options);
+  trace.sort_by_time();
+  std::printf("parsed %zu requests (%zu malformed, %zu filtered)\n",
+              load.parsed, load.skipped_malformed, load.skipped_filtered);
+  if (trace.empty()) return 1;
+
+  sim::EvalConfig config;
+  config.prediction_window = flags.get_int("window");
+  config.cache_horizon = flags.get_int("horizon");
+  config.filter.max_elements =
+      static_cast<std::uint32_t>(flags.get_int("maxpiggy"));
+  config.filter.min_access_count =
+      static_cast<std::uint32_t>(flags.get_int("minfreq"));
+  config.use_rpv = flags.get_int("rpv-timeout") > 0;
+  config.rpv.timeout = flags.get_int("rpv-timeout");
+  config.min_piggyback_interval = flags.get_int("min-interval");
+
+  server::TraceMetaOracle meta(trace);
+  sim::EvalResult result;
+  const auto scheme = flags.get_string("scheme");
+  if (scheme == "directory") {
+    volume::DirectoryVolumeConfig dvc;
+    dvc.level = static_cast<int>(flags.get_int("level"));
+    volume::DirectoryVolumes volumes(dvc);
+    volumes.bind_paths(trace.paths());
+    result = sim::PredictionEvaluator(config).run(trace, volumes, meta);
+    std::printf("scheme: directory level-%d (%zu volumes)\n", dvc.level,
+                volumes.volume_count());
+  } else if (scheme == "probability") {
+    volume::ProbabilityVolumeSet set;
+    if (const auto volumes_path = flags.get_string("volumes");
+        !volumes_path.empty()) {
+      std::ifstream volumes_in(volumes_path);
+      if (!volumes_in) {
+        std::fprintf(stderr, "cannot open %s\n", volumes_path.c_str());
+        return 1;
+      }
+      std::string error;
+      auto loaded =
+          volume::load_volume_set(volumes_in, trace.paths(), error);
+      if (!loaded) {
+        std::fprintf(stderr, "bad volume file: %s\n", error.c_str());
+        return 1;
+      }
+      set = std::move(*loaded);
+    } else {
+      volume::PairCounterConfig pcc;
+      pcc.window = config.prediction_window;
+      const auto counts = volume::PairCounterBuilder(pcc).build(
+          trace, static_cast<std::uint64_t>(flags.get_int("min-count")));
+      volume::ProbabilityVolumeConfig pvc;
+      pvc.probability_threshold = flags.get_double("pt");
+      pvc.effectiveness_threshold = flags.get_double("eff");
+      pvc.combine_prefix_level =
+          static_cast<int>(flags.get_int("combine-level"));
+      pvc.window = config.prediction_window;
+      set = volume::build_probability_volumes(trace, counts, pvc);
+    }
+    volume::ProbabilityVolumes provider(&set, 200);
+    result = sim::PredictionEvaluator(config).run(trace, provider, meta);
+    std::printf("scheme: probability (%zu volumes)\n", set.volume_count());
+  } else {
+    std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
+    return 2;
+  }
+
+  sim::Table table({"metric", "value"});
+  table.row({"fraction predicted (recall)",
+             sim::Table::pct(result.fraction_predicted())});
+  table.row({"true prediction fraction (precision)",
+             sim::Table::pct(result.true_prediction_fraction())});
+  table.row({"update fraction", sim::Table::pct(result.update_fraction())});
+  table.row({"avg piggyback size",
+             sim::Table::num(result.avg_piggyback_size(), 2)});
+  table.row({"piggyback elements per request",
+             sim::Table::num(result.elements_per_request(), 2)});
+  table.row({"piggyback messages",
+             sim::Table::count(result.piggyback_messages)});
+  table.row({"requests", sim::Table::count(result.requests)});
+  table.print(std::cout);
+  return 0;
+}
