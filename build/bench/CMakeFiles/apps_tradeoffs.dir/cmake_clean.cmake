@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_tradeoffs.dir/apps_tradeoffs.cc.o"
+  "CMakeFiles/apps_tradeoffs.dir/apps_tradeoffs.cc.o.d"
+  "apps_tradeoffs"
+  "apps_tradeoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_tradeoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherency_baselines.dir/coherency_baselines.cc.o"
+  "CMakeFiles/coherency_baselines.dir/coherency_baselines.cc.o.d"
+  "coherency_baselines"
+  "coherency_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherency_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_directory_locality.dir/fig1_directory_locality.cc.o"
+  "CMakeFiles/fig1_directory_locality.dir/fig1_directory_locality.cc.o.d"
+  "fig1_directory_locality"
+  "fig1_directory_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_directory_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

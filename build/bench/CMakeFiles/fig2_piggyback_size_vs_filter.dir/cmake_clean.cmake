@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_piggyback_size_vs_filter.dir/fig2_piggyback_size_vs_filter.cc.o"
+  "CMakeFiles/fig2_piggyback_size_vs_filter.dir/fig2_piggyback_size_vs_filter.cc.o.d"
+  "fig2_piggyback_size_vs_filter"
+  "fig2_piggyback_size_vs_filter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_piggyback_size_vs_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_piggyback_size_vs_filter.
+# This may be replaced when dependencies are built.

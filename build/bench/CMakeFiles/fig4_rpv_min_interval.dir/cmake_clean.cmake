@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rpv_min_interval.dir/fig4_rpv_min_interval.cc.o"
+  "CMakeFiles/fig4_rpv_min_interval.dir/fig4_rpv_min_interval.cc.o.d"
+  "fig4_rpv_min_interval"
+  "fig4_rpv_min_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rpv_min_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_rpv_min_interval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_probability_threshold.dir/fig5_probability_threshold.cc.o"
+  "CMakeFiles/fig5_probability_threshold.dir/fig5_probability_threshold.cc.o.d"
+  "fig5_probability_threshold"
+  "fig5_probability_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_probability_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_predicted_vs_size.dir/fig6_predicted_vs_size.cc.o"
+  "CMakeFiles/fig6_predicted_vs_size.dir/fig6_predicted_vs_size.cc.o.d"
+  "fig6_predicted_vs_size"
+  "fig6_predicted_vs_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_predicted_vs_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_precision_recall.dir/fig8_precision_recall.cc.o"
+  "CMakeFiles/fig8_precision_recall.dir/fig8_precision_recall.cc.o.d"
+  "fig8_precision_recall"
+  "fig8_precision_recall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_precision_recall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hierarchy_levels.dir/hierarchy_levels.cc.o"
+  "CMakeFiles/hierarchy_levels.dir/hierarchy_levels.cc.o.d"
+  "hierarchy_levels"
+  "hierarchy_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hierarchy_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_bytes.dir/overhead_bytes.cc.o"
+  "CMakeFiles/overhead_bytes.dir/overhead_bytes.cc.o.d"
+  "overhead_bytes"
+  "overhead_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

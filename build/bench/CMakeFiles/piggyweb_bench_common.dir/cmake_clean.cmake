@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/piggyweb_bench_common.dir/bench_common.cc.o.d"
+  "libpiggyweb_bench_common.a"
+  "libpiggyweb_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

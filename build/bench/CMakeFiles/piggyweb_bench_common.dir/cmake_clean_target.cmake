@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpiggyweb_bench_common.a"
+)

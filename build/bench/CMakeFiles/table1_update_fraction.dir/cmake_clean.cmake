@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_update_fraction.dir/table1_update_fraction.cc.o"
+  "CMakeFiles/table1_update_fraction.dir/table1_update_fraction.cc.o.d"
+  "table1_update_fraction"
+  "table1_update_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_update_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

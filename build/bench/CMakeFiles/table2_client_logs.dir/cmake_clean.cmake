@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_client_logs.dir/table2_client_logs.cc.o"
+  "CMakeFiles/table2_client_logs.dir/table2_client_logs.cc.o.d"
+  "table2_client_logs"
+  "table2_client_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_client_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_server_logs.dir/table3_server_logs.cc.o"
+  "CMakeFiles/table3_server_logs.dir/table3_server_logs.cc.o.d"
+  "table3_server_logs"
+  "table3_server_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_server_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

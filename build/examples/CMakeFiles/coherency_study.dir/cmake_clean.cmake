@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coherency_study.dir/coherency_study.cpp.o"
+  "CMakeFiles/coherency_study.dir/coherency_study.cpp.o.d"
+  "coherency_study"
+  "coherency_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coherency_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

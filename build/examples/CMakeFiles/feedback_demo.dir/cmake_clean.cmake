@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_demo.dir/feedback_demo.cpp.o"
+  "CMakeFiles/feedback_demo.dir/feedback_demo.cpp.o.d"
+  "feedback_demo"
+  "feedback_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

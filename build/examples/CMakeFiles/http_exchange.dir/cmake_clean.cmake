@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_exchange.dir/http_exchange.cpp.o"
+  "CMakeFiles/http_exchange.dir/http_exchange.cpp.o.d"
+  "http_exchange"
+  "http_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/informed_fetch_demo.dir/informed_fetch_demo.cpp.o"
+  "CMakeFiles/informed_fetch_demo.dir/informed_fetch_demo.cpp.o.d"
+  "informed_fetch_demo"
+  "informed_fetch_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/informed_fetch_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

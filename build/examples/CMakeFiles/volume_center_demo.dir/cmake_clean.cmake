@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volume_center_demo.dir/volume_center_demo.cpp.o"
+  "CMakeFiles/volume_center_demo.dir/volume_center_demo.cpp.o.d"
+  "volume_center_demo"
+  "volume_center_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volume_center_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

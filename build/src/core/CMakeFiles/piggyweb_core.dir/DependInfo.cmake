@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/feedback.cc" "src/core/CMakeFiles/piggyweb_core.dir/feedback.cc.o" "gcc" "src/core/CMakeFiles/piggyweb_core.dir/feedback.cc.o.d"
+  "/root/repo/src/core/filter.cc" "src/core/CMakeFiles/piggyweb_core.dir/filter.cc.o" "gcc" "src/core/CMakeFiles/piggyweb_core.dir/filter.cc.o.d"
+  "/root/repo/src/core/rpv.cc" "src/core/CMakeFiles/piggyweb_core.dir/rpv.cc.o" "gcc" "src/core/CMakeFiles/piggyweb_core.dir/rpv.cc.o.d"
+  "/root/repo/src/core/wire_size.cc" "src/core/CMakeFiles/piggyweb_core.dir/wire_size.cc.o" "gcc" "src/core/CMakeFiles/piggyweb_core.dir/wire_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_core.dir/feedback.cc.o"
+  "CMakeFiles/piggyweb_core.dir/feedback.cc.o.d"
+  "CMakeFiles/piggyweb_core.dir/filter.cc.o"
+  "CMakeFiles/piggyweb_core.dir/filter.cc.o.d"
+  "CMakeFiles/piggyweb_core.dir/rpv.cc.o"
+  "CMakeFiles/piggyweb_core.dir/rpv.cc.o.d"
+  "CMakeFiles/piggyweb_core.dir/wire_size.cc.o"
+  "CMakeFiles/piggyweb_core.dir/wire_size.cc.o.d"
+  "libpiggyweb_core.a"
+  "libpiggyweb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

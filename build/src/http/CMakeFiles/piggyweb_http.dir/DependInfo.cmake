@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/chunked.cc" "src/http/CMakeFiles/piggyweb_http.dir/chunked.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/chunked.cc.o.d"
+  "/root/repo/src/http/connection.cc" "src/http/CMakeFiles/piggyweb_http.dir/connection.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/connection.cc.o.d"
+  "/root/repo/src/http/date.cc" "src/http/CMakeFiles/piggyweb_http.dir/date.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/date.cc.o.d"
+  "/root/repo/src/http/header_map.cc" "src/http/CMakeFiles/piggyweb_http.dir/header_map.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/header_map.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/piggyweb_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/message.cc.o.d"
+  "/root/repo/src/http/piggy_headers.cc" "src/http/CMakeFiles/piggyweb_http.dir/piggy_headers.cc.o" "gcc" "src/http/CMakeFiles/piggyweb_http.dir/piggy_headers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

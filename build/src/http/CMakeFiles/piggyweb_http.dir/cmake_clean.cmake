@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_http.dir/chunked.cc.o"
+  "CMakeFiles/piggyweb_http.dir/chunked.cc.o.d"
+  "CMakeFiles/piggyweb_http.dir/connection.cc.o"
+  "CMakeFiles/piggyweb_http.dir/connection.cc.o.d"
+  "CMakeFiles/piggyweb_http.dir/date.cc.o"
+  "CMakeFiles/piggyweb_http.dir/date.cc.o.d"
+  "CMakeFiles/piggyweb_http.dir/header_map.cc.o"
+  "CMakeFiles/piggyweb_http.dir/header_map.cc.o.d"
+  "CMakeFiles/piggyweb_http.dir/message.cc.o"
+  "CMakeFiles/piggyweb_http.dir/message.cc.o.d"
+  "CMakeFiles/piggyweb_http.dir/piggy_headers.cc.o"
+  "CMakeFiles/piggyweb_http.dir/piggy_headers.cc.o.d"
+  "libpiggyweb_http.a"
+  "libpiggyweb_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_net.dir/cost_model.cc.o"
+  "CMakeFiles/piggyweb_net.dir/cost_model.cc.o.d"
+  "libpiggyweb_net.a"
+  "libpiggyweb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

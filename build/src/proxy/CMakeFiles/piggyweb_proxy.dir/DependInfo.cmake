@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/adaptive_ttl.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/adaptive_ttl.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/adaptive_ttl.cc.o.d"
+  "/root/repo/src/proxy/cache.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/cache.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/cache.cc.o.d"
+  "/root/repo/src/proxy/coherency.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/coherency.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/coherency.cc.o.d"
+  "/root/repo/src/proxy/filter_policy.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/filter_policy.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/filter_policy.cc.o.d"
+  "/root/repo/src/proxy/informed_fetch.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/informed_fetch.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/informed_fetch.cc.o.d"
+  "/root/repo/src/proxy/pcv.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/pcv.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/pcv.cc.o.d"
+  "/root/repo/src/proxy/prefetch.cc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/prefetch.cc.o" "gcc" "src/proxy/CMakeFiles/piggyweb_proxy.dir/prefetch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

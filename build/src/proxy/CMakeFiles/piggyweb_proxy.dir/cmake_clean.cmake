@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_proxy.dir/adaptive_ttl.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/adaptive_ttl.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/cache.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/cache.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/coherency.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/coherency.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/filter_policy.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/filter_policy.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/informed_fetch.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/informed_fetch.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/pcv.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/pcv.cc.o.d"
+  "CMakeFiles/piggyweb_proxy.dir/prefetch.cc.o"
+  "CMakeFiles/piggyweb_proxy.dir/prefetch.cc.o.d"
+  "libpiggyweb_proxy.a"
+  "libpiggyweb_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

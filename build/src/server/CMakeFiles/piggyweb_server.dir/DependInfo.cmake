@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/meta.cc" "src/server/CMakeFiles/piggyweb_server.dir/meta.cc.o" "gcc" "src/server/CMakeFiles/piggyweb_server.dir/meta.cc.o.d"
+  "/root/repo/src/server/origin.cc" "src/server/CMakeFiles/piggyweb_server.dir/origin.cc.o" "gcc" "src/server/CMakeFiles/piggyweb_server.dir/origin.cc.o.d"
+  "/root/repo/src/server/volume_center.cc" "src/server/CMakeFiles/piggyweb_server.dir/volume_center.cc.o" "gcc" "src/server/CMakeFiles/piggyweb_server.dir/volume_center.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/piggyweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/piggyweb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_server.dir/meta.cc.o"
+  "CMakeFiles/piggyweb_server.dir/meta.cc.o.d"
+  "CMakeFiles/piggyweb_server.dir/origin.cc.o"
+  "CMakeFiles/piggyweb_server.dir/origin.cc.o.d"
+  "CMakeFiles/piggyweb_server.dir/volume_center.cc.o"
+  "CMakeFiles/piggyweb_server.dir/volume_center.cc.o.d"
+  "libpiggyweb_server.a"
+  "libpiggyweb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/end_to_end.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/end_to_end.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/end_to_end.cc.o.d"
+  "/root/repo/src/sim/ground_truth.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/ground_truth.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/ground_truth.cc.o.d"
+  "/root/repo/src/sim/hierarchy.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/hierarchy.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/hierarchy.cc.o.d"
+  "/root/repo/src/sim/locality.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/locality.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/locality.cc.o.d"
+  "/root/repo/src/sim/prediction_eval.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/prediction_eval.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/prediction_eval.cc.o.d"
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/piggyweb_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/piggyweb_sim.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/piggyweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/piggyweb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/piggyweb_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/piggyweb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/piggyweb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_sim.dir/end_to_end.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/end_to_end.cc.o.d"
+  "CMakeFiles/piggyweb_sim.dir/ground_truth.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/ground_truth.cc.o.d"
+  "CMakeFiles/piggyweb_sim.dir/hierarchy.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/hierarchy.cc.o.d"
+  "CMakeFiles/piggyweb_sim.dir/locality.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/locality.cc.o.d"
+  "CMakeFiles/piggyweb_sim.dir/prediction_eval.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/prediction_eval.cc.o.d"
+  "CMakeFiles/piggyweb_sim.dir/report.cc.o"
+  "CMakeFiles/piggyweb_sim.dir/report.cc.o.d"
+  "libpiggyweb_sim.a"
+  "libpiggyweb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/clf.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/clf.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/clf.cc.o.d"
+  "/root/repo/src/trace/log_stats.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/log_stats.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/log_stats.cc.o.d"
+  "/root/repo/src/trace/profiles.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/profiles.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/profiles.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/synthetic.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/synthetic.cc.o.d"
+  "/root/repo/src/trace/transform.cc" "src/trace/CMakeFiles/piggyweb_trace.dir/transform.cc.o" "gcc" "src/trace/CMakeFiles/piggyweb_trace.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

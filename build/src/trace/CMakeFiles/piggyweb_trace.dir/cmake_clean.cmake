@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_trace.dir/clf.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/clf.cc.o.d"
+  "CMakeFiles/piggyweb_trace.dir/log_stats.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/log_stats.cc.o.d"
+  "CMakeFiles/piggyweb_trace.dir/profiles.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/profiles.cc.o.d"
+  "CMakeFiles/piggyweb_trace.dir/record.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/record.cc.o.d"
+  "CMakeFiles/piggyweb_trace.dir/synthetic.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/synthetic.cc.o.d"
+  "CMakeFiles/piggyweb_trace.dir/transform.cc.o"
+  "CMakeFiles/piggyweb_trace.dir/transform.cc.o.d"
+  "libpiggyweb_trace.a"
+  "libpiggyweb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_util.dir/date.cc.o"
+  "CMakeFiles/piggyweb_util.dir/date.cc.o.d"
+  "CMakeFiles/piggyweb_util.dir/intern.cc.o"
+  "CMakeFiles/piggyweb_util.dir/intern.cc.o.d"
+  "CMakeFiles/piggyweb_util.dir/rng.cc.o"
+  "CMakeFiles/piggyweb_util.dir/rng.cc.o.d"
+  "CMakeFiles/piggyweb_util.dir/stats.cc.o"
+  "CMakeFiles/piggyweb_util.dir/stats.cc.o.d"
+  "CMakeFiles/piggyweb_util.dir/strings.cc.o"
+  "CMakeFiles/piggyweb_util.dir/strings.cc.o.d"
+  "libpiggyweb_util.a"
+  "libpiggyweb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/volume/directory.cc" "src/volume/CMakeFiles/piggyweb_volume.dir/directory.cc.o" "gcc" "src/volume/CMakeFiles/piggyweb_volume.dir/directory.cc.o.d"
+  "/root/repo/src/volume/pair_counter.cc" "src/volume/CMakeFiles/piggyweb_volume.dir/pair_counter.cc.o" "gcc" "src/volume/CMakeFiles/piggyweb_volume.dir/pair_counter.cc.o.d"
+  "/root/repo/src/volume/popularity.cc" "src/volume/CMakeFiles/piggyweb_volume.dir/popularity.cc.o" "gcc" "src/volume/CMakeFiles/piggyweb_volume.dir/popularity.cc.o.d"
+  "/root/repo/src/volume/probability.cc" "src/volume/CMakeFiles/piggyweb_volume.dir/probability.cc.o" "gcc" "src/volume/CMakeFiles/piggyweb_volume.dir/probability.cc.o.d"
+  "/root/repo/src/volume/serialize.cc" "src/volume/CMakeFiles/piggyweb_volume.dir/serialize.cc.o" "gcc" "src/volume/CMakeFiles/piggyweb_volume.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_volume.dir/directory.cc.o"
+  "CMakeFiles/piggyweb_volume.dir/directory.cc.o.d"
+  "CMakeFiles/piggyweb_volume.dir/pair_counter.cc.o"
+  "CMakeFiles/piggyweb_volume.dir/pair_counter.cc.o.d"
+  "CMakeFiles/piggyweb_volume.dir/popularity.cc.o"
+  "CMakeFiles/piggyweb_volume.dir/popularity.cc.o.d"
+  "CMakeFiles/piggyweb_volume.dir/probability.cc.o"
+  "CMakeFiles/piggyweb_volume.dir/probability.cc.o.d"
+  "CMakeFiles/piggyweb_volume.dir/serialize.cc.o"
+  "CMakeFiles/piggyweb_volume.dir/serialize.cc.o.d"
+  "libpiggyweb_volume.a"
+  "libpiggyweb_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

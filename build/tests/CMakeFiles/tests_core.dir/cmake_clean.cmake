@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_core.dir/core_feedback_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_feedback_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core_filter_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_filter_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core_frequency_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_frequency_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core_rpv_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_rpv_test.cc.o.d"
+  "CMakeFiles/tests_core.dir/core_wire_size_test.cc.o"
+  "CMakeFiles/tests_core.dir/core_wire_size_test.cc.o.d"
+  "tests_core"
+  "tests_core.pdb"
+  "tests_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

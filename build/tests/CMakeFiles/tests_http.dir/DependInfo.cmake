@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/http_chunked_test.cc" "tests/CMakeFiles/tests_http.dir/http_chunked_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_chunked_test.cc.o.d"
+  "/root/repo/tests/http_connection_test.cc" "tests/CMakeFiles/tests_http.dir/http_connection_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_connection_test.cc.o.d"
+  "/root/repo/tests/http_date_test.cc" "tests/CMakeFiles/tests_http.dir/http_date_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_date_test.cc.o.d"
+  "/root/repo/tests/http_header_map_test.cc" "tests/CMakeFiles/tests_http.dir/http_header_map_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_header_map_test.cc.o.d"
+  "/root/repo/tests/http_message_test.cc" "tests/CMakeFiles/tests_http.dir/http_message_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_message_test.cc.o.d"
+  "/root/repo/tests/http_piggy_headers_test.cc" "tests/CMakeFiles/tests_http.dir/http_piggy_headers_test.cc.o" "gcc" "tests/CMakeFiles/tests_http.dir/http_piggy_headers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/piggyweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/piggyweb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/piggyweb_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/piggyweb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/piggyweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/piggyweb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_http.dir/http_chunked_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_chunked_test.cc.o.d"
+  "CMakeFiles/tests_http.dir/http_connection_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_connection_test.cc.o.d"
+  "CMakeFiles/tests_http.dir/http_date_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_date_test.cc.o.d"
+  "CMakeFiles/tests_http.dir/http_header_map_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_header_map_test.cc.o.d"
+  "CMakeFiles/tests_http.dir/http_message_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_message_test.cc.o.d"
+  "CMakeFiles/tests_http.dir/http_piggy_headers_test.cc.o"
+  "CMakeFiles/tests_http.dir/http_piggy_headers_test.cc.o.d"
+  "tests_http"
+  "tests_http.pdb"
+  "tests_http[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codec_fuzz_test.cc" "tests/CMakeFiles/tests_integration.dir/codec_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/tests_integration.dir/codec_fuzz_test.cc.o.d"
+  "/root/repo/tests/integration_http_roundtrip_test.cc" "tests/CMakeFiles/tests_integration.dir/integration_http_roundtrip_test.cc.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration_http_roundtrip_test.cc.o.d"
+  "/root/repo/tests/integration_pipeline_test.cc" "tests/CMakeFiles/tests_integration.dir/integration_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration_pipeline_test.cc.o.d"
+  "/root/repo/tests/integration_properties_test.cc" "tests/CMakeFiles/tests_integration.dir/integration_properties_test.cc.o" "gcc" "tests/CMakeFiles/tests_integration.dir/integration_properties_test.cc.o.d"
+  "/root/repo/tests/reference_models_test.cc" "tests/CMakeFiles/tests_integration.dir/reference_models_test.cc.o" "gcc" "tests/CMakeFiles/tests_integration.dir/reference_models_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/piggyweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/piggyweb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/piggyweb_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/piggyweb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/piggyweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/piggyweb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

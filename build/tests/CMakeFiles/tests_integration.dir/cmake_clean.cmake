@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_integration.dir/codec_fuzz_test.cc.o"
+  "CMakeFiles/tests_integration.dir/codec_fuzz_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/integration_http_roundtrip_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration_http_roundtrip_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/integration_pipeline_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration_pipeline_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/integration_properties_test.cc.o"
+  "CMakeFiles/tests_integration.dir/integration_properties_test.cc.o.d"
+  "CMakeFiles/tests_integration.dir/reference_models_test.cc.o"
+  "CMakeFiles/tests_integration.dir/reference_models_test.cc.o.d"
+  "tests_integration"
+  "tests_integration.pdb"
+  "tests_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_proxy.dir/proxy_adaptive_ttl_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_adaptive_ttl_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_cache_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_cache_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_coherency_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_coherency_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_filter_policy_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_filter_policy_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_informed_fetch_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_informed_fetch_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_pcv_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_pcv_test.cc.o.d"
+  "CMakeFiles/tests_proxy.dir/proxy_prefetch_test.cc.o"
+  "CMakeFiles/tests_proxy.dir/proxy_prefetch_test.cc.o.d"
+  "tests_proxy"
+  "tests_proxy.pdb"
+  "tests_proxy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

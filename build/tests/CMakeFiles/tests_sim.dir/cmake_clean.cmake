@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_sim.dir/sim_end_to_end_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_end_to_end_test.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim_ground_truth_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_ground_truth_test.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim_hierarchy_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_hierarchy_test.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim_locality_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_locality_test.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim_prediction_eval_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_prediction_eval_test.cc.o.d"
+  "CMakeFiles/tests_sim.dir/sim_report_test.cc.o"
+  "CMakeFiles/tests_sim.dir/sim_report_test.cc.o.d"
+  "tests_sim"
+  "tests_sim.pdb"
+  "tests_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_tools.dir/tools_cli_test.cc.o"
+  "CMakeFiles/tests_tools.dir/tools_cli_test.cc.o.d"
+  "tests_tools"
+  "tests_tools.pdb"
+  "tests_tools[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_trace.dir/trace_clf_test.cc.o"
+  "CMakeFiles/tests_trace.dir/trace_clf_test.cc.o.d"
+  "CMakeFiles/tests_trace.dir/trace_log_stats_test.cc.o"
+  "CMakeFiles/tests_trace.dir/trace_log_stats_test.cc.o.d"
+  "CMakeFiles/tests_trace.dir/trace_record_test.cc.o"
+  "CMakeFiles/tests_trace.dir/trace_record_test.cc.o.d"
+  "CMakeFiles/tests_trace.dir/trace_synthetic_test.cc.o"
+  "CMakeFiles/tests_trace.dir/trace_synthetic_test.cc.o.d"
+  "CMakeFiles/tests_trace.dir/trace_transform_test.cc.o"
+  "CMakeFiles/tests_trace.dir/trace_transform_test.cc.o.d"
+  "tests_trace"
+  "tests_trace.pdb"
+  "tests_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util_date_test.cc" "tests/CMakeFiles/tests_util.dir/util_date_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_date_test.cc.o.d"
+  "/root/repo/tests/util_hash_test.cc" "tests/CMakeFiles/tests_util.dir/util_hash_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_hash_test.cc.o.d"
+  "/root/repo/tests/util_intern_test.cc" "tests/CMakeFiles/tests_util.dir/util_intern_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_intern_test.cc.o.d"
+  "/root/repo/tests/util_rng_test.cc" "tests/CMakeFiles/tests_util.dir/util_rng_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_rng_test.cc.o.d"
+  "/root/repo/tests/util_stats_test.cc" "tests/CMakeFiles/tests_util.dir/util_stats_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_stats_test.cc.o.d"
+  "/root/repo/tests/util_strings_test.cc" "tests/CMakeFiles/tests_util.dir/util_strings_test.cc.o" "gcc" "tests/CMakeFiles/tests_util.dir/util_strings_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/piggyweb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/piggyweb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/piggyweb_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/piggyweb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/piggyweb_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/volume/CMakeFiles/piggyweb_volume.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/piggyweb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/piggyweb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/piggyweb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

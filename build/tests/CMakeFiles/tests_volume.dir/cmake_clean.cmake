@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_volume.dir/volume_directory_test.cc.o"
+  "CMakeFiles/tests_volume.dir/volume_directory_test.cc.o.d"
+  "CMakeFiles/tests_volume.dir/volume_pair_counter_test.cc.o"
+  "CMakeFiles/tests_volume.dir/volume_pair_counter_test.cc.o.d"
+  "CMakeFiles/tests_volume.dir/volume_popularity_test.cc.o"
+  "CMakeFiles/tests_volume.dir/volume_popularity_test.cc.o.d"
+  "CMakeFiles/tests_volume.dir/volume_probability_test.cc.o"
+  "CMakeFiles/tests_volume.dir/volume_probability_test.cc.o.d"
+  "CMakeFiles/tests_volume.dir/volume_serialize_test.cc.o"
+  "CMakeFiles/tests_volume.dir/volume_serialize_test.cc.o.d"
+  "tests_volume"
+  "tests_volume.pdb"
+  "tests_volume[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_analyze.dir/piggyweb_analyze.cc.o"
+  "CMakeFiles/piggyweb_analyze.dir/piggyweb_analyze.cc.o.d"
+  "piggyweb_analyze"
+  "piggyweb_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

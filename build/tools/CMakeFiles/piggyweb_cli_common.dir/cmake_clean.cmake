@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_cli_common.dir/cli_common.cc.o"
+  "CMakeFiles/piggyweb_cli_common.dir/cli_common.cc.o.d"
+  "libpiggyweb_cli_common.a"
+  "libpiggyweb_cli_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_cli_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_evaluate.dir/piggyweb_evaluate.cc.o"
+  "CMakeFiles/piggyweb_evaluate.dir/piggyweb_evaluate.cc.o.d"
+  "piggyweb_evaluate"
+  "piggyweb_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piggyweb_generate.dir/piggyweb_generate.cc.o"
+  "CMakeFiles/piggyweb_generate.dir/piggyweb_generate.cc.o.d"
+  "piggyweb_generate"
+  "piggyweb_generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piggyweb_generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_generate "/root/repo/build/tools/piggyweb_generate" "--profile=aiusa" "--scale=0.01" "--out=/root/repo/build/tools/smoke.log" "--volumes-out=/root/repo/build/tools/smoke-volumes.txt")
+set_tests_properties(cli_generate PROPERTIES  FIXTURES_SETUP "cli_log" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze "/root/repo/build/tools/piggyweb_analyze" "--log=/root/repo/build/tools/smoke.log")
+set_tests_properties(cli_analyze PROPERTIES  FIXTURES_REQUIRED "cli_log" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;24;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate_directory "/root/repo/build/tools/piggyweb_evaluate" "--log=/root/repo/build/tools/smoke.log" "--scheme=directory" "--level=1" "--minfreq=10" "--rpv-timeout=30")
+set_tests_properties(cli_evaluate_directory PROPERTIES  FIXTURES_REQUIRED "cli_log" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_evaluate_pretrained "/root/repo/build/tools/piggyweb_evaluate" "--log=/root/repo/build/tools/smoke.log" "--scheme=probability" "--volumes=/root/repo/build/tools/smoke-volumes.txt")
+set_tests_properties(cli_evaluate_pretrained PROPERTIES  FIXTURES_REQUIRED "cli_log" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
