@@ -3,7 +3,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "sim/parallel_eval.h"
 #include "util/strings.h"
+#include "volume/sharded_pair_counter.h"
 
 namespace piggyweb::bench {
 
@@ -22,23 +24,49 @@ double scale_arg(int argc, char** argv, double fallback) {
   return fallback;
 }
 
+std::size_t threads_arg(int argc, char** argv, std::size_t fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (util::starts_with(arg, "--threads=")) {
+      std::uint64_t value = 0;
+      if (util::parse_u64(arg.substr(std::strlen("--threads=")), value)) {
+        return static_cast<std::size_t>(value);
+      }
+      std::fprintf(stderr, "ignoring malformed %s\n", argv[i]);
+    }
+  }
+  return fallback;
+}
+
 sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,
                                int level, const sim::EvalConfig& config,
-                               std::size_t max_candidates) {
+                               std::size_t max_candidates,
+                               std::size_t threads) {
   volume::DirectoryVolumeConfig dvc;
   dvc.level = level;
   dvc.max_candidates = max_candidates;
+  server::TraceMetaOracle meta(workload.trace);
+  if (threads != 1) {
+    sim::ParallelEvalConfig par;
+    par.threads = threads;
+    const auto spec = sim::shard_directory_volumes(dvc, workload.trace);
+    return sim::ParallelEvaluator(config, par).run(workload.trace, spec,
+                                                   meta);
+  }
   volume::DirectoryVolumes volumes(dvc);
   volumes.bind_paths(workload.trace.paths());
-  server::TraceMetaOracle meta(workload.trace);
   return sim::PredictionEvaluator(config).run(workload.trace, volumes, meta);
 }
 
 volume::PairCounts pair_counts(const trace::SyntheticWorkload& workload,
                                std::uint64_t min_resource_count,
-                               util::Seconds window) {
+                               util::Seconds window, std::size_t threads) {
   volume::PairCounterConfig pcc;
   pcc.window = window;
+  if (threads != 1) {
+    return volume::ParallelPairCounterBuilder(pcc, threads)
+        .build(workload.trace, min_resource_count);
+  }
   return volume::PairCounterBuilder(pcc).build(workload.trace,
                                                min_resource_count);
 }
@@ -47,11 +75,20 @@ ProbabilityRun eval_probability_with_counts(
     const trace::SyntheticWorkload& workload,
     const volume::PairCounts& counts,
     const volume::ProbabilityVolumeConfig& pvc,
-    const sim::EvalConfig& config) {
+    const sim::EvalConfig& config, std::size_t threads) {
   const auto set =
       volume::build_probability_volumes(workload.trace, counts, pvc);
-  volume::ProbabilityVolumes provider(&set, pvc.max_candidates);
   server::TraceMetaOracle meta(workload.trace);
+  if (threads != 1) {
+    sim::ParallelEvalConfig par;
+    par.threads = threads;
+    const auto spec =
+        sim::shard_probability_volumes(&set, pvc.max_candidates);
+    return {sim::ParallelEvaluator(config, par).run(workload.trace, spec,
+                                                    meta),
+            set.stats()};
+  }
+  volume::ProbabilityVolumes provider(&set, pvc.max_candidates);
   return {sim::PredictionEvaluator(config).run(workload.trace, provider,
                                                meta),
           set.stats()};
@@ -60,10 +97,12 @@ ProbabilityRun eval_probability_with_counts(
 ProbabilityRun eval_probability(const trace::SyntheticWorkload& workload,
                                 const volume::ProbabilityVolumeConfig& pvc,
                                 const sim::EvalConfig& config,
-                                std::uint64_t min_resource_count) {
+                                std::uint64_t min_resource_count,
+                                std::size_t threads) {
   const auto counts =
-      pair_counts(workload, min_resource_count, pvc.window);
-  return eval_probability_with_counts(workload, counts, pvc, config);
+      pair_counts(workload, min_resource_count, pvc.window, threads);
+  return eval_probability_with_counts(workload, counts, pvc, config,
+                                      threads);
 }
 
 void print_banner(const std::string& title,

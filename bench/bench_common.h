@@ -22,6 +22,10 @@ namespace piggyweb::bench {
 // Parse "--scale=<x>" from argv; returns fallback when absent.
 double scale_arg(int argc, char** argv, double fallback);
 
+// Parse "--threads=<n>" from argv; returns fallback when absent. 0 means
+// hardware concurrency; 1 (the default) runs the serial evaluators.
+std::size_t threads_arg(int argc, char** argv, std::size_t fallback = 1);
+
 // Default bench scales keep each binary within seconds on one core while
 // leaving enough traffic for stable statistics.
 inline constexpr double kAiusaScale = 0.30;   // ~54 k requests
@@ -31,10 +35,13 @@ inline constexpr double kSunScale = 0.012;    // ~156 k requests
 inline constexpr double kAttScale = 0.06;     // ~66 k requests
 inline constexpr double kDigitalScale = 0.012;
 
-// Evaluate directory-based volumes over a workload.
+// Evaluate directory-based volumes over a workload. threads > 1 (or 0 =
+// hardware) runs the parallel sharded engine; results are bit-identical
+// to the serial path for any thread count.
 sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,
                                int level, const sim::EvalConfig& config,
-                               std::size_t max_candidates = 200);
+                               std::size_t max_candidates = 200,
+                               std::size_t threads = 1);
 
 // Build probability volumes (optionally thinned/combined) and evaluate.
 struct ProbabilityRun {
@@ -44,7 +51,8 @@ struct ProbabilityRun {
 ProbabilityRun eval_probability(const trace::SyntheticWorkload& workload,
                                 const volume::ProbabilityVolumeConfig& pvc,
                                 const sim::EvalConfig& config,
-                                std::uint64_t min_resource_count = 10);
+                                std::uint64_t min_resource_count = 10,
+                                std::size_t threads = 1);
 
 // Same, but reusing precomputed pair counts (sweeps over p_t re-threshold
 // the same counters, like the paper's post-processing).
@@ -52,12 +60,13 @@ ProbabilityRun eval_probability_with_counts(
     const trace::SyntheticWorkload& workload,
     const volume::PairCounts& counts,
     const volume::ProbabilityVolumeConfig& pvc,
-    const sim::EvalConfig& config);
+    const sim::EvalConfig& config, std::size_t threads = 1);
 
 // Pair counts for a workload (exact counters, window T = 300 s).
 volume::PairCounts pair_counts(const trace::SyntheticWorkload& workload,
                                std::uint64_t min_resource_count = 10,
-                               util::Seconds window = 300);
+                               util::Seconds window = 300,
+                               std::size_t threads = 1);
 
 // Header banner shared by all binaries.
 void print_banner(const std::string& title, const std::string& what_to_check);

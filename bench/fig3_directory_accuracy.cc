@@ -15,7 +15,7 @@ using namespace piggyweb;
 
 namespace {
 
-void run_log(const trace::LogProfile& profile) {
+void run_log(const trace::LogProfile& profile, std::size_t threads) {
   const auto workload = trace::generate(profile);
   std::printf("(%s: %zu requests)\n", profile.name.c_str(),
               workload.trace.size());
@@ -27,12 +27,13 @@ void run_log(const trace::LogProfile& profile) {
          {1u, 50u, 100u, 250u, 500u, 1000u, 2500u}) {
       sim::EvalConfig config;
       config.filter.min_access_count = filter;
-      const auto result = bench::eval_directory(workload, level, config);
+      const auto result =
+          bench::eval_directory(workload, level, config, 200, threads);
 
       sim::EvalConfig config15 = config;
       config15.prediction_window = 900;
       const auto result15 =
-          bench::eval_directory(workload, level, config15);
+          bench::eval_directory(workload, level, config15, 200, threads);
 
       table.row({sim::Table::count(filter),
                  sim::Table::count(static_cast<std::uint64_t>(level)),
@@ -50,6 +51,7 @@ void run_log(const trace::LogProfile& profile) {
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_arg(argc, argv, 1.0);
+  const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(
       "Figure 3: accuracy of directory-based volumes (Sun, AIUSA)",
       "(a) fraction predicted rises with piggyback size with diminishing "
@@ -57,7 +59,7 @@ int main(int argc, char** argv) {
       "peaks ~80% at smaller sizes); (b) update fraction ~20% for Sun, "
       "5-10% for AIUSA, slightly higher at T=15min");
 
-  run_log(trace::sun_profile(bench::kSunScale * scale));
-  run_log(trace::aiusa_profile(bench::kAiusaScale * scale));
+  run_log(trace::sun_profile(bench::kSunScale * scale), threads);
+  run_log(trace::aiusa_profile(bench::kAiusaScale * scale), threads);
   return 0;
 }

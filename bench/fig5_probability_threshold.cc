@@ -17,6 +17,7 @@ using namespace piggyweb;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_arg(argc, argv, 1.0);
+  const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(
       "Figure 5: fraction predicted vs probability threshold (Sun)",
       "(a) all four curves fall as p_t rises; thinning (eff 0.1/0.2) "
@@ -27,7 +28,7 @@ int main(int argc, char** argv) {
   const auto workload =
       trace::generate(trace::sun_profile(bench::kSunScale * scale));
   std::printf("(sun: %zu requests)\n", workload.trace.size());
-  const auto counts = bench::pair_counts(workload);
+  const auto counts = bench::pair_counts(workload, 10, 300, threads);
   std::printf("pair counters: %zu\n\n", counts.counter_count());
 
   struct Variant {
@@ -51,7 +52,7 @@ int main(int argc, char** argv) {
       pvc.combine_prefix_level = variant.combine;
       sim::EvalConfig config;
       const auto run = bench::eval_probability_with_counts(
-          workload, counts, pvc, config);
+          workload, counts, pvc, config, threads);
       row.push_back(sim::Table::pct(run.result.fraction_predicted()));
     }
     table.row(std::move(row));
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
   volume::ProbabilityVolumeConfig pvc;
   pvc.probability_threshold = 0.2;
   const auto run = bench::eval_probability_with_counts(workload, counts,
-                                                       pvc, {});
+                                                       pvc, {}, threads);
   std::printf(
       "\nvolume structure at p_t=0.2: %zu volumes, avg size %.1f, "
       "self-membership %.1f%% (paper ~1%%), symmetric entries %.1f%% "

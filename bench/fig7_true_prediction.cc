@@ -14,11 +14,11 @@ using namespace piggyweb;
 
 namespace {
 
-void run_log(const trace::LogProfile& profile) {
+void run_log(const trace::LogProfile& profile, std::size_t threads) {
   const auto workload = trace::generate(profile);
   std::printf("(%s: %zu requests)\n", profile.name.c_str(),
               workload.trace.size());
-  const auto counts = bench::pair_counts(workload);
+  const auto counts = bench::pair_counts(workload, 10, 300, threads);
 
   sim::Table table({"p_t", "base avg size", "base precision",
                     "thinned avg size", "thinned precision"});
@@ -26,13 +26,13 @@ void run_log(const trace::LogProfile& profile) {
        {0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9}) {
     volume::ProbabilityVolumeConfig base;
     base.probability_threshold = pt;
-    const auto base_run =
-        bench::eval_probability_with_counts(workload, counts, base, {});
+    const auto base_run = bench::eval_probability_with_counts(
+        workload, counts, base, {}, threads);
 
     volume::ProbabilityVolumeConfig thinned = base;
     thinned.effectiveness_threshold = 0.2;
-    const auto thin_run =
-        bench::eval_probability_with_counts(workload, counts, thinned, {});
+    const auto thin_run = bench::eval_probability_with_counts(
+        workload, counts, thinned, {}, threads);
 
     table.row(
         {sim::Table::num(pt, 2),
@@ -49,13 +49,14 @@ void run_log(const trace::LogProfile& profile) {
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_arg(argc, argv, 1.0);
+  const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(
       "Figure 7: true prediction fraction vs avg piggyback size",
       "precision rises as p_t tightens (smaller piggybacks); thinned "
       "volumes dominate the base curve; any base-curve dip at mid sizes "
       "(non-monotonicity, clearest for Sun) disappears after thinning");
 
-  run_log(trace::aiusa_profile(bench::kAiusaScale * scale));
-  run_log(trace::sun_profile(bench::kSunScale * scale));
+  run_log(trace::aiusa_profile(bench::kAiusaScale * scale), threads);
+  run_log(trace::sun_profile(bench::kSunScale * scale), threads);
   return 0;
 }

@@ -1,0 +1,153 @@
+// Parallel evaluation engine scaling: serial PredictionEvaluator vs the
+// sharded ParallelEvaluator at 1/2/4/8 threads over a large att_client
+// trace (default --scale targets ~1M requests). Every run's metrics must
+// be bit-identical — the binary exits non-zero on any mismatch — so the
+// only thing allowed to change with the thread count is the wall time.
+//
+//   parallel_scaling [--scale=15.2] [--json=BENCH_parallel_eval.json]
+//
+// The JSON report records per-run wall seconds, requests/second, and
+// speedup vs serial, plus the machine's hardware thread count: speedups
+// are only meaningful when the host has cores to spare.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/parallel_eval.h"
+#include "sim/report.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+using namespace piggyweb;
+
+namespace {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+std::string json_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (util::starts_with(arg, "--json=")) {
+      return std::string(arg.substr(std::strlen("--json=")));
+    }
+  }
+  return "";
+}
+
+struct Run {
+  std::string label;
+  std::size_t threads;  // 0 = serial evaluator
+  double seconds = 0;
+  sim::EvalResult result;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // att_client at kAttScale * 15.2 ~= 1M requests.
+  const double scale = bench::scale_arg(argc, argv, 15.2);
+  const auto json_path = json_arg(argc, argv);
+  bench::print_banner(
+      "Parallel sharded evaluation engine: throughput scaling",
+      "all rows report identical metrics (checked bit-for-bit); wall time "
+      "drops with threads when the host has idle cores");
+
+  const auto workload =
+      trace::generate(trace::att_client_profile(bench::kAttScale * scale));
+  std::printf("(att_client: %zu requests, %zu hardware threads)\n\n",
+              workload.trace.size(), util::ThreadPool::hardware_threads());
+
+  sim::EvalConfig config;
+  config.filter.max_elements = 20;
+  config.use_rpv = true;
+  config.rpv.timeout = 30;
+  config.min_piggyback_interval = 15;
+
+  volume::DirectoryVolumeConfig dvc;
+  server::TraceMetaOracle meta(workload.trace);
+
+  std::vector<Run> runs;
+  {
+    Run run{"serial", 0, 0, {}};
+    volume::DirectoryVolumes volumes(dvc);
+    volumes.bind_paths(workload.trace.paths());
+    const auto start = now_seconds();
+    run.result =
+        sim::PredictionEvaluator(config).run(workload.trace, volumes, meta);
+    run.seconds = now_seconds() - start;
+    runs.push_back(std::move(run));
+  }
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    Run run{"threads=" + std::to_string(threads), threads, 0, {}};
+    sim::ParallelEvalConfig par;
+    par.threads = threads;
+    const auto spec = sim::shard_directory_volumes(dvc, workload.trace);
+    const auto start = now_seconds();
+    run.result = sim::ParallelEvaluator(config, par).run(workload.trace,
+                                                         spec, meta);
+    run.seconds = now_seconds() - start;
+    runs.push_back(std::move(run));
+  }
+
+  const auto& serial = runs.front();
+  bool identical = true;
+  for (const auto& run : runs) {
+    if (std::memcmp(&run.result, &serial.result, sizeof serial.result) !=
+        0) {
+      std::fprintf(stderr, "METRIC MISMATCH in %s\n", run.label.c_str());
+      identical = false;
+    }
+  }
+
+  const auto requests = static_cast<double>(workload.trace.size());
+  sim::Table table({"run", "wall s", "requests/s", "speedup vs serial"});
+  for (const auto& run : runs) {
+    table.row({run.label, sim::Table::num(run.seconds, 2),
+               sim::Table::num(requests / run.seconds, 0),
+               sim::Table::num(serial.seconds / run.seconds, 2)});
+  }
+  table.print(std::cout);
+  std::printf("\nmetrics identical across all runs: %s\n",
+              identical ? "yes" : "NO");
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    out << "{\n"
+        << "  \"benchmark\": \"parallel_eval_scaling\",\n"
+        << "  \"workload\": \"att_client\",\n"
+        << "  \"requests\": " << workload.trace.size() << ",\n"
+        << "  \"hardware_threads\": "
+        << util::ThreadPool::hardware_threads() << ",\n"
+        << "  \"metrics_identical\": " << (identical ? "true" : "false")
+        << ",\n"
+        << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto& run = runs[i];
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"label\": \"%s\", \"threads\": %zu, "
+                    "\"wall_seconds\": %.3f, \"requests_per_second\": %.0f, "
+                    "\"speedup_vs_serial\": %.3f}%s\n",
+                    run.label.c_str(), run.threads, run.seconds,
+                    requests / run.seconds, serial.seconds / run.seconds,
+                    i + 1 < runs.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return identical ? 0 : 1;
+}

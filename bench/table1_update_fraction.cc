@@ -14,6 +14,7 @@ using namespace piggyweb;
 
 int main(int argc, char** argv) {
   const double scale = bench::scale_arg(argc, argv, 1.0);
+  const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(
       "Table 1: update fraction for probability-based volumes",
       "Sun has much the largest cache-hit share and update fraction "
@@ -37,7 +38,8 @@ int main(int argc, char** argv) {
     sim::EvalConfig config;
     config.prediction_window = 300;
     config.cache_horizon = 2 * util::kHour;
-    const auto run = bench::eval_probability(workload, pvc, config);
+    const auto run =
+        bench::eval_probability(workload, pvc, config, 10, threads);
     const auto& r = run.result;
     const auto requests = static_cast<double>(r.requests);
     const auto hits =

@@ -1,0 +1,75 @@
+// Shared core of the serial and parallel prediction evaluators.
+//
+// The evaluation of one request factors into two halves with disjoint
+// state:
+//   1. the *provider* half — drive VolumeProvider::on_request and apply
+//      the static proxy filter; state partitions by volume (directory
+//      volumes) or is absent (probability volumes);
+//   2. the *metrics* half — prediction/true-prediction/update accounting,
+//      frequency control, and RPV suppression; state partitions by source
+//      (the paper's pseudo-proxies are independent prediction streams,
+//      §3.1).
+// MetricAccumulator is that second half. PredictionEvaluator runs both
+// halves inline per request; ParallelEvaluator runs half 1 sharded by
+// volume and half 2 sharded by source, feeding each source's requests to
+// its accumulator in trace order — which is why both paths produce
+// bit-identical EvalResults.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "core/rpv.h"
+#include "sim/prediction_eval.h"
+#include "trace/record.h"
+
+namespace piggyweb::sim::detail {
+
+// Sentinel "long ago" for first-touch comparisons.
+inline constexpr util::Seconds kNever = -(1LL << 60);
+
+struct ResourceState {
+  util::Seconds last_access = kNever;
+  util::Seconds last_mention = kNever;   // any piggyback mention
+  util::Seconds interval_open = kNever;  // start of current prediction
+  bool fulfilled = false;
+};
+
+// Packs two dense 32-bit ids into one map key.
+inline std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+// Metric + per-source protocol state for a set of sources. Feed every
+// request of an owned source, in trace order, together with the piggyback
+// message the server would send under the *static* filter (frequency
+// control and RPV suppression are per-source and applied here). Only the
+// element resource ids matter for the metrics, so that is all observe()
+// takes.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(const EvalConfig& config) : config_(&config) {}
+
+  void observe(const trace::Request& request, core::VolumeId volume,
+               std::span<const util::InternId> resources);
+
+  const EvalResult& result() const { return result_; }
+
+ private:
+  const EvalConfig* config_;
+  EvalResult result_;
+  // (source, resource) -> state. Sources and resources are dense ids.
+  std::unordered_map<std::uint64_t, ResourceState> state_;
+  // (source, server) -> last piggyback time (frequency control).
+  std::unordered_map<std::uint64_t, util::Seconds> last_piggy_;
+  // (source, server) -> RPV list.
+  std::unordered_map<std::uint64_t, core::RpvList> rpv_;
+};
+
+// Merge partial results from disjoint request sets: every field is a
+// count over per-request events, so integer addition is an exact,
+// order-independent merge.
+EvalResult merge_results(std::span<const EvalResult> partials);
+
+}  // namespace piggyweb::sim::detail

@@ -1,0 +1,181 @@
+#include "sim/parallel_eval.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/eval_core.h"
+#include "util/expect.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace piggyweb::sim {
+
+ShardedProviderSpec shard_directory_volumes(
+    const volume::DirectoryVolumeConfig& config, const trace::Trace& trace) {
+  ShardedProviderSpec spec;
+  const trace::Trace* trace_ptr = &trace;
+  spec.make = [config, trace_ptr](std::size_t shard, std::size_t shards) {
+    auto shard_config = config;
+    shard_config.id_offset = static_cast<core::VolumeId>(shard);
+    shard_config.id_stride = static_cast<core::VolumeId>(shards);
+    auto provider = std::make_unique<volume::DirectoryVolumes>(shard_config);
+    provider->bind_paths(trace_ptr->paths());
+    return provider;
+  };
+  const int level = config.level;
+  spec.shard_of = [trace_ptr, level](const trace::Request& request,
+                                     std::size_t shards) {
+    // Must agree with DirectoryVolumes::volume_key: same (server, prefix)
+    // -> same shard, so each volume's state lives wholly in one shard.
+    const auto path = trace_ptr->paths().str(request.path);
+    const auto prefix = util::directory_prefix(path, level);
+    return static_cast<std::size_t>(
+        util::hash_combine(request.server, util::fnv1a(prefix)) % shards);
+  };
+  return spec;
+}
+
+ShardedProviderSpec shard_probability_volumes(
+    const volume::ProbabilityVolumeSet* set, std::size_t max_candidates) {
+  PW_EXPECT(set != nullptr);
+  ShardedProviderSpec spec;
+  spec.make = [set, max_candidates](std::size_t /*shard*/,
+                                    std::size_t /*shards*/) {
+    // Lookups into the shared immutable set are read-only, so every shard
+    // may wrap the same table.
+    return std::make_unique<volume::ProbabilityVolumes>(set, max_candidates);
+  };
+  spec.shard_of = [](const trace::Request& request, std::size_t shards) {
+    return static_cast<std::size_t>(
+        util::hash_id_pair(request.server, request.path) % shards);
+  };
+  return spec;
+}
+
+EvalResult ParallelEvaluator::run(const trace::Trace& trace,
+                                  const ShardedProviderSpec& spec,
+                                  const core::MetaOracle& meta,
+                                  ParallelEvalStats* stats) {
+  const auto& requests = trace.requests();
+  PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
+                           [](const trace::Request& a,
+                              const trace::Request& b) {
+                             return a.time < b.time;
+                           }));
+  PW_EXPECT(config_.cache_horizon > config_.prediction_window);
+  PW_EXPECT(spec.make != nullptr);
+  PW_EXPECT(spec.shard_of != nullptr);
+
+  const std::size_t threads =
+      par_.threads != 0 ? par_.threads : util::ThreadPool::hardware_threads();
+  const std::size_t pshards =
+      par_.provider_shards != 0 ? par_.provider_shards : threads;
+  const std::size_t sshards =
+      par_.source_shards != 0 ? par_.source_shards : threads;
+  const std::size_t chunk = par_.chunk_requests != 0
+                                ? par_.chunk_requests
+                                : std::size_t{1} << 15;
+
+  util::ThreadPool pool(threads);
+
+  // One provider instance per provider shard; shard-local volume state.
+  std::vector<std::unique_ptr<core::VolumeProvider>> providers;
+  providers.reserve(pshards);
+  for (std::size_t s = 0; s < pshards; ++s) {
+    providers.push_back(spec.make(s, pshards));
+    PW_ENSURE(providers.back() != nullptr);
+  }
+
+  // Each request's provider shard is a pure function of the request;
+  // compute the whole column up front, in parallel.
+  std::vector<std::uint32_t> provider_shard(requests.size());
+  util::parallel_ranges(
+      pool, requests.size(), [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto s = spec.shard_of(requests[i], pshards);
+          PW_EXPECT(s < pshards);
+          provider_shard[i] = static_cast<std::uint32_t>(s);
+        }
+      });
+
+  const auto source_shard = [sshards](util::InternId source) {
+    return static_cast<std::size_t>(util::mix64(source) % sshards);
+  };
+
+  // Per-source-shard metric state, persistent across chunks.
+  std::vector<detail::MetricAccumulator> accumulators;
+  accumulators.reserve(sshards);
+  for (std::size_t s = 0; s < sshards; ++s) {
+    accumulators.emplace_back(config_);
+  }
+
+  // Per-request staging slots for the current chunk, reused across chunks.
+  struct Staged {
+    core::VolumeId volume = core::kNoVolume;
+    std::vector<util::InternId> resources;
+  };
+  std::vector<Staged> staged(std::min(chunk, requests.size()));
+
+  for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
+    const auto end = std::min(begin + chunk, requests.size());
+
+    // Stage 1: drive providers and apply the static filter. Within a
+    // shard, requests are visited in trace order, so per-volume state
+    // evolves exactly as in the serial run.
+    util::parallel_shards(pool, pshards, [&](std::size_t s) {
+      auto& provider = *providers[s];
+      for (std::size_t i = begin; i < end; ++i) {
+        if (provider_shard[i] != s) continue;
+        const auto& req = requests[i];
+        core::VolumeRequest vr;
+        vr.server = req.server;
+        vr.source = req.source;
+        vr.path = req.path;
+        vr.time = req.time;
+        vr.size = req.size;
+        vr.type = trace::classify_path(trace.paths().str(req.path));
+        const auto prediction = provider.on_request(vr);
+        const auto message =
+            core::apply_filter(prediction, vr, config_.filter, meta);
+        auto& slot = staged[i - begin];
+        slot.volume = message.volume;
+        slot.resources.clear();
+        slot.resources.reserve(message.elements.size());
+        for (const auto& element : message.elements) {
+          slot.resources.push_back(element.resource);
+        }
+      }
+    });
+
+    // Stage 2: replay the staged messages through the per-source metric
+    // machine — the same MetricAccumulator the serial evaluator uses.
+    util::parallel_shards(pool, sshards, [&](std::size_t w) {
+      auto& acc = accumulators[w];
+      for (std::size_t i = begin; i < end; ++i) {
+        const auto& req = requests[i];
+        if (source_shard(req.source) != w) continue;
+        const auto& slot = staged[i - begin];
+        acc.observe(req, slot.volume, slot.resources);
+      }
+    });
+  }
+
+  std::vector<EvalResult> partials;
+  partials.reserve(sshards);
+  for (const auto& acc : accumulators) partials.push_back(acc.result());
+
+  if (stats != nullptr) {
+    stats->threads = pool.thread_count();
+    stats->provider_shards = pshards;
+    stats->source_shards = sshards;
+    stats->volume_count = 0;
+    for (const auto& provider : providers) {
+      stats->volume_count += provider->volume_count();
+    }
+  }
+  return detail::merge_results(partials);
+}
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,96 @@
+// Parallel sharded evaluation engine.
+//
+// Replays a trace through a volume provider + proxy filter on N worker
+// threads while producing results *bit-identical* to PredictionEvaluator —
+// for any trace, configuration, and thread count. The trace is processed
+// in time-ordered chunks, each chunk in two stages:
+//
+//   stage 1 (provider): requests are sharded by *volume key* (server +
+//     k-level directory prefix for directory volumes; any stable hash for
+//     stateless probability volumes). Each shard owns a private provider
+//     instance, so the per-volume FIFO/move-to-front state evolves exactly
+//     as in the serial run — a volume's requests are always handled by the
+//     same shard, in trace order. The shard applies the static proxy
+//     filter and stages the resulting message per request.
+//
+//   stage 2 (metrics): requests are sharded by *source*. Each shard owns
+//     the metric/frequency-control/RPV state for its sources (the paper's
+//     pseudo-proxies are independent prediction streams) and replays the
+//     staged messages through the shared MetricAccumulator — the same
+//     code the serial evaluator runs.
+//
+// Per-shard partial results merge by integer addition, so the totals do
+// not depend on thread count or scheduling. Directory-volume ids are
+// numbered offset/stride per shard (globally unique), which RPV equality
+// checks cannot distinguish from serial numbering.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+#include "sim/prediction_eval.h"
+#include "volume/directory.h"
+#include "volume/probability.h"
+
+namespace piggyweb::sim {
+
+struct ParallelEvalConfig {
+  std::size_t threads = 0;          // 0 = hardware concurrency
+  std::size_t provider_shards = 0;  // 0 = same as threads
+  std::size_t source_shards = 0;    // 0 = same as threads
+  // Requests per chunk; the two stages synchronize at chunk boundaries.
+  std::size_t chunk_requests = 1 << 15;
+};
+
+// How to build and address per-shard provider instances.
+struct ShardedProviderSpec {
+  // Builds the provider owning shard `shard` of `shards`.
+  std::function<std::unique_ptr<core::VolumeProvider>(std::size_t shard,
+                                                      std::size_t shards)>
+      make;
+  // Maps a request to the shard whose provider must see it. Requests that
+  // touch the same provider state (the same volume) MUST map to the same
+  // shard; stateless providers may use any stable function of the request.
+  std::function<std::size_t(const trace::Request& request,
+                            std::size_t shards)>
+      shard_of;
+};
+
+// Directory volumes: shard by (server, directory-prefix) — the volume key —
+// so each volume's FIFO state lives wholly in one shard. Shard k of S gets
+// volume ids k, k+S, k+2S, ... (see DirectoryVolumeConfig::id_offset).
+// The spec borrows the trace's path table; it must not outlive `trace`.
+ShardedProviderSpec shard_directory_volumes(
+    const volume::DirectoryVolumeConfig& config, const trace::Trace& trace);
+
+// Probability volumes: stateless lookups into a shared immutable set; any
+// stable hash balances the work. `set` must outlive the returned spec.
+ShardedProviderSpec shard_probability_volumes(
+    const volume::ProbabilityVolumeSet* set, std::size_t max_candidates);
+
+struct ParallelEvalStats {
+  std::size_t threads = 0;
+  std::size_t provider_shards = 0;
+  std::size_t source_shards = 0;
+  std::size_t volume_count = 0;  // summed over shard providers
+};
+
+class ParallelEvaluator {
+ public:
+  ParallelEvaluator(const EvalConfig& config, const ParallelEvalConfig& par)
+      : config_(config), par_(par) {}
+
+  // `trace` must be time-sorted. Returns exactly what
+  // PredictionEvaluator::run would return for an equivalent provider.
+  EvalResult run(const trace::Trace& trace,
+                 const ShardedProviderSpec& provider,
+                 const core::MetaOracle& meta,
+                 ParallelEvalStats* stats = nullptr);
+
+ private:
+  EvalConfig config_;
+  ParallelEvalConfig par_;
+};
+
+}  // namespace piggyweb::sim

@@ -1,23 +1,108 @@
 #include "sim/prediction_eval.h"
 
 #include <algorithm>
+#include <vector>
 
+#include "sim/eval_core.h"
 #include "util/expect.h"
 
 namespace piggyweb::sim {
-namespace {
 
-// Sentinel "long ago" for first-touch comparisons.
-constexpr util::Seconds kNever = -(1LL << 60);
+namespace detail {
 
-struct ResourceState {
-  util::Seconds last_access = kNever;
-  util::Seconds last_mention = kNever;   // any piggyback mention
-  util::Seconds interval_open = kNever;  // start of current prediction
-  bool fulfilled = false;
-};
+void MetricAccumulator::observe(const trace::Request& req,
+                                core::VolumeId volume,
+                                std::span<const util::InternId> resources) {
+  const auto T = config_->prediction_window;
+  const auto t = req.time.value;
+  const auto C = config_->cache_horizon;
 
-}  // namespace
+  ++result_.requests;
+  auto& rs = state_[pair_key(req.source, req.path)];
+
+  // --- metrics, evaluated against state from *earlier* requests --------
+  const bool predicted =
+      rs.last_mention != kNever && t - rs.last_mention <= T;
+  if (predicted) ++result_.predicted_requests;
+  const bool prev_within_horizon =
+      rs.last_access != kNever && t - rs.last_access <= C;
+  const bool prev_within_window =
+      rs.last_access != kNever && t - rs.last_access <= T;
+  if (prev_within_horizon) ++result_.prev_occurrence_within_horizon;
+  if (prev_within_window) ++result_.prev_occurrence_within_window;
+  if (predicted && prev_within_horizon && !prev_within_window) {
+    ++result_.updated_by_piggyback;
+  }
+
+  // --- true-prediction fulfilment ---------------------------------------
+  if (!rs.fulfilled && rs.interval_open != kNever &&
+      t - rs.interval_open <= T) {
+    ++result_.predictions_true;
+    rs.fulfilled = true;
+  }
+
+  rs.last_access = t;
+
+  // --- proxy side: frequency control + RPV suppression -------------------
+  // The incoming (volume, resources) already passed the static filter;
+  // both remaining controls only suppress the message as a whole, so this
+  // is exactly equivalent to feeding them into apply_filter().
+  bool enabled = config_->filter.enabled;
+  const auto pair = pair_key(req.source, req.server);
+  if (config_->min_piggyback_interval > 0) {
+    const auto it = last_piggy_.find(pair);
+    if (it != last_piggy_.end() &&
+        t - it->second < config_->min_piggyback_interval) {
+      enabled = false;
+    }
+  }
+  bool suppressed = volume == core::kNoVolume || resources.empty();
+  core::RpvList* rpv_list = nullptr;
+  if (config_->use_rpv && enabled) {
+    rpv_list = &rpv_.try_emplace(pair, config_->rpv).first->second;
+    const auto live = rpv_list->live(req.time);
+    if (!suppressed &&
+        std::find(live.begin(), live.end(), volume) != live.end()) {
+      suppressed = true;
+    }
+  }
+  if (!enabled || suppressed) return;
+
+  ++result_.piggyback_messages;
+  result_.piggyback_elements += resources.size();
+  last_piggy_[pair] = t;
+  if (rpv_list != nullptr) rpv_list->note(volume, req.time);
+
+  for (const auto resource : resources) {
+    auto& es = state_[pair_key(req.source, resource)];
+    es.last_mention = t;
+    if (es.interval_open == kNever || t - es.interval_open > T) {
+      // A new prediction interval opens; multiple mentions within one
+      // interval count once (§3.1).
+      es.interval_open = t;
+      es.fulfilled = false;
+      ++result_.predictions_made;
+    }
+  }
+}
+
+EvalResult merge_results(std::span<const EvalResult> partials) {
+  EvalResult total;
+  for (const auto& r : partials) {
+    total.requests += r.requests;
+    total.predicted_requests += r.predicted_requests;
+    total.piggyback_messages += r.piggyback_messages;
+    total.piggyback_elements += r.piggyback_elements;
+    total.predictions_made += r.predictions_made;
+    total.predictions_true += r.predictions_true;
+    total.prev_occurrence_within_horizon += r.prev_occurrence_within_horizon;
+    total.prev_occurrence_within_window += r.prev_occurrence_within_window;
+    total.updated_by_piggyback += r.updated_by_piggyback;
+  }
+  return total;
+}
+
+}  // namespace detail
 
 EvalResult PredictionEvaluator::run(const trace::Trace& trace,
                                     core::VolumeProvider& provider,
@@ -28,51 +113,11 @@ EvalResult PredictionEvaluator::run(const trace::Trace& trace,
                               const trace::Request& b) {
                              return a.time < b.time;
                            }));
-  const auto T = config_.prediction_window;
-  const auto C = config_.cache_horizon;
-  PW_EXPECT(C > T);
+  PW_EXPECT(config_.cache_horizon > config_.prediction_window);
 
-  EvalResult result;
-  // (source, resource) -> state. Sources and resources are both dense ids.
-  std::unordered_map<std::uint64_t, ResourceState> state;
-  state.reserve(requests.size() / 2);
-  const auto skey = [](util::InternId source, util::InternId resource) {
-    return (static_cast<std::uint64_t>(source) << 32) | resource;
-  };
-  // (source, server) -> last piggyback time (frequency control).
-  std::unordered_map<std::uint64_t, util::Seconds> last_piggy;
-  // (source, server) -> RPV list.
-  std::unordered_map<std::uint64_t, core::RpvList> rpv;
-
+  detail::MetricAccumulator acc(config_);
+  std::vector<util::InternId> resources;
   for (const auto& req : requests) {
-    ++result.requests;
-    const auto t = req.time.value;
-    auto& rs = state[skey(req.source, req.path)];
-
-    // --- metrics, evaluated against state from *earlier* requests --------
-    const bool predicted =
-        rs.last_mention != kNever && t - rs.last_mention <= T;
-    if (predicted) ++result.predicted_requests;
-    const bool prev_within_horizon =
-        rs.last_access != kNever && t - rs.last_access <= C;
-    const bool prev_within_window =
-        rs.last_access != kNever && t - rs.last_access <= T;
-    if (prev_within_horizon) ++result.prev_occurrence_within_horizon;
-    if (prev_within_window) ++result.prev_occurrence_within_window;
-    if (predicted && prev_within_horizon && !prev_within_window) {
-      ++result.updated_by_piggyback;
-    }
-
-    // --- true-prediction fulfilment ---------------------------------------
-    if (!rs.fulfilled && rs.interval_open != kNever &&
-        t - rs.interval_open <= T) {
-      ++result.predictions_true;
-      rs.fulfilled = true;
-    }
-
-    rs.last_access = t;
-
-    // --- server side: maintain volumes, maybe piggyback -------------------
     core::VolumeRequest vr;
     vr.server = req.server;
     vr.source = req.source;
@@ -81,43 +126,16 @@ EvalResult PredictionEvaluator::run(const trace::Trace& trace,
     vr.size = req.size;
     vr.type = trace::classify_path(trace.paths().str(req.path));
     const auto prediction = provider.on_request(vr);
-
-    auto filter = config_.filter;
-    const auto pair = skey(req.source, req.server);
-    if (config_.min_piggyback_interval > 0) {
-      const auto it = last_piggy.find(pair);
-      if (it != last_piggy.end() &&
-          t - it->second < config_.min_piggyback_interval) {
-        filter.enabled = false;
-      }
-    }
-    core::RpvList* rpv_list = nullptr;
-    if (config_.use_rpv && filter.enabled) {
-      rpv_list = &rpv.try_emplace(pair, config_.rpv).first->second;
-      filter.rpv = rpv_list->live(req.time);
-    }
-
-    const auto message = core::apply_filter(prediction, vr, filter, meta);
-    if (message.empty()) continue;
-
-    ++result.piggyback_messages;
-    result.piggyback_elements += message.elements.size();
-    last_piggy[pair] = t;
-    if (rpv_list != nullptr) rpv_list->note(message.volume, req.time);
-
+    const auto message =
+        core::apply_filter(prediction, vr, config_.filter, meta);
+    resources.clear();
+    resources.reserve(message.elements.size());
     for (const auto& element : message.elements) {
-      auto& es = state[skey(req.source, element.resource)];
-      es.last_mention = t;
-      if (es.interval_open == kNever || t - es.interval_open > T) {
-        // A new prediction interval opens; multiple mentions within one
-        // interval count once (§3.1).
-        es.interval_open = t;
-        es.fulfilled = false;
-        ++result.predictions_made;
-      }
+      resources.push_back(element.resource);
     }
+    acc.observe(req, message.volume, resources);
   }
-  return result;
+  return acc.result();
 }
 
 }  // namespace piggyweb::sim

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
+#include <sstream>
+
+#include "sim/prediction_eval.h"
 
 namespace piggyweb::sim {
 
@@ -53,5 +56,23 @@ std::string Table::pct(double fraction, int decimals) {
 }
 
 std::string Table::count(std::uint64_t v) { return std::to_string(v); }
+
+std::string render_eval_report(const EvalResult& result) {
+  Table table({"metric", "value"});
+  table.row({"fraction predicted (recall)",
+             Table::pct(result.fraction_predicted())});
+  table.row({"true prediction fraction (precision)",
+             Table::pct(result.true_prediction_fraction())});
+  table.row({"update fraction", Table::pct(result.update_fraction())});
+  table.row({"avg piggyback size",
+             Table::num(result.avg_piggyback_size(), 2)});
+  table.row({"piggyback elements per request",
+             Table::num(result.elements_per_request(), 2)});
+  table.row({"piggyback messages", Table::count(result.piggyback_messages)});
+  table.row({"requests", Table::count(result.requests)});
+  std::ostringstream out;
+  table.print(out);
+  return out.str();
+}
 
 }  // namespace piggyweb::sim

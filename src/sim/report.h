@@ -9,6 +9,8 @@
 
 namespace piggyweb::sim {
 
+struct EvalResult;
+
 class Table {
  public:
   explicit Table(std::vector<std::string> headers);
@@ -25,5 +27,11 @@ class Table {
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
 };
+
+// The §3.1 metric table for one evaluation, rendered to a string — shared
+// by piggyweb_evaluate and the parallel/serial equivalence tests, so
+// "identical report output" is asserted against the exact production
+// rendering.
+std::string render_eval_report(const EvalResult& result);
 
 }  // namespace piggyweb::sim

@@ -1,0 +1,87 @@
+// Blocking fork-join helpers over a ThreadPool.
+//
+// Both helpers are *barriers*: they return only after every invocation of
+// `fn` has finished, so callers may hand workers mutable references to
+// disjoint shard state without further synchronisation. The first
+// exception thrown by any invocation is rethrown on the calling thread
+// after the barrier. Do not call these from inside a pool task — with
+// every worker blocked on the barrier the nested tasks could never run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace piggyweb::util {
+
+namespace detail {
+
+// Completion latch + first-exception capture shared by one fork-join.
+struct JoinState {
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending = 0;
+  std::exception_ptr error;
+
+  void finish(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (e && !error) error = e;
+    if (--pending == 0) done.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    done.wait(lock, [this] { return pending == 0; });
+    if (error) std::rethrow_exception(error);
+  }
+};
+
+}  // namespace detail
+
+// Runs fn(shard) for every shard in [0, shards) across the pool's workers
+// and blocks until all complete. Shard indices are a partition contract,
+// not a schedule: any shard may run on any worker, concurrently with any
+// other shard.
+template <typename Fn>
+void parallel_shards(ThreadPool& pool, std::size_t shards, const Fn& fn) {
+  if (shards == 0) return;
+  if (shards == 1 || pool.thread_count() == 1) {
+    for (std::size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  detail::JoinState join;
+  join.pending = shards;
+  for (std::size_t s = 0; s < shards; ++s) {
+    pool.post([&join, &fn, s] {
+      std::exception_ptr error;
+      try {
+        fn(s);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      join.finish(error);
+    });
+  }
+  join.wait();
+}
+
+// Runs fn(begin, end) over a static partition of [0, n) into one
+// contiguous range per worker. Static ranges keep per-worker output
+// independent of scheduling, which the deterministic merges rely on.
+template <typename Fn>
+void parallel_ranges(ThreadPool& pool, std::size_t n, const Fn& fn) {
+  const auto workers = pool.thread_count();
+  if (n == 0) return;
+  const auto shards = workers < n ? workers : n;
+  const auto chunk = (n + shards - 1) / shards;
+  parallel_shards(pool, shards, [&fn, n, chunk](std::size_t s) {
+    const auto begin = s * chunk;
+    const auto end = begin + chunk < n ? begin + chunk : n;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace piggyweb::util

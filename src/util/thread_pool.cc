@@ -1,0 +1,55 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+
+namespace piggyweb::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const auto count = std::max<std::size_t>(1, threads);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  PW_EXPECT(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PW_EXPECT(!stopping_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const auto n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace piggyweb::util

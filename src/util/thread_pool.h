@@ -1,0 +1,55 @@
+// Fixed-size worker pool with a shared FIFO work queue — the execution
+// substrate for the parallel sharded evaluation engine (sim/parallel_eval)
+// and the parallel pair-counter builder (volume/sharded_pair_counter).
+//
+// Design constraints, in order:
+//   * determinism lives in the *callers*: the pool makes no ordering
+//     promises beyond running every posted task exactly once, so anything
+//     built on it must partition state by shard and merge commutatively;
+//   * blocking barriers are explicit (util/parallel.h), not implicit —
+//     posting is fire-and-forget;
+//   * programming errors (posting after shutdown) abort via contracts, and
+//     exceptions escaping a task abort too: tasks run on detached stacks
+//     where nobody could catch them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace piggyweb::util {
+
+class ThreadPool {
+ public:
+  // Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads);
+
+  // Joins all workers after draining the queue.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  // Enqueues a task; it runs on some worker, at some point, once.
+  void post(std::function<void()> task);
+
+  // Best-effort hardware concurrency, never 0.
+  static std::size_t hardware_threads();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace piggyweb::util

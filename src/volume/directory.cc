@@ -11,6 +11,8 @@ DirectoryVolumes::DirectoryVolumes(const DirectoryVolumeConfig& config)
     : config_(config) {
   PW_EXPECT(config.level >= 0);
   PW_EXPECT(config.max_volume_elements > 0);
+  PW_EXPECT(config.id_stride >= 1);
+  PW_EXPECT(config.id_offset < config.id_stride);
 }
 
 std::size_t DirectoryVolumes::partition_of(trace::ContentType type,
@@ -35,6 +37,8 @@ core::VolumePrediction DirectoryVolumes::on_request(
   const auto path = paths_->str(request.path);
   const auto key = volume_key(request.server, path);
 
+  // ids_ holds the dense local index; the public id applies the
+  // offset/stride numbering from the config.
   auto [it, inserted] =
       ids_.try_emplace(key, static_cast<core::VolumeId>(volumes_.size()));
   if (inserted) volumes_.emplace_back();
@@ -44,7 +48,7 @@ core::VolumePrediction DirectoryVolumes::on_request(
   trim(volume);
 
   core::VolumePrediction prediction;
-  prediction.volume = it->second;
+  prediction.volume = config_.id_offset + config_.id_stride * it->second;
   prediction.resources = collect(volume);
   return prediction;
 }
@@ -126,12 +130,16 @@ std::vector<util::InternId> DirectoryVolumes::collect(
 core::VolumeId DirectoryVolumes::peek_volume(util::InternId server,
                                              std::string_view path) const {
   const auto it = ids_.find(volume_key(server, path));
-  return it == ids_.end() ? core::kNoVolume : it->second;
+  if (it == ids_.end()) return core::kNoVolume;
+  return config_.id_offset + config_.id_stride * it->second;
 }
 
 std::size_t DirectoryVolumes::volume_size(core::VolumeId id) const {
-  PW_EXPECT(id < volumes_.size());
-  return volumes_[id].index.size();
+  PW_EXPECT(id >= config_.id_offset);
+  PW_EXPECT((id - config_.id_offset) % config_.id_stride == 0);
+  const auto local = (id - config_.id_offset) / config_.id_stride;
+  PW_EXPECT(local < volumes_.size());
+  return volumes_[local].index.size();
 }
 
 }  // namespace piggyweb::volume

@@ -72,6 +72,8 @@ class PairCounts {
 
  private:
   friend class PairCounterBuilder;
+  friend class ParallelPairCounterBuilder;
+  friend class ShardedPairCounterTable;
   std::vector<std::uint64_t> c_r_;  // indexed by resource id
   std::unordered_map<std::uint64_t, PairCount> pairs_;
 };

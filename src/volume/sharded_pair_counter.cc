@@ -1,0 +1,283 @@
+#include "volume/sharded_pair_counter.h"
+
+#include <algorithm>
+
+#include "util/expect.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace piggyweb::volume {
+
+ShardedPairCounterTable::ShardedPairCounterTable(std::size_t stripes)
+    : stripes_(std::max<std::size_t>(1, stripes)),
+      table_(std::make_unique<Stripe[]>(stripes_)) {}
+
+ShardedPairCounterTable::Stripe& ShardedPairCounterTable::pair_stripe(
+    std::uint64_t key) const {
+  return table_[util::mix64(key) % stripes_];
+}
+
+ShardedPairCounterTable::Stripe& ShardedPairCounterTable::occurrence_stripe(
+    util::InternId r) const {
+  return table_[util::mix64(r) % stripes_];
+}
+
+void ShardedPairCounterTable::add_pair(util::InternId r, util::InternId s,
+                                       std::uint64_t delta) {
+  add_pair_key(PairCounts::key(r, s), delta);
+}
+
+void ShardedPairCounterTable::add_pair_key(std::uint64_t key,
+                                           std::uint64_t delta) {
+  auto& stripe = pair_stripe(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.pairs[key] += delta;
+}
+
+void ShardedPairCounterTable::add_occurrence(util::InternId r,
+                                             std::uint64_t delta) {
+  auto& stripe = occurrence_stripe(r);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  stripe.occurrences[r] += delta;
+}
+
+std::uint64_t ShardedPairCounterTable::pair_count(util::InternId r,
+                                                  util::InternId s) const {
+  const auto key = PairCounts::key(r, s);
+  auto& stripe = pair_stripe(key);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.pairs.find(key);
+  return it == stripe.pairs.end() ? 0 : it->second;
+}
+
+std::uint64_t ShardedPairCounterTable::occurrences(util::InternId r) const {
+  auto& stripe = occurrence_stripe(r);
+  std::lock_guard<std::mutex> lock(stripe.mutex);
+  const auto it = stripe.occurrences.find(r);
+  return it == stripe.occurrences.end() ? 0 : it->second;
+}
+
+std::size_t ShardedPairCounterTable::counter_count() const {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    std::lock_guard<std::mutex> lock(table_[i].mutex);
+    total += table_[i].pairs.size();
+  }
+  return total;
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+ShardedPairCounterTable::pair_entries() const {
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(counter_count());
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    std::lock_guard<std::mutex> lock(table_[i].mutex);
+    for (const auto& [key, count] : table_[i].pairs) {
+      out.emplace_back(key, count);
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> ShardedPairCounterTable::occurrence_vector()
+    const {
+  util::InternId max_r = 0;
+  bool any = false;
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    std::lock_guard<std::mutex> lock(table_[i].mutex);
+    for (const auto& [r, count] : table_[i].occurrences) {
+      (void)count;
+      if (!any || r > max_r) max_r = r;
+      any = true;
+    }
+  }
+  std::vector<std::uint64_t> out(any ? max_r + 1 : 0, 0);
+  for (std::size_t i = 0; i < stripes_; ++i) {
+    std::lock_guard<std::mutex> lock(table_[i].mutex);
+    for (const auto& [r, count] : table_[i].occurrences) out[r] = count;
+  }
+  return out;
+}
+
+PairCounts ShardedPairCounterTable::to_pair_counts() const {
+  PairCounts counts;
+  counts.c_r_ = occurrence_vector();
+  for (const auto& [key, count] : pair_entries()) {
+    counts.pairs_.emplace(key, PairCount{count, 0});
+  }
+  return counts;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelPairCounterBuilder
+
+namespace {
+
+// One pair's first co-occurrence within one source: enough, combined with
+// the ascending-source merge, to reconstruct the serial builder's
+// cr_at_creation (= qualifying r-occurrences processed before the counter
+// was created, in source-grouped order).
+struct Creation {
+  std::uint64_t key;
+  std::uint64_t local_before;  // qualifying r-occurrences earlier in source
+};
+
+struct SourceLog {
+  std::vector<Creation> creations;
+  std::vector<std::pair<util::InternId, std::uint64_t>> local_cr;
+};
+
+struct LocalPair {
+  std::uint64_t count = 0;
+  std::uint64_t local_before = 0;
+};
+
+}  // namespace
+
+ParallelPairCounterBuilder::ParallelPairCounterBuilder(
+    const PairCounterConfig& config, std::size_t threads)
+    : config_(config),
+      threads_(threads == 0 ? util::ThreadPool::hardware_threads()
+                            : threads) {
+  PW_EXPECT(config.window > 0);
+  PW_EXPECT(config.sample_threshold > 0);
+}
+
+PairCounts ParallelPairCounterBuilder::build(
+    const trace::Trace& trace, std::uint64_t min_resource_count) {
+  if (threads_ <= 1 || config_.sample_counters) {
+    return PairCounterBuilder(config_).build(trace, min_resource_count);
+  }
+  const auto& requests = trace.requests();
+  PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
+                           [](const trace::Request& a,
+                              const trace::Request& b) {
+                             return a.time < b.time;
+                           }));
+
+  util::ThreadPool pool(threads_);
+
+  // Resource popularity for the min-count cut: per-range local counts
+  // merged by addition.
+  std::size_t path_count = 0;
+  for (const auto& req : requests) {
+    path_count = std::max<std::size_t>(path_count, req.path + 1);
+  }
+  std::vector<std::uint64_t> popularity(path_count, 0);
+  {
+    std::vector<std::vector<std::uint64_t>> partial(
+        pool.thread_count(), std::vector<std::uint64_t>(path_count, 0));
+    std::mutex slot_mutex;
+    std::size_t next_slot = 0;
+    util::parallel_ranges(
+        pool, requests.size(),
+        [&](std::size_t begin, std::size_t end) {
+          std::size_t slot;
+          {
+            std::lock_guard<std::mutex> lock(slot_mutex);
+            slot = next_slot++;
+          }
+          auto& local = partial[slot];
+          for (std::size_t i = begin; i < end; ++i) ++local[requests[i].path];
+        });
+    for (const auto& local : partial) {
+      for (std::size_t r = 0; r < path_count; ++r) popularity[r] += local[r];
+    }
+  }
+
+  // Bucket request indices by source; buckets inherit the trace's time
+  // order, so each bucket is exactly the serial builder's source slice.
+  const auto source_count = trace.sources().size();
+  std::vector<std::vector<std::uint32_t>> by_source(source_count);
+  for (std::uint32_t i = 0; i < requests.size(); ++i) {
+    by_source[requests[i].source].push_back(i);
+  }
+
+  const auto prefix_of = [&](util::InternId path) {
+    return util::directory_prefix(trace.paths().str(path),
+                                  config_.restrict_prefix_level);
+  };
+
+  ShardedPairCounterTable table;
+  std::vector<SourceLog> logs(source_count);
+
+  // Workers own interleaved source slices (round-robin keeps the heavy
+  // sources spread out); all cross-worker output is either the commutative
+  // sharded table or the per-source logs, so results are independent of
+  // scheduling.
+  util::parallel_shards(
+      pool, pool.thread_count(), [&](std::size_t worker) {
+        std::unordered_map<util::InternId, std::uint64_t> local_cr;
+        std::unordered_map<std::uint64_t, LocalPair> local_pairs;
+        std::vector<util::InternId> successors;
+        for (std::size_t src = worker; src < source_count;
+             src += pool.thread_count()) {
+          const auto& slice = by_source[src];
+          if (slice.empty()) continue;
+          local_cr.clear();
+          local_pairs.clear();
+          for (std::size_t i = 0; i < slice.size(); ++i) {
+            const auto& ri = requests[slice[i]];
+            const auto r = ri.path;
+            if (popularity[r] < min_resource_count) continue;
+            const auto cr_now = ++local_cr[r];
+
+            successors.clear();
+            for (std::size_t j = i + 1; j < slice.size(); ++j) {
+              const auto& rj = requests[slice[j]];
+              if (rj.time - ri.time > config_.window) break;
+              const auto s = rj.path;
+              if (popularity[s] < min_resource_count) continue;
+              if (std::find(successors.begin(), successors.end(), s) !=
+                  successors.end()) {
+                continue;
+              }
+              successors.push_back(s);
+            }
+
+            for (const auto s : successors) {
+              if (config_.restrict_prefix_level > 0 &&
+                  prefix_of(r) != prefix_of(s)) {
+                continue;
+              }
+              const auto key = PairCounts::key(r, s);
+              auto [it, created] =
+                  local_pairs.try_emplace(key, LocalPair{0, cr_now - 1});
+              (void)created;
+              ++it->second.count;
+            }
+          }
+          auto& log = logs[src];
+          log.creations.reserve(local_pairs.size());
+          for (const auto& [key, pair] : local_pairs) {
+            table.add_pair_key(key, pair.count);
+            log.creations.push_back({key, pair.local_before});
+          }
+          log.local_cr.assign(local_cr.begin(), local_cr.end());
+        }
+      });
+
+  // Sequential merge in ascending source order — the serial builder's
+  // iteration order — to reconstruct cr_at_creation: the first source
+  // observing a pair creates its counter, at the global qualifying r-count
+  // reached just before that observation.
+  PairCounts counts;
+  counts.c_r_.assign(path_count, 0);
+  std::unordered_map<std::uint64_t, std::uint64_t> created_at;
+  for (std::size_t src = 0; src < source_count; ++src) {
+    for (const auto& creation : logs[src].creations) {
+      const auto r = static_cast<util::InternId>(creation.key >> 32);
+      created_at.try_emplace(creation.key,
+                             counts.c_r_[r] + creation.local_before);
+    }
+    for (const auto& [r, n] : logs[src].local_cr) counts.c_r_[r] += n;
+  }
+  for (const auto& [key, count] : table.pair_entries()) {
+    counts.pairs_.emplace(key, PairCount{count, created_at.at(key)});
+  }
+  return counts;
+}
+
+}  // namespace piggyweb::volume

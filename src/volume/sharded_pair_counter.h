@@ -1,0 +1,101 @@
+// Concurrent pair counting for multi-core trace replay.
+//
+// Two pieces:
+//
+//   * ShardedPairCounterTable — a c(s|r) / c(r) counter table striped by
+//     key hash: each stripe owns a disjoint slice of the key space behind
+//     its own mutex, so writers from different threads contend only when
+//     they hash to the same stripe (~1/stripes of the time). Counter sums
+//     are commutative, so the merged table is identical for every update
+//     interleaving and thread count — the determinism the differential
+//     tests (tests/reference_models_test.cc) enforce.
+//
+//   * ParallelPairCounterBuilder — a drop-in parallel replacement for
+//     PairCounterBuilder. Pair counting shards naturally by source (pairs
+//     are per-source successor observations, §3.3.1): workers scan
+//     disjoint source slices, accumulate pair totals into the sharded
+//     table, and record per-source counter-creation offsets; a sequential
+//     merge in ascending source order then reconstructs exactly the
+//     cr_at_creation values the serial builder produces. For exact
+//     (unsampled) counters the result is bit-identical to
+//     PairCounterBuilder at every thread count. Sampled configs fall back
+//     to the serial builder: the sampler consumes a single global RNG
+//     stream whose draw order has no order-independent equivalent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "volume/pair_counter.h"
+
+namespace piggyweb::volume {
+
+class ShardedPairCounterTable {
+ public:
+  explicit ShardedPairCounterTable(std::size_t stripes = 64);
+
+  // Adds `delta` co-occurrences to c(s|r). Thread-safe.
+  void add_pair(util::InternId r, util::InternId s, std::uint64_t delta = 1);
+  void add_pair_key(std::uint64_t key, std::uint64_t delta = 1);
+
+  // Adds `delta` occurrences to c(r). Thread-safe.
+  void add_occurrence(util::InternId r, std::uint64_t delta = 1);
+
+  // Point reads (lock one stripe). Intended for tests and post-merge use,
+  // not for read-mostly hot paths.
+  std::uint64_t pair_count(util::InternId r, util::InternId s) const;
+  std::uint64_t occurrences(util::InternId r) const;
+
+  std::size_t counter_count() const;
+  std::size_t stripe_count() const { return stripes_; }
+
+  // Snapshot of all pair counters as (key, count), unordered. Callers that
+  // need a canonical order sort by key.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pair_entries() const;
+
+  // Snapshot of c(r) as a dense vector indexed by resource id.
+  std::vector<std::uint64_t> occurrence_vector() const;
+
+  // Deterministic merge into the serial result type: counts and
+  // occurrences are the (interleaving-independent) sums; cr_at_creation is
+  // 0, i.e. plain exact estimates count / c(r). Callers needing the serial
+  // builder's creation-adjusted denominators use ParallelPairCounterBuilder.
+  PairCounts to_pair_counts() const;
+
+ private:
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::uint64_t> pairs;
+    std::unordered_map<util::InternId, std::uint64_t> occurrences;
+  };
+
+  Stripe& pair_stripe(std::uint64_t key) const;
+  Stripe& occurrence_stripe(util::InternId r) const;
+
+  std::size_t stripes_;
+  std::unique_ptr<Stripe[]> table_;
+};
+
+// Parallel, source-sharded replacement for PairCounterBuilder.
+class ParallelPairCounterBuilder {
+ public:
+  // threads = 0 picks the hardware thread count.
+  ParallelPairCounterBuilder(const PairCounterConfig& config,
+                             std::size_t threads);
+
+  // Same contract as PairCounterBuilder::build. Bit-identical to the
+  // serial builder when config.sample_counters is false (the default);
+  // sampled configs run serially.
+  PairCounts build(const trace::Trace& trace,
+                   std::uint64_t min_resource_count = 1);
+
+ private:
+  PairCounterConfig config_;
+  std::size_t threads_;
+};
+
+}  // namespace piggyweb::volume

@@ -4,9 +4,12 @@
 // bookkeeping bugs (split FIFO partitions, iterator juggling, eviction
 // order) that example-based tests miss.
 #include <algorithm>
+#include <cstdint>
 #include <list>
 #include <map>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -15,6 +18,8 @@
 #include "util/rng.h"
 #include "util/strings.h"
 #include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/sharded_pair_counter.h"
 
 namespace piggyweb {
 namespace {
@@ -177,6 +182,154 @@ TEST_P(DirectoryDifferential, MatchesReferenceOverRandomRequests) {
 
 INSTANTIATE_TEST_SUITE_P(Levels, DirectoryDifferential,
                          ::testing::Values(0, 1, 2));
+
+// --- Sharded pair-counter table vs serial reference -------------------------
+
+// A randomized operation list is split round-robin across real threads
+// that update the sharded table concurrently; a single-threaded replay of
+// the same list into plain maps is the reference. Counter sums commute,
+// so the merged table must match exactly for every interleaving.
+class ShardedPairCounterDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ShardedPairCounterDifferential, InterleavedUpdatesMatchSerial) {
+  constexpr std::size_t kThreads = 4;
+  constexpr std::uint32_t kIdSpace = 37;
+
+  struct Op {
+    util::InternId r;
+    util::InternId s;
+    bool pair;  // add_pair(r, s) if set, else add_occurrence(r)
+  };
+  util::Rng rng(GetParam());
+  std::vector<Op> ops(12'000);
+  for (auto& op : ops) {
+    op.r = static_cast<util::InternId>(rng.below(kIdSpace));
+    op.s = static_cast<util::InternId>(rng.below(kIdSpace));
+    op.pair = rng.below(3) != 0;
+  }
+
+  volume::ShardedPairCounterTable table(8);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &ops, &table] {
+      for (std::size_t i = t; i < ops.size(); i += kThreads) {
+        if (ops[i].pair) {
+          table.add_pair(ops[i].r, ops[i].s);
+        } else {
+          table.add_occurrence(ops[i].r);
+        }
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs;
+  std::unordered_map<util::InternId, std::uint64_t> occurrences;
+  for (const auto& op : ops) {
+    if (op.pair) {
+      ++pairs[volume::PairCounts::key(op.r, op.s)];
+    } else {
+      ++occurrences[op.r];
+    }
+  }
+
+  EXPECT_EQ(table.counter_count(), pairs.size());
+  for (std::uint32_t r = 0; r < kIdSpace; ++r) {
+    const auto occ = occurrences.find(r);
+    ASSERT_EQ(table.occurrences(r),
+              occ == occurrences.end() ? 0 : occ->second)
+        << "r=" << r;
+    for (std::uint32_t s = 0; s < kIdSpace; ++s) {
+      const auto it = pairs.find(volume::PairCounts::key(r, s));
+      ASSERT_EQ(table.pair_count(r, s), it == pairs.end() ? 0 : it->second)
+          << "r=" << r << " s=" << s;
+    }
+  }
+
+  // The deterministic merge reproduces the same counts.
+  const auto merged = table.to_pair_counts();
+  EXPECT_EQ(merged.counter_count(), pairs.size());
+  for (const auto& [key, count] : pairs) {
+    const auto it = merged.pairs().find(key);
+    ASSERT_NE(it, merged.pairs().end()) << key;
+    EXPECT_EQ(it->second.count, count) << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedPairCounterDifferential,
+                         ::testing::Values(11, 29, 4242, 19980901));
+
+// --- Parallel pair-counter builder vs serial builder ------------------------
+
+void expect_same_counts(const volume::PairCounts& serial,
+                        const volume::PairCounts& parallel) {
+  EXPECT_EQ(serial.counter_count(), parallel.counter_count());
+  EXPECT_EQ(serial.resource_occurrences(),
+            parallel.resource_occurrences());
+  for (const auto& [key, pc] : serial.pairs()) {
+    const auto it = parallel.pairs().find(key);
+    ASSERT_NE(it, parallel.pairs().end()) << "key " << key;
+    EXPECT_EQ(pc.count, it->second.count) << "key " << key;
+    EXPECT_EQ(pc.cr_at_creation, it->second.cr_at_creation)
+        << "key " << key;
+  }
+}
+
+trace::Trace random_single_server_trace(std::uint64_t seed,
+                                        std::size_t requests) {
+  std::vector<std::string> pool;
+  for (const char* dir : {"", "/a", "/a/x", "/b"}) {
+    for (int i = 0; i < 8; ++i) {
+      pool.push_back(std::string(dir) + "/r" + std::to_string(i) + ".html");
+    }
+  }
+  util::Rng rng(seed);
+  trace::Trace trace;
+  util::Seconds now = 1'000'000;
+  for (std::size_t i = 0; i < requests; ++i) {
+    now += static_cast<util::Seconds>(rng.below(3));  // duplicates allowed
+    const auto source = "10.0.0." + std::to_string(rng.below(6));
+    trace.add({now}, source, "origin", pool[rng.below(pool.size())]);
+  }
+  return trace;  // built time-sorted
+}
+
+class ParallelPairCounterDifferential
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelPairCounterDifferential, MatchesSerialBuilderExactly) {
+  const auto trace = random_single_server_trace(GetParam(), 6'000);
+  for (const int prefix_level : {0, 1}) {
+    volume::PairCounterConfig config;
+    config.window = 120;
+    config.restrict_prefix_level = prefix_level;
+    for (const std::uint64_t min_count : {1u, 5u}) {
+      const auto serial =
+          volume::PairCounterBuilder(config).build(trace, min_count);
+      for (const std::size_t threads : {2u, 4u, 8u}) {
+        const auto parallel =
+            volume::ParallelPairCounterBuilder(config, threads)
+                .build(trace, min_count);
+        expect_same_counts(serial, parallel);
+      }
+    }
+  }
+}
+
+TEST_P(ParallelPairCounterDifferential, SampledConfigFallsBackToSerial) {
+  const auto trace = random_single_server_trace(GetParam() ^ 0xABCD, 3'000);
+  volume::PairCounterConfig config;
+  config.sample_counters = true;
+  const auto serial = volume::PairCounterBuilder(config).build(trace, 1);
+  const auto parallel =
+      volume::ParallelPairCounterBuilder(config, 4).build(trace, 1);
+  expect_same_counts(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelPairCounterDifferential,
+                         ::testing::Values(7, 1234, 987654321));
 
 }  // namespace
 }  // namespace piggyweb

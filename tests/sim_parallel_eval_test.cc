@@ -1,0 +1,279 @@
+// Determinism property tests for the parallel sharded evaluation engine:
+// for every synthetic log profile and a spread of filter configurations,
+// ParallelEvaluator at 1/2/4/8 threads must produce an EvalResult that is
+// byte-identical to the serial PredictionEvaluator, and the rendered
+// metric report must match character for character. Runs under the tsan
+// ctest label (-DPIGGYWEB_SANITIZE=thread + `ctest -L tsan`).
+#include "sim/parallel_eval.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/meta.h"
+#include "sim/prediction_eval.h"
+#include "sim/report.h"
+#include "trace/profiles.h"
+#include "util/rng.h"
+#include "volume/directory.h"
+#include "volume/pair_counter.h"
+#include "volume/probability.h"
+#include "volume/sharded_pair_counter.h"
+
+namespace piggyweb {
+namespace {
+
+// Every profile the synthetic generator knows, at scales small enough to
+// keep the whole suite within seconds.
+std::vector<trace::LogProfile> tiny_profiles() {
+  return {trace::aiusa_profile(0.03),      trace::apache_profile(0.002),
+          trace::sun_profile(0.0005),     trace::marimba_profile(0.025),
+          trace::att_client_profile(0.005),
+          trace::digital_client_profile(0.002)};
+}
+
+void expect_identical(const sim::EvalResult& serial,
+                      const sim::EvalResult& parallel,
+                      const std::string& label) {
+  // Field comparisons first for readable failures...
+  EXPECT_EQ(serial.requests, parallel.requests) << label;
+  EXPECT_EQ(serial.predicted_requests, parallel.predicted_requests) << label;
+  EXPECT_EQ(serial.piggyback_messages, parallel.piggyback_messages) << label;
+  EXPECT_EQ(serial.piggyback_elements, parallel.piggyback_elements) << label;
+  EXPECT_EQ(serial.predictions_made, parallel.predictions_made) << label;
+  EXPECT_EQ(serial.predictions_true, parallel.predictions_true) << label;
+  EXPECT_EQ(serial.prev_occurrence_within_horizon,
+            parallel.prev_occurrence_within_horizon)
+      << label;
+  EXPECT_EQ(serial.prev_occurrence_within_window,
+            parallel.prev_occurrence_within_window)
+      << label;
+  EXPECT_EQ(serial.updated_by_piggyback, parallel.updated_by_piggyback)
+      << label;
+  // ...then the headline guarantee: byte identity and identical reports.
+  static_assert(std::is_trivially_copyable_v<sim::EvalResult>);
+  EXPECT_EQ(std::memcmp(&serial, &parallel, sizeof serial), 0) << label;
+  EXPECT_EQ(sim::render_eval_report(serial),
+            sim::render_eval_report(parallel))
+      << label;
+}
+
+// The paper's §3.2 configuration with every dynamic control turned on:
+// RPV suppression, frequency control, and an access filter.
+sim::EvalConfig full_controls_config() {
+  sim::EvalConfig config;
+  config.filter.max_elements = 20;
+  config.filter.min_access_count = 3;
+  config.use_rpv = true;
+  config.rpv.timeout = 30;
+  config.min_piggyback_interval = 15;
+  return config;
+}
+
+// Heavy access filter + longer window, no RPV (the other §3.2.2 corner).
+sim::EvalConfig access_filter_config() {
+  sim::EvalConfig config;
+  config.prediction_window = 900;
+  config.filter.max_elements = 8;
+  config.filter.min_access_count = 10;
+  return config;
+}
+
+sim::EvalResult run_serial_directory(const trace::SyntheticWorkload& w,
+                                     const sim::EvalConfig& config,
+                                     int level) {
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = level;
+  volume::DirectoryVolumes volumes(dvc);
+  volumes.bind_paths(w.trace.paths());
+  server::TraceMetaOracle meta(w.trace);
+  return sim::PredictionEvaluator(config).run(w.trace, volumes, meta);
+}
+
+sim::EvalResult run_parallel_directory(const trace::SyntheticWorkload& w,
+                                       const sim::EvalConfig& config,
+                                       int level,
+                                       const sim::ParallelEvalConfig& par,
+                                       sim::ParallelEvalStats* stats =
+                                           nullptr) {
+  volume::DirectoryVolumeConfig dvc;
+  dvc.level = level;
+  const auto spec = sim::shard_directory_volumes(dvc, w.trace);
+  server::TraceMetaOracle meta(w.trace);
+  return sim::ParallelEvaluator(config, par).run(w.trace, spec, meta, stats);
+}
+
+TEST(ParallelEvalDeterminism, DirectoryAllProfilesAllThreadCounts) {
+  const auto config = full_controls_config();
+  for (const auto& profile : tiny_profiles()) {
+    const auto workload = trace::generate(profile);
+    ASSERT_GT(workload.trace.size(), 100u) << profile.name;
+    const auto serial = run_serial_directory(workload, config, 1);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      sim::ParallelEvalConfig par;
+      par.threads = threads;
+      const auto parallel =
+          run_parallel_directory(workload, config, 1, par);
+      expect_identical(serial, parallel,
+                       profile.name + " threads=" +
+                           std::to_string(threads));
+    }
+  }
+}
+
+TEST(ParallelEvalDeterminism, DirectoryAccessFilterConfig) {
+  const auto config = access_filter_config();
+  for (const auto& profile :
+       {trace::aiusa_profile(0.03), trace::sun_profile(0.0005)}) {
+    const auto workload = trace::generate(profile);
+    for (const int level : {0, 2}) {
+      const auto serial = run_serial_directory(workload, config, level);
+      for (const std::size_t threads : {2u, 8u}) {
+        sim::ParallelEvalConfig par;
+        par.threads = threads;
+        const auto parallel =
+            run_parallel_directory(workload, config, level, par);
+        expect_identical(serial, parallel,
+                         profile.name + " level=" + std::to_string(level) +
+                             " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(ParallelEvalDeterminism, ChunkBoundariesAndAsymmetricShards) {
+  const auto config = full_controls_config();
+  const auto workload = trace::generate(trace::aiusa_profile(0.03));
+  const auto serial = run_serial_directory(workload, config, 1);
+  // Tiny chunks force many stage-1/stage-2 handoffs; shard counts that
+  // differ from the thread count exercise the queueing paths.
+  sim::ParallelEvalConfig par;
+  par.threads = 2;
+  par.provider_shards = 3;
+  par.source_shards = 5;
+  par.chunk_requests = 64;
+  const auto parallel = run_parallel_directory(workload, config, 1, par);
+  expect_identical(serial, parallel, "chunk=64 pshards=3 sshards=5");
+}
+
+TEST(ParallelEvalDeterminism, StatsReportShardingAndVolumeTotals) {
+  const auto workload = trace::generate(trace::marimba_profile(0.025));
+  const sim::EvalConfig config;  // defaults: static filter only
+
+  volume::DirectoryVolumeConfig dvc;
+  volume::DirectoryVolumes serial_volumes(dvc);
+  serial_volumes.bind_paths(workload.trace.paths());
+  server::TraceMetaOracle meta(workload.trace);
+  const auto serial =
+      sim::PredictionEvaluator(config).run(workload.trace, serial_volumes,
+                                           meta);
+
+  sim::ParallelEvalConfig par;
+  par.threads = 4;
+  sim::ParallelEvalStats stats;
+  const auto parallel =
+      run_parallel_directory(workload, config, dvc.level, par, &stats);
+  expect_identical(serial, parallel, "stats run");
+  EXPECT_EQ(stats.threads, 4u);
+  EXPECT_EQ(stats.provider_shards, 4u);
+  EXPECT_EQ(stats.source_shards, 4u);
+  // Sharded providers partition the same volume key space.
+  EXPECT_EQ(stats.volume_count, serial_volumes.volume_count());
+}
+
+TEST(ParallelEvalDeterminism, ProbabilityVolumesAllThreadCounts) {
+  for (const auto& profile :
+       {trace::aiusa_profile(0.03), trace::sun_profile(0.0005)}) {
+    const auto workload = trace::generate(profile);
+    volume::PairCounterConfig pcc;
+    const auto counts =
+        volume::PairCounterBuilder(pcc).build(workload.trace, 5);
+    volume::ProbabilityVolumeConfig pvc;
+    pvc.probability_threshold = 0.2;
+    pvc.effectiveness_threshold = 0.1;
+    const auto set =
+        volume::build_probability_volumes(workload.trace, counts, pvc);
+
+    auto config = full_controls_config();
+    config.filter.min_access_count = 0;  // exercised by directory tests
+
+    server::TraceMetaOracle meta(workload.trace);
+    volume::ProbabilityVolumes provider(&set, pvc.max_candidates);
+    const auto serial = sim::PredictionEvaluator(config).run(
+        workload.trace, provider, meta);
+
+    const auto spec =
+        sim::shard_probability_volumes(&set, pvc.max_candidates);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      sim::ParallelEvalConfig par;
+      par.threads = threads;
+      const auto parallel =
+          sim::ParallelEvaluator(config, par).run(workload.trace, spec,
+                                                  meta);
+      expect_identical(serial, parallel,
+                       profile.name + " probability threads=" +
+                           std::to_string(threads));
+    }
+  }
+}
+
+// Concurrency stress for the sharded counter table: hammer it from several
+// real threads, then check the merged counts equal a serial replay of the
+// same operations. Sums are commutative, so any interleaving must land on
+// the same totals — and TSan checks the locking while this runs.
+TEST(ShardedPairCounterConcurrency, InterleavedUpdatesMatchSerialReplay) {
+  constexpr std::size_t kThreads = 4;
+  constexpr int kOpsPerThread = 20'000;
+  constexpr std::uint32_t kIdSpace = 47;
+
+  volume::ShardedPairCounterTable table(8);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &table] {
+      util::Rng rng(0xC0FFEE + t);
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const auto r = static_cast<util::InternId>(rng.below(kIdSpace));
+        const auto s = static_cast<util::InternId>(rng.below(kIdSpace));
+        table.add_pair(r, s);
+        table.add_occurrence(r);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // Serial replay with the same per-thread seeds.
+  std::unordered_map<std::uint64_t, std::uint64_t> pairs;
+  std::unordered_map<util::InternId, std::uint64_t> occurrences;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    util::Rng rng(0xC0FFEE + t);
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const auto r = static_cast<util::InternId>(rng.below(kIdSpace));
+      const auto s = static_cast<util::InternId>(rng.below(kIdSpace));
+      ++pairs[(static_cast<std::uint64_t>(r) << 32) | s];
+      ++occurrences[r];
+    }
+  }
+
+  for (std::uint32_t r = 0; r < kIdSpace; ++r) {
+    const auto occ_it = occurrences.find(r);
+    ASSERT_EQ(table.occurrences(r),
+              occ_it == occurrences.end() ? 0 : occ_it->second)
+        << "r=" << r;
+    for (std::uint32_t s = 0; s < kIdSpace; ++s) {
+      const auto key = (static_cast<std::uint64_t>(r) << 32) | s;
+      const auto it = pairs.find(key);
+      ASSERT_EQ(table.pair_count(r, s), it == pairs.end() ? 0 : it->second)
+          << "r=" << r << " s=" << s;
+    }
+  }
+  EXPECT_EQ(table.counter_count(), pairs.size());
+}
+
+}  // namespace
+}  // namespace piggyweb

@@ -1,0 +1,135 @@
+// ThreadPool + fork-join helper tests. These run under the tsan ctest
+// label: build with -DPIGGYWEB_SANITIZE=thread and `ctest -L tsan` to
+// check the synchronisation, not just the results.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/parallel.h"
+
+namespace piggyweb::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryPostedTaskExactlyOnce) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 1000; ++i) {
+      pool.post([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // Destructor drains the queue before joining.
+  }
+  EXPECT_EQ(runs.load(), 1000);
+}
+
+TEST(ThreadPool, ClampsToAtLeastOneWorker) {
+  std::atomic<bool> ran{false};
+  {
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    pool.post([&ran] { ran = true; });
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+TEST(ParallelShards, CoversEveryShardExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t shards : {0u, 1u, 3u, 16u, 100u}) {
+      std::vector<std::atomic<int>> hits(shards);
+      parallel_shards(pool, shards, [&hits](std::size_t s) {
+        hits[s].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (std::size_t s = 0; s < shards; ++s) {
+        EXPECT_EQ(hits[s].load(), 1) << "shard " << s;
+      }
+    }
+  }
+}
+
+TEST(ParallelShards, IsABarrier) {
+  ThreadPool pool(4);
+  // Writes made inside the fork must be visible, without synchronisation,
+  // after the join returns.
+  std::vector<std::uint64_t> out(64, 0);
+  parallel_shards(pool, out.size(),
+                  [&out](std::size_t s) { out[s] = s * s; });
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    ASSERT_EQ(out[s], s * s);
+  }
+}
+
+TEST(ParallelShards, RethrowsTaskException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_shards(pool, 8,
+                               [](std::size_t s) {
+                                 if (s == 5) {
+                                   throw std::runtime_error("shard 5");
+                                 }
+                               }),
+               std::runtime_error);
+  // The pool must still be usable after a failed fork-join.
+  std::atomic<int> runs{0};
+  parallel_shards(pool, 4, [&runs](std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST(ParallelRanges, PartitionsExactly) {
+  for (const std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    for (const std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      parallel_ranges(pool, n, [&hits](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "n " << n << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ParallelRanges, SumMatchesSerial) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> values(10'000);
+  std::iota(values.begin(), values.end(), 1);
+  // One partial slot per shard index keeps the merge deterministic.
+  std::vector<std::uint64_t> partial(values.size(), 0);
+  parallel_ranges(pool, values.size(),
+                  [&](std::size_t begin, std::size_t end) {
+                    std::uint64_t sum = 0;
+                    for (std::size_t i = begin; i < end; ++i) {
+                      sum += values[i];
+                    }
+                    partial[begin] = sum;
+                  });
+  const auto total =
+      std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+  EXPECT_EQ(total, 10'000ull * 10'001ull / 2);
+}
+
+TEST(ParallelShards, ManyRoundsReuseOnePool) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> total{0};
+  for (int round = 0; round < 200; ++round) {
+    parallel_shards(pool, 8, [&total](std::size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 1600u);
+}
+
+}  // namespace
+}  // namespace piggyweb::util

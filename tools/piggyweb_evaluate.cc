@@ -12,12 +12,14 @@
 
 #include "cli_common.h"
 #include "server/meta.h"
+#include "sim/parallel_eval.h"
 #include "sim/prediction_eval.h"
 #include "sim/report.h"
 #include "trace/clf.h"
 #include "volume/directory.h"
 #include "volume/pair_counter.h"
 #include "volume/probability.h"
+#include "volume/sharded_pair_counter.h"
 #include "volume/serialize.h"
 
 using namespace piggyweb;
@@ -47,11 +49,20 @@ int main(int argc, char** argv) {
                 "(0 = off)");
   flags.add_int("window", 300, "prediction window T (seconds)");
   flags.add_int("horizon", 7200, "cache horizon C (seconds)");
+  flags.add_int("threads", 1,
+                "worker threads for the sharded evaluator (1 = serial, "
+                "0 = hardware concurrency); metrics are identical for "
+                "any value");
   if (!flags.parse(argc, argv)) return 2;
 
   const auto path = flags.get_string("log");
   if (path.empty()) {
     std::fprintf(stderr, "--log is required\n");
+    return 2;
+  }
+  const auto threads_flag = flags.get_int("threads");
+  if (threads_flag < 0) {
+    std::fprintf(stderr, "--threads must be >= 0\n");
     return 2;
   }
   std::ifstream in(path);
@@ -79,17 +90,30 @@ int main(int argc, char** argv) {
   config.rpv.timeout = flags.get_int("rpv-timeout");
   config.min_piggyback_interval = flags.get_int("min-interval");
 
+  const auto threads = static_cast<std::size_t>(threads_flag);
+  sim::ParallelEvalConfig par;
+  par.threads = threads;
+
   server::TraceMetaOracle meta(trace);
   sim::EvalResult result;
   const auto scheme = flags.get_string("scheme");
   if (scheme == "directory") {
     volume::DirectoryVolumeConfig dvc;
     dvc.level = static_cast<int>(flags.get_int("level"));
-    volume::DirectoryVolumes volumes(dvc);
-    volumes.bind_paths(trace.paths());
-    result = sim::PredictionEvaluator(config).run(trace, volumes, meta);
-    std::printf("scheme: directory level-%d (%zu volumes)\n", dvc.level,
-                volumes.volume_count());
+    if (threads != 1) {
+      sim::ParallelEvalStats stats;
+      const auto spec = sim::shard_directory_volumes(dvc, trace);
+      result = sim::ParallelEvaluator(config, par).run(trace, spec, meta,
+                                                       &stats);
+      std::printf("scheme: directory level-%d (%zu volumes, %zu threads)\n",
+                  dvc.level, stats.volume_count, stats.threads);
+    } else {
+      volume::DirectoryVolumes volumes(dvc);
+      volumes.bind_paths(trace.paths());
+      result = sim::PredictionEvaluator(config).run(trace, volumes, meta);
+      std::printf("scheme: directory level-%d (%zu volumes)\n", dvc.level,
+                  volumes.volume_count());
+    }
   } else if (scheme == "probability") {
     volume::ProbabilityVolumeSet set;
     if (const auto volumes_path = flags.get_string("volumes");
@@ -110,8 +134,13 @@ int main(int argc, char** argv) {
     } else {
       volume::PairCounterConfig pcc;
       pcc.window = config.prediction_window;
-      const auto counts = volume::PairCounterBuilder(pcc).build(
-          trace, static_cast<std::uint64_t>(flags.get_int("min-count")));
+      const auto min_count =
+          static_cast<std::uint64_t>(flags.get_int("min-count"));
+      const auto counts =
+          threads != 1
+              ? volume::ParallelPairCounterBuilder(pcc, threads)
+                    .build(trace, min_count)
+              : volume::PairCounterBuilder(pcc).build(trace, min_count);
       volume::ProbabilityVolumeConfig pvc;
       pvc.probability_threshold = flags.get_double("pt");
       pvc.effectiveness_threshold = flags.get_double("eff");
@@ -120,27 +149,19 @@ int main(int argc, char** argv) {
       pvc.window = config.prediction_window;
       set = volume::build_probability_volumes(trace, counts, pvc);
     }
-    volume::ProbabilityVolumes provider(&set, 200);
-    result = sim::PredictionEvaluator(config).run(trace, provider, meta);
+    if (threads != 1) {
+      const auto spec = sim::shard_probability_volumes(&set, 200);
+      result = sim::ParallelEvaluator(config, par).run(trace, spec, meta);
+    } else {
+      volume::ProbabilityVolumes provider(&set, 200);
+      result = sim::PredictionEvaluator(config).run(trace, provider, meta);
+    }
     std::printf("scheme: probability (%zu volumes)\n", set.volume_count());
   } else {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
 
-  sim::Table table({"metric", "value"});
-  table.row({"fraction predicted (recall)",
-             sim::Table::pct(result.fraction_predicted())});
-  table.row({"true prediction fraction (precision)",
-             sim::Table::pct(result.true_prediction_fraction())});
-  table.row({"update fraction", sim::Table::pct(result.update_fraction())});
-  table.row({"avg piggyback size",
-             sim::Table::num(result.avg_piggyback_size(), 2)});
-  table.row({"piggyback elements per request",
-             sim::Table::num(result.elements_per_request(), 2)});
-  table.row({"piggyback messages",
-             sim::Table::count(result.piggyback_messages)});
-  table.row({"requests", sim::Table::count(result.requests)});
-  table.print(std::cout);
+  std::cout << sim::render_eval_report(result);
   return 0;
 }
