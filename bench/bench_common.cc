@@ -1,7 +1,7 @@
 #include "bench_common.h"
 
 #include <cstdio>
-#include <cstring>
+#include <optional>
 
 #include "sim/parallel_eval.h"
 #include "util/strings.h"
@@ -9,33 +9,69 @@
 
 namespace piggyweb::bench {
 
-double scale_arg(int argc, char** argv, double fallback) {
+namespace {
+
+// Value of the first "--name=value" argv entry matching `flag`, or
+// nullopt when absent.
+std::optional<std::string_view> raw_flag(int argc, char** argv,
+                                         std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
-    if (util::starts_with(arg, "--scale=")) {
-      double value = 0;
-      if (util::parse_double(arg.substr(std::strlen("--scale=")), value) &&
-          value > 0) {
-        return value;
-      }
-      std::fprintf(stderr, "ignoring malformed %s\n", argv[i]);
-    }
+    if (util::starts_with(arg, flag)) return arg.substr(flag.size());
   }
+  return std::nullopt;
+}
+
+void warn_malformed(std::string_view flag, std::string_view raw) {
+  std::fprintf(stderr, "ignoring malformed %.*s%.*s\n",
+               static_cast<int>(flag.size()), flag.data(),
+               static_cast<int>(raw.size()), raw.data());
+}
+
+}  // namespace
+
+std::string string_arg(int argc, char** argv, std::string_view flag,
+                       std::string fallback) {
+  const auto raw = raw_flag(argc, argv, flag);
+  return raw ? std::string(*raw) : fallback;
+}
+
+double double_arg(int argc, char** argv, std::string_view flag,
+                  double fallback) {
+  const auto raw = raw_flag(argc, argv, flag);
+  if (!raw) return fallback;
+  double value = 0;
+  if (util::parse_double(*raw, value)) return value;
+  warn_malformed(flag, *raw);
   return fallback;
 }
 
-std::size_t threads_arg(int argc, char** argv, std::size_t fallback) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (util::starts_with(arg, "--threads=")) {
-      std::uint64_t value = 0;
-      if (util::parse_u64(arg.substr(std::strlen("--threads=")), value)) {
-        return static_cast<std::size_t>(value);
-      }
-      std::fprintf(stderr, "ignoring malformed %s\n", argv[i]);
-    }
-  }
+std::uint64_t u64_arg(int argc, char** argv, std::string_view flag,
+                      std::uint64_t fallback) {
+  const auto raw = raw_flag(argc, argv, flag);
+  if (!raw) return fallback;
+  std::uint64_t value = 0;
+  if (util::parse_u64(*raw, value)) return value;
+  warn_malformed(flag, *raw);
   return fallback;
+}
+
+double scale_arg(int argc, char** argv, double fallback) {
+  const double value = double_arg(argc, argv, "--scale=", fallback);
+  if (value <= 0) {
+    std::fprintf(stderr, "ignoring non-positive --scale\n");
+    return fallback;
+  }
+  return value;
+}
+
+std::size_t threads_arg(int argc, char** argv, std::size_t fallback) {
+  return static_cast<std::size_t>(
+      u64_arg(argc, argv, "--threads=", fallback));
+}
+
+std::string json_arg(int argc, char** argv) {
+  return string_arg(argc, argv, "--json=");
 }
 
 sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,

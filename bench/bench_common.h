@@ -9,6 +9,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "server/meta.h"
 #include "sim/prediction_eval.h"
@@ -19,12 +20,27 @@
 
 namespace piggyweb::bench {
 
-// Parse "--scale=<x>" from argv; returns fallback when absent.
+// Generic "--name=value" flag parsers. `flag` is the full prefix
+// including the equals sign (e.g. "--scale="); malformed values warn on
+// stderr and fall back. The named wrappers below cover the flags shared
+// by several binaries.
+std::string string_arg(int argc, char** argv, std::string_view flag,
+                       std::string fallback = "");
+double double_arg(int argc, char** argv, std::string_view flag,
+                  double fallback);
+std::uint64_t u64_arg(int argc, char** argv, std::string_view flag,
+                      std::uint64_t fallback);
+
+// Parse "--scale=<x>" from argv; returns fallback when absent or not
+// positive.
 double scale_arg(int argc, char** argv, double fallback);
 
 // Parse "--threads=<n>" from argv; returns fallback when absent. 0 means
 // hardware concurrency; 1 (the default) runs the serial evaluators.
 std::size_t threads_arg(int argc, char** argv, std::size_t fallback = 1);
+
+// Parse "--json=<path>" from argv; empty when absent (no JSON report).
+std::string json_arg(int argc, char** argv);
 
 // Default bench scales keep each binary within seconds on one core while
 // leaving enough traffic for stable statistics.

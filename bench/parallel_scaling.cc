@@ -33,16 +33,6 @@ double now_seconds() {
       .count();
 }
 
-std::string json_arg(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (util::starts_with(arg, "--json=")) {
-      return std::string(arg.substr(std::strlen("--json=")));
-    }
-  }
-  return "";
-}
-
 struct Run {
   std::string label;
   std::size_t threads;  // 0 = serial evaluator
@@ -55,7 +45,7 @@ struct Run {
 int main(int argc, char** argv) {
   // att_client at kAttScale * 15.2 ~= 1M requests.
   const double scale = bench::scale_arg(argc, argv, 15.2);
-  const auto json_path = json_arg(argc, argv);
+  const auto json_path = bench::json_arg(argc, argv);
   bench::print_banner(
       "Parallel sharded evaluation engine: throughput scaling",
       "all rows report identical metrics (checked bit-for-bit); wall time "

@@ -1,214 +1,76 @@
 #include "sim/end_to_end.h"
 
-#include <algorithm>
-
-#include "core/wire_size.h"
-#include "util/expect.h"
-
 namespace piggyweb::sim {
-namespace {
-
-proxy::FilterPolicyConfig make_filter_policy_config(
-    const EndToEndConfig& config) {
-  proxy::FilterPolicyConfig fp;
-  fp.base = config.base_filter;
-  fp.rpv = config.rpv;
-  fp.use_rpv = config.use_rpv;
-  return fp;
-}
-
-std::unique_ptr<core::FrequencyPolicy> make_frequency_policy(
-    const EndToEndConfig& config) {
-  if (config.min_piggyback_interval > 0) {
-    return std::make_unique<core::MinIntervalEnable>(
-        config.min_piggyback_interval);
-  }
-  return std::make_unique<core::AlwaysEnable>();
-}
-
-}  // namespace
 
 EndToEndSimulator::EndToEndSimulator(const trace::SyntheticWorkload& workload,
                                      const EndToEndConfig& config)
-    : workload_(workload),
-      config_(config),
-      cache_(config.cache),
-      filter_policy_(make_filter_policy_config(config),
-                     make_frequency_policy(config)),
-      coherency_(cache_),
-      prefetcher_(config.prefetch, cache_),
-      adaptive_ttl_(config.adaptive_ttl),
-      pcv_(config.pcv, cache_),
-      center_(config.volumes, workload.trace.paths()),
-      truth_meta_(workload, site_by_server_),
-      connections_(config.network.persistent_idle_timeout),
-      cost_(config.network) {
-  // Resolve each trace server id to its site model once.
-  const auto& servers = workload.trace.servers();
-  site_by_server_.assign(servers.size(), nullptr);
-  for (std::uint32_t id = 0; id < servers.size(); ++id) {
-    site_by_server_[id] = workload.site_for(servers.str(id));
-  }
-  center_.set_meta_override(&truth_meta_);
-  if (config.probability_volumes != nullptr) {
-    probability_provider_.emplace(config.probability_volumes,
-                                  config.probability_max_candidates);
-    center_.set_provider_override(&*probability_provider_);
-  }
+    : workload_(workload), config_(config) {}
+
+Topology EndToEndSimulator::topology_for(const EndToEndConfig& config) {
+  ProxyNodeSpec proxy;
+  proxy.name = "proxy";
+  proxy.parent = -1;
+  proxy.cache = config.cache;
+  proxy.enable_coherency = config.enable_coherency;
+  proxy.enable_prefetch = config.enable_prefetch;
+  proxy.prefetch = config.prefetch;
+  proxy.enable_adaptive_ttl = config.enable_adaptive_ttl;
+  proxy.adaptive_ttl = config.adaptive_ttl;
+  proxy.enable_pcv = config.enable_pcv;
+  proxy.pcv = config.pcv;
+  proxy.enable_informed_fetch = config.enable_informed_fetch;
+  proxy.fetch_discipline = config.fetch_discipline;
+  proxy.base_filter = config.base_filter;
+  proxy.rpv = config.rpv;
+  proxy.use_rpv = config.use_rpv;
+  proxy.min_piggyback_interval = config.min_piggyback_interval;
+  proxy.link = config.network;
+  // Transparent: the origin sees each client's own source id.
+  proxy.upstream_source = std::nullopt;
+
+  Topology topology;
+  topology.nodes.push_back(std::move(proxy));
+  return topology;
 }
 
-void EndToEndSimulator::handle_piggyback(
-    util::InternId server, const core::PiggybackMessage& message,
-    util::TimePoint now) {
-  if (message.empty()) return;
-  result_.piggyback_bytes +=
-      core::piggyback_bytes(message, workload_.trace.paths());
-  filter_policy_.on_piggyback(server, message.volume, now);
-
-  if (config_.enable_adaptive_ttl) {
-    for (const auto& element : message.elements) {
-      const proxy::CacheKey key{server, element.resource};
-      adaptive_ttl_.observe(key, element.last_modified);
-      adaptive_ttl_.apply_to(cache_, key);
-    }
-  }
-  if (config_.enable_coherency) {
-    coherency_.process(server, message, now);
-  }
-  if (config_.enable_prefetch) {
-    const auto planned = prefetcher_.plan(server, message, now);
-    for (const auto& element : planned) {
-      // Background fetch: costs bandwidth/packets but no user latency.
-      const bool reused = connections_.use(0xfffffffeu, server, now);
-      const auto cost = cost_.exchange(
-          config_.request_overhead_bytes,
-          element.size + config_.response_overhead_bytes, reused);
-      result_.prefetch_latency_sum += cost.latency_seconds;
-      result_.total_packets += cost.packets;
-      result_.body_bytes += element.size;
-      prefetcher_.complete(server, element, now);
-    }
-  }
+EngineConfig EndToEndSimulator::engine_config_for(
+    const EndToEndConfig& config) {
+  EngineConfig engine;
+  engine.piggybacking = config.piggybacking;
+  engine.volumes = config.volumes;
+  engine.probability_volumes = config.probability_volumes;
+  engine.probability_max_candidates = config.probability_max_candidates;
+  engine.request_overhead_bytes = config.request_overhead_bytes;
+  engine.response_overhead_bytes = config.response_overhead_bytes;
+  return engine;
 }
 
 EndToEndResult EndToEndSimulator::run() {
-  const auto& trace = workload_.trace;
-  for (const auto& req : trace.requests()) {
-    ++result_.client_requests;
-    const auto now = req.time;
-    const proxy::CacheKey key{req.server, req.path};
-    const auto* site = site_by_server_[req.server];
-    if (site == nullptr) continue;  // unknown host: pass-through not modeled
+  SimulationEngine engine(workload_, topology_for(config_),
+                          engine_config_for(config_));
+  const auto engine_result = engine.run();
+  const auto& proxy = engine_result.nodes.front();
 
-    // Resolve ground truth for this resource.
-    const auto rkey = key.packed();
-    auto res_it = resource_index_.find(rkey);
-    if (res_it == resource_index_.end()) {
-      res_it = resource_index_
-                   .emplace(rkey, site->index_of(trace.paths().str(req.path)))
-                   .first;
-    }
-    const auto res_idx = res_it->second;
-    if (res_idx >= site->size()) continue;  // not a site resource
-    const auto& resource = site->resource(res_idx);
-    const auto true_lm = site->last_modified(res_idx, now);
-
-    prefetcher_.on_client_request(key, now);
-    const auto outcome = cache_.lookup(key, now);
-
-    if (outcome == proxy::LookupOutcome::kFreshHit) {
-      // Served from cache with no network traffic. Was it actually fresh?
-      const auto cached_lm = cache_.cached_last_modified(key);
-      if (cached_lm && *cached_lm < true_lm.value) ++result_.stale_served;
-      continue;
-    }
-
-    // Contact the server (miss: full GET; stale hit: If-Modified-Since).
-    ++result_.server_contacts;
-    const bool reused = connections_.use(req.source, req.server, now);
-    core::ProxyFilter filter;
-    if (config_.piggybacking) {
-      filter = filter_policy_.filter_for(req.server, now);
-    } else {
-      filter.enabled = false;
-    }
-
-    std::uint64_t response_body = 0;
-    if (outcome == proxy::LookupOutcome::kStaleHit) {
-      ++result_.validations;
-      const auto cached_lm = cache_.cached_last_modified(key);
-      if (cached_lm && *cached_lm >= true_lm.value) {
-        ++result_.validations_not_modified;  // 304
-        cache_.revalidate(key, now);
-      } else {
-        response_body = resource.size;  // changed: fresh 200 body
-        cache_.insert(key, resource.size, true_lm.value, now);
-      }
-    } else {
-      response_body = resource.size;
-      cache_.insert(key, resource.size, true_lm.value, now);
-    }
-    if (config_.enable_adaptive_ttl) {
-      adaptive_ttl_.observe(key, true_lm.value);
-      adaptive_ttl_.apply_to(cache_, key);
-    }
-
-    // PCV: batch soon-to-expire entries for this server onto the request;
-    // verdicts come back on the same response (one exchange, no extra
-    // round trips). The paper's [10] mechanism, driven by ground truth.
-    std::uint64_t pcv_bytes = 0;
-    if (config_.enable_pcv) {
-      const auto items = pcv_.plan(req.server, now);
-      if (!items.empty()) {
-        core::ValidationReply reply;
-        for (const auto& item : items) {
-          const auto item_idx =
-              site->index_of(trace.paths().str(item.resource));
-          if (item_idx >= site->size()) continue;
-          const auto current = site->last_modified(item_idx, now).value;
-          if (item.last_modified >= current) {
-            reply.fresh.push_back(item.resource);
-          } else {
-            reply.stale.push_back({item.resource, current});
-          }
-          // ~(url + 8B timestamp) each way, as in the §2.3 accounting.
-          pcv_bytes +=
-              2 * (trace.paths().str(item.resource).size() + 8);
-        }
-        pcv_.process(req.server, reply, now);
-      }
-    }
-
-    // The volume center on the path injects the piggyback (filling
-    // elements from authoritative metadata).
-    truth_meta_.set_now(now);
-    truth_meta_.note_access(req.server, req.path);
-    const auto message =
-        center_.observe(req.server, req.source, req.path, now,
-                        resource.size, true_lm.value, filter);
-
-    const auto piggy_bytes =
-        core::piggyback_bytes(message, trace.paths());
-    result_.piggyback_bytes += pcv_bytes;
-    const auto cost = cost_.exchange(
-        config_.request_overhead_bytes + pcv_bytes / 2,
-        response_body + config_.response_overhead_bytes + piggy_bytes +
-            pcv_bytes / 2,
-        reused);
-    result_.user_latency_sum += cost.latency_seconds;
-    result_.total_packets += cost.packets;
-    result_.body_bytes += response_body;
-
-    handle_piggyback(req.server, message, now);
-  }
-
-  result_.cache = cache_.stats();
-  result_.coherency = coherency_.stats();
-  result_.prefetch = prefetcher_.stats();
-  result_.pcv = pcv_.stats();
-  result_.connections = connections_.stats();
-  result_.center = center_.stats();
-  return result_;
+  EndToEndResult result;
+  result.cache = proxy.cache;
+  result.coherency = proxy.coherency;
+  result.prefetch = proxy.prefetch;
+  result.pcv = proxy.pcv;
+  result.connections = engine_result.connections;
+  result.center = engine_result.center;
+  result.client_requests = engine_result.client_requests;
+  result.server_contacts = engine_result.server_contacts;
+  result.validations = engine_result.validations;
+  result.validations_not_modified = engine_result.validations_not_modified;
+  result.stale_served = engine_result.stale_served;
+  result.piggyback_bytes = engine_result.piggyback_bytes;
+  result.body_bytes = engine_result.body_bytes;
+  result.total_packets = engine_result.total_packets;
+  result.user_latency_sum = engine_result.user_latency_sum;
+  result.prefetch_latency_sum = engine_result.prefetch_latency_sum;
+  result.informed_fetch = proxy.fetch_schedule;
+  result.informed_fetch_fifo = proxy.fetch_schedule_fifo;
+  return result;
 }
 
 }  // namespace piggyweb::sim

@@ -3,9 +3,14 @@
 // cost-modelled network, with volume maintenance performed by a
 // transparent volume center on the path (§1's deployment story). This is
 // the harness behind the §4 application trade-off numbers and the examples.
+//
+// Since the engine refactor this class is a thin preset: it maps its
+// config onto a single-node sim::Topology and runs SimulationEngine
+// (sim/engine.h), then reshapes the engine result into the historical
+// EndToEndResult. Counters are pinned bit-identical to the pre-engine
+// implementation by tests/sim_golden_regression_test.
 #pragma once
 
-#include <memory>
 #include <optional>
 
 #include "net/cost_model.h"
@@ -13,10 +18,11 @@
 #include "proxy/cache.h"
 #include "proxy/coherency.h"
 #include "proxy/filter_policy.h"
+#include "proxy/informed_fetch.h"
 #include "proxy/pcv.h"
 #include "proxy/prefetch.h"
 #include "server/volume_center.h"
-#include "sim/ground_truth.h"
+#include "sim/engine.h"
 #include "trace/synthetic.h"
 #include "volume/probability.h"
 
@@ -38,6 +44,12 @@ struct EndToEndConfig {
   // soon-to-expire entries onto requests, get bulk verdicts back.
   bool enable_pcv = false;
   proxy::PcvConfig pcv;
+  // Informed fetching (§4): log the proxy's upstream fetches and replay
+  // them through proxy::schedule_fetches under `fetch_discipline` and the
+  // FIFO baseline; results land in EndToEndResult::informed_fetch.
+  bool enable_informed_fetch = false;
+  proxy::FetchDiscipline fetch_discipline =
+      proxy::FetchDiscipline::kShortestFirst;
   volume::DirectoryVolumeConfig volumes;  // volume center scheme
   // When set, the volume center serves piggybacks from this offline-built
   // probability volume set instead of online directory volumes (the
@@ -68,6 +80,12 @@ struct EndToEndResult {
   double user_latency_sum = 0;    // user-perceived, seconds
   double prefetch_latency_sum = 0;  // background traffic
 
+  // Set when enable_informed_fetch and at least one upstream fetch
+  // happened: the fetch log replayed under the configured discipline and
+  // under FIFO, for the §4 waiting-time comparison.
+  std::optional<proxy::FetchScheduleResult> informed_fetch;
+  std::optional<proxy::FetchScheduleResult> informed_fetch_fifo;
+
   double mean_user_latency() const {
     return client_requests == 0
                ? 0.0
@@ -88,31 +106,15 @@ class EndToEndSimulator {
 
   EndToEndResult run();
 
+  // The engine preset this harness runs: one proxy node, cost-accounted
+  // origin link, clients riding through transparently. Exposed so tests
+  // and benches can compose variations on the preset.
+  static Topology topology_for(const EndToEndConfig& config);
+  static EngineConfig engine_config_for(const EndToEndConfig& config);
+
  private:
-  void handle_piggyback(util::InternId server,
-                        const core::PiggybackMessage& message,
-                        util::TimePoint now);
-
-
   const trace::SyntheticWorkload& workload_;
   EndToEndConfig config_;
-
-  proxy::ProxyCache cache_;
-  proxy::FilterPolicy filter_policy_;
-  proxy::CoherencyAgent coherency_;
-  proxy::Prefetcher prefetcher_;
-  proxy::AdaptiveTtl adaptive_ttl_;
-  proxy::PcvAgent pcv_;
-  server::VolumeCenter center_;
-  std::optional<volume::ProbabilityVolumes> probability_provider_;
-  GroundTruthMeta truth_meta_;
-  net::ConnectionManager connections_;
-  net::CostModel cost_;
-  EndToEndResult result_;
-  // site index per trace server id (resolved once up front).
-  std::vector<const trace::SiteModel*> site_by_server_;
-  // resource index per (server, path) — memoized lookups.
-  std::unordered_map<std::uint64_t, std::uint32_t> resource_index_;
 };
 
 }  // namespace piggyweb::sim

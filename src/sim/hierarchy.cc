@@ -1,9 +1,6 @@
 #include "sim/hierarchy.h"
 
-#include "sim/ground_truth.h"
-
 #include "util/expect.h"
-#include "util/hash.h"
 
 namespace piggyweb::sim {
 
@@ -13,124 +10,51 @@ HierarchySimulator::HierarchySimulator(
   PW_EXPECT(config.child_proxies > 0);
 }
 
+Topology HierarchySimulator::topology_for(const HierarchyConfig& config) {
+  Topology topology;
+  topology.relay_to_descendants = config.relay_to_children;
+
+  ProxyNodeSpec parent;
+  parent.name = "parent";
+  parent.parent = -1;
+  parent.cache = config.parent_cache;
+  parent.base_filter = config.base_filter;
+  parent.rpv = config.rpv;
+  // The server sees the *parent* as its client: one source.
+  parent.upstream_source = 0xfffffff0u;
+  topology.nodes.push_back(std::move(parent));
+
+  for (std::size_t i = 0; i < config.child_proxies; ++i) {
+    ProxyNodeSpec child;
+    child.name = "child" + std::to_string(i);
+    child.parent = 0;
+    child.cache = config.child_cache;
+    topology.nodes.push_back(std::move(child));
+  }
+  return topology;
+}
+
+EngineConfig HierarchySimulator::engine_config_for(
+    const HierarchyConfig& config) {
+  EngineConfig engine;
+  engine.piggybacking = config.piggybacking;
+  engine.volumes = config.volumes;
+  return engine;
+}
+
 HierarchyResult HierarchySimulator::run() {
-  const auto& trace = workload_.trace;
+  SimulationEngine engine(workload_, topology_for(config_),
+                          engine_config_for(config_));
+  const auto engine_result = engine.run();
+
   HierarchyResult result;
-
-  // Children and their coherency agents.
-  std::vector<Child> children(config_.child_proxies);
-  for (auto& child : children) {
-    child.cache = std::make_unique<proxy::ProxyCache>(config_.child_cache);
-    child.coherency =
-        std::make_unique<proxy::CoherencyAgent>(*child.cache);
-  }
-  proxy::ProxyCache parent(config_.parent_cache);
-  proxy::CoherencyAgent parent_coherency(parent);
-
-  // The parent is the single client the servers see; it keeps one filter
-  // policy (RPV lists per server).
-  proxy::FilterPolicyConfig fpc;
-  fpc.base = config_.base_filter;
-  fpc.rpv = config_.rpv;
-  proxy::FilterPolicy filter_policy(
-      fpc, std::make_unique<core::AlwaysEnable>());
-
-  server::VolumeCenter center(config_.volumes, trace.paths());
-
-  // Ground truth per (server, path), resolved lazily.
-  std::vector<const trace::SiteModel*> site_by_server(
-      trace.servers().size(), nullptr);
-  for (std::uint32_t id = 0; id < trace.servers().size(); ++id) {
-    site_by_server[id] = workload_.site_for(trace.servers().str(id));
-  }
-  GroundTruthMeta truth(workload_, site_by_server);
-  center.set_meta_override(&truth);
-  std::unordered_map<std::uint64_t, std::uint32_t> resource_index;
-
-  for (const auto& req : trace.requests()) {
-    ++result.client_requests;
-    const auto* site = site_by_server[req.server];
-    if (site == nullptr) continue;
-    const proxy::CacheKey key{req.server, req.path};
-    const auto rkey = key.packed();
-    auto res_it = resource_index.find(rkey);
-    if (res_it == resource_index.end()) {
-      res_it =
-          resource_index
-              .emplace(rkey, site->index_of(trace.paths().str(req.path)))
-              .first;
-    }
-    const auto res_idx = res_it->second;
-    if (res_idx >= site->size()) continue;
-    const auto true_lm = site->last_modified(res_idx, req.time);
-    const auto size = site->resource(res_idx).size;
-
-    auto& child = children[util::mix64(req.source) % children.size()];
-
-    // --- child level -------------------------------------------------------
-    const auto child_outcome = child.cache->lookup(key, req.time);
-    if (child_outcome == proxy::LookupOutcome::kFreshHit) {
-      ++result.child_fresh_hits;
-      const auto cached = child.cache->cached_last_modified(key);
-      if (cached && *cached < true_lm.value) ++result.stale_served;
-      continue;
-    }
-
-    // --- parent level ------------------------------------------------------
-    const auto parent_outcome = parent.lookup(key, req.time);
-    if (parent_outcome == proxy::LookupOutcome::kFreshHit) {
-      ++result.parent_fresh_hits;
-      const auto cached = parent.cached_last_modified(key);
-      if (cached && *cached < true_lm.value) ++result.stale_served;
-      // The parent's copy flows down to the child.
-      child.cache->insert(key, size, cached.value_or(true_lm.value),
-                          req.time);
-      continue;
-    }
-
-    // --- origin ------------------------------------------------------------
-    ++result.server_contacts;
-    core::ProxyFilter filter;
-    if (config_.piggybacking) {
-      filter = filter_policy.filter_for(req.server, req.time);
-    } else {
-      filter.enabled = false;
-    }
-    // Validation vs full fetch is decided against ground truth, as in the
-    // end-to-end simulator.
-    const auto parent_lm = parent.cached_last_modified(key);
-    if (parent_outcome == proxy::LookupOutcome::kStaleHit && parent_lm &&
-        *parent_lm >= true_lm.value) {
-      parent.revalidate(key, req.time);
-    } else {
-      parent.insert(key, size, true_lm.value, req.time);
-    }
-    child.cache->insert(key, size, true_lm.value, req.time);
-
-    // The server sees the *parent* as its client: one source.
-    truth.set_now(req.time);
-    truth.note_access(req.server, req.path);
-    const auto message = center.observe(
-        req.server, /*source=*/0xfffffff0u, req.path, req.time, size,
-        true_lm.value, filter);
-    if (message.empty()) continue;
-    filter_policy.on_piggyback(req.server, message.volume, req.time);
-    parent_coherency.process(req.server, message, req.time);
-    if (config_.relay_to_children) {
-      child.coherency->process(req.server, message, req.time);
-    }
-  }
-
-  result.parent_coherency = parent_coherency.stats();
-  for (const auto& child : children) {
-    const auto& stats = child.coherency->stats();
-    result.child_coherency.piggybacks_processed +=
-        stats.piggybacks_processed;
-    result.child_coherency.elements_processed += stats.elements_processed;
-    result.child_coherency.refreshed += stats.refreshed;
-    result.child_coherency.invalidated += stats.invalidated;
-    result.child_coherency.not_cached += stats.not_cached;
-  }
+  result.client_requests = engine_result.client_requests;
+  result.child_fresh_hits = engine_result.leaf_fresh_hits();
+  result.parent_fresh_hits = engine_result.root_fresh_hits();
+  result.server_contacts = engine_result.server_contacts;
+  result.stale_served = engine_result.stale_served;
+  result.parent_coherency = engine_result.merged_root_coherency();
+  result.child_coherency = engine_result.merged_leaf_coherency();
   return result;
 }
 

@@ -7,15 +7,16 @@
 // that path). Piggybacks arrive at the parent and are optionally relayed
 // to the requesting child, so both cache levels get coherency refreshes
 // and invalidations from a single server message.
+//
+// Since the engine refactor this class is a thin preset: parent = the
+// root node of a sim::Topology, children = its leaves, run by
+// SimulationEngine (sim/engine.h). Counters are pinned bit-identical to
+// the pre-engine implementation by tests/sim_golden_regression_test.
 #pragma once
-
-#include <memory>
-#include <vector>
 
 #include "proxy/cache.h"
 #include "proxy/coherency.h"
-#include "proxy/filter_policy.h"
-#include "server/volume_center.h"
+#include "sim/engine.h"
 #include "trace/synthetic.h"
 
 namespace piggyweb::sim {
@@ -67,12 +68,14 @@ class HierarchySimulator {
 
   HierarchyResult run();
 
- private:
-  struct Child {
-    std::unique_ptr<proxy::ProxyCache> cache;
-    std::unique_ptr<proxy::CoherencyAgent> coherency;
-  };
+  // The engine preset this harness runs: parent at node 0 facing the
+  // origins (aggregating its clients behind one source id, no
+  // cost-accounted links), children at nodes 1..n. Exposed so tests and
+  // benches can compose variations on the preset.
+  static Topology topology_for(const HierarchyConfig& config);
+  static EngineConfig engine_config_for(const HierarchyConfig& config);
 
+ private:
   const trace::SyntheticWorkload& workload_;
   HierarchyConfig config_;
 };

@@ -1,0 +1,42 @@
+#include "sim/node.h"
+
+namespace piggyweb::sim {
+namespace {
+
+proxy::FilterPolicyConfig make_filter_policy_config(
+    const ProxyNodeSpec& spec) {
+  proxy::FilterPolicyConfig fp;
+  fp.base = spec.base_filter;
+  fp.rpv = spec.rpv;
+  fp.use_rpv = spec.use_rpv;
+  return fp;
+}
+
+std::unique_ptr<core::FrequencyPolicy> make_frequency_policy(
+    const ProxyNodeSpec& spec) {
+  if (spec.min_piggyback_interval > 0) {
+    return std::make_unique<core::MinIntervalEnable>(
+        spec.min_piggyback_interval);
+  }
+  return std::make_unique<core::AlwaysEnable>();
+}
+
+}  // namespace
+
+ProxyNode::ProxyNode(const ProxyNodeSpec& node_spec, int node_depth)
+    : spec(node_spec),
+      depth(node_depth),
+      cache(spec.cache),
+      coherency(cache),
+      prefetcher(spec.prefetch, cache),
+      adaptive_ttl(spec.adaptive_ttl),
+      pcv(spec.pcv, cache),
+      filter_policy(make_filter_policy_config(spec),
+                    make_frequency_policy(spec)) {
+  if (spec.link) {
+    connections.emplace(spec.link->persistent_idle_timeout);
+    cost.emplace(*spec.link);
+  }
+}
+
+}  // namespace piggyweb::sim
