@@ -60,6 +60,7 @@ void run_log(const trace::LogProfile& profile, double pt, double eff) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("ablation_train_test", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Ablation: in-sample vs out-of-sample probability volumes",

@@ -175,6 +175,7 @@ void informed_fetch_section(const trace::SyntheticWorkload& workload) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("apps_tradeoffs", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Section 4: proxy application trade-offs (end-to-end simulation)",

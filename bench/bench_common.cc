@@ -74,6 +74,21 @@ std::string json_arg(int argc, char** argv) {
   return string_arg(argc, argv, "--json=");
 }
 
+Observability::Observability(std::string run_name, int argc, char** argv) {
+  obs::RunScope::Options options;
+  options.run_name = std::move(run_name);
+  options.metrics_path = string_arg(argc, argv, "--metrics-out=");
+  options.trace_path = string_arg(argc, argv, "--trace-out=");
+  if (options.metrics_path.empty() && options.trace_path.empty()) return;
+  options.argv.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) options.argv.emplace_back(argv[i]);
+  scope_ = std::make_unique<obs::RunScope>(std::move(options));
+}
+
+void Observability::note(std::string key, obs::Json value) {
+  if (scope_ != nullptr) scope_->note(std::move(key), std::move(value));
+}
+
 sim::EvalResult eval_directory(const trace::SyntheticWorkload& workload,
                                int level, const sim::EvalConfig& config,
                                std::size_t max_candidates,

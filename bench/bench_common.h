@@ -8,9 +8,11 @@
 // and each binary states what to look for.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <string_view>
 
+#include "obs/manifest.h"
 #include "server/meta.h"
 #include "sim/prediction_eval.h"
 #include "trace/profiles.h"
@@ -41,6 +43,28 @@ std::size_t threads_arg(int argc, char** argv, std::size_t fallback = 1);
 
 // Parse "--json=<path>" from argv; empty when absent (no JSON report).
 std::string json_arg(int argc, char** argv);
+
+// Per-run observability: parses --metrics-out=FILE / --trace-out=FILE and,
+// when either is present, installs the process-global registry/tracer for
+// the binary's lifetime and writes the manifest/trace on destruction.
+// Declared first in main() so it outlives everything instrumented:
+//
+//   bench::Observability obs("fig3_directory_accuracy", argc, argv);
+//
+// With neither flag the global sinks stay null and instrumentation costs
+// one pointer load per site.
+class Observability {
+ public:
+  Observability(std::string run_name, int argc, char** argv);
+
+  bool enabled() const { return scope_ != nullptr; }
+
+  // Attach an extra top-level manifest section (no-op when disabled).
+  void note(std::string key, obs::Json value);
+
+ private:
+  std::unique_ptr<obs::RunScope> scope_;
+};
 
 // Default bench scales keep each binary within seconds on one core while
 // leaving enough traffic for stable statistics.

@@ -49,6 +49,7 @@ void add_row(sim::Table& table, const char* name,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("coherency_baselines", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Baselines: TTL vs PCV [10] vs server volumes (coherency)",

@@ -13,6 +13,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig1_directory_locality", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Figure 1: directory-prefix locality (AT&T-like client trace)",

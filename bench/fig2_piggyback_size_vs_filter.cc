@@ -45,6 +45,7 @@ void run_log(const trace::LogProfile& profile, bool include_level0,
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig2_piggyback_size_vs_filter", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Figure 2: avg piggyback size vs access filter (directory volumes)",

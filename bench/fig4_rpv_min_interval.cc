@@ -12,6 +12,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig4_rpv_min_interval", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Figure 4: RPV minimum time between piggybacks (Apache)",

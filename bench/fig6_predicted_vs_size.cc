@@ -46,6 +46,7 @@ void run_log(const trace::LogProfile& profile) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig6_predicted_vs_size", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Figure 6: fraction predicted vs avg piggyback size (probability)",

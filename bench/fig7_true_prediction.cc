@@ -48,6 +48,7 @@ void run_log(const trace::LogProfile& profile, std::size_t threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig7_true_prediction", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(

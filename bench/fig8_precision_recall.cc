@@ -12,6 +12,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("fig8_precision_recall", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Figure 8: precision vs recall (effective threshold 0.2)",

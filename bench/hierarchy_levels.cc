@@ -47,29 +47,23 @@ void add_row(sim::Table& table, const char* name,
              sim::Table::count(result.stale_served)});
 }
 
-std::string shape_json(int depth, int fanout, const sim::Topology& topology,
-                       const sim::EngineResult& result) {
-  char buffer[512];
-  std::snprintf(
-      buffer, sizeof buffer,
-      "{\"depth\": %d, \"fanout\": %d, \"nodes\": %zu, \"leaves\": %zu, "
-      "\"client_requests\": %llu, \"server_contacts\": %llu, "
-      "\"leaf_hit_rate\": %.4f, \"overall_hit_rate\": %.4f, "
-      "\"server_contact_rate\": %.4f, \"mean_user_latency\": %.6f, "
-      "\"root_refreshes\": %llu, \"leaf_refreshes\": %llu, "
-      "\"stale_served\": %llu}",
-      depth, fanout, topology.nodes.size(),
-      sim::leaf_indices(topology).size(),
-      static_cast<unsigned long long>(result.client_requests),
-      static_cast<unsigned long long>(result.server_contacts),
-      result.leaf_hit_rate(), result.overall_hit_rate(),
-      result.server_contact_rate(), result.mean_user_latency(),
-      static_cast<unsigned long long>(
-          result.merged_root_coherency().refreshed),
-      static_cast<unsigned long long>(
-          result.merged_leaf_coherency().refreshed),
-      static_cast<unsigned long long>(result.stale_served));
-  return buffer;
+obs::Json shape_json(int depth, int fanout, const sim::Topology& topology,
+                     const sim::EngineResult& result) {
+  auto row = obs::Json::object();
+  row.set("depth", depth);
+  row.set("fanout", fanout);
+  row.set("nodes", topology.nodes.size());
+  row.set("leaves", sim::leaf_indices(topology).size());
+  row.set("client_requests", result.client_requests);
+  row.set("server_contacts", result.server_contacts);
+  row.set("leaf_hit_rate", result.leaf_hit_rate());
+  row.set("overall_hit_rate", result.overall_hit_rate());
+  row.set("server_contact_rate", result.server_contact_rate());
+  row.set("mean_user_latency", result.mean_user_latency());
+  row.set("root_refreshes", result.merged_root_coherency().refreshed);
+  row.set("leaf_refreshes", result.merged_leaf_coherency().refreshed);
+  row.set("stale_served", result.stale_served);
+  return row;
 }
 
 // Balanced trees of depth 1–4 over a multi-origin client trace, run
@@ -87,7 +81,7 @@ void topology_sweep(double scale, const std::string& json_path) {
   sim::EngineConfig engine_config;
   engine_config.volumes.level = 1;
 
-  std::vector<std::string> rows;
+  auto rows = obs::Json::array();
   for (const int depth : {1, 2, 3, 4}) {
     for (const int fanout : {2, 4}) {
       if (depth == 1 && fanout != 2) continue;  // one node either way
@@ -104,18 +98,15 @@ void topology_sweep(double scale, const std::string& json_path) {
       const auto topology = sim::uniform_tree_topology(spec);
       const auto result =
           sim::SimulationEngine(workload, topology, engine_config).run();
-      rows.push_back(shape_json(depth, spec.fanout, topology, result));
-      std::printf("%s\n", rows.back().c_str());
+      auto row = shape_json(depth, spec.fanout, topology, result);
+      std::printf("%s\n", row.dump(0).c_str());
+      rows.push_back(std::move(row));
     }
   }
 
   if (!json_path.empty()) {
     std::ofstream out(json_path);
-    out << "[\n";
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      out << "  " << rows[i] << (i + 1 < rows.size() ? "," : "") << "\n";
-    }
-    out << "]\n";
+    out << rows.dump(2) << "\n";
     std::printf("(wrote %s)\n", json_path.c_str());
   }
   std::printf("\n");
@@ -124,6 +115,7 @@ void topology_sweep(double scale, const std::string& json_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("hierarchy_levels", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   const auto json_path = bench::json_arg(argc, argv);
   bench::print_banner(

@@ -15,6 +15,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("overhead_bytes", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Section 2.3: piggyback wire overhead (Sun, probability volumes)",

@@ -43,6 +43,7 @@ struct Run {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Observability observability("parallel_scaling", argc, argv);
   // att_client at kAttScale * 15.2 ~= 1M requests.
   const double scale = bench::scale_arg(argc, argv, 15.2);
   const auto json_path = bench::json_arg(argc, argv);
@@ -109,35 +110,33 @@ int main(int argc, char** argv) {
   std::printf("\nmetrics identical across all runs: %s\n",
               identical ? "yes" : "NO");
 
+  auto report = obs::Json::object();
+  report.set("benchmark", "parallel_eval_scaling");
+  report.set("workload", "att_client");
+  report.set("requests", workload.trace.size());
+  report.set("hardware_threads", util::ThreadPool::hardware_threads());
+  report.set("metrics_identical", identical);
+  auto run_rows = obs::Json::array();
+  for (const auto& run : runs) {
+    auto row = obs::Json::object();
+    row.set("label", run.label);
+    row.set("threads", run.threads);
+    row.set("wall_seconds", run.seconds);
+    row.set("requests_per_second", requests / run.seconds);
+    row.set("speedup_vs_serial", serial.seconds / run.seconds);
+    run_rows.push_back(std::move(row));
+  }
+  report.set("runs", std::move(run_rows));
+
   if (!json_path.empty()) {
     std::ofstream out(json_path);
     if (!out) {
       std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
       return 1;
     }
-    out << "{\n"
-        << "  \"benchmark\": \"parallel_eval_scaling\",\n"
-        << "  \"workload\": \"att_client\",\n"
-        << "  \"requests\": " << workload.trace.size() << ",\n"
-        << "  \"hardware_threads\": "
-        << util::ThreadPool::hardware_threads() << ",\n"
-        << "  \"metrics_identical\": " << (identical ? "true" : "false")
-        << ",\n"
-        << "  \"runs\": [\n";
-    for (std::size_t i = 0; i < runs.size(); ++i) {
-      const auto& run = runs[i];
-      char buf[256];
-      std::snprintf(buf, sizeof buf,
-                    "    {\"label\": \"%s\", \"threads\": %zu, "
-                    "\"wall_seconds\": %.3f, \"requests_per_second\": %.0f, "
-                    "\"speedup_vs_serial\": %.3f}%s\n",
-                    run.label.c_str(), run.threads, run.seconds,
-                    requests / run.seconds, serial.seconds / run.seconds,
-                    i + 1 < runs.size() ? "," : "");
-      out << buf;
-    }
-    out << "  ]\n}\n";
+    out << report.dump(2) << "\n";
     std::printf("wrote %s\n", json_path.c_str());
   }
+  observability.note("scaling", std::move(report));
   return identical ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("table1_update_fraction", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   const std::size_t threads = bench::threads_arg(argc, argv);
   bench::print_banner(

@@ -10,6 +10,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("table2_client_logs", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Table 2: client log characteristics",

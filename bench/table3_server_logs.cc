@@ -11,6 +11,7 @@
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
+  bench::Observability observability("table3_server_logs", argc, argv);
   const double scale = bench::scale_arg(argc, argv, 1.0);
   bench::print_banner(
       "Table 3: server log characteristics",

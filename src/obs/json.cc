@@ -1,0 +1,440 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "util/expect.h"
+
+namespace piggyweb::obs {
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::boolean() const {
+  PW_EXPECT(type_ == Type::kBool);
+  return bool_;
+}
+
+double Json::number() const {
+  PW_EXPECT(type_ == Type::kNumber);
+  return number_;
+}
+
+const std::string& Json::string() const {
+  PW_EXPECT(type_ == Type::kString);
+  return string_;
+}
+
+Json& Json::push_back(Json value) {
+  PW_EXPECT(type_ == Type::kArray);
+  items_.push_back(std::move(value));
+  return items_.back();
+}
+
+const std::vector<Json>& Json::items() const {
+  PW_EXPECT(type_ == Type::kArray);
+  return items_;
+}
+
+Json& Json::set(std::string key, Json value) {
+  PW_EXPECT(type_ == Type::kObject);
+  for (auto& [name, member] : members_) {
+    if (name == key) {
+      member = std::move(value);
+      return member;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return members_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  PW_EXPECT(type_ == Type::kObject);
+  for (const auto& [name, member] : members_) {
+    if (name == key) return &member;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  PW_EXPECT(type_ == Type::kObject);
+  return members_;
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Json::Type::kNull:
+      return true;
+    case Json::Type::kBool:
+      return a.bool_ == b.bool_;
+    case Json::Type::kNumber:
+      return a.number_ == b.number_;
+    case Json::Type::kString:
+      return a.string_ == b.string_;
+    case Json::Type::kArray:
+      return a.items_ == b.items_;
+    case Json::Type::kObject:
+      return a.members_ == b.members_;
+  }
+  return false;
+}
+
+void append_json_quoted(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+namespace {
+
+void append_number(std::string& out, double value, bool integer) {
+  char buf[40];
+  if (integer && std::nearbyint(value) == value &&
+      std::fabs(value) < 9.2e18) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else if (std::isfinite(value)) {
+    // Shortest representation that round-trips a double.
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    double reparsed = 0;
+    for (int precision = 1; precision < 17; ++precision) {
+      char trial[40];
+      std::snprintf(trial, sizeof trial, "%.*g", precision, value);
+      std::sscanf(trial, "%lf", &reparsed);
+      if (reparsed == value) {
+        std::memcpy(buf, trial, sizeof trial);
+        break;
+      }
+    }
+  } else {
+    // JSON has no infinities/NaN; null is the conventional stand-in.
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int levels) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, number_, integer_);
+      break;
+    case Type::kString:
+      append_json_quoted(out, string_);
+      break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_json_quoted(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return fail(std::string("expected '") + c + "'");
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= text.size()) return fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          // Encode as UTF-8 (surrogate pairs are passed through as two
+          // 3-byte sequences; nothing in this codebase emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      out = Json();
+      return true;
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      out = Json(true);
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      out = Json(false);
+      return true;
+    }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        Json item;
+        if (!parse_value(item)) return false;
+        out.push_back(std::move(item));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume(']');
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') {
+        ++pos;
+        return true;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(key)) return false;
+        skip_ws();
+        if (!consume(':')) return false;
+        Json value;
+        if (!parse_value(value)) return false;
+        out.set(std::move(key), std::move(value));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') {
+          ++pos;
+          continue;
+        }
+        return consume('}');
+      }
+    }
+    // Number.
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    if (pos + 1 < text.size() && text[pos] == '0' && text[pos + 1] >= '0' &&
+        text[pos + 1] <= '9') {
+      return fail("leading zero");
+    }
+    bool integral = true;
+    bool digits = false;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (d >= '0' && d <= '9') {
+        digits = true;
+        ++pos;
+      } else if (d == '.' || d == 'e' || d == 'E' || d == '-' || d == '+') {
+        integral = false;
+        ++pos;
+      } else {
+        break;
+      }
+    }
+    if (!digits) return fail("bad value");
+    double value = 0;
+    const std::string token(text.substr(start, pos - start));
+    if (std::sscanf(token.c_str(), "%lf", &value) != 1) {
+      return fail("bad number");
+    }
+    out = integral && std::fabs(value) < 9.2e18
+              ? Json(static_cast<std::int64_t>(value))
+              : Json(value);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<Json> parse_json(std::string_view text, std::string* error) {
+  Parser parser{text, 0, {}};
+  Json value;
+  if (!parser.parse_value(value)) {
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  parser.skip_ws();
+  if (parser.pos != text.size()) {
+    parser.fail("trailing garbage");
+    if (error != nullptr) *error = parser.error;
+    return std::nullopt;
+  }
+  return value;
+}
+
+}  // namespace piggyweb::obs

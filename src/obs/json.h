@@ -1,0 +1,92 @@
+// Minimal JSON value tree shared by every observability emitter and
+// consumer: registry snapshots, Chrome trace output, run manifests, the
+// machine-readable eval report, and the tracecheck linter. Objects keep
+// insertion order and the writer is deterministic, so identical inputs
+// always serialize to identical bytes — the property the cross-thread
+// snapshot comparisons rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace piggyweb::obs {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;  // null
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(std::int64_t value)
+      : type_(Type::kNumber),
+        number_(static_cast<double>(value)),
+        integer_(true) {}
+  Json(std::uint64_t value)
+      : type_(Type::kNumber),
+        number_(static_cast<double>(value)),
+        integer_(true) {}
+  Json(int value) : Json(static_cast<std::int64_t>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json array();
+  static Json object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Accessors abort (contract failure) on type mismatch.
+  bool boolean() const;
+  double number() const;
+  const std::string& string() const;
+
+  // Arrays.
+  Json& push_back(Json value);
+  const std::vector<Json>& items() const;
+
+  // Objects: set() inserts or overwrites, preserving first-insert order;
+  // find() returns nullptr when the key is absent.
+  Json& set(std::string key, Json value);
+  const Json* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const;
+
+  // Deterministic writer. indent == 0 emits the compact one-line form;
+  // indent > 0 pretty-prints with that many spaces per level. Numbers
+  // constructed from integer types print without a decimal point (exact
+  // for magnitudes below 2^53, far beyond any counter here).
+  std::string dump(int indent = 0) const;
+
+  friend bool operator==(const Json& a, const Json& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  bool integer_ = false;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+// Append `s` as a quoted JSON string (escaping ", \, and control chars).
+void append_json_quoted(std::string& out, std::string_view s);
+
+// Strict parser for one JSON document (trailing whitespace allowed,
+// trailing garbage is an error). On failure returns nullopt and, when
+// `error` is non-null, stores a message with the byte offset.
+std::optional<Json> parse_json(std::string_view text,
+                               std::string* error = nullptr);
+
+}  // namespace piggyweb::obs

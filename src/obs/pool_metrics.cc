@@ -1,0 +1,38 @@
+#include "obs/pool_metrics.h"
+
+namespace piggyweb::obs {
+
+namespace {
+std::string with_suffix(std::string_view prefix, const char* suffix) {
+  return std::string(prefix) + suffix;
+}
+}  // namespace
+
+ThreadPoolMetrics::ThreadPoolMetrics(Registry& registry,
+                                     std::string_view prefix)
+    : tasks_(registry.counter(with_suffix(prefix, ".tasks"),
+                              /*deterministic=*/false)),
+      queue_depth_max_(registry.gauge(with_suffix(prefix, ".queue_depth_max"),
+                                      /*deterministic=*/false)),
+      // Task granularity here is a whole shard/range, so most tasks take
+      // milliseconds to seconds; the overflow bucket catches stragglers.
+      task_seconds_(registry.histogram(with_suffix(prefix, ".task_seconds"),
+                                       0.0, 1.0, 50,
+                                       /*deterministic=*/false)) {}
+
+void ThreadPoolMetrics::on_post(std::size_t queue_depth) {
+  queue_depth_max_.set_max(static_cast<double>(queue_depth));
+}
+
+void ThreadPoolMetrics::on_task_complete(double run_seconds) {
+  tasks_.add(1);
+  task_seconds_.add(run_seconds);
+}
+
+std::unique_ptr<ThreadPoolMetrics> make_pool_metrics(
+    Registry* registry, std::string_view prefix) {
+  if (registry == nullptr) return nullptr;
+  return std::make_unique<ThreadPoolMetrics>(*registry, prefix);
+}
+
+}  // namespace piggyweb::obs

@@ -1,0 +1,44 @@
+// Bridges util::ThreadPool's observer hook into a Registry: a queue-depth
+// high-watermark gauge, a completed-task counter, and a task wall-time
+// histogram. All three are timing-dependent and therefore registered
+// non-deterministic — they vary with thread count and scheduling and are
+// excluded from cross-run snapshot diffs.
+//
+//   obs::ThreadPoolMetrics metrics(registry, "parallel_eval.pool");
+//   util::ThreadPool pool(threads, &metrics);
+//
+// Metric names under `prefix`: <prefix>.tasks, <prefix>.queue_depth_max,
+// <prefix>.task_seconds.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/registry.h"
+#include "util/thread_pool.h"
+
+namespace piggyweb::obs {
+
+class ThreadPoolMetrics : public util::ThreadPoolObserver {
+ public:
+  explicit ThreadPoolMetrics(Registry& registry,
+                             std::string_view prefix = "threadpool");
+
+  void on_post(std::size_t queue_depth) override;
+  void on_task_complete(double run_seconds) override;
+
+ private:
+  Counter& tasks_;
+  Gauge& queue_depth_max_;
+  HistogramMetric& task_seconds_;
+};
+
+// Convenience for pool creators: a null registry yields a null observer.
+// Usage:
+//   const auto metrics = obs::make_pool_metrics(obs::global_metrics(), "x");
+//   util::ThreadPool pool(n, metrics.get());
+std::unique_ptr<ThreadPoolMetrics> make_pool_metrics(Registry* registry,
+                                                     std::string_view prefix);
+
+}  // namespace piggyweb::obs

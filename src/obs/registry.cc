@@ -1,0 +1,261 @@
+#include "obs/registry.h"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/expect.h"
+
+namespace piggyweb::obs {
+
+void Gauge::set_max(double value) {
+  double current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), buckets_(buckets), histogram_(lo, hi, buckets) {}
+
+void HistogramMetric::add(double x) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  histogram_.add(x);
+  stats_.add(x);
+}
+
+void HistogramMetric::merge_from(const HistogramMetric& other) {
+  PW_EXPECT(lo_ == other.lo_ && hi_ == other.hi_ &&
+            buckets_ == other.buckets_);
+  // Lock order: this before other. Merges happen after parallel phases
+  // quiesce, so the asymmetry never deadlocks in practice.
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> other_lock(other.mutex_);
+  histogram_.merge(other.histogram_);
+  stats_.merge(other.stats_);
+}
+
+util::RunningStats HistogramMetric::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+Json HistogramMetric::snapshot_buckets() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto out = Json::array();
+  out.push_back(histogram_.underflow());
+  for (std::size_t i = 0; i < histogram_.buckets(); ++i) {
+    out.push_back(histogram_.bucket_count(i));
+  }
+  out.push_back(histogram_.overflow());
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kCounter, deterministic, std::make_unique<Counter>(),
+                nullptr, nullptr};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PW_EXPECT(it->second.kind == Kind::kCounter);
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kGauge, deterministic, nullptr,
+                std::make_unique<Gauge>(), nullptr};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PW_EXPECT(it->second.kind == Kind::kGauge);
+  return *it->second.gauge;
+}
+
+HistogramMetric& Registry::histogram(std::string_view name, double lo,
+                                     double hi, std::size_t buckets,
+                                     bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kHistogram, deterministic, nullptr, nullptr,
+                std::make_unique<HistogramMetric>(lo, hi, buckets)};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PW_EXPECT(it->second.kind == Kind::kHistogram);
+  return *it->second.histogram;
+}
+
+void Registry::merge_from(const Registry& other) {
+  // Snapshot the other registry's entry pointers under its lock, then
+  // merge without holding it (metric updates are internally synchronized).
+  std::vector<std::pair<std::string, const Entry*>> names;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    names.reserve(other.entries_.size());
+    for (const auto& [name, entry] : other.entries_) {
+      names.emplace_back(name, &entry);
+    }
+  }
+  for (const auto& [name, entry] : names) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        counter(name, entry->deterministic).add(entry->counter->value());
+        break;
+      case Kind::kGauge:
+        gauge(name, entry->deterministic).set_max(entry->gauge->value());
+        break;
+      case Kind::kHistogram:
+        histogram(name, entry->histogram->lo(), entry->histogram->hi(),
+                  entry->histogram->buckets(), entry->deterministic)
+            .merge_from(*entry->histogram);
+        break;
+    }
+  }
+}
+
+std::size_t Registry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+Json Registry::snapshot() const {
+  auto counters = Json::array();
+  auto gauges = Json::array();
+  auto histograms = Json::array();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    auto item = Json::object();
+    item.set("name", name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        item.set("value", entry.counter->value());
+        item.set("deterministic", entry.deterministic);
+        counters.push_back(std::move(item));
+        break;
+      case Kind::kGauge:
+        item.set("value", entry.gauge->value());
+        item.set("deterministic", entry.deterministic);
+        gauges.push_back(std::move(item));
+        break;
+      case Kind::kHistogram: {
+        const auto stats = entry.histogram->stats();
+        item.set("count", stats.count());
+        item.set("sum", stats.sum());
+        // Derived from sum/count rather than the Welford running mean:
+        // the running mean's merge is not bit-associative, and snapshots
+        // must not depend on how shard registries were grouped.
+        item.set("mean", stats.count() == 0
+                             ? 0.0
+                             : stats.sum() /
+                                   static_cast<double>(stats.count()));
+        item.set("min", stats.min());
+        item.set("max", stats.max());
+        item.set("lo", entry.histogram->lo());
+        item.set("hi", entry.histogram->hi());
+        item.set("buckets", entry.histogram->snapshot_buckets());
+        item.set("deterministic", entry.deterministic);
+        histograms.push_back(std::move(item));
+        break;
+      }
+    }
+  }
+  auto out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("histograms", std::move(histograms));
+  return out;
+}
+
+std::string Registry::to_json(int indent) const {
+  return snapshot().dump(indent);
+}
+
+namespace {
+
+std::string prometheus_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out = "_" + out;
+  return out;
+}
+
+void append_prometheus_number(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  out += buf;
+}
+
+}  // namespace
+
+std::string Registry::to_prometheus() const {
+  std::string out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, entry] : entries_) {
+    const auto metric = prometheus_name(name);
+    switch (entry.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + metric + " counter\n";
+        out += metric + " " + std::to_string(entry.counter->value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + metric + " gauge\n";
+        out += metric + " ";
+        append_prometheus_number(out, entry.gauge->value());
+        out += "\n";
+        break;
+      case Kind::kHistogram: {
+        const auto& h = *entry.histogram;
+        const auto stats = h.stats();
+        const auto buckets = h.snapshot_buckets();
+        out += "# TYPE " + metric + " histogram\n";
+        // Cumulative le buckets: underflow folds into the first edge.
+        std::uint64_t cumulative = 0;
+        const auto& counts = buckets.items();
+        const double width =
+            h.buckets() > 0
+                ? (h.hi() - h.lo()) / static_cast<double>(h.buckets())
+                : 0.0;
+        for (std::size_t i = 0; i + 1 < counts.size(); ++i) {
+          cumulative += static_cast<std::uint64_t>(counts[i].number());
+          const double edge = h.lo() + width * static_cast<double>(i);
+          out += metric + "_bucket{le=\"";
+          append_prometheus_number(out, edge);
+          out += "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(stats.count()) + "\n";
+        out += metric + "_sum ";
+        append_prometheus_number(out, stats.sum());
+        out += "\n";
+        out += metric + "_count " + std::to_string(stats.count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+std::atomic<Registry*> g_metrics{nullptr};
+}  // namespace
+
+Registry* global_metrics() {
+  return g_metrics.load(std::memory_order_acquire);
+}
+
+void set_global_metrics(Registry* registry) {
+  g_metrics.store(registry, std::memory_order_release);
+}
+
+}  // namespace piggyweb::obs

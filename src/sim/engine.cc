@@ -1,8 +1,11 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <string>
 
 #include "core/wire_size.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "util/expect.h"
 #include "util/hash.h"
 
@@ -166,8 +169,41 @@ void SimulationEngine::process_piggyback(const std::vector<int>& path,
   }
 }
 
+namespace {
+
+// Final-result export: reads only the finished EngineResult, so every
+// metric is deterministic — the engine is single-threaded and the walk is
+// a pure function of (workload, topology, config).
+void publish_engine_result(const EngineResult& result) {
+  auto* metrics = obs::global_metrics();
+  if (metrics == nullptr) return;
+  metrics->counter("engine.client_requests").add(result.client_requests);
+  metrics->counter("engine.unresolved").add(result.unresolved);
+  metrics->counter("engine.server_contacts").add(result.server_contacts);
+  metrics->counter("engine.stale_served").add(result.stale_served);
+  metrics->counter("engine.validations").add(result.validations);
+  metrics->counter("engine.validations_not_modified")
+      .add(result.validations_not_modified);
+  metrics->counter("engine.piggyback_bytes").add(result.piggyback_bytes);
+  metrics->counter("engine.total_packets").add(result.total_packets);
+  metrics->counter("engine.body_bytes").add(result.body_bytes);
+  metrics->counter("engine.fresh_hits").add(result.total_fresh_hits());
+  metrics->counter("engine.connections_opened").add(result.connections.opened);
+  metrics->counter("engine.connections_reused").add(result.connections.reused);
+  for (const auto& node : result.nodes) {
+    const std::string prefix = "engine.node." + node.name + ".";
+    metrics->counter(prefix + "fresh_hits_served").add(node.fresh_hits_served);
+    metrics->counter(prefix + "stale_served").add(node.stale_served);
+    metrics->counter(prefix + "upstream_fetches").add(node.upstream_fetches);
+  }
+}
+
+}  // namespace
+
 EngineResult SimulationEngine::run() {
+  OBS_SPAN("engine.run");
   const auto& trace = workload_.trace;
+  obs::Span walk_span(obs::global_tracer(), "engine.request_walk");
   for (const auto& req : trace.requests()) {
     ++result_.client_requests;
     const auto now = req.time;
@@ -367,7 +403,9 @@ EngineResult SimulationEngine::run() {
 
     process_piggyback(path, req.server, message, now);
   }
+  walk_span.end();
 
+  OBS_SPAN("engine.collect_stats");
   // Collect per-node stats.
   std::vector<bool> is_leaf(nodes_.size(), false);
   for (const int leaf : leaf_indices(topology_)) {
@@ -410,6 +448,7 @@ EngineResult SimulationEngine::run() {
     result_.nodes.push_back(std::move(stats));
   }
   result_.center = center_.stats();
+  publish_engine_result(result_);
   return result_;
 }
 

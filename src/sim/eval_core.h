@@ -72,4 +72,10 @@ class MetricAccumulator {
 // order-independent merge.
 EvalResult merge_results(std::span<const EvalResult> partials);
 
+// Publish the final result's counters into the global metrics registry
+// (no-op when none is installed). Both evaluators call this with their
+// merged result, so the deterministic `eval.*` counters are identical
+// regardless of which path ran or how many threads it used.
+void publish_eval_result(const EvalResult& result);
+
 }  // namespace piggyweb::sim::detail

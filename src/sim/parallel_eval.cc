@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/pool_metrics.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/eval_core.h"
 #include "util/expect.h"
 #include "util/hash.h"
@@ -58,6 +61,7 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
                                   const ShardedProviderSpec& spec,
                                   const core::MetaOracle& meta,
                                   ParallelEvalStats* stats) {
+  OBS_SPAN("parallel_eval.run");
   const auto& requests = trace.requests();
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
@@ -78,7 +82,11 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
                                 ? par_.chunk_requests
                                 : std::size_t{1} << 15;
 
-  util::ThreadPool pool(threads);
+  // Pool timing metrics are scheduling-dependent, hence non-deterministic;
+  // null registry -> null observer -> the pool's fast path.
+  const auto pool_metrics =
+      obs::make_pool_metrics(obs::global_metrics(), "parallel_eval.pool");
+  util::ThreadPool pool(threads, pool_metrics.get());
 
   // One provider instance per provider shard; shard-local volume state.
   std::vector<std::unique_ptr<core::VolumeProvider>> providers;
@@ -125,6 +133,7 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
     // shard, requests are visited in trace order, so per-volume state
     // evolves exactly as in the serial run.
     util::parallel_shards(pool, pshards, [&](std::size_t s) {
+      OBS_SPAN("parallel_eval.provider_shard");
       auto& provider = *providers[s];
       for (std::size_t i = begin; i < end; ++i) {
         if (provider_shard[i] != s) continue;
@@ -152,6 +161,7 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
     // Stage 2: replay the staged messages through the per-source metric
     // machine — the same MetricAccumulator the serial evaluator uses.
     util::parallel_shards(pool, sshards, [&](std::size_t w) {
+      OBS_SPAN("parallel_eval.metric_shard");
       auto& acc = accumulators[w];
       for (std::size_t i = begin; i < end; ++i) {
         const auto& req = requests[i];
@@ -175,7 +185,22 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
       stats->volume_count += provider->volume_count();
     }
   }
-  return detail::merge_results(partials);
+  auto result = detail::merge_results(partials);
+  detail::publish_eval_result(result);
+  if (auto* metrics = obs::global_metrics(); metrics != nullptr) {
+    // Parallel-shape gauges: a serial run never sets these, and a bigger
+    // pool changes them, so they are non-deterministic by definition.
+    constexpr bool kDet = false;
+    metrics->gauge("parallel_eval.threads", kDet)
+        .set_max(static_cast<double>(pool.thread_count()));
+    metrics->gauge("parallel_eval.provider_shards", kDet)
+        .set_max(static_cast<double>(pshards));
+    metrics->gauge("parallel_eval.source_shards", kDet)
+        .set_max(static_cast<double>(sshards));
+    metrics->gauge("parallel_eval.chunk_requests", kDet)
+        .set_max(static_cast<double>(chunk));
+  }
+  return result;
 }
 
 }  // namespace piggyweb::sim

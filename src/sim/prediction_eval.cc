@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "sim/eval_core.h"
 #include "util/expect.h"
 
@@ -102,11 +104,29 @@ EvalResult merge_results(std::span<const EvalResult> partials) {
   return total;
 }
 
+void publish_eval_result(const EvalResult& result) {
+  auto* metrics = obs::global_metrics();
+  if (metrics == nullptr) return;
+  metrics->counter("eval.requests").add(result.requests);
+  metrics->counter("eval.predicted_requests").add(result.predicted_requests);
+  metrics->counter("eval.piggyback_messages").add(result.piggyback_messages);
+  metrics->counter("eval.piggyback_elements").add(result.piggyback_elements);
+  metrics->counter("eval.predictions_made").add(result.predictions_made);
+  metrics->counter("eval.predictions_true").add(result.predictions_true);
+  metrics->counter("eval.prev_occurrence_within_horizon")
+      .add(result.prev_occurrence_within_horizon);
+  metrics->counter("eval.prev_occurrence_within_window")
+      .add(result.prev_occurrence_within_window);
+  metrics->counter("eval.updated_by_piggyback")
+      .add(result.updated_by_piggyback);
+}
+
 }  // namespace detail
 
 EvalResult PredictionEvaluator::run(const trace::Trace& trace,
                                     core::VolumeProvider& provider,
                                     const core::MetaOracle& meta) {
+  OBS_SPAN("prediction_eval.run");
   const auto& requests = trace.requests();
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
@@ -135,6 +155,7 @@ EvalResult PredictionEvaluator::run(const trace::Trace& trace,
     }
     acc.observe(req, message.volume, resources);
   }
+  detail::publish_eval_result(acc.result());
   return acc.result();
 }
 

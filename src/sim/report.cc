@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/json.h"
 #include "sim/prediction_eval.h"
 
 namespace piggyweb::sim {
@@ -57,22 +58,57 @@ std::string Table::pct(double fraction, int decimals) {
 
 std::string Table::count(std::uint64_t v) { return std::to_string(v); }
 
+std::vector<EvalReportField> eval_report_fields(const EvalResult& result) {
+  using Kind = EvalReportField::Kind;
+  return {
+      {"fraction_predicted", "fraction predicted (recall)", Kind::kPercent,
+       result.fraction_predicted()},
+      {"true_prediction_fraction", "true prediction fraction (precision)",
+       Kind::kPercent, result.true_prediction_fraction()},
+      {"update_fraction", "update fraction", Kind::kPercent,
+       result.update_fraction()},
+      {"avg_piggyback_size", "avg piggyback size", Kind::kNumber,
+       result.avg_piggyback_size()},
+      {"piggyback_elements_per_request", "piggyback elements per request",
+       Kind::kNumber, result.elements_per_request()},
+      {"piggyback_messages", "piggyback messages", Kind::kCount,
+       static_cast<double>(result.piggyback_messages)},
+      {"requests", "requests", Kind::kCount,
+       static_cast<double>(result.requests)},
+  };
+}
+
 std::string render_eval_report(const EvalResult& result) {
   Table table({"metric", "value"});
-  table.row({"fraction predicted (recall)",
-             Table::pct(result.fraction_predicted())});
-  table.row({"true prediction fraction (precision)",
-             Table::pct(result.true_prediction_fraction())});
-  table.row({"update fraction", Table::pct(result.update_fraction())});
-  table.row({"avg piggyback size",
-             Table::num(result.avg_piggyback_size(), 2)});
-  table.row({"piggyback elements per request",
-             Table::num(result.elements_per_request(), 2)});
-  table.row({"piggyback messages", Table::count(result.piggyback_messages)});
-  table.row({"requests", Table::count(result.requests)});
+  for (const auto& field : eval_report_fields(result)) {
+    switch (field.kind) {
+      case EvalReportField::Kind::kPercent:
+        table.row({field.label, Table::pct(field.value)});
+        break;
+      case EvalReportField::Kind::kNumber:
+        table.row({field.label, Table::num(field.value, 2)});
+        break;
+      case EvalReportField::Kind::kCount:
+        table.row({field.label,
+                   Table::count(static_cast<std::uint64_t>(field.value))});
+        break;
+    }
+  }
   std::ostringstream out;
   table.print(out);
   return out.str();
+}
+
+std::string render_eval_report_json(const EvalResult& result) {
+  auto report = obs::Json::object();
+  for (const auto& field : eval_report_fields(result)) {
+    if (field.kind == EvalReportField::Kind::kCount) {
+      report.set(field.key, static_cast<std::uint64_t>(field.value));
+    } else {
+      report.set(field.key, field.value);
+    }
+  }
+  return report.dump(2);
 }
 
 }  // namespace piggyweb::sim

@@ -114,6 +114,17 @@ double Histogram::cumulative_fraction(std::size_t i) const {
   return static_cast<double>(below) / static_cast<double>(total_);
 }
 
+void Histogram::merge(const Histogram& other) {
+  PW_EXPECT(lo_ == other.lo_ && hi_ == other.hi_ &&
+            counts_.size() == other.counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+}
+
 void FrequencyTable::add(std::uint32_t id, std::uint64_t delta) {
   if (id >= counts_.size()) counts_.resize(id + 1, 0);
   counts_[id] += delta;

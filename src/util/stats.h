@@ -80,6 +80,10 @@ class Histogram {
   // bucket i (underflow included).
   double cumulative_fraction(std::size_t i) const;
 
+  // Merge another histogram with the identical [lo, hi)/bucket layout
+  // (parallel reduction; counts add exactly).
+  void merge(const Histogram& other);
+
  private:
   double lo_, hi_, width_;
   std::vector<std::uint64_t> counts_;

@@ -1,12 +1,14 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/expect.h"
 
 namespace piggyweb::util {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, ThreadPoolObserver* observer)
+    : observer_(observer) {
   const auto count = std::max<std::size_t>(1, threads);
   workers_.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
@@ -25,12 +27,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   PW_EXPECT(task != nullptr);
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     PW_EXPECT(!stopping_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   wake_.notify_one();
+  if (observer_ != nullptr) observer_->on_post(depth);
 }
 
 std::size_t ThreadPool::hardware_threads() {
@@ -48,7 +53,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (observer_ != nullptr) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      observer_->on_task_complete(std::chrono::duration<double>(
+                                      std::chrono::steady_clock::now() - start)
+                                      .count());
+    } else {
+      task();
+    }
   }
 }
 

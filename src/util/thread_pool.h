@@ -23,10 +23,26 @@
 
 namespace piggyweb::util {
 
+// Observation hook for pool instrumentation (obs::ThreadPoolMetrics is
+// the production implementation). Methods are called concurrently from
+// posting threads and workers, so implementations must be thread-safe.
+// The hook lives in util so the pool does not depend on the obs layer.
+class ThreadPoolObserver {
+ public:
+  virtual ~ThreadPoolObserver() = default;
+  // After a task was enqueued; `queue_depth` is the depth including it.
+  virtual void on_post(std::size_t queue_depth) = 0;
+  // After a task ran for `run_seconds` of wall time.
+  virtual void on_task_complete(double run_seconds) = 0;
+};
+
 class ThreadPool {
  public:
-  // Spawns `threads` workers (clamped to >= 1).
-  explicit ThreadPool(std::size_t threads);
+  // Spawns `threads` workers (clamped to >= 1). A null observer (the
+  // default) costs one branch per post/task; timing is only measured
+  // when an observer is attached.
+  explicit ThreadPool(std::size_t threads,
+                      ThreadPoolObserver* observer = nullptr);
 
   // Joins all workers after draining the queue.
   ~ThreadPool();
@@ -49,6 +65,7 @@ class ThreadPool {
   std::condition_variable wake_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+  ThreadPoolObserver* const observer_;  // fixed at construction
   std::vector<std::thread> workers_;
 };
 

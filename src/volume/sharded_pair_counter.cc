@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/pool_metrics.h"
+#include "obs/registry.h"
+#include "obs/tracer.h"
 #include "util/expect.h"
 #include "util/hash.h"
 #include "util/parallel.h"
@@ -150,6 +153,7 @@ PairCounts ParallelPairCounterBuilder::build(
   if (threads_ <= 1 || config_.sample_counters) {
     return PairCounterBuilder(config_).build(trace, min_resource_count);
   }
+  OBS_SPAN("pair_counter.parallel_build");
   const auto& requests = trace.requests();
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
@@ -157,7 +161,9 @@ PairCounts ParallelPairCounterBuilder::build(
                              return a.time < b.time;
                            }));
 
-  util::ThreadPool pool(threads_);
+  const auto pool_metrics =
+      obs::make_pool_metrics(obs::global_metrics(), "pair_counter.pool");
+  util::ThreadPool pool(threads_, pool_metrics.get());
 
   // Resource popularity for the min-count cut: per-range local counts
   // merged by addition.
@@ -209,6 +215,7 @@ PairCounts ParallelPairCounterBuilder::build(
   // scheduling.
   util::parallel_shards(
       pool, pool.thread_count(), [&](std::size_t worker) {
+        OBS_SPAN("pair_counter.worker");
         std::unordered_map<util::InternId, std::uint64_t> local_cr;
         std::unordered_map<std::uint64_t, LocalPair> local_pairs;
         std::vector<util::InternId> successors;

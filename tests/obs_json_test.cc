@@ -1,0 +1,95 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+namespace piggyweb::obs {
+namespace {
+
+TEST(Json, TypesAndAccessors) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json("hi").is_string());
+  EXPECT_TRUE(Json::array().is_array());
+  EXPECT_TRUE(Json::object().is_object());
+  EXPECT_EQ(Json(true).boolean(), true);
+  EXPECT_EQ(Json(1.5).number(), 1.5);
+  EXPECT_EQ(Json("hi").string(), "hi");
+}
+
+TEST(Json, CompactDump) {
+  auto doc = Json::object();
+  doc.set("a", 1);
+  doc.set("b", Json::array());
+  doc.set("c", "x");
+  EXPECT_EQ(doc.dump(0), R"({"a":1,"b":[],"c":"x"})");
+}
+
+TEST(Json, IntegersPrintWithoutDecimalPoint) {
+  EXPECT_EQ(Json(std::int64_t{42}).dump(0), "42");
+  EXPECT_EQ(Json(std::uint64_t{0}).dump(0), "0");
+  EXPECT_EQ(Json(-7).dump(0), "-7");
+  EXPECT_EQ(Json(2.5).dump(0), "2.5");
+}
+
+TEST(Json, ObjectsKeepInsertionOrderAndOverwriteInPlace) {
+  auto doc = Json::object();
+  doc.set("z", 1);
+  doc.set("a", 2);
+  doc.set("z", 3);  // overwrite: value updates, position stays
+  EXPECT_EQ(doc.dump(0), R"({"z":3,"a":2})");
+}
+
+TEST(Json, StringEscapes) {
+  EXPECT_EQ(Json("a\"b\\c\n\t").dump(0), R"("a\"b\\c\n\t")");
+  // Control characters take the \u00XX form.
+  EXPECT_EQ(Json(std::string("\x01")).dump(0), "\"\\u0001\"");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const char* text =
+      R"({"s":"A\n","n":-2.5,"i":7,"b":true,"nil":null,"a":[1,2,[3]]})";
+  const auto parsed = parse_json(text);
+  ASSERT_TRUE(parsed.has_value());
+  // Dump-parse-dump is a fixed point.
+  EXPECT_EQ(parse_json(parsed->dump(2))->dump(0), parsed->dump(0));
+  EXPECT_EQ(parsed->find("s")->string(), "A\n");
+  EXPECT_EQ(parsed->find("i")->number(), 7);
+  ASSERT_NE(parsed->find("a"), nullptr);
+  EXPECT_EQ(parsed->find("a")->items().size(), 3u);
+}
+
+TEST(Json, ParseErrors) {
+  std::string error;
+  EXPECT_FALSE(parse_json("", &error).has_value());
+  EXPECT_FALSE(parse_json("{", &error).has_value());
+  EXPECT_FALSE(parse_json("[1,]", &error).has_value());
+  EXPECT_FALSE(parse_json("\"unterminated", &error).has_value());
+  EXPECT_FALSE(parse_json("01", &error).has_value());
+  EXPECT_FALSE(parse_json("{} trailing", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, Equality) {
+  auto a = Json::object();
+  a.set("k", 1);
+  auto b = Json::object();
+  b.set("k", 1);
+  EXPECT_TRUE(a == b);
+  b.set("k", 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Json, IndentedDumpParsesBack) {
+  auto doc = Json::object();
+  auto inner = Json::array();
+  inner.push_back(1);
+  inner.push_back("two");
+  doc.set("list", std::move(inner));
+  const auto pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse_json(pretty)->dump(0), doc.dump(0));
+}
+
+}  // namespace
+}  // namespace piggyweb::obs

@@ -1,11 +1,30 @@
 #include "sim/report.h"
 
+#include <cstdint>
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
+#include "obs/json.h"
+#include "sim/prediction_eval.h"
+
 namespace piggyweb::sim {
 namespace {
+
+EvalResult sample_result() {
+  EvalResult result;
+  result.requests = 1000;
+  result.predicted_requests = 640;
+  result.piggyback_messages = 250;
+  result.piggyback_elements = 2000;
+  result.predictions_made = 800;
+  result.predictions_true = 600;
+  result.prev_occurrence_within_horizon = 400;
+  result.prev_occurrence_within_window = 120;
+  result.updated_by_piggyback = 80;
+  return result;
+}
 
 TEST(Table, AlignsColumns) {
   Table table({"name", "value"});
@@ -49,6 +68,53 @@ TEST(Table, EmptyTableStillPrintsHeader) {
   std::ostringstream os;
   table.print(os);
   EXPECT_NE(os.str().find("col"), std::string::npos);
+}
+
+TEST(EvalReport, FieldTableIsTheSingleSourceOfTruth) {
+  const auto result = sample_result();
+  const auto fields = eval_report_fields(result);
+  ASSERT_EQ(fields.size(), 7u);
+  // Every field label appears in the text rendering, in order.
+  const auto text = render_eval_report(result);
+  std::size_t cursor = 0;
+  for (const auto& field : fields) {
+    const auto at = text.find(field.label, cursor);
+    ASSERT_NE(at, std::string::npos) << field.label;
+    cursor = at;
+  }
+}
+
+TEST(EvalReport, JsonCarriesEveryFieldWithMatchingValue) {
+  const auto result = sample_result();
+  const auto parsed = obs::parse_json(render_eval_report_json(result));
+  ASSERT_TRUE(parsed.has_value());
+  const auto fields = eval_report_fields(result);
+  ASSERT_EQ(parsed->members().size(), fields.size());
+  for (const auto& field : fields) {
+    const auto* value = parsed->find(field.key);
+    ASSERT_NE(value, nullptr) << field.key;
+    EXPECT_DOUBLE_EQ(value->number(), field.value) << field.key;
+  }
+}
+
+TEST(EvalReport, JsonCountsAreIntegers) {
+  const auto parsed = obs::parse_json(render_eval_report_json(sample_result()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->find("requests")->dump(0), "1000");
+  EXPECT_EQ(parsed->find("piggyback_messages")->dump(0), "250");
+}
+
+TEST(EvalReport, KnownValuesRenderInBothFormats) {
+  const auto result = sample_result();
+  const auto text = render_eval_report(result);
+  // recall = 640/1000, precision = 600/800, avg size = 2000/250.
+  EXPECT_NE(text.find("64.0%"), std::string::npos);
+  EXPECT_NE(text.find("75.0%"), std::string::npos);
+  EXPECT_NE(text.find("8.00"), std::string::npos);
+  const auto parsed = obs::parse_json(render_eval_report_json(result));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_DOUBLE_EQ(parsed->find("fraction_predicted")->number(), 0.64);
+  EXPECT_DOUBLE_EQ(parsed->find("avg_piggyback_size")->number(), 8.0);
 }
 
 }  // namespace

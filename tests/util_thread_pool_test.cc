@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/pool_metrics.h"
+#include "obs/registry.h"
 #include "util/parallel.h"
 
 namespace piggyweb::util {
@@ -118,6 +120,88 @@ TEST(ParallelRanges, SumMatchesSerial) {
   const auto total =
       std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
   EXPECT_EQ(total, 10'000ull * 10'001ull / 2);
+}
+
+class CountingObserver : public ThreadPoolObserver {
+ public:
+  void on_post(std::size_t queue_depth) override {
+    posts.fetch_add(1, std::memory_order_relaxed);
+    // High-watermark under a race-free CAS loop.
+    auto seen = max_depth.load(std::memory_order_relaxed);
+    while (queue_depth > seen &&
+           !max_depth.compare_exchange_weak(seen, queue_depth)) {
+    }
+  }
+  void on_task_complete(double run_seconds) override {
+    completions.fetch_add(1, std::memory_order_relaxed);
+    if (run_seconds >= 0) nonnegative.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> posts{0};
+  std::atomic<std::uint64_t> completions{0};
+  std::atomic<std::uint64_t> nonnegative{0};
+  std::atomic<std::size_t> max_depth{0};
+};
+
+TEST(ThreadPoolObserver, SeesEveryPostAndCompletion) {
+  CountingObserver observer;
+  {
+    ThreadPool pool(4, &observer);
+    for (int i = 0; i < 500; ++i) {
+      pool.post([] {});
+    }
+  }
+  EXPECT_EQ(observer.posts.load(), 500u);
+  EXPECT_EQ(observer.completions.load(), 500u);
+  // Task wall times are monotone-clock differences: never negative.
+  EXPECT_EQ(observer.nonnegative.load(), 500u);
+  EXPECT_GE(observer.max_depth.load(), 1u);
+}
+
+TEST(ThreadPoolObserver, NullObserverIsTheDefaultPath) {
+  // No observer attached: the pool must not time tasks or call hooks.
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.post([&runs] { runs.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(runs.load(), 100);
+}
+
+TEST(ThreadPoolMetrics, PopulatesRegistry) {
+  obs::Registry registry;
+  {
+    obs::ThreadPoolMetrics metrics(registry, "test.pool");
+    ThreadPool pool(3, &metrics);
+    parallel_shards(pool, 64, [](std::size_t) {});
+  }
+  EXPECT_EQ(registry.counter("test.pool.tasks",
+                             /*deterministic=*/false)
+                .value(),
+            64u);
+  EXPECT_GE(registry
+                .gauge("test.pool.queue_depth_max",
+                       /*deterministic=*/false)
+                .value(),
+            1.0);
+  const auto stats = registry
+                         .histogram("test.pool.task_seconds", 0.0, 1.0, 50,
+                                    /*deterministic=*/false)
+                         .stats();
+  EXPECT_EQ(stats.count(), 64u);
+  EXPECT_GE(stats.min(), 0.0);
+}
+
+TEST(ThreadPoolMetrics, MakePoolMetricsNullRegistry) {
+  EXPECT_EQ(obs::make_pool_metrics(nullptr, "x"), nullptr);
+  obs::Registry registry;
+  const auto metrics = obs::make_pool_metrics(&registry, "y");
+  ASSERT_NE(metrics, nullptr);
+  metrics->on_task_complete(0.01);
+  EXPECT_EQ(
+      registry.counter("y.tasks", /*deterministic=*/false).value(), 1u);
 }
 
 TEST(ParallelShards, ManyRoundsReuseOnePool) {

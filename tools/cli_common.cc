@@ -132,4 +132,28 @@ void FlagSet::print_usage(const char* argv0) const {
   }
 }
 
+void add_observability_flags(FlagSet& flags) {
+  flags.add_string("metrics-out", "",
+                   "write a JSON run manifest (config echo + metrics "
+                   "registry snapshot) to this file");
+  flags.add_string("trace-out", "",
+                   "write a Chrome trace-event JSON file (chrome://tracing, "
+                   "Perfetto) to this file");
+}
+
+std::unique_ptr<obs::RunScope> make_run_scope(const FlagSet& flags,
+                                              std::string run_name,
+                                              int argc, char** argv) {
+  obs::RunScope::Options options;
+  options.run_name = std::move(run_name);
+  options.metrics_path = flags.get_string("metrics-out");
+  options.trace_path = flags.get_string("trace-out");
+  if (options.metrics_path.empty() && options.trace_path.empty()) {
+    return nullptr;
+  }
+  options.argv.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) options.argv.emplace_back(argv[i]);
+  return std::make_unique<obs::RunScope>(std::move(options));
+}
+
 }  // namespace piggyweb::tools

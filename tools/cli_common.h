@@ -4,9 +4,12 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "obs/manifest.h"
 
 namespace piggyweb::tools {
 
@@ -49,5 +52,17 @@ class FlagSet {
   std::string summary_;
   std::map<std::string, Flag> flags_;
 };
+
+// Register the shared observability flags (--metrics-out=FILE,
+// --trace-out=FILE) on a tool's flag set; call before parse().
+void add_observability_flags(FlagSet& flags);
+
+// Build the per-run observability scope from parsed flags: null when both
+// flags are empty (global sinks stay null), otherwise a live RunScope that
+// writes the manifest/trace when destroyed. Declare first in main() so it
+// outlives everything instrumented.
+std::unique_ptr<obs::RunScope> make_run_scope(const FlagSet& flags,
+                                              std::string run_name,
+                                              int argc, char** argv);
 
 }  // namespace piggyweb::tools

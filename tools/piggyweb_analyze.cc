@@ -25,7 +25,10 @@ int main(int argc, char** argv) {
                  "drop image requests from the locality profile");
   flags.add_bool("keep-uncachable", false,
                  "keep cgi/query URLs instead of the paper's cleanup");
+  tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
+  const auto run_scope =
+      tools::make_run_scope(flags, "piggyweb_analyze", argc, argv);
 
   const auto path = flags.get_string("log");
   if (path.empty()) {

@@ -53,7 +53,22 @@ int main(int argc, char** argv) {
                 "worker threads for the sharded evaluator (1 = serial, "
                 "0 = hardware concurrency); metrics are identical for "
                 "any value");
+  flags.add_string("report", "text",
+                   "report format: text (aligned table) or json (same "
+                   "fields, machine-readable, alone on stdout)");
+  tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
+
+  const auto report = flags.get_string("report");
+  if (report != "text" && report != "json") {
+    std::fprintf(stderr, "unknown --report '%s'\n", report.c_str());
+    return 2;
+  }
+  // In JSON mode stdout carries only the report document; progress lines
+  // move to stderr.
+  std::FILE* const info = report == "json" ? stderr : stdout;
+  const auto run_scope =
+      tools::make_run_scope(flags, "piggyweb_evaluate", argc, argv);
 
   const auto path = flags.get_string("log");
   if (path.empty()) {
@@ -75,8 +90,8 @@ int main(int argc, char** argv) {
   options.server_name = flags.get_string("server-name");
   const auto load = trace::load_clf(in, trace, options);
   trace.sort_by_time();
-  std::printf("parsed %zu requests (%zu malformed, %zu filtered)\n",
-              load.parsed, load.skipped_malformed, load.skipped_filtered);
+  std::fprintf(info, "parsed %zu requests (%zu malformed, %zu filtered)\n",
+               load.parsed, load.skipped_malformed, load.skipped_filtered);
   if (trace.empty()) return 1;
 
   sim::EvalConfig config;
@@ -105,14 +120,15 @@ int main(int argc, char** argv) {
       const auto spec = sim::shard_directory_volumes(dvc, trace);
       result = sim::ParallelEvaluator(config, par).run(trace, spec, meta,
                                                        &stats);
-      std::printf("scheme: directory level-%d (%zu volumes, %zu threads)\n",
-                  dvc.level, stats.volume_count, stats.threads);
+      std::fprintf(info,
+                   "scheme: directory level-%d (%zu volumes, %zu threads)\n",
+                   dvc.level, stats.volume_count, stats.threads);
     } else {
       volume::DirectoryVolumes volumes(dvc);
       volumes.bind_paths(trace.paths());
       result = sim::PredictionEvaluator(config).run(trace, volumes, meta);
-      std::printf("scheme: directory level-%d (%zu volumes)\n", dvc.level,
-                  volumes.volume_count());
+      std::fprintf(info, "scheme: directory level-%d (%zu volumes)\n",
+                   dvc.level, volumes.volume_count());
     }
   } else if (scheme == "probability") {
     volume::ProbabilityVolumeSet set;
@@ -156,12 +172,17 @@ int main(int argc, char** argv) {
       volume::ProbabilityVolumes provider(&set, 200);
       result = sim::PredictionEvaluator(config).run(trace, provider, meta);
     }
-    std::printf("scheme: probability (%zu volumes)\n", set.volume_count());
+    std::fprintf(info, "scheme: probability (%zu volumes)\n",
+                 set.volume_count());
   } else {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
   }
 
-  std::cout << sim::render_eval_report(result);
+  if (report == "json") {
+    std::cout << sim::render_eval_report_json(result) << "\n";
+  } else {
+    std::cout << sim::render_eval_report(result);
+  }
   return 0;
 }

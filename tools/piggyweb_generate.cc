@@ -52,7 +52,10 @@ int main(int argc, char** argv) {
                    "effectiveness threshold for --volumes-out (0 = off)");
   flags.add_int("min-count", 10,
                 "ignore resources with fewer accesses when training");
+  tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
+  const auto run_scope =
+      tools::make_run_scope(flags, "piggyweb_generate", argc, argv);
 
   auto profile =
       profile_by_name(flags.get_string("profile"), flags.get_double("scale"));

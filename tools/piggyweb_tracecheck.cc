@@ -1,0 +1,215 @@
+// piggyweb_tracecheck — lint the observability artifacts a traced run
+// writes: the Chrome trace-event file (--trace-out=) and the run manifest
+// (--metrics-out=). Used by the CI observability smoke step and handy
+// locally before loading a trace into Perfetto.
+//
+//   piggyweb_tracecheck --trace=run-trace.json
+//   piggyweb_tracecheck --manifest=run.json
+//   piggyweb_tracecheck --manifest=t4.json --same-metrics-as=t1.json
+//
+// --same-metrics-as asserts the deterministic counters/gauges of the two
+// manifests are exactly equal — the thread-invariance property: a workload
+// run at --threads=1 and --threads=4 must publish identical deterministic
+// metrics.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli_common.h"
+#include "obs/json.h"
+#include "obs/manifest.h"
+
+using namespace piggyweb;
+
+namespace {
+
+std::optional<obs::Json> load_json_file(const std::string& path,
+                                        std::vector<std::string>& problems) {
+  std::ifstream in(path);
+  if (!in) {
+    problems.push_back(path + ": cannot open");
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto parsed = obs::parse_json(buffer.str(), &error);
+  if (!parsed.has_value()) {
+    problems.push_back(path + ": invalid JSON: " + error);
+  }
+  return parsed;
+}
+
+// Chrome trace-event format: {"traceEvents": [...]}; every event needs
+// name/ph/ts/pid/tid, and complete ("X") events a non-negative dur.
+void lint_trace(const obs::Json& trace, const std::string& path,
+                std::vector<std::string>& problems) {
+  if (!trace.is_object()) {
+    problems.push_back(path + ": top level is not an object");
+    return;
+  }
+  const auto* events = trace.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    problems.push_back(path + ": missing traceEvents array");
+    return;
+  }
+  std::size_t index = 0;
+  for (const auto& event : events->items()) {
+    const auto where = path + ": event " + std::to_string(index++);
+    if (!event.is_object()) {
+      problems.push_back(where + " is not an object");
+      continue;
+    }
+    for (const char* key : {"name", "ph", "ts", "pid", "tid"}) {
+      if (event.find(key) == nullptr) {
+        problems.push_back(where + " lacks \"" + key + "\"");
+      }
+    }
+    const auto* name = event.find("name");
+    if (name != nullptr && !name->is_string()) {
+      problems.push_back(where + ": name is not a string");
+    }
+    const auto* ts = event.find("ts");
+    if (ts != nullptr && (!ts->is_number() || ts->number() < 0)) {
+      problems.push_back(where + ": ts is not a non-negative number");
+    }
+    const auto* ph = event.find("ph");
+    if (ph != nullptr && ph->is_string() && ph->string() == "X") {
+      const auto* dur = event.find("dur");
+      if (dur == nullptr || !dur->is_number() || dur->number() < 0) {
+        problems.push_back(where + ": complete event lacks non-negative dur");
+      }
+    }
+  }
+  if (problems.empty()) {
+    std::printf("%s: %zu trace events ok\n", path.c_str(),
+                events->items().size());
+  }
+}
+
+// Collect name -> value for the deterministic entries of one metric
+// section ("counters" or "gauges").
+std::vector<std::pair<std::string, double>> deterministic_metrics(
+    const obs::Json& manifest, const char* section) {
+  std::vector<std::pair<std::string, double>> out;
+  const auto* metrics = manifest.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return out;
+  const auto* list = metrics->find(section);
+  if (list == nullptr || !list->is_array()) return out;
+  for (const auto& entry : list->items()) {
+    const auto* name = entry.find("name");
+    const auto* value = entry.find("value");
+    const auto* deterministic = entry.find("deterministic");
+    if (name == nullptr || value == nullptr || deterministic == nullptr) {
+      continue;  // validate_run_manifest reports shape problems
+    }
+    if (deterministic->boolean()) {
+      out.emplace_back(name->string(), value->number());
+    }
+  }
+  return out;
+}
+
+// Exact equality of the deterministic counters/gauges of two manifests:
+// same names on both sides, same values bit-for-bit.
+void diff_deterministic_metrics(const obs::Json& a, const std::string& a_path,
+                                const obs::Json& b, const std::string& b_path,
+                                std::vector<std::string>& problems) {
+  for (const char* section : {"counters", "gauges"}) {
+    const auto lhs = deterministic_metrics(a, section);
+    const auto rhs = deterministic_metrics(b, section);
+    for (const auto& [name, value] : lhs) {
+      bool found = false;
+      for (const auto& [other_name, other_value] : rhs) {
+        if (other_name != name) continue;
+        found = true;
+        if (other_value != value) {
+          problems.push_back(std::string(section) + "." + name + ": " +
+                             a_path + " has " + std::to_string(value) +
+                             ", " + b_path + " has " +
+                             std::to_string(other_value));
+        }
+        break;
+      }
+      if (!found) {
+        problems.push_back(std::string(section) + "." + name +
+                           ": missing from " + b_path);
+      }
+    }
+    for (const auto& [name, value] : rhs) {
+      bool found = false;
+      for (const auto& [other_name, other_value] : lhs) {
+        if (other_name == name) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        problems.push_back(std::string(section) + "." + name +
+                           ": missing from " + a_path);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags("lint piggyweb trace and run-manifest files");
+  flags.add_string("trace", "", "Chrome trace-event file to lint");
+  flags.add_string("manifest", "", "run manifest file to validate");
+  flags.add_string("same-metrics-as", "",
+                   "second manifest whose deterministic counters/gauges "
+                   "must equal --manifest's exactly");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const auto trace_path = flags.get_string("trace");
+  const auto manifest_path = flags.get_string("manifest");
+  const auto other_path = flags.get_string("same-metrics-as");
+  if (trace_path.empty() && manifest_path.empty()) {
+    std::fprintf(stderr, "nothing to do: pass --trace= and/or --manifest=\n");
+    return 2;
+  }
+  if (!other_path.empty() && manifest_path.empty()) {
+    std::fprintf(stderr, "--same-metrics-as requires --manifest\n");
+    return 2;
+  }
+
+  std::vector<std::string> problems;
+  if (!trace_path.empty()) {
+    if (const auto trace = load_json_file(trace_path, problems)) {
+      lint_trace(*trace, trace_path, problems);
+    }
+  }
+  if (!manifest_path.empty()) {
+    const auto manifest = load_json_file(manifest_path, problems);
+    if (manifest.has_value()) {
+      std::vector<std::string> manifest_problems;
+      if (obs::validate_run_manifest(*manifest, manifest_problems)) {
+        std::printf("%s: manifest ok\n", manifest_path.c_str());
+      }
+      for (auto& problem : manifest_problems) {
+        problems.push_back(manifest_path + ": " + std::move(problem));
+      }
+      if (!other_path.empty()) {
+        if (const auto other = load_json_file(other_path, problems)) {
+          const auto before = problems.size();
+          diff_deterministic_metrics(*manifest, manifest_path, *other,
+                                     other_path, problems);
+          if (problems.size() == before) {
+            std::printf("%s and %s: deterministic metrics identical\n",
+                        manifest_path.c_str(), other_path.c_str());
+          }
+        }
+      }
+    }
+  }
+
+  for (const auto& problem : problems) {
+    std::fprintf(stderr, "tracecheck: %s\n", problem.c_str());
+  }
+  return problems.empty() ? 0 : 1;
+}
