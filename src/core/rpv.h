@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/piggyback.h"
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace piggyweb::core {
@@ -69,7 +69,7 @@ class RpvTable {
 
   RpvConfig config_;
   std::size_t max_servers_;
-  std::unordered_map<util::InternId, RpvList> lists_;
+  util::FlatMap<util::InternId, RpvList> lists_;
   std::deque<util::InternId> use_order_;  // rough LRU of servers
 };
 

@@ -17,8 +17,8 @@
 #include <list>
 #include <map>
 #include <optional>
-#include <unordered_map>
 
+#include "util/flat_map.h"
 #include "util/intern.h"
 #include "util/time.h"
 
@@ -174,12 +174,12 @@ class ProxyCache {
   CacheConfig config_;
   std::uint64_t used_ = 0;
   double gd_inflation_ = 0;  // GreedyDual-Size "L"
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  util::FlatMap<std::uint64_t, Entry> entries_;
   std::list<std::uint64_t> lru_;  // front = most recent
   std::multimap<double, std::uint64_t> gd_queue_;        // ascending H
   std::multimap<std::uint64_t, std::uint64_t> size_queue_;  // ascending size
   std::multimap<util::Seconds, std::uint64_t> expiry_queue_;  // ascending
-  std::unordered_map<std::uint64_t, util::Seconds> freshness_overrides_;
+  util::FlatMap<std::uint64_t, util::Seconds> freshness_overrides_;
   CacheStats stats_;
 };
 

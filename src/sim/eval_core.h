@@ -18,11 +18,11 @@
 
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 
 #include "core/rpv.h"
 #include "sim/prediction_eval.h"
 #include "trace/record.h"
+#include "util/flat_map.h"
 
 namespace piggyweb::sim::detail {
 
@@ -60,11 +60,11 @@ class MetricAccumulator {
   const EvalConfig* config_;
   EvalResult result_;
   // (source, resource) -> state. Sources and resources are dense ids.
-  std::unordered_map<std::uint64_t, ResourceState> state_;
+  util::FlatMap<std::uint64_t, ResourceState> state_;
   // (source, server) -> last piggyback time (frequency control).
-  std::unordered_map<std::uint64_t, util::Seconds> last_piggy_;
+  util::FlatMap<std::uint64_t, util::Seconds> last_piggy_;
   // (source, server) -> RPV list.
-  std::unordered_map<std::uint64_t, core::RpvList> rpv_;
+  util::FlatMap<std::uint64_t, core::RpvList> rpv_;
 };
 
 // Merge partial results from disjoint request sets: every field is a

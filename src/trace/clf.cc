@@ -82,50 +82,81 @@ bool is_uncachable_url(std::string_view path) {
          path.find('?') != std::string_view::npos;
 }
 
-std::optional<ClfEntry> parse_clf_line(std::string_view line) {
+namespace {
+
+// Pops the next space/tab-separated token off `s` (empty if exhausted) —
+// split_trimmed without the vector.
+std::string_view next_token(std::string_view& s) {
+  const auto begin = s.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) {
+    s = {};
+    return {};
+  }
+  auto end = s.find_first_of(" \t", begin);
+  if (end == std::string_view::npos) end = s.size();
+  const auto token = s.substr(begin, end - begin);
+  s.remove_prefix(end);
+  return token;
+}
+
+}  // namespace
+
+bool parse_clf_fields(std::string_view line, ClfFields& out) {
   line = util::trim(line);
-  if (line.empty()) return std::nullopt;
+  if (line.empty()) return false;
 
   // host
   const auto sp1 = line.find(' ');
-  if (sp1 == std::string_view::npos) return std::nullopt;
-  ClfEntry entry;
-  entry.host = std::string(line.substr(0, sp1));
+  if (sp1 == std::string_view::npos) return false;
+  out.host = line.substr(0, sp1);
 
   // skip ident + authuser
   const auto bracket = line.find('[', sp1);
-  if (bracket == std::string_view::npos) return std::nullopt;
+  if (bracket == std::string_view::npos) return false;
   const auto bracket_end = line.find(']', bracket);
-  if (bracket_end == std::string_view::npos) return std::nullopt;
+  if (bracket_end == std::string_view::npos) return false;
   std::int64_t ts = 0;
   if (!parse_clf_date(line.substr(bracket + 1, bracket_end - bracket - 1),
                       ts)) {
-    return std::nullopt;
+    return false;
   }
-  entry.time = {ts};
+  out.time = {ts};
 
   const auto quote = line.find('"', bracket_end);
-  if (quote == std::string_view::npos) return std::nullopt;
+  if (quote == std::string_view::npos) return false;
   const auto quote_end = line.find('"', quote + 1);
-  if (quote_end == std::string_view::npos) return std::nullopt;
-  const auto reqline = line.substr(quote + 1, quote_end - quote - 1);
-  const auto parts = util::split_trimmed(reqline, ' ');
-  if (parts.size() < 2) return std::nullopt;
-  if (!parse_method(parts[0], entry.method)) return std::nullopt;
-  entry.path = util::normalize_path(parts[1]);
+  if (quote_end == std::string_view::npos) return false;
+  auto reqline = line.substr(quote + 1, quote_end - quote - 1);
+  const auto method_token = next_token(reqline);
+  const auto path_token = next_token(reqline);
+  if (method_token.empty() || path_token.empty()) return false;
+  if (!parse_method(method_token, out.method)) return false;
+  util::normalize_path_into(path_token, out.path);
 
-  const auto tail = util::trim(line.substr(quote_end + 1));
-  const auto tail_parts = util::split_trimmed(tail, ' ');
-  if (tail_parts.empty()) return std::nullopt;
+  auto tail = line.substr(quote_end + 1);
+  const auto status_token = next_token(tail);
+  if (status_token.empty()) return false;
   std::uint64_t status = 0;
-  if (!util::parse_u64(tail_parts[0], status) || status > 999) {
-    return std::nullopt;
+  if (!util::parse_u64(status_token, status) || status > 999) return false;
+  out.status = static_cast<std::uint16_t>(status);
+  out.size = 0;
+  const auto size_token = next_token(tail);
+  if (!size_token.empty() && size_token != "-") {
+    if (!util::parse_u64(size_token, out.size)) return false;
   }
-  entry.status = static_cast<std::uint16_t>(status);
-  entry.size = 0;
-  if (tail_parts.size() > 1 && tail_parts[1] != "-") {
-    if (!util::parse_u64(tail_parts[1], entry.size)) return std::nullopt;
-  }
+  return true;
+}
+
+std::optional<ClfEntry> parse_clf_line(std::string_view line) {
+  ClfFields fields;
+  if (!parse_clf_fields(line, fields)) return std::nullopt;
+  ClfEntry entry;
+  entry.host = std::string(fields.host);
+  entry.time = fields.time;
+  entry.method = fields.method;
+  entry.path = std::move(fields.path);
+  entry.status = fields.status;
+  entry.size = fields.size;
   return entry;
 }
 
@@ -149,24 +180,38 @@ std::string format_clf_line(const ClfEntry& entry) {
 ClfLoadResult load_clf(std::istream& in, Trace& trace,
                        const ClfLoadOptions& options) {
   ClfLoadResult result;
+
+  // When the stream is seekable the remaining byte count is knowable;
+  // CLF lines run ~60-120 bytes, so bytes/64 over-estimates the request
+  // count slightly and one reserve absorbs all vector growth up front.
+  if (const auto here = in.tellg(); here != std::istream::pos_type(-1)) {
+    in.seekg(0, std::ios::end);
+    const auto end = in.tellg();
+    in.seekg(here);
+    if (end != std::istream::pos_type(-1) && end > here) {
+      const auto bytes = static_cast<std::uint64_t>(end - here);
+      trace.reserve(trace.size() + static_cast<std::size_t>(bytes / 64));
+    }
+  }
+
   std::string line;
+  ClfFields fields;  // line/path buffers reused across all lines
   while (std::getline(in, line)) {
     if (util::trim(line).empty()) continue;
-    const auto entry = parse_clf_line(line);
-    if (!entry) {
+    if (!parse_clf_fields(line, fields)) {
       ++result.skipped_malformed;
       continue;
     }
-    if (options.drop_uncachable && is_uncachable_url(entry->path)) {
+    if (options.drop_uncachable && is_uncachable_url(fields.path)) {
       ++result.skipped_filtered;
       continue;
     }
-    if (options.drop_post && entry->method != Method::kGet) {
+    if (options.drop_post && fields.method != Method::kGet) {
       ++result.skipped_filtered;
       continue;
     }
-    trace.add(entry->time, entry->host, options.server_name, entry->path,
-              entry->method, entry->status, entry->size);
+    trace.add(fields.time, fields.host, options.server_name, fields.path,
+              fields.method, fields.status, fields.size);
     ++result.parsed;
   }
   return result;

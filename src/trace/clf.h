@@ -30,6 +30,21 @@ struct ClfEntry {
 // and skip bad lines, the standard posture for real-world logs).
 std::optional<ClfEntry> parse_clf_line(std::string_view line);
 
+// Allocation-free parsed form for bulk loading: `host` is a view into the
+// input line (valid only until the caller's line buffer changes) and the
+// normalized path is written into the reusable `path` buffer. Parsing a
+// line performs no heap allocation once `path` has grown to the longest
+// path seen. Returns false on malformed input, leaving `out` unspecified.
+struct ClfFields {
+  std::string_view host;
+  util::TimePoint time;
+  Method method = Method::kGet;
+  std::string path;  // reusable normalized-path buffer
+  std::uint16_t status = 200;
+  std::uint64_t size = 0;
+};
+bool parse_clf_fields(std::string_view line, ClfFields& out);
+
 // Serialize an entry back to a CLF line (UTC zone).
 std::string format_clf_line(const ClfEntry& entry);
 

@@ -51,6 +51,12 @@ class Trace {
 
   void add(const Request& r) { requests_.push_back(r); }
 
+  // Pre-size the request vector for a known (or estimated) request count;
+  // bulk loaders call this so appends never reallocate mid-load.
+  void reserve(std::size_t expected_requests) {
+    requests_.reserve(expected_requests);
+  }
+
   void sort_by_time();
 
   const std::vector<Request>& requests() const { return requests_; }

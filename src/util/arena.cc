@@ -1,0 +1,24 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace piggyweb::util {
+
+std::string_view StringArena::store(std::string_view s) {
+  if (s.empty()) return {};
+  if (s.size() > head_capacity_ - head_used_) {
+    const std::size_t chunk = std::max(kMinChunkBytes, s.size());
+    chunks_.push_back(std::make_unique<char[]>(chunk));
+    head_used_ = 0;
+    head_capacity_ = chunk;
+    allocated_ += chunk;
+  }
+  char* dst = chunks_.back().get() + head_used_;
+  std::memcpy(dst, s.data(), s.size());
+  head_used_ += s.size();
+  stored_ += s.size();
+  return {dst, s.size()};
+}
+
+}  // namespace piggyweb::util

@@ -1,0 +1,45 @@
+// Append-only string arena: stores byte strings contiguously in large
+// chunks and hands out string_views with stable addresses for the arena's
+// lifetime. Backs InternTable so every interned URL is stored exactly
+// once (the map keys string_views into the arena instead of owning a
+// second std::string copy).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace piggyweb::util {
+
+class StringArena {
+ public:
+  StringArena() = default;
+  StringArena(StringArena&&) noexcept = default;
+  StringArena& operator=(StringArena&&) noexcept = default;
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+
+  // Copies `s` into the arena and returns a view of the stored bytes.
+  // The view stays valid for the arena's lifetime (chunks are never
+  // reallocated or freed).
+  std::string_view store(std::string_view s);
+
+  // Bytes of string payload stored.
+  std::size_t stored_bytes() const { return stored_; }
+  // Bytes of chunk capacity allocated (>= stored_bytes; the difference is
+  // tail slack in each chunk).
+  std::size_t allocated_bytes() const { return allocated_; }
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  static constexpr std::size_t kMinChunkBytes = 64 * 1024;
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  std::size_t head_used_ = 0;      // bytes used in the newest chunk
+  std::size_t head_capacity_ = 0;  // capacity of the newest chunk
+  std::size_t stored_ = 0;
+  std::size_t allocated_ = 0;
+};
+
+}  // namespace piggyweb::util

@@ -1,27 +1,88 @@
 #include "util/intern.h"
 
 #include "util/expect.h"
+#include "util/hash.h"
 
 namespace piggyweb::util {
 
+namespace {
+constexpr std::size_t kMinSlots = 16;
+}  // namespace
+
+InternTable::InternTable(const InternTable& other)
+    : hashes_(other.hashes_), slots_(other.slots_) {
+  views_.reserve(other.views_.size());
+  for (const auto view : other.views_) views_.push_back(arena_.store(view));
+}
+
+InternTable& InternTable::operator=(const InternTable& other) {
+  if (this == &other) return *this;
+  InternTable copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+std::size_t InternTable::probe(std::string_view s, std::uint64_t h) const {
+  const std::size_t mask = slots_.size() - 1;
+  std::size_t idx = static_cast<std::size_t>(mix64(h)) & mask;
+  while (true) {
+    const auto id = slots_[idx];
+    if (id == kInvalidIntern) return idx;
+    if (hashes_[id] == h && views_[id] == s) return idx;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void InternTable::rebuild_slots(std::size_t new_size) {
+  slots_.assign(new_size, kInvalidIntern);
+  const std::size_t mask = new_size - 1;
+  for (InternId id = 0; id < views_.size(); ++id) {
+    std::size_t idx = static_cast<std::size_t>(mix64(hashes_[id])) & mask;
+    while (slots_[idx] != kInvalidIntern) idx = (idx + 1) & mask;
+    slots_[idx] = id;
+  }
+}
+
+void InternTable::grow() {
+  rebuild_slots(slots_.empty() ? kMinSlots : slots_.size() * 2);
+}
+
+void InternTable::reserve(std::size_t expected) {
+  views_.reserve(expected);
+  hashes_.reserve(expected);
+  std::size_t needed = kMinSlots;
+  while (needed * 3 < expected * 4) needed <<= 1;
+  if (needed > slots_.size()) rebuild_slots(needed);
+}
+
 InternId InternTable::intern(std::string_view s) {
-  if (const auto it = ids_.find(s); it != ids_.end()) return it->second;
-  PW_EXPECT(strings_.size() < kInvalidIntern);
-  const auto id = static_cast<InternId>(strings_.size());
-  strings_.emplace_back(s);
-  ids_.emplace(strings_.back(), id);
+  if (slots_.empty()) grow();
+  const auto h = fnv1a(s);
+  auto idx = probe(s, h);
+  if (slots_[idx] != kInvalidIntern) return slots_[idx];
+
+  PW_EXPECT(views_.size() < kInvalidIntern);
+  if ((views_.size() + 1) * 4 > slots_.size() * 3) {
+    grow();
+    idx = probe(s, h);
+  }
+  const auto id = static_cast<InternId>(views_.size());
+  views_.push_back(arena_.store(s));
+  hashes_.push_back(h);
+  slots_[idx] = id;
   return id;
 }
 
 std::optional<InternId> InternTable::find(std::string_view s) const {
-  const auto it = ids_.find(s);
-  if (it == ids_.end()) return std::nullopt;
-  return it->second;
+  if (slots_.empty()) return std::nullopt;
+  const auto idx = probe(s, fnv1a(s));
+  if (slots_[idx] == kInvalidIntern) return std::nullopt;
+  return slots_[idx];
 }
 
 std::string_view InternTable::str(InternId id) const {
-  PW_EXPECT(id < strings_.size());
-  return strings_[id];
+  PW_EXPECT(id < views_.size());
+  return views_[id];
 }
 
 }  // namespace piggyweb::util

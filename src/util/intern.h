@@ -2,14 +2,20 @@
 // to dense 32-bit ids and back. Dense ids keep the hot per-resource tables
 // (counters, last-access maps) flat and cache-friendly, which matters when
 // a Sun-scale log touches tens of thousands of resources millions of times.
+//
+// Storage: every string is stored exactly once, in a StringArena; the
+// id-by-string index is a flat open-addressing probe table over ids (an
+// empty slot is kInvalidIntern), so a lookup is one hash, a linear probe
+// over a contiguous id array, and a hash-guarded string compare — no
+// per-string map node and no second copy of the key.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "util/arena.h"
 
 namespace piggyweb::util {
 
@@ -19,6 +25,12 @@ inline constexpr InternId kInvalidIntern = 0xffffffffu;
 class InternTable {
  public:
   InternTable() = default;
+  InternTable(InternTable&&) noexcept = default;
+  InternTable& operator=(InternTable&&) noexcept = default;
+  // Copies re-store the strings into a fresh arena (ids, hashes, and the
+  // probe layout carry over unchanged).
+  InternTable(const InternTable& other);
+  InternTable& operator=(const InternTable& other);
 
   // Returns the id for `s`, interning it if new.
   InternId intern(std::string_view s);
@@ -29,26 +41,26 @@ class InternTable {
   // The interned string for an id. Id must be valid.
   std::string_view str(InternId id) const;
 
-  std::size_t size() const { return strings_.size(); }
-  bool empty() const { return strings_.empty(); }
+  std::size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+
+  // Pre-size the probe table and id arrays for `expected` strings.
+  void reserve(std::size_t expected);
+
+  // Bytes of string payload held (each string stored once).
+  std::size_t arena_bytes() const { return arena_.stored_bytes(); }
 
  private:
-  struct TransparentHash {
-    using is_transparent = void;
-    std::size_t operator()(std::string_view s) const noexcept {
-      return std::hash<std::string_view>{}(s);
-    }
-  };
-  struct TransparentEq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const noexcept {
-      return a == b;
-    }
-  };
+  // Probe slot for `s` with hash `h`: the slot holding its id if interned,
+  // else the empty slot an insert would use. Requires slots_ non-empty.
+  std::size_t probe(std::string_view s, std::uint64_t h) const;
+  void rebuild_slots(std::size_t new_size);
+  void grow();
 
-  std::vector<std::string> strings_;
-  std::unordered_map<std::string, InternId, TransparentHash, TransparentEq>
-      ids_;
+  std::vector<std::string_view> views_;   // id -> string (into arena_)
+  std::vector<std::uint64_t> hashes_;     // id -> fnv1a(string)
+  std::vector<InternId> slots_;           // open addressing; empty = kInvalidIntern
+  StringArena arena_;
 };
 
 }  // namespace piggyweb::util

@@ -78,6 +78,13 @@ bool parse_double(std::string_view s, double& out) {
 }
 
 std::string normalize_path(std::string_view path) {
+  std::string out;
+  normalize_path_into(path, out);
+  return out;
+}
+
+void normalize_path_into(std::string_view path, std::string& out) {
+  out.clear();
   // Strip scheme+host if a full URL slipped into the log.
   if (starts_with(path, "http://") || starts_with(path, "https://")) {
     const auto rest = path.substr(path.find("//") + 2);
@@ -89,14 +96,15 @@ std::string normalize_path(std::string_view path) {
   if (const auto frag = path.find('#'); frag != std::string_view::npos) {
     path = path.substr(0, frag);
   }
-  if (path.empty()) return "/";
-  std::string out;
+  if (path.empty()) {
+    out.push_back('/');
+    return;
+  }
   out.reserve(path.size() + 1);
   if (path.front() != '/') out.push_back('/');
   out.append(path);
   // "http://www.foo.com/" and "http://www.foo.com" are the same resource.
   while (out.size() > 1 && out.back() == '/') out.pop_back();
-  return out;
 }
 
 std::string_view directory_prefix(std::string_view path, int level) {

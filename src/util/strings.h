@@ -46,6 +46,11 @@ bool parse_double(std::string_view s, double& out);
 // drop a trailing slash except for the root, and strip fragments.
 std::string normalize_path(std::string_view path);
 
+// As normalize_path, but writes into `out` (cleared first) so bulk parsers
+// can reuse one buffer across millions of lines instead of allocating a
+// fresh string per path.
+void normalize_path_into(std::string_view path, std::string& out);
+
 // Directory prefix of a URL path at a given level. Level 0 is the server
 // root "/" (site-wide); level k keeps the first k directory components.
 // A path with fewer than k directories maps to its own directory.

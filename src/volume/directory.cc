@@ -23,19 +23,13 @@ std::size_t DirectoryVolumes::partition_of(trace::ContentType type,
   return type_idx * 2 + size_idx;
 }
 
-std::string DirectoryVolumes::volume_key(util::InternId server,
-                                         std::string_view path) const {
-  std::string key = std::to_string(server);
-  key += '|';
-  key += util::directory_prefix(path, config_.level);
-  return key;
-}
-
 core::VolumePrediction DirectoryVolumes::on_request(
     const core::VolumeRequest& request) {
   PW_EXPECT(paths_ != nullptr);
   const auto path = paths_->str(request.path);
-  const auto key = volume_key(request.server, path);
+  const auto prefix =
+      prefixes_.intern(util::directory_prefix(path, config_.level));
+  const auto key = volume_key(request.server, prefix);
 
   // ids_ holds the dense local index; the public id applies the
   // offset/stride numbering from the config.
@@ -129,7 +123,10 @@ std::vector<util::InternId> DirectoryVolumes::collect(
 
 core::VolumeId DirectoryVolumes::peek_volume(util::InternId server,
                                              std::string_view path) const {
-  const auto it = ids_.find(volume_key(server, path));
+  const auto prefix =
+      prefixes_.find(util::directory_prefix(path, config_.level));
+  if (!prefix.has_value()) return core::kNoVolume;
+  const auto it = ids_.find(volume_key(server, *prefix));
   if (it == ids_.end()) return core::kNoVolume;
   return config_.id_offset + config_.id_stride * it->second;
 }

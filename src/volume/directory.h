@@ -15,11 +15,11 @@
 #include <array>
 #include <cstdint>
 #include <list>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/piggyback.h"
+#include "util/flat_map.h"
+#include "util/intern.h"
 
 namespace piggyweb::volume {
 
@@ -78,18 +78,27 @@ class DirectoryVolumes final : public core::VolumeProvider {
   struct Volume {
     std::array<ElementList, kPartitions> parts;
     // resource -> (partition, node) for O(1) move-to-front
-    std::unordered_map<util::InternId,
-                       std::pair<std::size_t, ElementList::iterator>>
+    util::FlatMap<util::InternId,
+                  std::pair<std::size_t, ElementList::iterator>>
         index;
   };
 
-  std::string volume_key(util::InternId server, std::string_view path) const;
+  // (server id, interned prefix id) packed into the volume lookup key.
+  static std::uint64_t volume_key(util::InternId server,
+                                  util::InternId prefix) {
+    return (static_cast<std::uint64_t>(server) << 32) | prefix;
+  }
+
   void touch(Volume& volume, const core::VolumeRequest& request);
   void trim(Volume& volume);
   std::vector<util::InternId> collect(const Volume& volume) const;
 
   DirectoryVolumeConfig config_;
-  std::unordered_map<std::string, core::VolumeId> ids_;
+  // A volume's identity is (server, k-level prefix). Prefix strings are
+  // interned once, so the per-request lookup packs two dense ids instead
+  // of building and hashing a "server|prefix" string.
+  util::InternTable prefixes_;
+  util::FlatMap<std::uint64_t, core::VolumeId> ids_;
   std::vector<Volume> volumes_;
   // The path table is owned by the caller's Trace; we only need prefix
   // strings, resolved per request from the request's path string.

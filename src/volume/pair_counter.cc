@@ -58,8 +58,9 @@ PairCounts PairCounterBuilder::build(const trace::Trace& trace,
                            }));
 
   // Pre-count resource popularity for the min-count cut and for the
-  // sampler's freq(r) term.
-  std::vector<std::uint64_t> popularity;
+  // sampler's freq(r) term. The paths intern table bounds the id space, so
+  // size the array once instead of growing it request by request.
+  std::vector<std::uint64_t> popularity(trace.paths().size(), 0);
   for (const auto& req : requests) {
     if (req.path >= popularity.size()) popularity.resize(req.path + 1, 0);
     ++popularity[req.path];

@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -60,7 +60,7 @@ class PairCounts {
 
   std::size_t counter_count() const { return pairs_.size(); }
 
-  const std::unordered_map<std::uint64_t, PairCount>& pairs() const {
+  const util::FlatMap<std::uint64_t, PairCount>& pairs() const {
     return pairs_;
   }
   const std::vector<std::uint64_t>& resource_occurrences() const {
@@ -75,7 +75,7 @@ class PairCounts {
   friend class ParallelPairCounterBuilder;
   friend class ShardedPairCounterTable;
   std::vector<std::uint64_t> c_r_;  // indexed by resource id
-  std::unordered_map<std::uint64_t, PairCount> pairs_;
+  util::FlatMap<std::uint64_t, PairCount> pairs_;
 };
 
 // Streams a time-sorted trace and produces PairCounts. Single server logs

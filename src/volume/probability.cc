@@ -30,7 +30,7 @@ VolumeSetStats ProbabilityVolumeSet::stats() const {
   s.volumes = volumes_.size();
   std::size_t self = 0;
   std::size_t symmetric = 0;
-  std::unordered_map<util::InternId, std::size_t> memberships;
+  util::FlatMap<util::InternId, std::size_t> memberships;
   for (const auto& [r, entries] : volumes_) {
     s.total_entries += entries.size();
     for (const auto& e : entries) {
@@ -75,7 +75,7 @@ ProbabilityVolumeSet build_probability_volumes(
 
   // Candidate volumes: all counted pairs passing p_t (and the prefix
   // restriction when combining).
-  std::unordered_map<util::InternId, std::vector<VolumeEntry>> candidates;
+  util::FlatMap<util::InternId, std::vector<VolumeEntry>> candidates;
   const auto prefix_of = [&](util::InternId path) {
     return util::directory_prefix(trace.paths().str(path),
                                   config.combine_prefix_level);
@@ -95,9 +95,9 @@ ProbabilityVolumeSet build_probability_volumes(
   // "effective" at an r-request when s is not already in predicted state
   // for that source (no volume mentioned s within the last T seconds).
   if (config.effectiveness_threshold > 0 && !candidates.empty()) {
-    std::unordered_map<std::uint64_t, std::uint64_t> effective;  // pair key
+    util::FlatMap<std::uint64_t, std::uint64_t> effective;  // pair key
     // (source, resource) -> last time any volume predicted the resource
-    std::unordered_map<std::uint64_t, util::Seconds> last_predicted;
+    util::FlatMap<std::uint64_t, util::Seconds> last_predicted;
     const auto state_key = [](util::InternId source, util::InternId res) {
       return (static_cast<std::uint64_t>(source) << 32) | res;
     };

@@ -10,10 +10,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/piggyback.h"
+#include "util/flat_map.h"
 #include "volume/pair_counter.h"
 
 namespace piggyweb::volume {
@@ -64,14 +64,14 @@ class ProbabilityVolumeSet {
   VolumeSetStats stats() const;
 
   // Iteration support for stats/tests.
-  const std::unordered_map<util::InternId, std::vector<VolumeEntry>>&
-  volumes() const {
+  const util::FlatMap<util::InternId, std::vector<VolumeEntry>>& volumes()
+      const {
     return volumes_;
   }
 
  private:
-  std::unordered_map<util::InternId, std::vector<VolumeEntry>> volumes_;
-  std::unordered_map<util::InternId, core::VolumeId> id_of_;
+  util::FlatMap<util::InternId, std::vector<VolumeEntry>> volumes_;
+  util::FlatMap<util::InternId, core::VolumeId> id_of_;
 };
 
 // Build volumes from counters. When config.effectiveness_threshold > 0 a

@@ -107,7 +107,9 @@ std::vector<std::uint64_t> ShardedPairCounterTable::occurrence_vector()
 PairCounts ShardedPairCounterTable::to_pair_counts() const {
   PairCounts counts;
   counts.c_r_ = occurrence_vector();
-  for (const auto& [key, count] : pair_entries()) {
+  const auto entries = pair_entries();
+  counts.pairs_.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
     counts.pairs_.emplace(key, PairCount{count, 0});
   }
   return counts;
@@ -216,8 +218,10 @@ PairCounts ParallelPairCounterBuilder::build(
   util::parallel_shards(
       pool, pool.thread_count(), [&](std::size_t worker) {
         OBS_SPAN("pair_counter.worker");
-        std::unordered_map<util::InternId, std::uint64_t> local_cr;
-        std::unordered_map<std::uint64_t, LocalPair> local_pairs;
+        // Per-worker scratch: clear() keeps the allocation, so each source
+        // reuses the same flat tables instead of re-bucketing node maps.
+        util::FlatMap<util::InternId, std::uint64_t> local_cr;
+        util::FlatMap<std::uint64_t, LocalPair> local_pairs;
         std::vector<util::InternId> successors;
         for (std::size_t src = worker; src < source_count;
              src += pool.thread_count()) {
@@ -272,7 +276,8 @@ PairCounts ParallelPairCounterBuilder::build(
   // reached just before that observation.
   PairCounts counts;
   counts.c_r_.assign(path_count, 0);
-  std::unordered_map<std::uint64_t, std::uint64_t> created_at;
+  const auto entries = table.pair_entries();
+  util::FlatMap<std::uint64_t, std::uint64_t> created_at(entries.size());
   for (std::size_t src = 0; src < source_count; ++src) {
     for (const auto& creation : logs[src].creations) {
       const auto r = static_cast<util::InternId>(creation.key >> 32);
@@ -281,7 +286,8 @@ PairCounts ParallelPairCounterBuilder::build(
     }
     for (const auto& [r, n] : logs[src].local_cr) counts.c_r_[r] += n;
   }
-  for (const auto& [key, count] : table.pair_entries()) {
+  counts.pairs_.reserve(entries.size());
+  for (const auto& [key, count] : entries) {
     counts.pairs_.emplace(key, PairCount{count, created_at.at(key)});
   }
   return counts;

@@ -26,10 +26,10 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "util/flat_map.h"
 #include "volume/pair_counter.h"
 
 namespace piggyweb::volume {
@@ -69,8 +69,8 @@ class ShardedPairCounterTable {
  private:
   struct Stripe {
     mutable std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::uint64_t> pairs;
-    std::unordered_map<util::InternId, std::uint64_t> occurrences;
+    util::FlatMap<std::uint64_t, std::uint64_t> pairs;
+    util::FlatMap<util::InternId, std::uint64_t> occurrences;
   };
 
   Stripe& pair_stripe(std::uint64_t key) const;
