@@ -15,7 +15,6 @@
 #include <fstream>
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench_common.h"
 #include "sim/engine.h"

@@ -17,7 +17,6 @@
 // alongside the in-process numbers.
 #include <chrono>
 #include <cstdio>
-#include <cstring>
 #include <deque>
 #include <fstream>
 #include <iostream>

@@ -20,7 +20,6 @@
 #include "bench_common.h"
 #include "sim/parallel_eval.h"
 #include "sim/report.h"
-#include "util/strings.h"
 #include "util/thread_pool.h"
 
 using namespace piggyweb;

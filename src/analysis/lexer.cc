@@ -1,0 +1,271 @@
+#include "analysis/lexer.h"
+
+#include <cctype>
+#include <string_view>
+#include <unordered_set>
+
+namespace piggyweb::analysis {
+
+namespace {
+
+bool ident_start(char c) {
+  return c == '_' || std::isalpha(static_cast<unsigned char>(c)) != 0;
+}
+bool ident_char(char c) {
+  return c == '_' || std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    if (src_.substr(0, 3) == "\xef\xbb\xbf") i_ = 3;  // UTF-8 BOM
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        ++line_;
+        ++i_;
+      } else if (c == ' ' || c == '\t' || c == '\r' || c == '\f' ||
+                 c == '\v') {
+        ++i_;
+      } else if (splice_at(i_)) {
+        skip_splice();
+      } else if (c == '/' && peek(1) == '/') {
+        line_comment();
+      } else if (c == '/' && peek(1) == '*') {
+        block_comment();
+      } else if (c == '"') {
+        string_literal(i_, TokKind::kString);
+      } else if (c == '\'') {
+        string_literal(i_, TokKind::kChar);
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        number();
+      } else if (ident_start(c)) {
+        identifier();
+      } else {
+        punct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  // Backslash immediately followed by a (possibly \r\n) newline.
+  bool splice_at(std::size_t pos) const {
+    if (pos >= src_.size() || src_[pos] != '\\') return false;
+    const std::size_t next = pos + 1;
+    if (next < src_.size() && src_[next] == '\n') return true;
+    return next + 1 < src_.size() && src_[next] == '\r' &&
+           src_[next + 1] == '\n';
+  }
+
+  void skip_splice() {
+    ++i_;                              // backslash
+    if (src_[i_] == '\r') ++i_;       // optional CR
+    ++i_;                              // newline
+    ++line_;
+  }
+
+  void emit(TokKind kind, std::size_t begin, std::size_t end,
+            std::uint32_t line) {
+    out_.push_back({kind, src_.substr(begin, end - begin), line});
+  }
+
+  void line_comment() {
+    i_ += 2;
+    while (i_ < src_.size()) {
+      if (splice_at(i_)) {
+        skip_splice();  // comment continues on the next line
+      } else if (src_[i_] == '\n') {
+        break;  // newline handled by the main loop
+      } else {
+        ++i_;
+      }
+    }
+  }
+
+  void block_comment() {
+    i_ += 2;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        i_ += 2;
+        return;
+      }
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+  }
+
+  // Scans a quoted literal starting at src_[i_] (a quote); the emitted
+  // token begins at `begin` so encoding prefixes stay inside it. An
+  // unescaped newline ends the (ill-formed) literal without being
+  // consumed, so one bad quote cannot swallow the rest of the file.
+  void string_literal(std::size_t begin, TokKind kind) {
+    const char quote = src_[i_];
+    const std::uint32_t line = line_;
+    ++i_;
+    while (i_ < src_.size()) {
+      if (src_[i_] == '\\') {
+        if (splice_at(i_)) {
+          skip_splice();
+        } else {
+          i_ += 2;  // escape sequence; may run past end, clamped below
+        }
+      } else if (src_[i_] == quote) {
+        ++i_;
+        break;
+      } else if (src_[i_] == '\n') {
+        break;
+      } else {
+        ++i_;
+      }
+    }
+    if (i_ > src_.size()) i_ = src_.size();
+    emit(kind, begin, i_, line);
+  }
+
+  // R"delim( ... )delim" with the prefix (if any) already consumed;
+  // `begin` is the start of the whole literal including the prefix.
+  void raw_string(std::size_t begin) {
+    const std::uint32_t line = line_;
+    ++i_;  // opening quote
+    const std::size_t delim_begin = i_;
+    while (i_ < src_.size() && src_[i_] != '(') ++i_;
+    const std::string_view delim =
+        src_.substr(delim_begin, i_ - delim_begin);
+    if (i_ < src_.size()) ++i_;  // '('
+    while (i_ < src_.size()) {
+      if (src_[i_] == ')' &&
+          src_.substr(i_ + 1, delim.size()) == delim &&
+          i_ + 1 + delim.size() < src_.size() &&
+          src_[i_ + 1 + delim.size()] == '"') {
+        i_ += delim.size() + 2;
+        break;
+      }
+      if (src_[i_] == '\n') ++line_;
+      ++i_;
+    }
+    emit(TokKind::kString, begin, i_, line);
+  }
+
+  void number() {
+    const std::size_t begin = i_;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+          (peek(1) == '+' || peek(1) == '-')) {
+        i_ += 2;
+      } else if (ident_char(c) || c == '.' || c == '\'') {
+        ++i_;
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, begin, i_, line_);
+  }
+
+  void identifier() {
+    const std::size_t begin = i_;
+    while (i_ < src_.size() && ident_char(src_[i_])) ++i_;
+    const std::string_view id = src_.substr(begin, i_ - begin);
+    if (i_ < src_.size() && src_[i_] == '"') {
+      if (id == "R" || id == "u8R" || id == "uR" || id == "UR" ||
+          id == "LR") {
+        raw_string(begin);
+        return;
+      }
+      if (id == "u8" || id == "u" || id == "U" || id == "L") {
+        string_literal(begin, TokKind::kString);
+        return;
+      }
+    }
+    if (i_ < src_.size() && src_[i_] == '\'' &&
+        (id == "u8" || id == "u" || id == "U" || id == "L")) {
+      string_literal(begin, TokKind::kChar);
+      return;
+    }
+    emit(TokKind::kIdent, begin, i_, line_);
+  }
+
+  void punct() {
+    const char c = src_[i_];
+    if (c == ':' && peek(1) == ':') {
+      emit(TokKind::kPunct, i_, i_ + 2, line_);
+      i_ += 2;
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      emit(TokKind::kPunct, i_, i_ + 2, line_);
+      i_ += 2;
+      return;
+    }
+    emit(TokKind::kPunct, i_, i_ + 1, line_);
+    ++i_;
+    if (c == '#') include_spec();
+  }
+
+  // After a '#': if the directive is #include <...>, the angle-bracket
+  // spec is one opaque kString token ("<vector>"), never '<' ident '>'.
+  // (#include "..." is covered by ordinary string lexing.)
+  void include_spec() {
+    std::size_t j = i_;
+    while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t')) ++j;
+    if (src_.substr(j, 7) != "include") return;
+    emit(TokKind::kIdent, j, j + 7, line_);
+    j += 7;
+    while (j < src_.size() && (src_[j] == ' ' || src_[j] == '\t')) ++j;
+    if (j >= src_.size() || src_[j] != '<') {
+      i_ = j;
+      return;
+    }
+    const std::size_t begin = j;
+    while (j < src_.size() && src_[j] != '>' && src_[j] != '\n') ++j;
+    if (j < src_.size() && src_[j] == '>') ++j;
+    emit(TokKind::kString, begin, j, line_);
+    i_ = j;
+  }
+
+  std::string_view src_;
+  std::size_t i_ = 0;
+  std::uint32_t line_ = 1;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) { return Lexer(src).run(); }
+
+bool is_cpp_keyword(std::string_view ident) {
+  static const std::unordered_set<std::string_view> kKeywords = {
+      "alignas",   "alignof",      "and",        "asm",
+      "auto",      "bool",         "break",      "case",
+      "catch",     "char",         "class",      "co_await",
+      "co_return", "co_yield",     "concept",    "const",
+      "consteval", "constexpr",    "constinit",  "const_cast",
+      "continue",  "decltype",     "default",    "delete",
+      "do",        "double",       "dynamic_cast", "else",
+      "enum",      "explicit",     "export",     "extern",
+      "false",     "final",        "float",      "for",
+      "friend",    "goto",         "if",         "inline",
+      "int",       "long",         "mutable",    "namespace",
+      "new",       "noexcept",     "not",        "nullptr",
+      "operator",  "or",           "override",   "private",
+      "protected", "public",       "register",   "reinterpret_cast",
+      "requires",  "return",       "short",      "signed",
+      "sizeof",    "static",       "static_assert", "static_cast",
+      "struct",    "switch",       "template",   "this",
+      "thread_local", "throw",     "true",       "try",
+      "typedef",   "typeid",       "typename",   "union",
+      "unsigned",  "using",        "virtual",    "void",
+      "volatile",  "wchar_t",      "while",
+  };
+  return kKeywords.contains(ident);
+}
+
+}  // namespace piggyweb::analysis

@@ -1,0 +1,27 @@
+// A small, dependency-free C++ lexer for the project's own sources —
+// the foundation every staticcheck rule matches against. It is not a
+// compiler front end: it strips comments, collapses string/char
+// literals (including raw strings and encoding prefixes) into opaque
+// tokens, honors backslash-newline splices, and tracks line numbers.
+// That is exactly enough to make token-pattern rules immune to the
+// classic lint failure mode of matching text inside comments/strings.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/token.h"
+
+namespace piggyweb::analysis {
+
+// Tokenize `src`. The returned tokens view into `src`, which must
+// outlive them. Unterminated literals/comments are tolerated (the
+// partial literal becomes one token reaching end of input) so the lexer
+// never rejects a file.
+std::vector<Token> lex(std::string_view src);
+
+// True for C++ keywords (and `final`/`override`, which rule matchers
+// also never want to treat as names).
+bool is_cpp_keyword(std::string_view ident);
+
+}  // namespace piggyweb::analysis

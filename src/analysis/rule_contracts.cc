@@ -1,0 +1,75 @@
+// Contract coverage. Public functions in hot modules that accept an
+// index-like parameter (a raw position into some table or shard array)
+// must validate it with PW_EXPECT / PW_EXPECT_BOUNDS before use — an
+// out-of-range index in the hot path corrupts metrics silently instead
+// of failing fast.
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/functions.h"
+#include "analysis/rules.h"
+
+namespace piggyweb::analysis {
+
+namespace {
+
+constexpr std::array<std::string_view, 8> kIndexNames = {
+    "index", "idx", "pos", "offset", "rank", "slot", "shard", "level"};
+
+constexpr std::array<std::string_view, 8> kIndexSuffixes = {
+    "_index", "_idx", "_pos", "_offset", "_rank", "_slot", "_shard",
+    "_level"};
+
+bool index_like(std::string_view name) {
+  for (const auto exact : kIndexNames) {
+    if (name == exact) return true;
+  }
+  for (const auto suffix : kIndexSuffixes) {
+    if (name.size() > suffix.size() && name.ends_with(suffix)) return true;
+  }
+  return false;
+}
+
+bool contract_macro(std::string_view text) {
+  return text == "PW_EXPECT" || text == "PW_EXPECT_BOUNDS" ||
+         text == "PW_ENSURE";
+}
+
+}  // namespace
+
+void check_contracts(const Project& /*project*/, const SourceFile& file,
+                     std::vector<Diagnostic>& out) {
+  if (!contracts_required(module_of(file.path))) return;
+  const auto& toks = file.tokens;
+
+  for (const FunctionDef& fn : scan_functions(file)) {
+    // Free functions in a header are part of the module's public
+    // surface; class members must be in a public section.
+    if (fn.at_class_scope && !fn.is_public) continue;
+    std::string_view offending;
+    for (const ParamInfo& param : fn.params) {
+      if (index_like(param.name)) {
+        offending = param.name;
+        break;
+      }
+    }
+    if (offending.empty()) continue;
+    bool has_contract = false;
+    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      if (toks[i].kind == TokKind::kIdent && contract_macro(toks[i].text)) {
+        has_contract = true;
+        break;
+      }
+    }
+    if (has_contract) continue;
+    out.push_back(
+        {file.path, fn.line, "contract-missing-expect",
+         "public function '" + std::string(fn.name) +
+             "' takes index-like parameter '" + std::string(offending) +
+             "' but its body has no PW_EXPECT / PW_EXPECT_BOUNDS"});
+  }
+}
+
+}  // namespace piggyweb::analysis

@@ -1,0 +1,286 @@
+// Header hygiene: every header starts with `#pragma once`, and every
+// include must earn its place. Unused-include detection is conservative
+// in the only safe direction — project headers contribute their
+// transitively provided symbols (over-approximated), and standard
+// headers are matched against a curated symbol table; a header not in
+// the table is never flagged.
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/project.h"
+#include "analysis/rules.h"
+
+namespace piggyweb::analysis {
+
+namespace {
+
+// Representative symbols per standard header. Generous on purpose: an
+// extra symbol can only suppress a finding, a missing one invents a
+// false positive. Headers absent from this table are skipped entirely.
+const std::map<std::string_view, std::vector<std::string_view>>&
+std_header_symbols() {
+  static const std::map<std::string_view, std::vector<std::string_view>>
+      kTable = {
+          {"algorithm",
+           {"sort", "stable_sort", "min", "max", "clamp", "find", "find_if",
+            "find_if_not", "lower_bound", "upper_bound", "binary_search",
+            "count", "count_if", "transform", "copy", "copy_if", "fill",
+            "fill_n", "all_of", "any_of", "none_of", "max_element",
+            "min_element", "minmax_element", "remove", "remove_if",
+            "unique", "reverse", "rotate", "partial_sort", "nth_element",
+            "equal", "mismatch", "merge", "set_intersection", "set_union",
+            "partition", "stable_partition", "is_sorted", "shuffle",
+            "generate", "iota", "for_each", "swap"}},
+          {"array", {"array", "to_array"}},
+          {"atomic",
+           {"atomic", "atomic_flag", "memory_order", "memory_order_relaxed",
+            "memory_order_acquire", "memory_order_release",
+            "memory_order_seq_cst", "atomic_thread_fence"}},
+          {"bit",
+           {"bit_cast", "popcount", "countl_zero", "countr_zero",
+            "bit_ceil", "bit_floor", "bit_width", "rotl", "rotr",
+            "has_single_bit"}},
+          {"cassert", {"assert"}},
+          {"cctype",
+           {"isalpha", "isdigit", "isalnum", "isspace", "isupper",
+            "islower", "toupper", "tolower", "isxdigit", "ispunct",
+            "isprint", "iscntrl"}},
+          {"cerrno", {"errno", "ERANGE", "EINVAL", "ENOENT"}},
+          {"charconv",
+           {"from_chars", "to_chars", "chars_format", "from_chars_result",
+            "to_chars_result"}},
+          {"chrono",
+           {"chrono", "duration", "milliseconds", "microseconds",
+            "nanoseconds", "seconds", "minutes", "hours", "steady_clock",
+            "system_clock", "high_resolution_clock", "duration_cast",
+            "time_point"}},
+          {"cinttypes", {"PRIu64", "PRId64", "PRIx64", "imaxabs", "strtoimax"}},
+          {"cmath",
+           {"sqrt", "pow", "exp", "log", "log2", "log10", "fabs", "abs",
+            "floor", "ceil", "round", "lround", "llround", "fmod", "isnan",
+            "isinf", "isfinite", "nan", "hypot", "exp2", "expm1", "log1p",
+            "erf", "lgamma", "tgamma", "sin", "cos", "tan", "atan",
+            "atan2", "cbrt", "trunc", "copysign", "nextafter", "HUGE_VAL",
+            "INFINITY", "NAN"}},
+          {"condition_variable", {"condition_variable", "cv_status", "notify_all_at_thread_exit"}},
+          {"csignal", {"signal", "raise", "sig_atomic_t", "SIGINT", "SIGTERM", "SIGABRT"}},
+          {"cstddef",
+           {"size_t", "ptrdiff_t", "nullptr_t", "byte", "max_align_t",
+            "offsetof", "NULL"}},
+          {"cstdint",
+           {"uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t",
+            "int16_t", "int32_t", "int64_t", "uintptr_t", "intptr_t",
+            "uintmax_t", "intmax_t", "uint_fast32_t", "uint_least32_t",
+            "UINT32_MAX", "UINT64_MAX", "INT32_MAX", "INT64_MAX",
+            "INT32_MIN", "INT64_MIN", "SIZE_MAX", "UINT8_MAX",
+            "UINT16_MAX"}},
+          {"cstdio",
+           {"printf", "fprintf", "snprintf", "sprintf", "sscanf", "fopen",
+            "fclose", "fread", "fwrite", "fgets", "fputs", "fputc",
+            "fgetc", "fflush", "fseek", "ftell", "rewind", "remove",
+            "rename", "perror", "stdout", "stderr", "stdin", "FILE",
+            "EOF", "SEEK_SET", "SEEK_END", "SEEK_CUR", "puts", "putchar",
+            "getline", "tmpfile", "setvbuf"}},
+          {"cstdlib",
+           {"malloc", "calloc", "realloc", "free", "exit", "abort",
+            "atexit", "getenv", "setenv", "system", "strtol", "strtoul",
+            "strtoll", "strtoull", "strtod", "strtof", "atoi", "atol",
+            "atof", "qsort", "bsearch", "EXIT_SUCCESS", "EXIT_FAILURE",
+            "rand", "srand", "RAND_MAX", "labs", "llabs", "div", "ldiv",
+            "mkstemp"}},
+          {"cstring",
+           {"memcpy", "memmove", "memset", "memcmp", "memchr", "strlen",
+            "strcmp", "strncmp", "strcpy", "strncpy", "strcat", "strncat",
+            "strchr", "strrchr", "strstr", "strtok", "strerror", "strdup",
+            "strcasecmp", "strncasecmp"}},
+          {"ctime",
+           {"time", "time_t", "tm", "localtime", "gmtime", "strftime",
+            "mktime", "difftime", "clock", "clock_t", "CLOCKS_PER_SEC",
+            "timespec", "nanosleep", "asctime", "ctime"}},
+          {"deque", {"deque"}},
+          {"exception",
+           {"exception", "terminate", "set_terminate", "exception_ptr",
+            "current_exception", "rethrow_exception", "uncaught_exceptions"}},
+          {"filesystem",
+           {"filesystem", "path", "directory_iterator",
+            "recursive_directory_iterator", "create_directories",
+            "remove_all", "exists", "is_directory", "is_regular_file",
+            "file_size", "temp_directory_path", "current_path",
+            "canonical", "relative", "copy_file", "rename", "status"}},
+          {"fstream", {"ifstream", "ofstream", "fstream", "filebuf"}},
+          {"functional",
+           {"function", "bind", "ref", "cref", "reference_wrapper",
+            "hash", "plus", "minus", "less", "greater", "equal_to",
+            "not_fn", "invoke", "mem_fn"}},
+          {"initializer_list", {"initializer_list"}},
+          {"iomanip",
+           {"setw", "setprecision", "setfill", "fixed", "scientific",
+            "hex", "dec", "oct", "quoted", "setbase"}},
+          {"iostream",
+           {"cout", "cerr", "cin", "clog", "endl", "ostream", "istream",
+            "iostream", "flush", "ws", "getline"}},
+          {"iterator",
+           {"back_inserter", "inserter", "front_inserter", "distance",
+            "advance", "next", "prev", "begin", "end", "size",
+            "iterator_traits", "input_iterator_tag", "ostream_iterator",
+            "istream_iterator", "make_move_iterator"}},
+          {"limits", {"numeric_limits"}},
+          {"list", {"list"}},
+          {"map", {"map", "multimap"}},
+          {"memory",
+           {"unique_ptr", "shared_ptr", "weak_ptr", "make_unique",
+            "make_shared", "allocator", "addressof", "align",
+            "enable_shared_from_this", "default_delete",
+            "allocator_traits", "destroy_at", "construct_at",
+            "pointer_traits", "static_pointer_cast", "dynamic_pointer_cast"}},
+          {"mutex",
+           {"mutex", "recursive_mutex", "timed_mutex", "lock_guard",
+            "unique_lock", "scoped_lock", "once_flag", "call_once",
+            "try_lock", "lock", "adopt_lock", "defer_lock"}},
+          {"new",
+           {"nothrow", "bad_alloc", "launder", "align_val_t",
+            "hardware_destructive_interference_size",
+            "hardware_constructive_interference_size",
+            "set_new_handler"}},
+          {"numeric",
+           {"accumulate", "iota", "inner_product", "partial_sum",
+            "adjacent_difference", "reduce", "transform_reduce", "gcd",
+            "lcm", "midpoint", "exclusive_scan", "inclusive_scan"}},
+          {"optional", {"optional", "nullopt", "make_optional", "in_place"}},
+          {"queue", {"queue", "priority_queue"}},
+          {"random",
+           {"mt19937", "mt19937_64", "random_device",
+            "uniform_int_distribution", "uniform_real_distribution",
+            "normal_distribution", "bernoulli_distribution",
+            "exponential_distribution", "poisson_distribution",
+            "discrete_distribution", "default_random_engine",
+            "minstd_rand", "seed_seq", "geometric_distribution"}},
+          {"ratio", {"ratio", "milli", "micro", "nano", "kilo", "mega"}},
+          {"regex",
+           {"regex", "smatch", "cmatch", "regex_match", "regex_search",
+            "regex_replace", "regex_iterator", "sregex_iterator"}},
+          {"set", {"set", "multiset"}},
+          {"span", {"span", "dynamic_extent", "as_bytes", "as_writable_bytes"}},
+          {"sstream",
+           {"stringstream", "istringstream", "ostringstream", "stringbuf"}},
+          {"stdexcept",
+           {"runtime_error", "logic_error", "invalid_argument",
+            "out_of_range", "length_error", "domain_error", "range_error",
+            "overflow_error", "underflow_error"}},
+          {"string",
+           {"string", "to_string", "stoi", "stol", "stoul", "stoull",
+            "stoll", "stod", "stof", "getline", "char_traits", "npos",
+            "basic_string", "u8string", "wstring"}},
+          {"string_view", {"string_view", "basic_string_view", "wstring_view"}},
+          {"system_error",
+           {"error_code", "error_category", "system_error", "errc",
+            "make_error_code", "generic_category", "system_category"}},
+          {"thread",
+           {"thread", "this_thread", "sleep_for", "sleep_until", "yield",
+            "get_id", "hardware_concurrency", "jthread"}},
+          {"tuple",
+           {"tuple", "make_tuple", "get", "tie", "tuple_size",
+            "tuple_element", "apply", "forward_as_tuple", "tuple_cat",
+            "ignore"}},
+          {"type_traits",
+           {"enable_if", "enable_if_t", "is_same", "is_same_v", "decay",
+            "decay_t", "remove_reference", "remove_reference_t",
+            "remove_cv", "remove_cv_t", "is_integral", "is_integral_v",
+            "is_floating_point", "is_floating_point_v", "is_unsigned",
+            "is_unsigned_v", "is_signed", "is_signed_v", "conditional",
+            "conditional_t", "is_trivially_copyable",
+            "is_trivially_copyable_v", "underlying_type",
+            "underlying_type_t", "invoke_result", "invoke_result_t",
+            "is_convertible", "is_convertible_v", "void_t",
+            "is_constructible", "is_constructible_v", "true_type",
+            "false_type", "integral_constant", "is_base_of",
+            "is_base_of_v", "is_enum", "is_enum_v", "is_arithmetic",
+            "is_arithmetic_v", "common_type", "common_type_t",
+            "is_invocable", "is_invocable_v"}},
+          {"unordered_map", {"unordered_map", "unordered_multimap"}},
+          {"unordered_set", {"unordered_set", "unordered_multiset"}},
+          {"utility",
+           {"move", "forward", "pair", "make_pair", "swap", "exchange",
+            "declval", "in_place", "index_sequence",
+            "make_index_sequence", "integer_sequence", "as_const",
+            "cmp_less", "cmp_greater", "cmp_equal", "in_range", "piecewise_construct"}},
+          {"variant",
+           {"variant", "visit", "get_if", "holds_alternative",
+            "monostate", "variant_size", "variant_alternative",
+            "bad_variant_access"}},
+          {"vector", {"vector"}},
+      };
+  return kTable;
+}
+
+}  // namespace
+
+void check_headers(const Project& project, const SourceFile& file,
+                   std::vector<Diagnostic>& out) {
+  const auto& toks = file.tokens;
+
+  if (file.is_header()) {
+    const bool has_pragma_once =
+        toks.size() >= 3 && toks[0].is_punct("#") &&
+        toks[1].is_ident("pragma") && toks[2].is_ident("once");
+    if (!has_pragma_once) {
+      out.push_back({file.path, 1, "hdr-pragma-once",
+                     "header must start with '#pragma once'"});
+    }
+  }
+
+  // Every identifier referenced in this file.
+  std::set<std::string_view> used;
+  for (const Token& t : toks) {
+    if (t.kind == TokKind::kIdent) used.insert(t.text);
+  }
+  const auto uses_any = [&](const std::vector<std::string_view>& syms) {
+    for (const auto sym : syms) {
+      if (used.count(sym) != 0) return true;
+    }
+    return false;
+  };
+
+  const std::string file_stem(stem_of(file.path));
+  for (const IncludeRef& inc : includes_of(file)) {
+    if (inc.spec.size() < 2) continue;
+    const std::string_view inner(inc.spec.data() + 1, inc.spec.size() - 2);
+    if (inc.spec.front() == '<') {
+      const auto& table = std_header_symbols();
+      const auto it = table.find(inner);
+      if (it == table.end()) continue;  // unknown header: never flagged
+      if (!uses_any(it->second)) {
+        out.push_back({file.path, inc.line, "hdr-unused-include",
+                       "include <" + std::string(inner) +
+                           "> unused — none of its symbols are referenced"});
+      }
+      continue;
+    }
+    const std::string resolved = project.resolve_include(file, inner);
+    if (resolved.empty()) continue;  // outside the project (gtest, ...)
+    const std::string inc_stem(stem_of(resolved));
+    if (inc_stem == file_stem || file_stem == inc_stem + "_test") {
+      continue;  // a .cc's own header is always kept
+    }
+    const auto* provided = project.provided_symbols(resolved);
+    if (provided == nullptr || provided->empty()) continue;
+    bool any_used = false;
+    for (const auto sym : *provided) {
+      if (used.count(sym) != 0) {
+        any_used = true;
+        break;
+      }
+    }
+    if (!any_used) {
+      out.push_back({file.path, inc.line, "hdr-unused-include",
+                     "include \"" + std::string(inner) +
+                         "\" unused — none of its (transitive) symbols "
+                         "are referenced"});
+    }
+  }
+}
+
+}  // namespace piggyweb::analysis

@@ -1,0 +1,32 @@
+// Token stream produced by the project lexer. Comments never become
+// tokens; string/char literals become single opaque tokens (their
+// contents never leak identifiers into rule matching). Every token's
+// text is a view into the owning SourceFile's text buffer.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace piggyweb::analysis {
+
+enum class TokKind : std::uint8_t {
+  kIdent,   // identifiers and keywords
+  kNumber,  // numeric literals (including separators/suffixes)
+  kString,  // "...", R"(...)" with prefixes, and #include <...> specs
+  kChar,    // '...'
+  kPunct,   // operators/punctuation; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string_view text;
+  std::uint32_t line = 1;
+
+  bool is(TokKind k, std::string_view t) const {
+    return kind == k && text == t;
+  }
+  bool is_ident(std::string_view t) const { return is(TokKind::kIdent, t); }
+  bool is_punct(std::string_view t) const { return is(TokKind::kPunct, t); }
+};
+
+}  // namespace piggyweb::analysis

@@ -12,10 +12,10 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/piggyback.h"
+#include "util/flat_map.h"
 
 namespace piggyweb::core {
 
@@ -47,12 +47,12 @@ class HitFeedback {
 
  private:
   struct ServerState {
-    std::unordered_map<util::InternId, VolumeId> volume_of;  // attribution
-    std::vector<util::InternId> attribution_order;           // FIFO bound
-    std::unordered_map<VolumeId, std::uint32_t> tallies;
+    util::FlatMap<util::InternId, VolumeId> volume_of;  // attribution
+    std::vector<util::InternId> attribution_order;      // FIFO bound
+    util::FlatMap<VolumeId, std::uint32_t> tallies;
   };
   std::size_t max_attributions_;
-  std::unordered_map<util::InternId, ServerState> pending_;
+  util::FlatMap<util::InternId, ServerState> pending_;
 };
 
 // Server side: aggregate usefulness per volume across all proxies.
@@ -67,7 +67,7 @@ class FeedbackCollector {
   std::vector<VolumeHitCount> ranked() const;
 
  private:
-  std::unordered_map<VolumeId, std::uint64_t> hits_;
+  util::FlatMap<VolumeId, std::uint64_t> hits_;
   std::uint64_t total_ = 0;
 };
 

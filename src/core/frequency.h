@@ -6,9 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <unordered_map>
 
+#include "util/flat_map.h"
 #include "util/intern.h"
 #include "util/rng.h"
 #include "util/time.h"
@@ -74,7 +73,7 @@ class MinIntervalEnable final : public FrequencyPolicy {
 
  private:
   util::Seconds min_interval_;
-  std::unordered_map<util::InternId, util::TimePoint> last_;
+  util::FlatMap<util::InternId, util::TimePoint> last_;
 };
 
 }  // namespace piggyweb::core

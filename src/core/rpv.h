@@ -8,7 +8,6 @@
 // refresh the volume) and by a maximum length.
 #pragma once
 
-#include <cstdint>
 #include <deque>
 #include <vector>
 

@@ -12,7 +12,6 @@
 #pragma once
 
 #include <memory>
-#include <string>
 #include <string_view>
 
 #include "obs/registry.h"

@@ -1,5 +1,6 @@
 #include "obs/tracer.h"
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 

@@ -22,7 +22,6 @@
 // them (unlike registry snapshots).
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>

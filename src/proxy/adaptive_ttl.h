@@ -5,9 +5,8 @@
 // staleness risk).
 #pragma once
 
-#include <unordered_map>
-
 #include "proxy/cache.h"
+#include "util/flat_map.h"
 #include "util/time.h"
 
 namespace piggyweb::proxy {
@@ -43,7 +42,7 @@ class AdaptiveTtl {
     double ewma_gap = 0;  // seconds; 0 = no estimate yet
   };
   AdaptiveTtlConfig config_;
-  std::unordered_map<std::uint64_t, State> state_;
+  util::FlatMap<std::uint64_t, State> state_;
 };
 
 }  // namespace piggyweb::proxy

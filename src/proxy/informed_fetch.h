@@ -6,10 +6,8 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 #include <vector>
 
-#include "util/time.h"
 
 namespace piggyweb::proxy {
 

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 #include <vector>
 
 #include "core/piggyback.h"
 #include "proxy/cache.h"
+#include "util/flat_map.h"
 
 namespace piggyweb::proxy {
 
@@ -73,7 +73,7 @@ class Prefetcher {
   PrefetchConfig config_;
   ProxyCache* cache_;
   PrefetchStats stats_;
-  std::unordered_map<std::uint64_t, Pending> outstanding_;  // CacheKey packed
+  util::FlatMap<std::uint64_t, Pending> outstanding_;  // CacheKey packed
   std::deque<std::pair<util::TimePoint, std::uint64_t>> by_time_;
 };
 

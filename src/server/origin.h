@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <string>
 
 #include "core/feedback.h"
 #include "core/filter.h"

@@ -1,12 +1,10 @@
 #include "sim/engine.h"
 
-#include <algorithm>
 #include <string>
 
 #include "core/wire_size.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
-#include "util/expect.h"
 #include "util/hash.h"
 
 namespace piggyweb::sim {
@@ -216,11 +214,9 @@ EngineResult SimulationEngine::run() {
 
     // Resolve ground truth for this resource.
     const auto rkey = key.packed();
-    auto res_it = resource_index_.find(rkey);
-    if (res_it == resource_index_.end()) {
-      res_it = resource_index_
-                   .emplace(rkey, site->index_of(trace.paths().str(req.path)))
-                   .first;
+    auto [res_it, res_inserted] = resource_index_.try_emplace(rkey, 0);
+    if (res_inserted) {
+      res_it->second = site->index_of(trace.paths().str(req.path));
     }
     const auto res_idx = res_it->second;
     if (res_idx >= site->size()) {  // not a site resource

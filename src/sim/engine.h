@@ -17,7 +17,6 @@
 #pragma once
 
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "server/volume_center.h"
@@ -25,6 +24,7 @@
 #include "sim/node.h"
 #include "sim/topology.h"
 #include "trace/synthetic.h"
+#include "util/flat_map.h"
 #include "volume/probability.h"
 
 namespace piggyweb::sim {
@@ -122,7 +122,7 @@ class SimulationEngine {
   // Site index per trace server id (resolved once up front).
   std::vector<const trace::SiteModel*> site_by_server_;
   // Resource index per (server, path) — memoized lookups.
-  std::unordered_map<std::uint64_t, std::uint32_t> resource_index_;
+  util::FlatMap<std::uint64_t, std::uint32_t> resource_index_;
 
   util::TimePoint trace_start_{};
   EngineResult result_;

@@ -7,11 +7,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/filter.h"
 #include "trace/synthetic.h"
+#include "util/flat_map.h"
 
 namespace piggyweb::sim {
 
@@ -35,7 +35,7 @@ class GroundTruthMeta final : public core::MetaOracle {
   const trace::SyntheticWorkload* workload_;
   const std::vector<const trace::SiteModel*>* site_by_server_;
   util::TimePoint now_{};
-  std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+  util::FlatMap<std::uint64_t, std::uint64_t> counts_;
 };
 
 }  // namespace piggyweb::sim

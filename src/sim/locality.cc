@@ -1,23 +1,30 @@
 #include "sim/locality.h"
 
-#include <string>
-#include <unordered_map>
+#include <cstdint>
 
+#include "util/expect.h"
+#include "util/flat_map.h"
+#include "util/intern.h"
+#include "util/stats.h"
 #include "util/strings.h"
 
 namespace piggyweb::sim {
 
 LocalityLevelResult directory_locality(const trace::Trace& trace, int level,
                                        const LocalityOptions& options) {
+  PW_EXPECT(level >= 0);
   LocalityLevelResult result;
   result.level = level;
 
-  // Cache each path id's prefix so we only compute it once.
-  std::vector<std::string> prefix_of(trace.paths().size());
+  // Intern each path id's prefix once; a (server, prefix) group is then
+  // a packed pair of 32-bit ids, which keeps the per-request lookup on
+  // the integer-keyed fast path.
+  util::InternTable prefixes;
+  std::vector<util::InternId> prefix_of(trace.paths().size(), 0);
   std::vector<bool> prefix_ready(trace.paths().size(), false);
 
-  // (server, prefix) -> last time seen. Key built as "serverid|prefix".
-  std::unordered_map<std::string, util::Seconds> last_seen;
+  // (server, prefix) -> last time seen.
+  util::FlatMap<std::uint64_t, util::Seconds> last_seen;
   util::Quantiles interarrivals;
   util::RunningStats interarrival_stats;
 
@@ -29,13 +36,12 @@ LocalityLevelResult directory_locality(const trace::Trace& trace, int level,
     }
     ++result.requests;
     if (!prefix_ready[req.path]) {
-      prefix_of[req.path] = std::string(
+      prefix_of[req.path] = prefixes.intern(
           util::directory_prefix(trace.paths().str(req.path), level));
       prefix_ready[req.path] = true;
     }
-    std::string key = std::to_string(req.server);
-    key += '|';
-    key += prefix_of[req.path];
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(req.server) << 32) | prefix_of[req.path];
     const auto it = last_seen.find(key);
     if (it != last_seen.end()) {
       ++result.seen_before;
@@ -44,7 +50,7 @@ LocalityLevelResult directory_locality(const trace::Trace& trace, int level,
       interarrival_stats.add(gap);
       it->second = req.time.value;
     } else {
-      last_seen.emplace(std::move(key), req.time.value);
+      last_seen.emplace(key, req.time.value);
     }
   }
 

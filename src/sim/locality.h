@@ -5,11 +5,9 @@
 // predictive.
 #pragma once
 
-#include <string>
 #include <vector>
 
 #include "trace/record.h"
-#include "util/stats.h"
 
 namespace piggyweb::sim {
 

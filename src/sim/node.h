@@ -5,7 +5,6 @@
 // the engine aggregates into harness-level results.
 #pragma once
 
-#include <memory>
 #include <optional>
 #include <vector>
 

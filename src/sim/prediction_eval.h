@@ -17,7 +17,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 
 #include "core/filter.h"
 #include "core/piggyback.h"

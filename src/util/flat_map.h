@@ -28,8 +28,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <iterator>
-#include <memory>
 #include <new>
+#include <tuple>
 #include <type_traits>
 #include <utility>
 

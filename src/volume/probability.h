@@ -9,7 +9,6 @@
 // pairs that do not share a 1-level directory prefix.
 #pragma once
 
-#include <cstdint>
 #include <vector>
 
 #include "core/piggyback.h"

@@ -1,0 +1,147 @@
+#include "analysis/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace piggyweb::analysis {
+namespace {
+
+std::vector<std::string> texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  out.reserve(toks.size());
+  for (const auto& t : toks) out.emplace_back(t.text);
+  return out;
+}
+
+TEST(AnalysisLexer, CommentsNeverBecomeTokens) {
+  const auto toks = lex("a // line comment with ident rand()\n"
+                        "b /* block\n comment time() */ c\n");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].line, 3u);
+}
+
+TEST(AnalysisLexer, StringContentsAreOpaque) {
+  const auto toks = lex("call(\"rand() unordered_map // not a comment\")");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  // Nothing inside the literal leaks out as an identifier.
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kIdent) {
+      EXPECT_EQ(t.text, "call");
+    }
+  }
+}
+
+TEST(AnalysisLexer, RawStringsWithCustomDelimiter) {
+  const auto toks = lex("auto s = R\"xx(quote \" and )\" inside)xx\";");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[3].kind, TokKind::kString);
+  EXPECT_EQ(toks[3].text, "R\"xx(quote \" and )\" inside)xx\"");
+}
+
+TEST(AnalysisLexer, EncodingPrefixesStayOneToken) {
+  const auto toks = lex("u8\"a\" L\"b\" u\"c\" U\"d\" LR\"(e)\"");
+  ASSERT_EQ(toks.size(), 5u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::kString);
+}
+
+TEST(AnalysisLexer, CharLiterals) {
+  const auto toks = lex("char c = '\\''; char d = 'x';");
+  bool saw_escaped = false;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kChar && t.text == "'\\''") saw_escaped = true;
+  }
+  EXPECT_TRUE(saw_escaped);
+}
+
+TEST(AnalysisLexer, CombinedPunctuators) {
+  const auto toks = lex("a::b->c");
+  EXPECT_EQ(texts(toks), (std::vector<std::string>{"a", "::", "b", "->", "c"}));
+  EXPECT_TRUE(toks[1].is_punct("::"));
+  EXPECT_TRUE(toks[3].is_punct("->"));
+}
+
+TEST(AnalysisLexer, IncludeSpecIsOneStringToken) {
+  const auto toks = lex("#include <vector>\n#include \"util/rng.h\"\n");
+  ASSERT_EQ(toks.size(), 6u);
+  EXPECT_EQ(toks[2].kind, TokKind::kString);
+  EXPECT_EQ(toks[2].text, "<vector>");
+  EXPECT_EQ(toks[5].kind, TokKind::kString);
+  EXPECT_EQ(toks[5].text, "\"util/rng.h\"");
+  // The '<' of an include spec is not a comparison: no stray puncts.
+  for (const auto& t : toks) EXPECT_FALSE(t.is_punct("<"));
+}
+
+TEST(AnalysisLexer, BackslashNewlineSplice) {
+  const auto toks = lex("#define LONG_MACRO(x) \\\n  do_thing(x)\n");
+  std::vector<std::string> idents;
+  for (const auto& t : toks) {
+    if (t.kind == TokKind::kIdent) idents.emplace_back(t.text);
+  }
+  EXPECT_EQ(idents, (std::vector<std::string>{"define", "LONG_MACRO", "x",
+                                              "do_thing", "x"}));
+}
+
+TEST(AnalysisLexer, NumbersWithSeparatorsAndExponents) {
+  const auto toks = lex("1'000'000 0x1.8p3 1e-9 42u");
+  ASSERT_EQ(toks.size(), 4u);
+  for (const auto& t : toks) EXPECT_EQ(t.kind, TokKind::kNumber);
+}
+
+TEST(AnalysisLexer, KeywordClassifier) {
+  EXPECT_TRUE(is_cpp_keyword("for"));
+  EXPECT_TRUE(is_cpp_keyword("constexpr"));
+  EXPECT_FALSE(is_cpp_keyword("FlatMap"));
+  EXPECT_FALSE(is_cpp_keyword("unordered_map"));
+}
+
+// Randomized round-trip: emit a random token sequence with random
+// whitespace/comments between tokens, lex it back, and require the exact
+// token texts in order. Seeded Rng keeps the suite deterministic.
+TEST(AnalysisLexer, RandomizedRoundTrip) {
+  const std::vector<std::string> pool = {
+      "ident",     "x9",    "_under", "FlatMap", "42",    "3.25",
+      "0xff",      "\"s\"", "'c'",    "::",      "->",    "(",
+      ")",         "{",     "}",      "+",       "=",     ";",
+      "<",         ">",     ",",      "R\"(raw content)\"",
+  };
+  util::Rng rng(0xa11ce5ed);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::string src;
+    std::vector<std::string> expected;
+    const std::size_t count = 1 + rng.below(40);
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto& piece = pool[rng.below(pool.size())];
+      // A token boundary: whitespace, newline, or a comment.
+      switch (rng.below(4)) {
+        case 0: src += ' '; break;
+        case 1: src += '\n'; break;
+        case 2: src += " /* gap */ "; break;
+        default: src += "\t"; break;
+      }
+      src += piece;
+      expected.push_back(piece);
+    }
+    src += '\n';
+    const auto toks = lex(src);
+    ASSERT_EQ(texts(toks), expected) << "source was:\n" << src;
+  }
+}
+
+// Line numbers stay correct through multi-line constructs.
+TEST(AnalysisLexer, LineNumbersAcrossMultilineTokens) {
+  const auto toks = lex("a\nR\"(line\nbreaks\ninside)\"\nb\n");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].line, 1u);
+  EXPECT_EQ(toks[1].line, 2u);
+  EXPECT_EQ(toks[2].line, 5u);
+}
+
+}  // namespace
+}  // namespace piggyweb::analysis

@@ -1,0 +1,224 @@
+// Targeted rule-engine tests over inline snippets. Each case builds a
+// tiny Project, runs analyze(), and checks which rules fire (and, as
+// importantly, which don't). The disk fixtures under testdata/ pin the
+// full diagnostic text; these pin the decision logic.
+#include "analysis/rules.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/project.h"
+
+namespace piggyweb::analysis {
+namespace {
+
+std::vector<std::string> rules_fired(const std::vector<Diagnostic>& diags) {
+  std::vector<std::string> out;
+  for (const auto& d : diags) out.push_back(d.rule);
+  return out;
+}
+
+std::vector<Diagnostic> analyze_one(std::string path, std::string text) {
+  Project project;
+  project.add_file(std::move(path), std::move(text));
+  return project.analyze();
+}
+
+TEST(AnalysisRules, BannedCallFlaggedInHotModule) {
+  const auto diags = analyze_one("src/sim/a.cc", "int f() { return rand(); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "det-banned-call");
+  EXPECT_EQ(diags[0].line, 1u);
+}
+
+TEST(AnalysisRules, BannedCallExemptInRngTimeAndObs) {
+  EXPECT_TRUE(analyze_one("src/util/rng.cc",
+                          "int f() { return rand(); }\n")
+                  .empty());
+  EXPECT_TRUE(analyze_one("src/obs/clock.cc",
+                          "long f() { return time(nullptr); }\n")
+                  .empty());
+}
+
+TEST(AnalysisRules, BannedNamesInsideStringsAndCommentsAreInvisible) {
+  const auto diags = analyze_one(
+      "src/core/a.cc",
+      "// rand() time() std::unordered_map\n"
+      "const char* kDoc = \"call rand() for chaos\";\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalysisRules, MemberNamedTimeIsNotABannedCall) {
+  const auto diags = analyze_one(
+      "src/core/a.cc", "long f(const W& w) { return w.time(); }\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalysisRules, DeclaringAFunctionNamedLikeABannedCallIsFine) {
+  const auto diags = analyze_one(
+      "src/core/a.cc",
+      "struct Stopwatch {\n"
+      "  long time() const { return 0; }\n"
+      "  util::Seconds clock() const;\n"
+      "};\n");
+  EXPECT_TRUE(diags.empty());
+}
+
+TEST(AnalysisRules, UnorderedContainerOnlyFlaggedWhereFlatMapMandated) {
+  const std::string decl =
+      "#include <unordered_map>\n"
+      "std::unordered_map<unsigned, int> table;\n";
+  EXPECT_EQ(rules_fired(analyze_one("src/sim/a.cc", decl)),
+            (std::vector<std::string>{"det-unordered-container"}));
+  // trace is a cold module: allowlisted as a module, not per-site.
+  EXPECT_TRUE(analyze_one("src/trace/a.cc", decl).empty());
+  EXPECT_TRUE(analyze_one("tests/a_test.cc", decl).empty());
+}
+
+TEST(AnalysisRules, UnorderedIterationIntoOrderedSink) {
+  const std::string feeding =
+      "#include <unordered_map>\n"
+      "#include <vector>\n"
+      "std::vector<int> f(const std::unordered_map<unsigned, int>& m) {\n"
+      "  std::vector<int> out;\n"
+      "  for (const auto& [k, v] : m) { out.push_back(v); }\n"
+      "  return out;\n"
+      "}\n";
+  // In a cold module the container itself is allowed, but hash-order
+  // output is still a determinism bug.
+  EXPECT_EQ(rules_fired(analyze_one("src/trace/a.cc", feeding)),
+            (std::vector<std::string>{"det-unordered-iteration"}));
+  const std::string summing =
+      "#include <unordered_map>\n"
+      "int f(const std::unordered_map<unsigned, int>& m) {\n"
+      "  int total = 0;\n"
+      "  for (const auto& [k, v] : m) { total ^= v; }\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/trace/a.cc", summing).empty());
+}
+
+TEST(AnalysisRules, FlatMapIteratorInvalidation) {
+  const std::string bad =
+      "#include \"util/flat_map.h\"\n"
+      "unsigned f(util::FlatMap<unsigned, unsigned>& m) {\n"
+      "  auto it = m.find(1);\n"
+      "  m.insert({2, 2});\n"
+      "  return it->second;\n"
+      "}\n";
+  const auto diags = analyze_one("src/core/a.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "flatmap-ref-after-mutate");
+  EXPECT_EQ(diags[0].line, 5u);
+}
+
+TEST(AnalysisRules, FlatMapOwnCallResultIsSafe) {
+  const std::string good =
+      "#include \"util/flat_map.h\"\n"
+      "unsigned f(util::FlatMap<unsigned, unsigned>& m) {\n"
+      "  auto [it, inserted] = m.try_emplace(1, 0u);\n"
+      "  return it->second;\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/core/a.cc", good).empty());
+}
+
+TEST(AnalysisRules, FlatMapDistinctReceiversDoNotCrossInvalidate) {
+  const std::string two_maps =
+      "#include \"util/flat_map.h\"\n"
+      "unsigned f(util::FlatMap<unsigned, unsigned>& left,\n"
+      "           util::FlatMap<unsigned, unsigned>& right) {\n"
+      "  auto it = left.find(1);\n"
+      "  right.insert({2, 2});\n"
+      "  return it->second;\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/core/a.cc", two_maps).empty());
+}
+
+TEST(AnalysisRules, FlatMapMutationInsideRangeFor) {
+  const std::string bad =
+      "#include \"util/flat_map.h\"\n"
+      "void f(util::FlatMap<unsigned, unsigned>& m) {\n"
+      "  for (const auto& [k, v] : m) {\n"
+      "    if (v == 0) { m.erase(k); }\n"
+      "  }\n"
+      "}\n";
+  const auto diags = analyze_one("src/core/a.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "flatmap-ref-after-mutate");
+  EXPECT_EQ(diags[0].line, 4u);
+}
+
+TEST(AnalysisRules, ContractRequiredOnlyForPublicHotFunctions) {
+  const std::string missing =
+      "#pragma once\n"
+      "void seek(std::size_t offset) { use(offset); }\n";
+  EXPECT_EQ(rules_fired(analyze_one("src/volume/a.h", missing)),
+            (std::vector<std::string>{"contract-missing-expect"}));
+  // Cold module: no contract requirement.
+  EXPECT_TRUE(analyze_one("src/http/a.h", missing).empty());
+  const std::string checked =
+      "#pragma once\n"
+      "void seek(std::size_t offset) {\n"
+      "  PW_EXPECT_BOUNDS(offset, limit());\n"
+      "  use(offset);\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/volume/a.h", checked).empty());
+  const std::string non_index =
+      "#pragma once\n"
+      "void scale(double factor) { use(factor); }\n";
+  EXPECT_TRUE(analyze_one("src/volume/a.h", non_index).empty());
+}
+
+TEST(AnalysisRules, PragmaOnceRequiredInHeaders) {
+  EXPECT_EQ(rules_fired(analyze_one("src/core/a.h", "struct A {};\n")),
+            (std::vector<std::string>{"hdr-pragma-once"}));
+  EXPECT_TRUE(
+      analyze_one("src/core/a.h", "#pragma once\nstruct A {};\n").empty());
+  // A leading comment is fine; tokens start at the pragma.
+  EXPECT_TRUE(analyze_one("src/core/a.h",
+                          "// banner\n#pragma once\nstruct A {};\n")
+                  .empty());
+  // .cc files have no pragma requirement.
+  EXPECT_TRUE(analyze_one("src/core/a.cc", "struct A {};\n").empty());
+}
+
+TEST(AnalysisRules, UnusedProjectIncludeUsesTransitiveSymbols) {
+  Project project;
+  project.add_file("src/util/base.h", "#pragma once\nstruct Base {};\n");
+  project.add_file("src/util/wrap.h",
+                   "#pragma once\n#include \"util/base.h\"\n"
+                   "struct Wrap { Base base; };\n");
+  // Uses Base only — provided transitively through wrap.h, so the
+  // include is counted as used.
+  project.add_file("src/core/user.cc",
+                   "#include \"util/wrap.h\"\nBase g_base;\n");
+  // Never references anything from wrap.h's tree.
+  project.add_file("src/core/dead.cc",
+                   "#include \"util/wrap.h\"\nint g_x = 0;\n");
+  std::vector<std::string> fired;
+  for (const auto& d : project.analyze()) {
+    fired.push_back(d.file + ":" + d.rule);
+  }
+  EXPECT_EQ(fired,
+            (std::vector<std::string>{"src/core/dead.cc:hdr-unused-include"}));
+}
+
+TEST(AnalysisRules, UnknownSystemHeadersAreNeverFlagged) {
+  EXPECT_TRUE(analyze_one("src/core/a.cc",
+                          "#include <sys/obscure_platform.h>\nint g_x = 0;\n")
+                  .empty());
+}
+
+TEST(AnalysisRules, RuleCatalogCoversEveryEmittedRule) {
+  const auto& catalog = rule_catalog();
+  EXPECT_EQ(catalog.size(), 7u);
+  for (const auto& rule : catalog) {
+    EXPECT_FALSE(rule.id.empty());
+    EXPECT_FALSE(rule.summary.empty());
+  }
+}
+
+}  // namespace
+}  // namespace piggyweb::analysis

@@ -1,0 +1,49 @@
+// Fixture: public hot-module functions with index-like parameters
+// (analyzed as src/proxy/contract_missing.h). Public entry points that
+// take a raw position must bounds-check it with PW_EXPECT /
+// PW_EXPECT_BOUNDS; private helpers and checked functions are fine.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/expect.h"
+
+namespace piggyweb::proxy {
+
+class ShardTable {
+ public:
+  // finding: index-like parameter, no contract in the body.
+  unsigned value_at(std::size_t index) const {
+    return shards_[index];
+  }
+
+  // finding: suffix match (slot_index), no contract.
+  void set(std::size_t slot_index, unsigned value) {
+    shards_[slot_index] = value;
+  }
+
+  // ok: PW_EXPECT_BOUNDS guards the access.
+  unsigned checked_value_at(std::size_t index) const {
+    PW_EXPECT_BOUNDS(index, shards_.size());
+    return shards_[index];
+  }
+
+  // ok: not an index-like name.
+  void append(unsigned value) { shards_.push_back(value); }
+
+ private:
+  // ok: private members are not the public surface.
+  unsigned unchecked_private(std::size_t index) const {
+    return shards_[index];
+  }
+
+  std::vector<unsigned> shards_;
+};
+
+// finding: free function in a hot-module header, no contract.
+inline unsigned pick(const std::vector<unsigned>& values, std::size_t pos) {
+  return values[pos];
+}
+
+}  // namespace piggyweb::proxy

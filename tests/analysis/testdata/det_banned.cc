@@ -1,0 +1,35 @@
+// Fixture: nondeterministic APIs in a hot module (analyzed as
+// src/core/det_banned.cc). Every call below is a det-banned-call.
+#include <cstdlib>
+
+namespace piggyweb::core {
+
+int noisy_seed() {
+  std::srand(42);                   // finding: srand
+  return std::rand();               // finding: rand
+}
+
+long wall_clock_now() {
+  return time(nullptr);             // finding: time
+}
+
+unsigned hardware_entropy() {
+  std::random_device device;        // finding: random_device
+  return device();
+}
+
+long long chrono_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}                                   // finding: system_clock
+
+// Not findings: member access named like banned calls.
+struct Stopwatch {
+  long time_ = 0;
+  long time() const { return time_; }
+};
+
+long member_access_ok(const Stopwatch& w) {
+  return w.time();  // method on an object, not ::time()
+}
+
+}  // namespace piggyweb::core

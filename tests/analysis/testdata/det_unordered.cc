@@ -1,0 +1,28 @@
+// Fixture: std::unordered_map in a hot module (analyzed as
+// src/sim/det_unordered.cc) plus iteration feeding ordered output.
+#include <unordered_map>
+#include <vector>
+
+namespace piggyweb::sim {
+
+struct Tally {
+  std::unordered_map<unsigned, unsigned> counts;  // finding: container
+};
+
+std::vector<unsigned> drain_in_hash_order(Tally& tally) {
+  std::vector<unsigned> out;
+  for (const auto& [key, count] : tally.counts) {  // finding: iteration
+    out.push_back(count);
+  }
+  return out;
+}
+
+unsigned sum_is_order_independent(const Tally& tally) {
+  unsigned total = 0;
+  for (const auto& [key, count] : tally.counts) {  // no ordered sink: ok
+    total ^= count ^ key;
+  }
+  return total;
+}
+
+}  // namespace piggyweb::sim

@@ -1,0 +1,12 @@
+// Fixture dependency: a well-formed project header (analyzed as
+// src/util/helper.h) that provides `Helper` — included but unused by
+// unused_include.cc.
+#pragma once
+
+namespace piggyweb::util {
+
+struct Helper {
+  int field = 0;
+};
+
+}  // namespace piggyweb::util

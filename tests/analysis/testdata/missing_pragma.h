@@ -1,0 +1,12 @@
+// Fixture: header without '#pragma once' (analyzed as
+// src/core/missing_pragma.h) — hdr-pragma-once fires at line 1.
+#ifndef PIGGYWEB_TESTS_ANALYSIS_MISSING_PRAGMA_H_
+#define PIGGYWEB_TESTS_ANALYSIS_MISSING_PRAGMA_H_
+
+namespace piggyweb::core {
+
+struct Empty {};
+
+}  // namespace piggyweb::core
+
+#endif  // PIGGYWEB_TESTS_ANALYSIS_MISSING_PRAGMA_H_

@@ -1,0 +1,13 @@
+// Fixture: dead includes (analyzed as tools/unused_include.cc). The
+// <vector> include and the project header are never referenced; <string>
+// is used and stays.
+#include <string>
+#include <vector>
+
+#include "util/helper.h"
+
+namespace piggyweb::tools {
+
+std::string greeting() { return std::string("hello"); }
+
+}  // namespace piggyweb::tools

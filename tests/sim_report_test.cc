@@ -1,6 +1,5 @@
 #include "sim/report.h"
 
-#include <cstdint>
 #include <sstream>
 #include <string>
 

@@ -1,7 +1,6 @@
 #include "util/hash.h"
 
 #include <set>
-#include <string>
 
 #include <gtest/gtest.h>
 

@@ -1,6 +1,5 @@
 #include "util/stats.h"
 
-#include <cmath>
 
 #include <gtest/gtest.h>
 

@@ -5,9 +5,7 @@
 
 #include <map>
 #include <memory>
-#include <optional>
 #include <string>
-#include <vector>
 
 #include "obs/manifest.h"
 

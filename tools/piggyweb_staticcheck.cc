@@ -1,0 +1,153 @@
+// Project lint driver: runs the analysis rule set over the repository's
+// own sources and reports findings as `file:line: [rule-id] message`
+// lines (or JSON with --json). Exits 0 only when there are no findings
+// — and, under --require-empty-suppressions (what CI and the ctest lint
+// label pass), only when the suppression file is empty too.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/engine.h"
+#include "analysis/rules.h"
+#include "cli_common.h"
+#include "obs/json.h"
+
+namespace {
+
+using piggyweb::analysis::AnalyzeOptions;
+using piggyweb::analysis::AnalyzeResult;
+using piggyweb::analysis::Diagnostic;
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return std::move(buf).str();
+}
+
+piggyweb::obs::Json diagnostic_json(const Diagnostic& d) {
+  auto obj = piggyweb::obs::Json::object();
+  obj.set("file", d.file);
+  obj.set("line", static_cast<std::int64_t>(d.line));
+  obj.set("rule", d.rule);
+  obj.set("message", d.message);
+  return obj;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  piggyweb::tools::FlagSet flags(
+      "piggyweb_staticcheck -- lint the project sources with the "
+      "determinism / flat-map / contract / header rule set");
+  flags.add_string("root", ".", "repository root to scan");
+  flags.add_string("subdirs", "src,tools,bench,tests",
+                   "comma-separated subtrees to scan under the root");
+  flags.add_string("suppressions", "",
+                   "suppression file (rule-id path[:line] per line); "
+                   "defaults to <root>/lint-suppressions.txt when present");
+  flags.add_bool("require-empty-suppressions", false,
+                 "fail unless the suppression file has no entries (CI "
+                 "mode)");
+  flags.add_bool("json", false, "emit machine-readable JSON on stdout");
+  flags.add_bool("list-rules", false, "print the rule catalog and exit");
+  if (!flags.parse(argc, argv)) return 2;
+
+  if (flags.get_bool("list-rules")) {
+    for (const auto& rule : piggyweb::analysis::rule_catalog()) {
+      std::printf("%-26s %s\n", std::string(rule.id).c_str(),
+                  std::string(rule.summary).c_str());
+    }
+    return 0;
+  }
+
+  AnalyzeOptions options;
+  options.root = flags.get_string("root");
+  options.subdirs.clear();
+  {
+    const std::string subdirs = flags.get_string("subdirs");
+    std::size_t pos = 0;
+    while (pos <= subdirs.size()) {
+      const std::size_t comma = std::min(subdirs.find(',', pos),
+                                         subdirs.size());
+      if (comma > pos) {
+        options.subdirs.push_back(subdirs.substr(pos, comma - pos));
+      }
+      pos = comma + 1;
+    }
+  }
+
+  std::string suppression_path = flags.get_string("suppressions");
+  bool suppressions_explicit = !suppression_path.empty();
+  if (!suppressions_explicit) {
+    suppression_path = options.root + "/lint-suppressions.txt";
+  }
+  std::size_t suppression_entries = 0;
+  if (const auto text = read_file(suppression_path)) {
+    std::vector<std::string> errors;
+    options.suppressions =
+        piggyweb::analysis::parse_suppressions(*text, errors);
+    suppression_entries = options.suppressions.size();
+    for (const auto& err : errors) {
+      std::fprintf(stderr, "piggyweb_staticcheck: %s: %s\n",
+                   suppression_path.c_str(), err.c_str());
+    }
+    if (!errors.empty()) return 2;
+  } else if (suppressions_explicit) {
+    std::fprintf(stderr, "piggyweb_staticcheck: cannot read %s\n",
+                 suppression_path.c_str());
+    return 2;
+  }
+
+  const AnalyzeResult result = piggyweb::analysis::analyze_tree(options);
+  const bool suppressions_violation =
+      flags.get_bool("require-empty-suppressions") &&
+      suppression_entries > 0;
+
+  if (flags.get_bool("json")) {
+    auto report = piggyweb::obs::Json::object();
+    report.set("files_scanned",
+               static_cast<std::uint64_t>(result.files_scanned));
+    auto findings = piggyweb::obs::Json::array();
+    for (const auto& d : result.diagnostics) {
+      findings.push_back(diagnostic_json(d));
+    }
+    report.set("findings", std::move(findings));
+    auto suppressed = piggyweb::obs::Json::array();
+    for (const auto& d : result.suppressed) {
+      suppressed.push_back(diagnostic_json(d));
+    }
+    report.set("suppressed", std::move(suppressed));
+    report.set("suppression_entries",
+               static_cast<std::uint64_t>(suppression_entries));
+    report.set("suppressions_must_be_empty",
+               flags.get_bool("require-empty-suppressions"));
+    report.set("ok",
+               result.diagnostics.empty() && !suppressions_violation);
+    std::printf("%s\n", report.dump(2).c_str());
+  } else {
+    for (const auto& d : result.diagnostics) {
+      std::printf("%s\n",
+                  piggyweb::analysis::format_diagnostic(d).c_str());
+    }
+    std::fprintf(stderr,
+                 "piggyweb_staticcheck: %zu finding(s), %zu suppressed, "
+                 "%zu file(s) scanned\n",
+                 result.diagnostics.size(), result.suppressed.size(),
+                 result.files_scanned);
+  }
+
+  if (suppressions_violation) {
+    std::fprintf(stderr,
+                 "piggyweb_staticcheck: suppression file %s has %zu "
+                 "entr%s but --require-empty-suppressions is set — fix "
+                 "the findings instead of suppressing them\n",
+                 suppression_path.c_str(), suppression_entries,
+                 suppression_entries == 1 ? "y" : "ies");
+  }
+  return (result.diagnostics.empty() && !suppressions_violation) ? 0 : 1;
+}
