@@ -29,6 +29,14 @@ std::vector<VolumeId> RpvList::live(util::TimePoint now) {
   return out;
 }
 
+std::vector<RpvEntry> RpvList::entries() const {
+  return {entries_.begin(), entries_.end()};
+}
+
+void RpvList::restore_entries(std::span<const RpvEntry> entries) {
+  entries_.assign(entries.begin(), entries.end());
+}
+
 bool RpvList::contains(VolumeId volume, util::TimePoint now) {
   expire(now);
   return std::any_of(entries_.begin(), entries_.end(),

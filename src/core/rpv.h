@@ -9,17 +9,30 @@
 #pragma once
 
 #include <deque>
+#include <span>
 #include <vector>
 
 #include "core/piggyback.h"
 #include "util/flat_map.h"
 #include "util/time.h"
 
+namespace piggyweb::persist {
+struct StateAccess;
+}
+
 namespace piggyweb::core {
 
 struct RpvConfig {
   util::Seconds timeout = 60;      // entry lifetime; must be <= Δ
   std::size_t max_entries = 16;    // per-server FIFO bound
+};
+
+// One FIFO slot: which volume was piggybacked, and when.
+struct RpvEntry {
+  VolumeId volume = kNoVolume;
+  util::TimePoint when{};
+
+  bool operator==(const RpvEntry&) const = default;
 };
 
 // FIFO of recently piggybacked volumes for one server.
@@ -39,13 +52,16 @@ class RpvList {
 
   std::size_t size() const { return entries_.size(); }
 
+  // Persistence support: the FIFO contents oldest-first, with no expiry
+  // applied — a later run restores exactly what was saved and expires
+  // entries itself. restore_entries replaces the current contents.
+  std::vector<RpvEntry> entries() const;
+  void restore_entries(std::span<const RpvEntry> entries);
+
  private:
   void expire(util::TimePoint now);
 
-  struct Entry {
-    VolumeId volume;
-    util::TimePoint when;
-  };
+  using Entry = RpvEntry;
   RpvConfig config_;
   std::deque<Entry> entries_;
 };
@@ -64,6 +80,8 @@ class RpvTable {
   std::size_t tracked_servers() const { return lists_.size(); }
 
  private:
+  friend struct piggyweb::persist::StateAccess;
+
   void evict_if_needed(util::InternId just_used);
 
   RpvConfig config_;

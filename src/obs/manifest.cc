@@ -56,6 +56,49 @@ void check_metric_array(const Json& metrics, const char* key,
   }
 }
 
+// "0x" followed by exactly sixteen lower-case hex digits — the form the
+// persist layer's checksum_hex emits into manifests.
+bool is_checksum_hex(const std::string& s) {
+  if (s.size() != 18 || s[0] != '0' || s[1] != 'x') return false;
+  for (std::size_t i = 2; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+// Optional section written by checkpointing runs: maps "saved"/"loaded"
+// to { "path": ..., "fnv1a": "0x..." } entries.
+void check_snapshots_section(const Json& manifest,
+                             std::vector<std::string>& problems) {
+  const auto* snapshots = manifest.find("snapshots");
+  if (snapshots == nullptr) return;
+  if (!snapshots->is_object()) {
+    problems.push_back("snapshots section is not an object");
+    return;
+  }
+  for (const auto& [role, entry] : snapshots->members()) {
+    if (role != "saved" && role != "loaded") {
+      problems.push_back("snapshots key '" + role + "' is not saved/loaded");
+      continue;
+    }
+    if (!entry.is_object()) {
+      problems.push_back("snapshots." + role + " is not an object");
+      continue;
+    }
+    const auto* path = entry.find("path");
+    if (path == nullptr || !path->is_string() || path->string().empty()) {
+      problems.push_back("snapshots." + role + ".path missing or empty");
+    }
+    const auto* checksum = entry.find("fnv1a");
+    if (checksum == nullptr || !checksum->is_string() ||
+        !is_checksum_hex(checksum->string())) {
+      problems.push_back("snapshots." + role +
+                         ".fnv1a missing or not 0x-prefixed 16-digit hex");
+    }
+  }
+}
+
 }  // namespace
 
 bool validate_run_manifest(const Json& manifest,
@@ -93,6 +136,7 @@ bool validate_run_manifest(const Json& manifest,
     check_metric_array(*metrics, "gauges", problems);
     check_metric_array(*metrics, "histograms", problems);
   }
+  check_snapshots_section(manifest, problems);
   return problems.size() == before;
 }
 

@@ -1,0 +1,219 @@
+#include "persist/codec.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/expect.h"
+#include "util/hash.h"
+
+namespace piggyweb::persist {
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::str(std::string_view s) {
+  PW_EXPECT(s.size() <= 0xffffffffu);
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.append(s.data(), s.size());
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string_view ByteReader::str() {
+  const auto len = u32();
+  if (!ok_ || len > remaining()) {
+    ok_ = false;
+    return {};
+  }
+  const auto view = data_.substr(pos_, len);
+  pos_ += len;
+  return view;
+}
+
+bool ByteReader::fits(std::uint64_t n, std::size_t element_bytes) {
+  PW_EXPECT(element_bytes > 0);
+  if (!ok_ || n > remaining() / element_bytes) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+void ByteReader::skip(std::uint64_t n) {
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return;
+  }
+  pos_ += static_cast<std::size_t>(n);
+}
+
+std::uint64_t ByteReader::take(std::size_t n) {
+  if (!ok_ || n > remaining()) {
+    ok_ = false;
+    return 0;
+  }
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<std::uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += n;
+  return v;
+}
+
+void SnapshotWriter::add_section(std::string_view name, std::string payload) {
+  PW_EXPECT(!name.empty() && name.size() <= 0xffffu);
+  PW_EXPECT(!has_section(name));
+  sections_.push_back({std::string(name), std::move(payload)});
+}
+
+bool SnapshotWriter::has_section(std::string_view name) const {
+  for (const auto& section : sections_) {
+    if (section.name == name) return true;
+  }
+  return false;
+}
+
+std::string SnapshotWriter::finish() const {
+  ByteWriter out;
+  for (const char c : kSnapshotMagic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(kSnapshotVersion);
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  for (const auto& section : sections_) {
+    out.u16(static_cast<std::uint16_t>(section.name.size()));
+    for (const char c : section.name) out.u8(static_cast<std::uint8_t>(c));
+    out.u64(section.payload.size());
+    out.u64(util::fnv1a(section.payload));
+    for (const char c : section.payload) {
+      out.u8(static_cast<std::uint8_t>(c));
+    }
+  }
+  const auto footer = util::fnv1a(out.bytes());
+  out.u64(footer);
+  return out.take();
+}
+
+std::optional<SnapshotReader> SnapshotReader::parse(std::string_view file,
+                                                    std::string& error) {
+  if (file.size() < kSnapshotMagic.size() + 4 + 4 + 8) {
+    error = "snapshot too small to hold a header";
+    return std::nullopt;
+  }
+  // Footer first: the whole-file checksum covers everything before it.
+  const auto body = file.substr(0, file.size() - 8);
+  ByteReader footer(file.substr(file.size() - 8));
+  if (footer.u64() != util::fnv1a(body)) {
+    error = "whole-file checksum mismatch";
+    return std::nullopt;
+  }
+
+  ByteReader in(body);
+  if (body.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    error = "bad magic (not a piggyweb_snapshot file)";
+    return std::nullopt;
+  }
+  for (std::size_t i = 0; i < kSnapshotMagic.size(); ++i) in.u8();
+  const auto version = in.u32();
+  if (version != kSnapshotVersion) {
+    error = "unsupported snapshot version " + std::to_string(version);
+    return std::nullopt;
+  }
+  const auto count = in.u32();
+
+  SnapshotReader reader;
+  reader.sections_.reserve(count <= 1024 ? count : 0);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const auto name_len = in.u16();
+    if (!in.ok() || name_len == 0 || name_len > in.remaining()) {
+      error = "section " + std::to_string(i) + ": bad name length";
+      return std::nullopt;
+    }
+    std::string name;
+    name.reserve(name_len);
+    for (std::uint16_t c = 0; c < name_len; ++c) {
+      name.push_back(static_cast<char>(in.u8()));
+    }
+    const auto length = in.u64();
+    const auto checksum = in.u64();
+    if (!in.ok() || length > in.remaining()) {
+      error = "section '" + name + "': truncated payload";
+      return std::nullopt;
+    }
+    const auto payload =
+        body.substr(body.size() - in.remaining(), length);
+    in.skip(length);
+    if (!in.ok()) {
+      error = "section '" + name + "': truncated payload";
+      return std::nullopt;
+    }
+    if (util::fnv1a(payload) != checksum) {
+      error = "section '" + name + "': checksum mismatch";
+      return std::nullopt;
+    }
+    for (const auto& existing : reader.sections_) {
+      if (existing.name == name) {
+        error = "duplicate section '" + name + "'";
+        return std::nullopt;
+      }
+    }
+    reader.sections_.push_back({std::move(name), payload});
+  }
+  if (!in.at_end()) {
+    error = "trailing bytes after last section";
+    return std::nullopt;
+  }
+  return reader;
+}
+
+const SnapshotSection* SnapshotReader::find(std::string_view name) const {
+  for (const auto& section : sections_) {
+    if (section.name == name) return &section;
+  }
+  return nullptr;
+}
+
+std::uint64_t snapshot_checksum(std::string_view bytes) {
+  return util::fnv1a(bytes);
+}
+
+std::string checksum_hex(std::uint64_t checksum) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(checksum));
+  return buf;
+}
+
+bool write_file_bytes(const std::string& path, std::string_view bytes,
+                      std::string& error) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    error = path + ": cannot open for writing";
+    return false;
+  }
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) {
+    error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::string> read_file_bytes(const std::string& path,
+                                           std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = path + ": cannot open";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    error = path + ": read failed";
+    return std::nullopt;
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace piggyweb::persist

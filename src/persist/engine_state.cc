@@ -1,0 +1,60 @@
+#include "persist/engine_state.h"
+
+#include "persist/codec.h"
+#include "persist/state_access.h"
+#include "sim/engine.h"
+#include "sim/node.h"
+
+namespace piggyweb::persist {
+
+std::span<const std::unique_ptr<sim::ProxyNode>> StateAccess::nodes(
+    const sim::SimulationEngine& engine) {
+  return engine.nodes_;
+}
+
+std::string serialize_engine_state(const sim::SimulationEngine& engine) {
+  const auto nodes = StateAccess::nodes(engine);
+  SnapshotWriter writer;
+  ByteWriter out;
+  out.u64(nodes.size());
+  for (const auto& node : nodes) {
+    StateAccess::serialize_proxy_cache(node->cache, out);
+    StateAccess::serialize_rpv_table(node->filter_policy.rpv(), out);
+  }
+  writer.add_section("engine_nodes", out.take());
+  return writer.finish();
+}
+
+bool restore_engine_state(sim::SimulationEngine& engine, std::string_view file,
+                          std::string& error) {
+  const auto reader = SnapshotReader::parse(file, error);
+  if (!reader.has_value()) return false;
+  const auto* section = reader->find("engine_nodes");
+  if (section == nullptr) {
+    error = "missing engine_nodes section";
+    return false;
+  }
+  const auto nodes = StateAccess::nodes(engine);
+  ByteReader in(section->payload);
+  const auto count = in.u64();
+  if (!in.ok() || count != nodes.size()) {
+    error = "engine node count mismatch";
+    return false;
+  }
+  for (const auto& node : nodes) {
+    if (!StateAccess::deserialize_proxy_cache(in, node->cache, error)) {
+      return false;
+    }
+    if (!StateAccess::deserialize_rpv_table(in, node->filter_policy.rpv(),
+                                            error)) {
+      return false;
+    }
+  }
+  if (!in.at_end()) {
+    error = "trailing bytes in engine_nodes section";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace piggyweb::persist

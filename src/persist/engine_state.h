@@ -1,0 +1,27 @@
+// Checkpoint/restore for the discrete-event simulation engine's durable
+// per-node state: each proxy node's cache (entries, replacement queues,
+// GreedyDual inflation, freshness overrides, stats) and its filter
+// policy's RPV table. Everything else about a node — topology, agents,
+// engine counters — is configuration or derived output, reconstructed by
+// building the engine the same way and re-running.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace piggyweb::sim {
+class SimulationEngine;
+}
+
+namespace piggyweb::persist {
+
+std::string serialize_engine_state(const sim::SimulationEngine& engine);
+
+// Restores into an engine built with the same workload/topology/config.
+// The node count and each node's cache/RPV configuration are checked
+// against echoes in the snapshot; on failure the engine's node state is
+// unspecified and the engine must be discarded.
+bool restore_engine_state(sim::SimulationEngine& engine, std::string_view file,
+                          std::string& error);
+
+}  // namespace piggyweb::persist

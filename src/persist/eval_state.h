@@ -1,0 +1,148 @@
+// Checkpoint/restore for trace evaluation runs (piggyweb_evaluate).
+//
+// A run interrupted after request `next_request` saves an EvalSnapshot:
+// the per-source metric/protocol state (sim::detail::EvalStateImage), the
+// directory-volume contents, a trace fingerprint, and an echo of the
+// configuration knobs that shape behaviour. A warm-started run restores
+// the snapshot and replays [next_request, N) — producing results
+// bit-identical to the uninterrupted run at any thread count.
+//
+// Two numbering facts make this work:
+//
+//   * Volume ids are *opaque*: RPV suppression compares them only for
+//     equality, and nothing else observes them. The snapshot renumbers
+//     volumes into a canonical order — sorted by (server, prefix) — and
+//     rewrites the ids inside saved RPV state to canonical indices, so the
+//     snapshot bytes do not depend on the saving run's thread count. The
+//     restore assigns fresh run ids (per its own shard layout) and
+//     translates canonical indices forward.
+//
+//   * Per-source state keys carry the source id in their high 32 bits, so
+//     one flat image re-shards at any source-shard count; the restoring
+//     evaluator's shard function decides ownership.
+//
+// Probability volumes are stateless lookups into a set rebuilt
+// deterministically at load, with set-derived dense ids — no volume
+// contents to save and no translation needed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/tables.h"
+#include "sim/eval_core.h"
+#include "sim/parallel_eval.h"
+#include "trace/record.h"
+#include "volume/directory.h"
+
+namespace piggyweb::persist {
+
+// Fingerprint of a time-sorted trace: folds every request's identifying
+// fields (time, source, server, path, size). A resume refuses to run
+// against a trace with a different fingerprint — intern ids must line up
+// with the saved run, and loading the same log the same way guarantees it.
+std::uint64_t trace_fingerprint(const trace::Trace& trace);
+
+// Behaviour-shaping knobs echoed into the snapshot; a resume whose flags
+// disagree is rejected instead of silently diverging. Directory fields are
+// zero for the probability scheme.
+struct EvalConfigEcho {
+  std::string scheme;  // provider scheme_name(): "directory"/"probability"
+  util::Seconds prediction_window = 0;
+  util::Seconds cache_horizon = 0;
+  std::uint32_t filter_max_elements = 0;
+  std::uint32_t filter_min_access_count = 0;
+  bool use_rpv = false;
+  util::Seconds rpv_timeout = 0;
+  std::uint64_t rpv_max_entries = 0;
+  util::Seconds min_piggyback_interval = 0;
+  int directory_level = 0;
+  std::uint64_t max_volume_elements = 0;
+  std::uint64_t max_candidates = 0;
+  std::uint64_t large_size_threshold = 0;
+
+  bool operator==(const EvalConfigEcho&) const = default;
+};
+
+EvalConfigEcho make_eval_config_echo(
+    std::string_view scheme, const sim::EvalConfig& eval,
+    const volume::DirectoryVolumeConfig* directory);
+
+// A captured mid-run evaluation state, canonical across thread counts:
+// saving the same run at --threads=1 and --threads=4 produces identical
+// bytes.
+struct EvalSnapshot {
+  EvalConfigEcho config;
+  std::uint64_t next_request = 0;   // first unprocessed request index
+  std::uint64_t total_requests = 0;
+  std::uint64_t fingerprint = 0;
+  // Metric state, sorted by key; directory RPV entries hold canonical
+  // volume indices into `volumes`.
+  sim::detail::EvalStateImage metrics;
+  // Canonical (server, prefix)-sorted volume images; volumes[i].saved_id
+  // == i.
+  std::vector<DirectoryVolumeImage> volumes;
+};
+
+// Collects per-shard provider/accumulator state into a canonical
+// snapshot. `providers` holds the run's DirectoryVolumes shards (empty
+// for the probability scheme); `accumulators` the per-source-shard metric
+// state (disjoint sources). Serial runs pass one of each.
+EvalSnapshot capture_eval_state(
+    std::span<const volume::DirectoryVolumes* const> providers,
+    std::span<const sim::detail::MetricAccumulator* const> accumulators,
+    EvalConfigEcho config, std::uint64_t next_request,
+    std::uint64_t total_requests, std::uint64_t fingerprint);
+
+// Snapshot container round trip. parse_ validates structure exhaustively
+// (section checksums, sorted keys, id ranges) and never crashes on
+// corrupt input.
+std::string serialize_eval_snapshot(const EvalSnapshot& snapshot);
+std::optional<EvalSnapshot> parse_eval_snapshot(std::string_view file,
+                                                std::string& error);
+bool save_eval_snapshot(const std::string& path, const EvalSnapshot& snapshot,
+                        std::string& error);
+std::optional<EvalSnapshot> load_eval_snapshot(const std::string& path,
+                                               std::string& error);
+
+// Replays a snapshot into a restarting run. Use via hooks() with
+// ParallelEvaluator::run_range, or call warm_provider/seed_accumulator
+// directly with shard 0 of 1 around PredictionEvaluator::run_range. The
+// snapshot must outlive the restore and the run it seeds.
+class EvalRestore {
+ public:
+  explicit EvalRestore(const EvalSnapshot& snapshot);
+
+  // Installs the snapshot volumes owned by provider shard `shard` of
+  // `shards` (no-op for the probability scheme). Every provider shard
+  // must be warmed before the first seed_accumulator call — the hooks
+  // contract of ParallelEvaluator::run_range guarantees this.
+  void warm_provider(core::VolumeProvider& provider, std::size_t shard,
+                     std::size_t shards);
+
+  // Seeds one source shard's accumulator; shard 0 takes the counters.
+  void seed_accumulator(sim::detail::MetricAccumulator& accumulator,
+                        std::size_t shard, std::size_t shards);
+
+  // Hooks bound to this object (capture left unset).
+  sim::EvalResumeHooks hooks();
+
+  std::size_t next_request() const {
+    return static_cast<std::size_t>(snapshot_->next_request);
+  }
+
+ private:
+  const EvalSnapshot* snapshot_;
+  bool directory_ = false;
+  std::size_t provider_shards_seen_ = 0;
+  std::size_t provider_shards_expected_ = 0;
+  // canonical volume index -> this run's volume id.
+  std::vector<core::VolumeId> run_id_of_;
+  // Snapshot metrics with RPV ids translated to run ids (built lazily at
+  // the first seed_accumulator call, after all providers are warm).
+  std::optional<sim::detail::EvalStateImage> translated_;
+};
+
+}  // namespace piggyweb::persist

@@ -35,6 +35,7 @@ class FilterPolicy {
                     util::TimePoint now);
 
   core::RpvTable& rpv() { return rpv_; }
+  const core::RpvTable& rpv() const { return rpv_; }
 
  private:
   FilterPolicyConfig config_;

@@ -17,7 +17,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "core/rpv.h"
 #include "sim/prediction_eval.h"
@@ -41,6 +44,17 @@ inline std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
   return (static_cast<std::uint64_t>(a) << 32) | b;
 }
 
+// Flattened accumulator state for checkpointing. Every key's high 32 bits
+// are the source id, so the image re-shards cleanly at any source-shard
+// count. Entry order is unspecified; the persist layer sorts by key for
+// canonical snapshot bytes.
+struct EvalStateImage {
+  EvalResult counters;
+  std::vector<std::pair<std::uint64_t, ResourceState>> resource_state;
+  std::vector<std::pair<std::uint64_t, util::Seconds>> last_piggy;
+  std::vector<std::pair<std::uint64_t, std::vector<core::RpvEntry>>> rpv;
+};
+
 // Metric + per-source protocol state for a set of sources. Feed every
 // request of an owned source, in trace order, together with the piggyback
 // message the server would send under the *static* filter (frequency
@@ -55,6 +69,18 @@ class MetricAccumulator {
                std::span<const util::InternId> resources);
 
   const EvalResult& result() const { return result_; }
+
+  // Appends this accumulator's state to `image`; counters are summed.
+  // Accumulators from disjoint source shards hold disjoint keys, so
+  // exporting them all into one image is an exact union.
+  void export_state(EvalStateImage& image) const;
+
+  // Installs the image entries whose source (high 32 bits of the key)
+  // passes `owns` (null = install everything). Exactly one accumulator per
+  // restore takes the summed counters, or the merged total double-counts.
+  void import_state(const EvalStateImage& image,
+                    const std::function<bool(util::InternId source)>& owns,
+                    bool take_counters);
 
  private:
   const EvalConfig* config_;

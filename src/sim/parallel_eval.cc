@@ -61,8 +61,20 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
                                   const ShardedProviderSpec& spec,
                                   const core::MetaOracle& meta,
                                   ParallelEvalStats* stats) {
+  return run_range(trace, spec, meta, 0, trace.requests().size(),
+                   /*publish=*/true, /*hooks=*/nullptr, stats);
+}
+
+EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
+                                        const ShardedProviderSpec& spec,
+                                        const core::MetaOracle& meta,
+                                        std::size_t range_begin,
+                                        std::size_t range_end, bool publish,
+                                        const EvalResumeHooks* hooks,
+                                        ParallelEvalStats* stats) {
   OBS_SPAN("parallel_eval.run");
   const auto& requests = trace.requests();
+  PW_EXPECT(range_begin <= range_end && range_end <= requests.size());
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
                               const trace::Request& b) {
@@ -95,14 +107,19 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
     providers.push_back(spec.make(s, pshards));
     PW_ENSURE(providers.back() != nullptr);
   }
+  if (hooks != nullptr && hooks->warm_provider) {
+    for (std::size_t s = 0; s < pshards; ++s) {
+      hooks->warm_provider(*providers[s], s, pshards);
+    }
+  }
 
   // Each request's provider shard is a pure function of the request;
-  // compute the whole column up front, in parallel.
-  std::vector<std::uint32_t> provider_shard(requests.size());
+  // compute the range's column up front, in parallel.
+  std::vector<std::uint32_t> provider_shard(range_end - range_begin);
   util::parallel_ranges(
-      pool, requests.size(), [&](std::size_t begin, std::size_t end) {
+      pool, range_end - range_begin, [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          const auto s = spec.shard_of(requests[i], pshards);
+          const auto s = spec.shard_of(requests[range_begin + i], pshards);
           PW_EXPECT(s < pshards);
           provider_shard[i] = static_cast<std::uint32_t>(s);
         }
@@ -118,16 +135,21 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
   for (std::size_t s = 0; s < sshards; ++s) {
     accumulators.emplace_back(config_);
   }
+  if (hooks != nullptr && hooks->seed_accumulator) {
+    for (std::size_t s = 0; s < sshards; ++s) {
+      hooks->seed_accumulator(accumulators[s], s, sshards);
+    }
+  }
 
   // Per-request staging slots for the current chunk, reused across chunks.
   struct Staged {
     core::VolumeId volume = core::kNoVolume;
     std::vector<util::InternId> resources;
   };
-  std::vector<Staged> staged(std::min(chunk, requests.size()));
+  std::vector<Staged> staged(std::min(chunk, range_end - range_begin));
 
-  for (std::size_t begin = 0; begin < requests.size(); begin += chunk) {
-    const auto end = std::min(begin + chunk, requests.size());
+  for (std::size_t begin = range_begin; begin < range_end; begin += chunk) {
+    const auto end = std::min(begin + chunk, range_end);
 
     // Stage 1: drive providers and apply the static filter. Within a
     // shard, requests are visited in trace order, so per-volume state
@@ -136,7 +158,7 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
       OBS_SPAN("parallel_eval.provider_shard");
       auto& provider = *providers[s];
       for (std::size_t i = begin; i < end; ++i) {
-        if (provider_shard[i] != s) continue;
+        if (provider_shard[i - range_begin] != s) continue;
         const auto& req = requests[i];
         core::VolumeRequest vr;
         vr.server = req.server;
@@ -172,6 +194,18 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
     });
   }
 
+  if (hooks != nullptr && hooks->capture) {
+    std::vector<core::VolumeProvider*> provider_ptrs;
+    provider_ptrs.reserve(pshards);
+    for (const auto& provider : providers) {
+      provider_ptrs.push_back(provider.get());
+    }
+    std::vector<detail::MetricAccumulator*> accumulator_ptrs;
+    accumulator_ptrs.reserve(sshards);
+    for (auto& acc : accumulators) accumulator_ptrs.push_back(&acc);
+    hooks->capture(provider_ptrs, accumulator_ptrs);
+  }
+
   std::vector<EvalResult> partials;
   partials.reserve(sshards);
   for (const auto& acc : accumulators) partials.push_back(acc.result());
@@ -186,7 +220,7 @@ EvalResult ParallelEvaluator::run(const trace::Trace& trace,
     }
   }
   auto result = detail::merge_results(partials);
-  detail::publish_eval_result(result);
+  if (publish) detail::publish_eval_result(result);
   if (auto* metrics = obs::global_metrics(); metrics != nullptr) {
     // Parallel-shape gauges: a serial run never sets these, and a bigger
     // pool changes them, so they are non-deterministic by definition.

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "sim/prediction_eval.h"
 #include "volume/directory.h"
@@ -76,6 +77,28 @@ struct ParallelEvalStats {
   std::size_t volume_count = 0;  // summed over shard providers
 };
 
+// Checkpoint/restore hooks for run_range. The evaluator guarantees the
+// ordering: every warm_provider call completes before any request is
+// processed, seed_accumulator likewise, and capture runs after the last
+// request of the range, before results merge — so captured state is
+// exactly the state an uninterrupted run would carry past `end`.
+struct EvalResumeHooks {
+  // Seed one freshly built provider shard's volume state.
+  std::function<void(core::VolumeProvider& provider, std::size_t shard,
+                     std::size_t shards)>
+      warm_provider;
+  // Seed one source shard's metric/frequency/RPV state.
+  std::function<void(detail::MetricAccumulator& accumulator, std::size_t shard,
+                     std::size_t shards)>
+      seed_accumulator;
+  // Observe final per-shard state (providers indexed by provider shard,
+  // accumulators by source shard).
+  std::function<void(
+      std::span<core::VolumeProvider* const> providers,
+      std::span<detail::MetricAccumulator* const> accumulators)>
+      capture;
+};
+
 class ParallelEvaluator {
  public:
   ParallelEvaluator(const EvalConfig& config, const ParallelEvalConfig& par)
@@ -87,6 +110,16 @@ class ParallelEvaluator {
                  const ShardedProviderSpec& provider,
                  const core::MetaOracle& meta,
                  ParallelEvalStats* stats = nullptr);
+
+  // Checkpoint-grade variant: replays requests [begin, end) with optional
+  // resume hooks (nullptr = cold start). Publishes the eval.* metrics only
+  // when `publish` is set — a partial run's counters are not final.
+  EvalResult run_range(const trace::Trace& trace,
+                       const ShardedProviderSpec& provider,
+                       const core::MetaOracle& meta, std::size_t begin,
+                       std::size_t end, bool publish,
+                       const EvalResumeHooks* hooks,
+                       ParallelEvalStats* stats = nullptr);
 
  private:
   EvalConfig config_;

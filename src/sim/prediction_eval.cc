@@ -88,6 +88,44 @@ void MetricAccumulator::observe(const trace::Request& req,
   }
 }
 
+void MetricAccumulator::export_state(EvalStateImage& image) const {
+  const EvalResult partials[] = {image.counters, result_};
+  image.counters = merge_results(partials);
+  image.resource_state.reserve(image.resource_state.size() + state_.size());
+  for (const auto& [key, value] : state_) {
+    image.resource_state.emplace_back(key, value);
+  }
+  image.last_piggy.reserve(image.last_piggy.size() + last_piggy_.size());
+  for (const auto& [key, value] : last_piggy_) {
+    image.last_piggy.emplace_back(key, value);
+  }
+  image.rpv.reserve(image.rpv.size() + rpv_.size());
+  for (const auto& [key, list] : rpv_) {
+    image.rpv.emplace_back(key, list.entries());
+  }
+}
+
+void MetricAccumulator::import_state(
+    const EvalStateImage& image,
+    const std::function<bool(util::InternId source)>& owns,
+    bool take_counters) {
+  if (take_counters) result_ = image.counters;
+  const auto owned = [&owns](std::uint64_t key) {
+    return !owns || owns(static_cast<util::InternId>(key >> 32));
+  };
+  for (const auto& [key, value] : image.resource_state) {
+    if (owned(key)) state_[key] = value;
+  }
+  for (const auto& [key, value] : image.last_piggy) {
+    if (owned(key)) last_piggy_[key] = value;
+  }
+  for (const auto& [key, entries] : image.rpv) {
+    if (!owned(key)) continue;
+    rpv_.try_emplace(key, config_->rpv)
+        .first->second.restore_entries(entries);
+  }
+}
+
 EvalResult merge_results(std::span<const EvalResult> partials) {
   EvalResult total;
   for (const auto& r : partials) {
@@ -126,8 +164,20 @@ void publish_eval_result(const EvalResult& result) {
 EvalResult PredictionEvaluator::run(const trace::Trace& trace,
                                     core::VolumeProvider& provider,
                                     const core::MetaOracle& meta) {
+  detail::MetricAccumulator acc(config_);
+  return run_range(trace, provider, meta, 0, trace.requests().size(), acc,
+                   /*publish=*/true);
+}
+
+EvalResult PredictionEvaluator::run_range(const trace::Trace& trace,
+                                          core::VolumeProvider& provider,
+                                          const core::MetaOracle& meta,
+                                          std::size_t begin, std::size_t end,
+                                          detail::MetricAccumulator& acc,
+                                          bool publish) {
   OBS_SPAN("prediction_eval.run");
   const auto& requests = trace.requests();
+  PW_EXPECT(begin <= end && end <= requests.size());
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
                               const trace::Request& b) {
@@ -135,9 +185,9 @@ EvalResult PredictionEvaluator::run(const trace::Trace& trace,
                            }));
   PW_EXPECT(config_.cache_horizon > config_.prediction_window);
 
-  detail::MetricAccumulator acc(config_);
   std::vector<util::InternId> resources;
-  for (const auto& req : requests) {
+  for (std::size_t i = begin; i < end; ++i) {
+    const auto& req = requests[i];
     core::VolumeRequest vr;
     vr.server = req.server;
     vr.source = req.source;
@@ -155,7 +205,7 @@ EvalResult PredictionEvaluator::run(const trace::Trace& trace,
     }
     acc.observe(req, message.volume, resources);
   }
-  detail::publish_eval_result(acc.result());
+  if (publish) detail::publish_eval_result(acc.result());
   return acc.result();
 }
 

@@ -16,6 +16,7 @@
 // responses actually carry piggybacks.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "core/filter.h"
@@ -24,6 +25,10 @@
 #include "trace/record.h"
 
 namespace piggyweb::sim {
+
+namespace detail {
+class MetricAccumulator;
+}
 
 struct EvalConfig {
   util::Seconds prediction_window = 300;       // T
@@ -94,6 +99,17 @@ class PredictionEvaluator {
   // `meta` answers size/type/access-count queries for the filter.
   EvalResult run(const trace::Trace& trace, core::VolumeProvider& provider,
                  const core::MetaOracle& meta);
+
+  // Checkpoint-grade variant: replays requests [begin, end) through `acc`,
+  // whose per-source state (and the provider's volume state) may have been
+  // seeded from a snapshot, and returns acc's cumulative result. Publishes
+  // the eval.* metrics only when `publish` is set — a partial run's
+  // counters are not final.
+  EvalResult run_range(const trace::Trace& trace,
+                       core::VolumeProvider& provider,
+                       const core::MetaOracle& meta, std::size_t begin,
+                       std::size_t end, detail::MetricAccumulator& acc,
+                       bool publish);
 
  private:
   EvalConfig config_;

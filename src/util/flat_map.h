@@ -226,6 +226,19 @@ class FlatMap {
     size_ = 0;
   }
 
+  // Equality is content equality: same key set, equal mapped values.
+  // Capacity, probe layout, and insertion/erase history do not matter, so
+  // a map rebuilt from a serialized snapshot compares equal to the
+  // original regardless of the churn that produced either side.
+  friend bool operator==(const FlatMap& a, const FlatMap& b) {
+    if (a.size_ != b.size_) return false;
+    for (const auto& [key, value] : a) {
+      const auto it = b.find(key);
+      if (it == b.end() || !(it->second == value)) return false;
+    }
+    return true;
+  }
+
   // Ensure capacity for `expected_size` elements without further rehash.
   void reserve(std::size_t expected_size) {
     std::size_t needed = kMinCapacity;

@@ -21,6 +21,10 @@
 #include "util/flat_map.h"
 #include "util/intern.h"
 
+namespace piggyweb::persist {
+struct StateAccess;
+}
+
 namespace piggyweb::volume {
 
 struct DirectoryVolumeConfig {
@@ -63,6 +67,8 @@ class DirectoryVolumes final : public core::VolumeProvider {
   int level() const { return config_.level; }
 
  private:
+  friend struct piggyweb::persist::StateAccess;
+
   // Partition index: 3 content types x 2 size classes.
   static constexpr std::size_t kPartitions = 6;
   static std::size_t partition_of(trace::ContentType type,

@@ -20,6 +20,10 @@
 #include "util/rng.h"
 #include "util/time.h"
 
+namespace piggyweb::persist {
+struct StateAccess;
+}
+
 namespace piggyweb::volume {
 
 struct PairCounterConfig {
@@ -74,6 +78,7 @@ class PairCounts {
   friend class PairCounterBuilder;
   friend class ParallelPairCounterBuilder;
   friend class ShardedPairCounterTable;
+  friend struct piggyweb::persist::StateAccess;
   std::vector<std::uint64_t> c_r_;  // indexed by resource id
   util::FlatMap<std::uint64_t, PairCount> pairs_;
 };

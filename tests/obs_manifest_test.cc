@@ -123,6 +123,88 @@ TEST(RunScope, MetricsOnlySkipsTraceFile) {
   std::remove(metrics_path.c_str());
 }
 
+// A manifest that checkpointed (or resumed from) a snapshot records the
+// file path and whole-file checksum under "snapshots"; the validator pins
+// the schema so piggyweb_tracecheck can verify checksums against disk.
+Json valid_manifest_base() {
+  Registry registry;
+  registry.counter("eval.requests").add(1);
+  return build_run_manifest("snap", {}, 0.1, 0.1, registry, Json::object());
+}
+
+Json snapshot_entry(const char* path, const char* checksum) {
+  auto entry = Json::object();
+  entry.set("path", path);
+  entry.set("fnv1a", checksum);
+  return entry;
+}
+
+TEST(Manifest, ValidSnapshotsSectionPasses) {
+  auto manifest = valid_manifest_base();
+  auto snapshots = Json::object();
+  snapshots.set("loaded", snapshot_entry("ckpt.snap", "0x0123456789abcdef"));
+  snapshots.set("saved", snapshot_entry("out.snap", "0xdeadbeef00000000"));
+  manifest.set("snapshots", snapshots);
+
+  std::vector<std::string> problems;
+  EXPECT_TRUE(validate_run_manifest(manifest, problems));
+  EXPECT_TRUE(problems.empty());
+}
+
+TEST(Manifest, SnapshotsSectionIsOptional) {
+  std::vector<std::string> problems;
+  EXPECT_TRUE(validate_run_manifest(valid_manifest_base(), problems));
+}
+
+TEST(Manifest, SnapshotsRejectsUnknownRole) {
+  auto manifest = valid_manifest_base();
+  auto snapshots = Json::object();
+  snapshots.set("checkpointed", snapshot_entry("x.snap", "0x0000000000000000"));
+  manifest.set("snapshots", snapshots);
+  std::vector<std::string> problems;
+  EXPECT_FALSE(validate_run_manifest(manifest, problems));
+  ASSERT_EQ(problems.size(), 1u);
+  EXPECT_NE(problems[0].find("saved/loaded"), std::string::npos);
+}
+
+TEST(Manifest, SnapshotsRejectsMissingPathAndBadChecksum) {
+  auto manifest = valid_manifest_base();
+  auto snapshots = Json::object();
+  auto entry = Json::object();
+  entry.set("fnv1a", "0xNOTHEX0000000000");  // bad hex and no path
+  snapshots.set("saved", entry);
+  manifest.set("snapshots", snapshots);
+  std::vector<std::string> problems;
+  EXPECT_FALSE(validate_run_manifest(manifest, problems));
+  EXPECT_EQ(problems.size(), 2u);
+
+  // Uppercase hex and wrong lengths are also rejected — the writer emits
+  // exactly "0x" + 16 lowercase digits.
+  for (const char* bad : {"0XABCDEF0123456789", "0xABCDEF0123456789",
+                          "0x123", "deadbeefdeadbeef", ""}) {
+    auto m = valid_manifest_base();
+    auto s = Json::object();
+    s.set("saved", snapshot_entry("x.snap", bad));
+    m.set("snapshots", s);
+    problems.clear();
+    EXPECT_FALSE(validate_run_manifest(m, problems)) << bad;
+  }
+}
+
+TEST(Manifest, SnapshotsRejectsNonObjectShapes) {
+  auto manifest = valid_manifest_base();
+  manifest.set("snapshots", Json("not an object"));
+  std::vector<std::string> problems;
+  EXPECT_FALSE(validate_run_manifest(manifest, problems));
+
+  auto nested = valid_manifest_base();
+  auto snapshots = Json::object();
+  snapshots.set("saved", Json(42.0));
+  nested.set("snapshots", snapshots);
+  problems.clear();
+  EXPECT_FALSE(validate_run_manifest(nested, problems));
+}
+
 TEST(RunScope, FinishIsIdempotent) {
   const auto metrics_path = temp_path("runscope-finish.json");
   RunScope::Options options;

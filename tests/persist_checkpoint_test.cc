@@ -1,0 +1,343 @@
+// Whole-run checkpoint/resume equivalence: interrupt an evaluation run at
+// an arbitrary request, snapshot, and prove the warm-started continuation
+// produces an EvalResult bit-identical to the uninterrupted run — serial
+// and parallel, directory and probability schemes, across thread counts.
+// Also covers the canonical-bytes guarantee (the snapshot does not depend
+// on the saving run's thread count) and the engine node-state round trip.
+#include "persist/eval_state.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "persist/engine_state.h"
+#include "server/meta.h"
+#include "sim/engine.h"
+#include "sim/parallel_eval.h"
+#include "sim/prediction_eval.h"
+#include "trace/profiles.h"
+#include "volume/directory.h"
+#include "volume/probability.h"
+
+namespace piggyweb::persist {
+namespace {
+
+const trace::SyntheticWorkload& workload() {
+  static const trace::SyntheticWorkload w =
+      trace::generate(trace::aiusa_profile(0.03));
+  return w;
+}
+
+sim::EvalConfig eval_config() {
+  sim::EvalConfig config;
+  config.filter.max_elements = 20;
+  config.filter.min_access_count = 2;
+  config.use_rpv = true;
+  config.rpv.timeout = 30;
+  config.min_piggyback_interval = 15;
+  return config;
+}
+
+volume::DirectoryVolumeConfig directory_config() {
+  volume::DirectoryVolumeConfig config;
+  config.level = 1;
+  return config;
+}
+
+void expect_identical(const sim::EvalResult& a, const sim::EvalResult& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.predicted_requests, b.predicted_requests);
+  EXPECT_EQ(a.piggyback_messages, b.piggyback_messages);
+  EXPECT_EQ(a.piggyback_elements, b.piggyback_elements);
+  EXPECT_EQ(a.predictions_made, b.predictions_made);
+  EXPECT_EQ(a.predictions_true, b.predictions_true);
+  EXPECT_EQ(std::memcmp(&a, &b, sizeof a), 0);
+}
+
+// Serial directory-scheme baseline: the uninterrupted result.
+sim::EvalResult serial_baseline(const sim::EvalConfig& config) {
+  volume::DirectoryVolumes volumes(directory_config());
+  volumes.bind_paths(workload().trace.paths());
+  server::TraceMetaOracle meta(workload().trace);
+  return sim::PredictionEvaluator(config).run(workload().trace, volumes, meta);
+}
+
+// Capture a snapshot of a serial directory run stopped after `mid`.
+EvalSnapshot capture_serial_directory(const sim::EvalConfig& config,
+                                      std::size_t mid) {
+  const auto& trace = workload().trace;
+  volume::DirectoryVolumes volumes(directory_config());
+  volumes.bind_paths(trace.paths());
+  server::TraceMetaOracle meta(trace);
+  sim::detail::MetricAccumulator acc(config);
+  sim::PredictionEvaluator(config).run_range(trace, volumes, meta, 0, mid,
+                                             acc, /*publish=*/false);
+  const auto dvc = directory_config();
+  const volume::DirectoryVolumes* providers[] = {&volumes};
+  const sim::detail::MetricAccumulator* accumulators[] = {&acc};
+  return capture_eval_state(providers, accumulators,
+                            make_eval_config_echo("directory", config, &dvc),
+                            mid, trace.size(), trace_fingerprint(trace));
+}
+
+TEST(CheckpointResume, SerialDirectoryMatchesUninterrupted) {
+  const auto config = eval_config();
+  const auto& trace = workload().trace;
+  ASSERT_GT(trace.size(), 400u);
+  const auto baseline = serial_baseline(config);
+
+  for (const std::size_t mid :
+       {trace.size() / 7, trace.size() / 2, trace.size() - 1}) {
+    const auto snapshot = capture_serial_directory(config, mid);
+
+    // The container round trips exactly: serialize -> parse -> serialize
+    // is a byte identity.
+    const auto bytes = serialize_eval_snapshot(snapshot);
+    std::string error;
+    const auto parsed = parse_eval_snapshot(bytes, error);
+    ASSERT_TRUE(parsed.has_value()) << error;
+    EXPECT_EQ(serialize_eval_snapshot(*parsed), bytes);
+    EXPECT_EQ(parsed->next_request, mid);
+
+    // Warm-start a fresh provider/accumulator pair and finish the run.
+    EvalRestore restore(*parsed);
+    volume::DirectoryVolumes volumes(directory_config());
+    volumes.bind_paths(trace.paths());
+    server::TraceMetaOracle meta(trace);
+    sim::detail::MetricAccumulator acc(config);
+    restore.warm_provider(volumes, 0, 1);
+    restore.seed_accumulator(acc, 0, 1);
+    const auto resumed = sim::PredictionEvaluator(config).run_range(
+        trace, volumes, meta, restore.next_request(), trace.size(), acc,
+        /*publish=*/false);
+    expect_identical(baseline, resumed);
+  }
+}
+
+// Capture a snapshot of a parallel directory run stopped after `mid`.
+EvalSnapshot capture_parallel_directory(const sim::EvalConfig& config,
+                                        std::size_t mid,
+                                        std::size_t threads) {
+  const auto& trace = workload().trace;
+  const auto dvc = directory_config();
+  const auto spec = sim::shard_directory_volumes(dvc, trace);
+  server::TraceMetaOracle meta(trace);
+  std::optional<EvalSnapshot> captured;
+  sim::EvalResumeHooks hooks;
+  hooks.capture =
+      [&](std::span<core::VolumeProvider* const> providers,
+          std::span<sim::detail::MetricAccumulator* const> accumulators) {
+        std::vector<const volume::DirectoryVolumes*> dirs;
+        for (auto* provider : providers) {
+          auto* directory = dynamic_cast<volume::DirectoryVolumes*>(provider);
+          ASSERT_NE(directory, nullptr);
+          dirs.push_back(directory);
+        }
+        std::vector<const sim::detail::MetricAccumulator*> accs(
+            accumulators.begin(), accumulators.end());
+        captured = capture_eval_state(
+            dirs, accs, make_eval_config_echo("directory", config, &dvc), mid,
+            trace.size(), trace_fingerprint(trace));
+      };
+  sim::ParallelEvalConfig par;
+  par.threads = threads;
+  par.chunk_requests = 256;  // several chunks even on the tiny trace
+  sim::ParallelEvaluator(config, par)
+      .run_range(trace, spec, meta, 0, mid, /*publish=*/false, &hooks);
+  return std::move(captured).value();  // throws if capture never ran
+}
+
+TEST(CheckpointResume, SnapshotBytesAreThreadCountInvariant) {
+  const auto config = eval_config();
+  const auto mid = workload().trace.size() / 2;
+  const auto serial_bytes =
+      serialize_eval_snapshot(capture_serial_directory(config, mid));
+  for (const std::size_t threads : {1u, 3u}) {
+    const auto parallel_bytes = serialize_eval_snapshot(
+        capture_parallel_directory(config, mid, threads));
+    EXPECT_EQ(parallel_bytes, serial_bytes) << threads << " threads";
+  }
+}
+
+TEST(CheckpointResume, CrossThreadCountResumeMatchesUninterrupted) {
+  const auto config = eval_config();
+  const auto& trace = workload().trace;
+  const auto mid = trace.size() / 3;
+  const auto baseline = serial_baseline(config);
+
+  // Save under one thread count, resume under others (including serial).
+  const auto snapshot = capture_parallel_directory(config, mid, 2);
+  const auto dvc = directory_config();
+  server::TraceMetaOracle meta(trace);
+
+  for (const std::size_t threads : {1u, 4u}) {
+    EvalRestore restore(snapshot);
+    auto hooks = restore.hooks();
+    const auto spec = sim::shard_directory_volumes(dvc, trace);
+    sim::ParallelEvalConfig par;
+    par.threads = threads;
+    par.chunk_requests = 256;
+    const auto resumed =
+        sim::ParallelEvaluator(config, par)
+            .run_range(trace, spec, meta, restore.next_request(), trace.size(),
+                       /*publish=*/false, &hooks);
+    expect_identical(baseline, resumed);
+  }
+
+  EvalRestore restore(snapshot);
+  volume::DirectoryVolumes volumes(directory_config());
+  volumes.bind_paths(trace.paths());
+  sim::detail::MetricAccumulator acc(config);
+  restore.warm_provider(volumes, 0, 1);
+  restore.seed_accumulator(acc, 0, 1);
+  const auto resumed = sim::PredictionEvaluator(config).run_range(
+      trace, volumes, meta, mid, trace.size(), acc, /*publish=*/false);
+  expect_identical(baseline, resumed);
+}
+
+TEST(CheckpointResume, ProbabilitySchemeRoundTrip) {
+  sim::EvalConfig config;
+  config.filter.max_elements = 10;
+  const auto& trace = workload().trace;
+  const auto mid = trace.size() / 2;
+  server::TraceMetaOracle meta(trace);
+
+  // A small hand-built volume set shared by all runs (the tool rebuilds it
+  // deterministically from the trace; the snapshot stores no volume data).
+  volume::ProbabilityVolumeSet set;
+  for (util::InternId r = 0; r < 20; ++r) {
+    set.add_volume(r, {{(r + 1) % 20, 0.8, 0.5}, {(r + 7) % 20, 0.4, 0.2}});
+  }
+
+  volume::ProbabilityVolumes serial_provider(&set, 10);
+  const auto baseline =
+      sim::PredictionEvaluator(config).run(trace, serial_provider, meta);
+
+  // Stop at mid, snapshot (no providers for the probability scheme).
+  volume::ProbabilityVolumes half_provider(&set, 10);
+  sim::detail::MetricAccumulator acc(config);
+  sim::PredictionEvaluator(config).run_range(trace, half_provider, meta, 0,
+                                             mid, acc, /*publish=*/false);
+  const sim::detail::MetricAccumulator* accumulators[] = {&acc};
+  const auto snapshot = capture_eval_state(
+      {}, accumulators, make_eval_config_echo("probability", config, nullptr),
+      mid, trace.size(), trace_fingerprint(trace));
+  const auto bytes = serialize_eval_snapshot(snapshot);
+  std::string error;
+  const auto parsed = parse_eval_snapshot(bytes, error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_TRUE(parsed->volumes.empty());
+  EXPECT_EQ(serialize_eval_snapshot(*parsed), bytes);
+
+  // Resume in parallel against the same set.
+  EvalRestore restore(*parsed);
+  auto hooks = restore.hooks();
+  const auto spec = sim::shard_probability_volumes(&set, 10);
+  sim::ParallelEvalConfig par;
+  par.threads = 2;
+  par.chunk_requests = 256;
+  const auto resumed =
+      sim::ParallelEvaluator(config, par)
+          .run_range(trace, spec, meta, restore.next_request(), trace.size(),
+                     /*publish=*/false, &hooks);
+  expect_identical(baseline, resumed);
+}
+
+TEST(CheckpointResume, StructurallyInvalidSnapshotsAreRejected) {
+  const auto config = eval_config();
+  const auto mid = workload().trace.size() / 2;
+  auto snapshot = capture_serial_directory(config, mid);
+
+  std::string error;
+  auto broken = snapshot;
+  broken.next_request = broken.total_requests + 1;
+  EXPECT_FALSE(
+      parse_eval_snapshot(serialize_eval_snapshot(broken), error).has_value());
+
+  broken = snapshot;
+  broken.config.scheme = "bogus";
+  EXPECT_FALSE(
+      parse_eval_snapshot(serialize_eval_snapshot(broken), error).has_value());
+
+  // The probability scheme must not carry volume images.
+  broken = snapshot;
+  broken.config.scheme = "probability";
+  EXPECT_FALSE(
+      parse_eval_snapshot(serialize_eval_snapshot(broken), error).has_value());
+
+  // Non-canonical volume numbering is rejected.
+  broken = snapshot;
+  if (broken.volumes.size() >= 2) {
+    std::swap(broken.volumes.front(), broken.volumes.back());
+    EXPECT_FALSE(parse_eval_snapshot(serialize_eval_snapshot(broken), error)
+                     .has_value());
+  }
+}
+
+TEST(CheckpointResume, SaveLoadFileRoundTrip) {
+  const auto config = eval_config();
+  const auto snapshot =
+      capture_serial_directory(config, workload().trace.size() / 2);
+  const std::string path = "checkpoint_test_roundtrip.snap";
+  std::string error;
+  ASSERT_TRUE(save_eval_snapshot(path, snapshot, error)) << error;
+  const auto loaded = load_eval_snapshot(path, error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(serialize_eval_snapshot(*loaded),
+            serialize_eval_snapshot(snapshot));
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(load_eval_snapshot("missing_checkpoint.snap", error)
+                   .has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+// Engine node state (caches + filter RPV tables) ----------------------------
+
+sim::UniformTreeSpec tree_spec() {
+  sim::UniformTreeSpec spec;
+  spec.depth = 2;
+  spec.fanout = 2;
+  spec.leaf_cache.capacity_bytes = 512 * 1024;
+  spec.root_cache.capacity_bytes = 2ULL * 1024 * 1024;
+  spec.base_filter.max_elements = 16;
+  return spec;
+}
+
+TEST(EngineState, RoundTripIsByteStable) {
+  const auto topology = sim::uniform_tree_topology(tree_spec());
+  sim::EngineConfig config;
+  config.volumes.level = 1;
+
+  sim::SimulationEngine engine(workload(), topology, config);
+  engine.run();
+  const auto bytes = serialize_engine_state(engine);
+
+  sim::SimulationEngine restored(workload(), topology, config);
+  std::string error;
+  ASSERT_TRUE(restore_engine_state(restored, bytes, error)) << error;
+  EXPECT_EQ(serialize_engine_state(restored), bytes);
+}
+
+TEST(EngineState, NodeCountMismatchIsRejected) {
+  sim::EngineConfig config;
+  sim::SimulationEngine engine(
+      workload(), sim::uniform_tree_topology(tree_spec()), config);
+  const auto bytes = serialize_engine_state(engine);
+
+  auto wider = tree_spec();
+  wider.fanout = 3;
+  sim::SimulationEngine other(workload(),
+                              sim::uniform_tree_topology(wider), config);
+  std::string error;
+  EXPECT_FALSE(restore_engine_state(other, bytes, error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace piggyweb::persist

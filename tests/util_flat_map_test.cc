@@ -280,6 +280,50 @@ TEST(FlatMap, SlidingWindowChurnDifferential) {
   ASSERT_EQ(visited, ref.size());
 }
 
+// operator== is content equality: the probe layout, capacity, and the
+// churn history that produced each side must not matter. The snapshot
+// layer depends on this — a map rebuilt from serialized entries compares
+// equal to the original.
+TEST(FlatMap, EqualityIgnoresLayoutAndHistory) {
+  FlatMap<std::uint32_t, std::uint64_t> a;
+  FlatMap<std::uint32_t, std::uint64_t> b;
+  b.reserve(4096);  // different capacity from the start
+  EXPECT_TRUE(a == b);  // both empty
+
+  // Fill a forward, and b with heavy insert/erase churn landing on the
+  // same final contents via a different probe history.
+  for (std::uint32_t k = 0; k < 500; ++k) a[k] = k * 3;
+  for (std::uint32_t k = 500; k-- > 0;) b[k] = 1;       // reverse order
+  for (std::uint32_t k = 0; k < 500; k += 2) b.erase(k);  // drain half
+  for (std::uint32_t k = 0; k < 500; ++k) b[k] = k * 3;   // restore
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(b == a);
+
+  b.at(123) = 0;  // one differing value
+  EXPECT_FALSE(a == b);
+  b.at(123) = 123 * 3;
+  EXPECT_TRUE(a == b);
+
+  b.erase(77);  // one missing key
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(b == a);
+  b[77] = 77 * 3;
+  EXPECT_TRUE(a == b);
+
+  b[9999] = 1;  // one extra key
+  EXPECT_FALSE(a == b);
+}
+
+TEST(FlatMap, EqualityComparesMappedValuesWithTheirOwnOperator) {
+  FlatMap<std::uint32_t, std::string> a;
+  FlatMap<std::uint32_t, std::string> b;
+  a[1] = "x";
+  b[1] = "x";
+  EXPECT_TRUE(a == b);
+  b[1] = "y";
+  EXPECT_FALSE(a == b);
+}
+
 TEST(StringArena, StoresBytesWithStableViews) {
   StringArena arena;
   const auto a = arena.store("hello");

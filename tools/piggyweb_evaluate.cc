@@ -6,16 +6,28 @@
 //   piggyweb_evaluate --log=site.log --scheme=probability --pt=0.2 --eff=0.2
 //   piggyweb_evaluate --log=site.log --scheme=probability
 //       --volumes=pretrained.txt
+//
+// Checkpoint/restore: --stop-fraction=0.5 --save-state=ckpt.snap stops the
+// replay half way and writes a durable snapshot; a later run with
+// --load-state=ckpt.snap (same log, same flags) resumes there and reports
+// metrics bit-identical to an uninterrupted run, at any --threads value.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <span>
+#include <vector>
 
 #include "cli_common.h"
+#include "persist/eval_state.h"
 #include "server/meta.h"
+#include "sim/eval_core.h"
 #include "sim/parallel_eval.h"
 #include "sim/prediction_eval.h"
 #include "sim/report.h"
 #include "trace/clf.h"
+#include "util/expect.h"
 #include "volume/directory.h"
 #include "volume/pair_counter.h"
 #include "volume/probability.h"
@@ -23,6 +35,24 @@
 #include "volume/serialize.h"
 
 using namespace piggyweb;
+
+namespace {
+
+// Snapshot bookkeeping for the run manifest: path + whole-file checksum
+// for each snapshot this run read or wrote.
+struct SnapshotNote {
+  std::string path;
+  std::uint64_t checksum = 0;
+};
+
+obs::Json snapshot_note_json(const SnapshotNote& note) {
+  auto entry = obs::Json::object();
+  entry.set("path", note.path);
+  entry.set("fnv1a", persist::checksum_hex(note.checksum));
+  return entry;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   tools::FlagSet flags(
@@ -56,6 +86,15 @@ int main(int argc, char** argv) {
   flags.add_string("report", "text",
                    "report format: text (aligned table) or json (same "
                    "fields, machine-readable, alone on stdout)");
+  flags.add_string("save-state", "",
+                   "write an evaluation-state snapshot here at the stop "
+                   "point");
+  flags.add_string("load-state", "",
+                   "resume from a snapshot written by --save-state (same "
+                   "log and flags required)");
+  flags.add_double("stop-fraction", 1.0,
+                   "stop the replay after this fraction of the trace "
+                   "(use with --save-state)");
   tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
 
@@ -78,6 +117,13 @@ int main(int argc, char** argv) {
   const auto threads_flag = flags.get_int("threads");
   if (threads_flag < 0) {
     std::fprintf(stderr, "--threads must be >= 0\n");
+    return 2;
+  }
+  const auto save_state = flags.get_string("save-state");
+  const auto load_state = flags.get_string("load-state");
+  const auto stop_fraction = flags.get_double("stop-fraction");
+  if (stop_fraction <= 0.0 || stop_fraction > 1.0) {
+    std::fprintf(stderr, "--stop-fraction must be in (0, 1]\n");
     return 2;
   }
   std::ifstream in(path);
@@ -109,24 +155,127 @@ int main(int argc, char** argv) {
   sim::ParallelEvalConfig par;
   par.threads = threads;
 
+  // Checkpoint plumbing shared by both schemes. The replayed range is
+  // [range_begin, range_end): a resume starts where the snapshot stopped,
+  // --stop-fraction moves the end short of the trace.
+  const auto total = trace.requests().size();
+  const auto fingerprint = persist::trace_fingerprint(trace);
+  std::optional<persist::EvalSnapshot> snapshot;
+  std::optional<SnapshotNote> loaded_note;
+  if (!load_state.empty()) {
+    std::string error;
+    const auto bytes = persist::read_file_bytes(load_state, error);
+    if (bytes.has_value()) {
+      loaded_note = {load_state, persist::snapshot_checksum(*bytes)};
+      snapshot = persist::parse_eval_snapshot(*bytes, error);
+    }
+    if (!snapshot.has_value()) {
+      std::fprintf(stderr, "cannot load state from %s: %s\n",
+                   load_state.c_str(), error.c_str());
+      return 1;
+    }
+    if (snapshot->fingerprint != fingerprint ||
+        snapshot->total_requests != total) {
+      std::fprintf(stderr, "%s was saved against a different trace\n",
+                   load_state.c_str());
+      return 1;
+    }
+  }
+  const std::size_t range_begin =
+      snapshot.has_value() ? static_cast<std::size_t>(snapshot->next_request)
+                           : 0;
+  std::size_t range_end = total;
+  if (stop_fraction < 1.0) {
+    range_end = std::max(
+        range_begin, static_cast<std::size_t>(
+                         stop_fraction * static_cast<double>(total)));
+  }
+  const bool publish = range_end == total;
+
   server::TraceMetaOracle meta(trace);
   sim::EvalResult result;
+  std::optional<persist::EvalSnapshot> captured;
   const auto scheme = flags.get_string("scheme");
+
+  // Verifies the snapshot's flag echo and reports resumption; shared by
+  // both schemes once their echo is built.
+  const auto check_resume = [&](const persist::EvalConfigEcho& echo) {
+    if (!snapshot.has_value()) return true;
+    if (!(snapshot->config == echo)) {
+      std::fprintf(stderr,
+                   "%s was saved under different flags; rerun with the "
+                   "saving run's scheme/filter options\n",
+                   load_state.c_str());
+      return false;
+    }
+    std::fprintf(info, "resuming at request %zu/%zu from %s\n", range_begin,
+                 total, load_state.c_str());
+    return true;
+  };
+  // Builds the run_range capture hook writing into `captured`; the
+  // providers span is empty for the stateless probability scheme.
+  const auto make_capture_hook = [&](const persist::EvalConfigEcho& echo,
+                                     bool directory) {
+    return [&, echo, directory](
+               std::span<core::VolumeProvider* const> providers,
+               std::span<sim::detail::MetricAccumulator* const> accumulators) {
+      std::vector<const volume::DirectoryVolumes*> dirs;
+      if (directory) {
+        dirs.reserve(providers.size());
+        for (auto* provider : providers) {
+          auto* dir = dynamic_cast<const volume::DirectoryVolumes*>(provider);
+          PW_ENSURE(dir != nullptr);
+          dirs.push_back(dir);
+        }
+      }
+      const std::vector<const sim::detail::MetricAccumulator*> accs(
+          accumulators.begin(), accumulators.end());
+      captured = persist::capture_eval_state(dirs, accs, echo, range_end,
+                                             total, fingerprint);
+    };
+  };
+
   if (scheme == "directory") {
     volume::DirectoryVolumeConfig dvc;
     dvc.level = static_cast<int>(flags.get_int("level"));
+    const auto echo = persist::make_eval_config_echo("directory", config, &dvc);
+    if (!check_resume(echo)) return 1;
     if (threads != 1) {
       sim::ParallelEvalStats stats;
       const auto spec = sim::shard_directory_volumes(dvc, trace);
-      result = sim::ParallelEvaluator(config, par).run(trace, spec, meta,
-                                                       &stats);
+      std::optional<persist::EvalRestore> restore;
+      sim::EvalResumeHooks hooks;
+      if (snapshot.has_value()) {
+        restore.emplace(*snapshot);
+        hooks = restore->hooks();
+      }
+      if (!save_state.empty()) {
+        hooks.capture = make_capture_hook(echo, /*directory=*/true);
+      }
+      const bool use_hooks = snapshot.has_value() || !save_state.empty();
+      result = sim::ParallelEvaluator(config, par)
+                   .run_range(trace, spec, meta, range_begin, range_end,
+                              publish, use_hooks ? &hooks : nullptr, &stats);
       std::fprintf(info,
                    "scheme: directory level-%d (%zu volumes, %zu threads)\n",
                    dvc.level, stats.volume_count, stats.threads);
     } else {
       volume::DirectoryVolumes volumes(dvc);
       volumes.bind_paths(trace.paths());
-      result = sim::PredictionEvaluator(config).run(trace, volumes, meta);
+      sim::detail::MetricAccumulator acc(config);
+      if (snapshot.has_value()) {
+        persist::EvalRestore restore(*snapshot);
+        restore.warm_provider(volumes, 0, 1);
+        restore.seed_accumulator(acc, 0, 1);
+      }
+      result = sim::PredictionEvaluator(config).run_range(
+          trace, volumes, meta, range_begin, range_end, acc, publish);
+      if (!save_state.empty()) {
+        const volume::DirectoryVolumes* dirs[] = {&volumes};
+        const sim::detail::MetricAccumulator* accs[] = {&acc};
+        captured = persist::capture_eval_state(dirs, accs, echo, range_end,
+                                               total, fingerprint);
+      }
       std::fprintf(info, "scheme: directory level-%d (%zu volumes)\n",
                    dvc.level, volumes.volume_count());
     }
@@ -165,18 +314,73 @@ int main(int argc, char** argv) {
       pvc.window = config.prediction_window;
       set = volume::build_probability_volumes(trace, counts, pvc);
     }
+    // Probability volumes are rebuilt deterministically from the trace and
+    // training flags, so only the shared eval knobs are echoed; the trace
+    // fingerprint pins the input.
+    const auto echo =
+        persist::make_eval_config_echo("probability", config, nullptr);
+    if (!check_resume(echo)) return 1;
     if (threads != 1) {
       const auto spec = sim::shard_probability_volumes(&set, 200);
-      result = sim::ParallelEvaluator(config, par).run(trace, spec, meta);
+      std::optional<persist::EvalRestore> restore;
+      sim::EvalResumeHooks hooks;
+      if (snapshot.has_value()) {
+        restore.emplace(*snapshot);
+        hooks = restore->hooks();
+      }
+      if (!save_state.empty()) {
+        hooks.capture = make_capture_hook(echo, /*directory=*/false);
+      }
+      const bool use_hooks = snapshot.has_value() || !save_state.empty();
+      result = sim::ParallelEvaluator(config, par)
+                   .run_range(trace, spec, meta, range_begin, range_end,
+                              publish, use_hooks ? &hooks : nullptr);
     } else {
       volume::ProbabilityVolumes provider(&set, 200);
-      result = sim::PredictionEvaluator(config).run(trace, provider, meta);
+      sim::detail::MetricAccumulator acc(config);
+      if (snapshot.has_value()) {
+        persist::EvalRestore restore(*snapshot);
+        restore.seed_accumulator(acc, 0, 1);
+      }
+      result = sim::PredictionEvaluator(config).run_range(
+          trace, provider, meta, range_begin, range_end, acc, publish);
+      if (!save_state.empty()) {
+        const sim::detail::MetricAccumulator* accs[] = {&acc};
+        captured = persist::capture_eval_state({}, accs, echo, range_end,
+                                               total, fingerprint);
+      }
     }
     std::fprintf(info, "scheme: probability (%zu volumes)\n",
                  set.volume_count());
   } else {
     std::fprintf(stderr, "unknown scheme '%s'\n", scheme.c_str());
     return 2;
+  }
+
+  std::optional<SnapshotNote> saved_note;
+  if (!save_state.empty()) {
+    PW_ENSURE(captured.has_value());
+    const auto bytes = persist::serialize_eval_snapshot(*captured);
+    std::string error;
+    if (!persist::write_file_bytes(save_state, bytes, error)) {
+      std::fprintf(stderr, "cannot save state to %s: %s\n",
+                   save_state.c_str(), error.c_str());
+      return 1;
+    }
+    saved_note = {save_state, persist::snapshot_checksum(bytes)};
+    std::fprintf(info, "saved state at request %zu/%zu to %s\n", range_end,
+                 total, save_state.c_str());
+  }
+  if (run_scope != nullptr &&
+      (loaded_note.has_value() || saved_note.has_value())) {
+    auto snapshots = obs::Json::object();
+    if (loaded_note.has_value()) {
+      snapshots.set("loaded", snapshot_note_json(*loaded_note));
+    }
+    if (saved_note.has_value()) {
+      snapshots.set("saved", snapshot_note_json(*saved_note));
+    }
+    run_scope->note("snapshots", std::move(snapshots));
   }
 
   if (report == "json") {

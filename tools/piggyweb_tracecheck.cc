@@ -11,6 +11,9 @@
 // manifests are exactly equal — the thread-invariance property: a workload
 // run at --threads=1 and --threads=4 must publish identical deterministic
 // metrics.
+//
+// When the manifest carries a "snapshots" section (a checkpointing run),
+// each recorded snapshot checksum is verified against the file on disk.
 #include <cstdio>
 #include <fstream>
 #include <optional>
@@ -21,6 +24,7 @@
 #include "cli_common.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
+#include "persist/codec.h"
 
 using namespace piggyweb;
 
@@ -155,6 +159,54 @@ void diff_deterministic_metrics(const obs::Json& a, const std::string& a_path,
   }
 }
 
+// A manifest's "snapshots" section records the path and FNV-1a checksum
+// of every state snapshot the run read or wrote; verify each recorded
+// checksum against the file on disk. Relative paths are tried as-is and
+// then relative to the manifest's directory.
+void check_snapshot_checksums(const obs::Json& manifest,
+                              const std::string& manifest_path,
+                              std::vector<std::string>& problems) {
+  const auto* snapshots = manifest.find("snapshots");
+  if (snapshots == nullptr || !snapshots->is_object()) return;
+  const auto slash = manifest_path.find_last_of('/');
+  const auto manifest_dir =
+      slash == std::string::npos ? std::string()
+                                 : manifest_path.substr(0, slash + 1);
+  std::size_t checked = 0;
+  for (const auto& [role, entry] : snapshots->members()) {
+    const auto where = manifest_path + ": snapshots." + role;
+    const auto* path = entry.find("path");
+    const auto* recorded = entry.find("fnv1a");
+    if (path == nullptr || !path->is_string() || recorded == nullptr ||
+        !recorded->is_string()) {
+      continue;  // validate_run_manifest reports shape problems
+    }
+    std::string error;
+    auto bytes = persist::read_file_bytes(path->string(), error);
+    if (!bytes.has_value() && !manifest_dir.empty()) {
+      bytes = persist::read_file_bytes(manifest_dir + path->string(), error);
+    }
+    if (!bytes.has_value()) {
+      problems.push_back(where + ": cannot read snapshot " + path->string() +
+                         " (" + error + ")");
+      continue;
+    }
+    const auto actual =
+        persist::checksum_hex(persist::snapshot_checksum(*bytes));
+    if (actual != recorded->string()) {
+      problems.push_back(where + ": checksum mismatch for " + path->string() +
+                         " (manifest " + recorded->string() + ", file " +
+                         actual + ")");
+      continue;
+    }
+    ++checked;
+  }
+  if (checked != 0) {
+    std::printf("%s: %zu snapshot checksum(s) match disk\n",
+                manifest_path.c_str(), checked);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +246,7 @@ int main(int argc, char** argv) {
       for (auto& problem : manifest_problems) {
         problems.push_back(manifest_path + ": " + std::move(problem));
       }
+      check_snapshot_checksums(*manifest, manifest_path, problems);
       if (!other_path.empty()) {
         if (const auto other = load_json_file(other_path, problems)) {
           const auto before = problems.size();
