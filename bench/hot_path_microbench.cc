@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "legacy_baselines.h"
 #include "sim/report.h"
 #include "trace/clf.h"
 #include "util/flat_map.h"
@@ -141,31 +142,6 @@ MixResult run_mix(std::size_t ops, FlatFn flat, UmapFn umap) {
   return r;
 }
 
-// The pre-PR loader shape: per-line ClfEntry with freshly allocated
-// host/path strings, and no reserve on the trace. Kept here as the
-// reference implementation the fast path is measured against.
-trace::ClfLoadResult legacy_load_clf(std::istream& in, trace::Trace& trace,
-                                     const trace::ClfLoadOptions& options) {
-  trace::ClfLoadResult result;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (util::trim(line).empty()) continue;
-    const auto entry = trace::parse_clf_line(line);
-    if (!entry) {
-      ++result.skipped_malformed;
-      continue;
-    }
-    if (options.drop_uncachable && trace::is_uncachable_url(entry->path)) {
-      ++result.skipped_filtered;
-      continue;
-    }
-    trace.add(entry->time, entry->host, options.server_name, entry->path,
-              entry->method, entry->status, entry->size);
-    ++result.parsed;
-  }
-  return result;
-}
-
 obs::Json mix_json(const MixResult& r) {
   auto j = obs::Json::object();
   j.set("ops", r.ops);
@@ -269,7 +245,7 @@ int main(int argc, char** argv) {
       trace::Trace t;
       std::istringstream in(clf_text);
       const auto start = now_seconds();
-      const auto res = legacy_load_clf(in, t, load_options);
+      const auto res = bench_legacy::legacy_load_clf(in, t, load_options);
       if (round == 1) {
         loader_legacy = now_seconds() - start;
         loader_lines = res.parsed;

@@ -1,0 +1,42 @@
+// LEGACY BASELINES — BENCH-ONLY. Nothing in src/ or tools/ may include
+// this header. These are deliberately retired implementations, kept solely
+// so the benches can measure the shipped fast paths against the code they
+// replaced. Do not "fix" or modernize them: their value is that they stay
+// exactly as slow as the code they preserve.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "trace/clf.h"
+#include "util/strings.h"
+
+namespace piggyweb::bench_legacy {
+
+// The pre-flat-tables CLF loader shape: per-line ClfEntry with freshly
+// allocated host/path strings, and no reserve on the trace. Baseline for
+// the CLF fast path (and, transitively, for the binary-container loader).
+inline trace::ClfLoadResult legacy_load_clf(
+    std::istream& in, trace::Trace& trace,
+    const trace::ClfLoadOptions& options) {
+  trace::ClfLoadResult result;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (util::trim(line).empty()) continue;
+    const auto entry = trace::parse_clf_line(line);
+    if (!entry) {
+      ++result.skipped_malformed;
+      continue;
+    }
+    if (options.drop_uncachable && trace::is_uncachable_url(entry->path)) {
+      ++result.skipped_filtered;
+      continue;
+    }
+    trace.add(entry->time, entry->host, options.server_name, entry->path,
+              entry->method, entry->status, entry->size);
+    ++result.parsed;
+  }
+  return result;
+}
+
+}  // namespace piggyweb::bench_legacy

@@ -4,22 +4,38 @@
 // be bit-identical — the binary exits non-zero on any mismatch — so the
 // only thing allowed to change with the thread count is the wall time.
 //
-//   parallel_scaling [--scale=15.2] [--json=BENCH_parallel_eval.json]
+//   parallel_scaling [--scale=15.2] [--quick]
+//                    [--json=BENCH_parallel_eval.json]
+//                    [--replay-json=BENCH_trace_replay.json]
 //
 // The JSON report records per-run wall seconds, requests/second, and
 // speedup vs serial, plus the machine's hardware thread count: speedups
 // are only meaningful when the host has cores to spare.
+//
+// The binary also runs a trace-replay sweep: the same requests are staged
+// once as CLF text and once as a PIGGYTRC binary container, then each
+// format is loaded and replayed through the sharded evaluator at 1/2/4/8
+// threads. Load time is where the formats differ (text parse vs mmap
+// column decode); metrics must stay bit-identical across formats and
+// thread counts. --replay-json writes the format x threads rows;
+// --quick shrinks the workload for CI smoke runs.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "bench_common.h"
+#include "persist/codec.h"
 #include "sim/parallel_eval.h"
 #include "sim/report.h"
+#include "trace/binary.h"
+#include "trace/clf.h"
+#include "trace/source.h"
 #include "util/thread_pool.h"
 
 using namespace piggyweb;
@@ -32,6 +48,13 @@ double now_seconds() {
       .count();
 }
 
+bool flag_present(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
 struct Run {
   std::string label;
   std::size_t threads;  // 0 = serial evaluator
@@ -39,13 +62,42 @@ struct Run {
   sim::EvalResult result;
 };
 
+struct ReplayRow {
+  std::string format;
+  std::size_t threads;
+  double load_seconds = 0;
+  double eval_seconds = 0;
+  sim::EvalResult result;
+};
+
+// Load `path` with the format pinned (no sniffing in the timed region).
+bool timed_load(const std::string& path, trace::TraceFormat format,
+                trace::Trace& out, double& seconds) {
+  trace::TraceSourceOptions options;
+  options.format = format;
+  options.clf.drop_uncachable = false;  // keep the CLF round trip lossless
+  trace::TraceLoadStats stats;
+  std::string error;
+  const auto start = now_seconds();
+  if (!trace::load_trace(path, options, out, stats, error)) {
+    std::fprintf(stderr, "replay: cannot load %s: %s\n", path.c_str(),
+                 error.c_str());
+    return false;
+  }
+  seconds = now_seconds() - start;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Observability observability("parallel_scaling", argc, argv);
-  // att_client at kAttScale * 15.2 ~= 1M requests.
-  const double scale = bench::scale_arg(argc, argv, 15.2);
+  const bool quick = flag_present(argc, argv, "--quick");
+  // att_client at kAttScale * 15.2 ~= 1M requests; --quick targets ~50 k.
+  const double scale = bench::scale_arg(argc, argv, quick ? 0.75 : 15.2);
   const auto json_path = bench::json_arg(argc, argv);
+  const auto replay_json_path =
+      bench::string_arg(argc, argv, "--replay-json=");
   bench::print_banner(
       "Parallel sharded evaluation engine: throughput scaling",
       "all rows report identical metrics (checked bit-for-bit); wall time "
@@ -137,5 +189,156 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
   observability.note("scaling", std::move(report));
-  return identical ? 0 : 1;
+
+  // -------------------------------------------------------------------
+  // Trace replay: CLF text parse vs PIGGYTRC binary mmap. The replay
+  // baseline is the CLF round trip of the workload (CLF does not carry
+  // server names or Last-Modified); the binary container is serialized
+  // from that loaded trace, so both formats replay identical columns and
+  // intern tables and every run must report bit-identical metrics.
+  const std::string clf_path = "bench-replay-tmp.log";
+  const std::string bin_path = "bench-replay-tmp.trc";
+  std::size_t clf_bytes = 0;
+  {
+    std::ofstream out(clf_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", clf_path.c_str());
+      return 1;
+    }
+    trace::write_clf(out, workload.trace);
+    clf_bytes = static_cast<std::size_t>(out.tellp());
+  }
+  trace::Trace canonical;
+  double first_load = 0;
+  if (!timed_load(clf_path, trace::TraceFormat::kClf, canonical,
+                  first_load)) {
+    return 1;
+  }
+  std::size_t binary_bytes = 0;
+  {
+    const auto bytes = trace::serialize_binary_trace(canonical);
+    binary_bytes = bytes.size();
+    std::string error;
+    if (!persist::write_file_bytes(bin_path, bytes, error)) {
+      std::fprintf(stderr, "cannot write %s: %s\n", bin_path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "\ntrace replay: %zu requests, clf %zu bytes, binary %zu bytes\n",
+      canonical.size(), clf_bytes, binary_bytes);
+
+  // Pure load-time comparison (best of N, files warm in the page cache
+  // from the staging pass above).
+  const int load_reps = quick ? 2 : 3;
+  const auto best_load = [&](trace::TraceFormat format,
+                             const std::string& path) {
+    double best = -1;
+    for (int rep = 0; rep < load_reps; ++rep) {
+      trace::Trace t;
+      double seconds = 0;
+      if (!timed_load(path, format, t, seconds)) return -1.0;
+      best = best < 0 ? seconds : std::min(best, seconds);
+    }
+    return best;
+  };
+  const double clf_load = best_load(trace::TraceFormat::kClf, clf_path);
+  const double bin_load = best_load(trace::TraceFormat::kBinary, bin_path);
+  if (clf_load < 0 || bin_load < 0) return 1;
+  std::printf(
+      "load (best of %d): clf %.3f s, binary %.3f s, speedup %.2fx\n\n",
+      load_reps, clf_load, bin_load, clf_load / bin_load);
+
+  std::vector<ReplayRow> replay;
+  for (const char* format_name : {"clf", "binary"}) {
+    const bool is_binary = std::string_view(format_name) == "binary";
+    const auto format =
+        is_binary ? trace::TraceFormat::kBinary : trace::TraceFormat::kClf;
+    const auto& path = is_binary ? bin_path : clf_path;
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      ReplayRow row;
+      row.format = format_name;
+      row.threads = threads;
+      trace::Trace t;
+      if (!timed_load(path, format, t, row.load_seconds)) return 1;
+      server::TraceMetaOracle replay_meta(t);
+      sim::ParallelEvalConfig par;
+      par.threads = threads;
+      const auto spec = sim::shard_directory_volumes(dvc, t);
+      const auto start = now_seconds();
+      row.result =
+          sim::ParallelEvaluator(config, par).run(t, spec, replay_meta);
+      row.eval_seconds = now_seconds() - start;
+      replay.push_back(std::move(row));
+    }
+  }
+  std::remove(clf_path.c_str());
+  std::remove(bin_path.c_str());
+
+  bool replay_identical = true;
+  for (const auto& row : replay) {
+    if (std::memcmp(&row.result, &replay.front().result,
+                    sizeof row.result) != 0) {
+      std::fprintf(stderr, "REPLAY METRIC MISMATCH in %s threads=%zu\n",
+                   row.format.c_str(), row.threads);
+      replay_identical = false;
+    }
+  }
+
+  const auto replay_requests = static_cast<double>(canonical.size());
+  sim::Table replay_table(
+      {"format", "threads", "load s", "eval s", "total s", "requests/s"});
+  for (const auto& row : replay) {
+    const double total = row.load_seconds + row.eval_seconds;
+    replay_table.row({row.format, std::to_string(row.threads),
+                      sim::Table::num(row.load_seconds, 3),
+                      sim::Table::num(row.eval_seconds, 2),
+                      sim::Table::num(total, 2),
+                      sim::Table::num(replay_requests / total, 0)});
+  }
+  replay_table.print(std::cout);
+  std::printf("\nreplay metrics identical across formats and threads: %s\n",
+              replay_identical ? "yes" : "NO");
+
+  auto replay_report = obs::Json::object();
+  replay_report.set("benchmark", "trace_replay");
+  replay_report.set("workload", "att_client");
+  replay_report.set("requests", canonical.size());
+  replay_report.set("hardware_threads", util::ThreadPool::hardware_threads());
+  replay_report.set("quick", quick);
+  replay_report.set("clf_bytes", clf_bytes);
+  replay_report.set("binary_bytes", binary_bytes);
+  replay_report.set("metrics_identical", replay_identical);
+  auto load_report = obs::Json::object();
+  load_report.set("reps_best_of", load_reps);
+  load_report.set("clf_seconds", clf_load);
+  load_report.set("binary_seconds", bin_load);
+  load_report.set("speedup", clf_load / bin_load);
+  replay_report.set("load", std::move(load_report));
+  auto replay_rows = obs::Json::array();
+  for (const auto& row : replay) {
+    const double total = row.load_seconds + row.eval_seconds;
+    auto json_row = obs::Json::object();
+    json_row.set("format", row.format);
+    json_row.set("threads", row.threads);
+    json_row.set("load_seconds", row.load_seconds);
+    json_row.set("eval_seconds", row.eval_seconds);
+    json_row.set("total_seconds", total);
+    json_row.set("requests_per_second", replay_requests / total);
+    replay_rows.push_back(std::move(json_row));
+  }
+  replay_report.set("replay", std::move(replay_rows));
+
+  if (!replay_json_path.empty()) {
+    std::ofstream out(replay_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", replay_json_path.c_str());
+      return 1;
+    }
+    out << replay_report.dump(2) << "\n";
+    std::printf("wrote %s\n", replay_json_path.c_str());
+  }
+  observability.note("trace_replay", std::move(replay_report));
+  return (identical && replay_identical) ? 0 : 1;
 }

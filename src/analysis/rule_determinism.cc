@@ -41,6 +41,17 @@ bool banned_call(std::string_view text) {
          text == "gmtime";
 }
 
+// Raw memory-mapping syscalls: allowed only inside util::MmapFile (the
+// os_calls_allowed() allowlist), so mapping lifetime stays RAII-managed
+// in one audited place.
+bool mmap_family_call(std::string_view text) {
+  return text == "mmap" || text == "mmap64" || text == "munmap" ||
+         text == "mremap" || text == "madvise" ||
+         text == "posix_madvise" || text == "mprotect" ||
+         text == "msync" || text == "mlock" || text == "munlock" ||
+         text == "shm_open" || text == "shm_unlink";
+}
+
 // Skip a balanced <...> block starting at `i` (which must be '<');
 // returns the index just past the closing '>'. Gives up at braces or
 // semicolons so a stray comparison cannot swallow the file.
@@ -174,6 +185,30 @@ void check_determinism(const Project& /*project*/, const SourceFile& file,
                            "util::Rng (allowed only in util/rng, "
                            "util/time, obs)"});
       }
+    }
+  }
+
+  // (a2) Raw memory-mapping syscalls confined to util::MmapFile. Unlike
+  // (a) this applies to every scanned file, tests and benches included:
+  // there is no "cold module" story for a leaked mapping.
+  if (!os_calls_allowed(file.path)) {
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent || !mmap_family_call(t.text)) continue;
+      const bool member_access =
+          i > 0 && (toks[i - 1].is_punct(".") || toks[i - 1].is_punct("->"));
+      // A '*' or '&' before the name is a declarator (`void* mmap(...)`):
+      // no real call site multiplies by an mmap-family function.
+      const bool declarator =
+          i > 0 && (toks[i - 1].is_punct("*") || toks[i - 1].is_punct("&"));
+      if (member_access || declarator || is_declaration_context(toks, i) ||
+          !toks[i + 1].is_punct("(")) {
+        continue;
+      }
+      out.push_back({file.path, t.line, "os-call-confined",
+                     "raw '" + std::string(t.text) +
+                         "()' — map files through util::MmapFile "
+                         "(allowed only in src/util/mmap_file.{h,cc})"});
     }
   }
 

@@ -42,7 +42,7 @@ std_header_symbols() {
           {"bit",
            {"bit_cast", "popcount", "countl_zero", "countr_zero",
             "bit_ceil", "bit_floor", "bit_width", "rotl", "rotr",
-            "has_single_bit"}},
+            "has_single_bit", "endian"}},
           {"cassert", {"assert"}},
           {"cctype",
            {"isalpha", "isdigit", "isalnum", "isspace", "isupper",

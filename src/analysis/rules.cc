@@ -11,6 +11,8 @@ const std::vector<RuleInfo>& rule_catalog() {
        "mandated"},
       {"det-unordered-iteration",
        "iteration over an unordered container feeding ordered output"},
+      {"os-call-confined",
+       "raw mmap/munmap/madvise-family syscalls outside util::MmapFile"},
       {"flatmap-ref-after-mutate",
        "FlatMap reference/iterator used after a mutating call (mutation "
        "invalidates all references)"},
@@ -36,6 +38,10 @@ bool contracts_required(std::string_view module) {
 bool determinism_exempt(std::string_view path) {
   return path.starts_with("src/obs/") || path == "src/util/rng.h" ||
          path == "src/util/rng.cc" || path == "src/util/time.h";
+}
+
+bool os_calls_allowed(std::string_view path) {
+  return path == "src/util/mmap_file.h" || path == "src/util/mmap_file.cc";
 }
 
 }  // namespace piggyweb::analysis

@@ -38,6 +38,12 @@ bool contracts_required(std::string_view module);
 // wall-clock readings are explicitly non-deterministic metrics).
 bool determinism_exempt(std::string_view path);
 
+// Files allowed to issue raw memory-mapping syscalls (mmap/munmap/
+// madvise/...): only util::MmapFile, the repo's single RAII wrapper.
+// Everything else takes a MmapFile (or a string_view of its bytes), so
+// mapping lifetime and error handling stay in one audited place.
+bool os_calls_allowed(std::string_view path);
+
 // --- rule families ----------------------------------------------------
 
 // det-banned-call, det-unordered-container, det-unordered-iteration.

@@ -4,27 +4,27 @@
 
 namespace piggyweb::core {
 
-PiggybackMessage apply_filter(const VolumePrediction& prediction,
-                              const VolumeRequest& request,
-                              const ProxyFilter& filter,
-                              const MetaOracle& meta) {
-  PiggybackMessage message;
+void apply_filter_into(const VolumePrediction& prediction,
+                       const VolumeRequest& request, const ProxyFilter& filter,
+                       const MetaOracle& meta, PiggybackMessage& out) {
+  out.volume = kNoVolume;
+  out.elements.clear();
   if (!filter.enabled || prediction.volume == kNoVolume ||
       prediction.resources.empty() || filter.max_elements == 0) {
-    return message;
+    return;
   }
   if (std::find(filter.rpv.begin(), filter.rpv.end(), prediction.volume) !=
       filter.rpv.end()) {
-    return message;
+    return;
   }
-  message.volume = prediction.volume;
-  message.elements.reserve(
+  out.volume = prediction.volume;
+  out.elements.reserve(
       std::min<std::size_t>(prediction.resources.size(),
                             filter.max_elements));
   const bool has_probs =
       prediction.probs.size() == prediction.resources.size();
   for (std::size_t i = 0; i < prediction.resources.size(); ++i) {
-    if (message.elements.size() >= filter.max_elements) break;
+    if (out.elements.size() >= filter.max_elements) break;
     const auto res = prediction.resources[i];
     if (res == request.path) continue;  // never echo the requested resource
     if (filter.probability_threshold && has_probs &&
@@ -35,10 +35,18 @@ PiggybackMessage apply_filter(const VolumePrediction& prediction,
     if (filter.max_size && info.size > *filter.max_size) continue;
     if (!filter.allows_type(info.type)) continue;
     if (info.access_count < filter.min_access_count) continue;
-    message.elements.push_back({res, info.size, info.last_modified,
-                                has_probs ? prediction.probs[i] : 0.0});
+    out.elements.push_back({res, info.size, info.last_modified,
+                            has_probs ? prediction.probs[i] : 0.0});
   }
-  if (message.elements.empty()) message.volume = kNoVolume;
+  if (out.elements.empty()) out.volume = kNoVolume;
+}
+
+PiggybackMessage apply_filter(const VolumePrediction& prediction,
+                              const VolumeRequest& request,
+                              const ProxyFilter& filter,
+                              const MetaOracle& meta) {
+  PiggybackMessage message;
+  apply_filter_into(prediction, request, filter, meta, message);
   return message;
 }
 

@@ -84,4 +84,12 @@ PiggybackMessage apply_filter(const VolumePrediction& prediction,
                               const ProxyFilter& filter,
                               const MetaOracle& meta);
 
+// Allocation-reusing form: clears and refills `out` (its element vector's
+// capacity survives), so a caller looping over millions of requests keeps
+// one message buffer instead of constructing one per request. apply_filter
+// is a thin wrapper over this.
+void apply_filter_into(const VolumePrediction& prediction,
+                       const VolumeRequest& request, const ProxyFilter& filter,
+                       const MetaOracle& meta, PiggybackMessage& out);
+
 }  // namespace piggyweb::core

@@ -1,0 +1,14 @@
+#include "core/piggyback.h"
+
+namespace piggyweb::core {
+
+void VolumeProvider::on_request_batch(
+    std::span<const VolumeRequest> requests,
+    std::vector<VolumePrediction>& predictions) {
+  predictions.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    predictions[i] = on_request(requests[i]);
+  }
+}
+
+}  // namespace piggyweb::core

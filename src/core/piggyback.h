@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/record.h"
@@ -72,6 +73,17 @@ class VolumeProvider {
   virtual ~VolumeProvider() = default;
 
   virtual VolumePrediction on_request(const VolumeRequest& request) = 0;
+
+  // Batched form of on_request: fills predictions[i] for requests[i],
+  // visiting requests strictly in span order so stateful providers evolve
+  // exactly as a per-request loop would. `predictions` is resized to match
+  // and its existing elements (and their vector capacity) are reused —
+  // callers that keep the output vector across batches amortize the
+  // per-prediction allocations away. The default implementation delegates
+  // to on_request; stateful providers override it to skip the per-call
+  // return-by-value copies.
+  virtual void on_request_batch(std::span<const VolumeRequest> requests,
+                                std::vector<VolumePrediction>& predictions);
 
   // Number of volumes currently defined (for stats / wire-id checks).
   virtual std::size_t volume_count() const = 0;

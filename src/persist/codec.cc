@@ -76,10 +76,12 @@ bool SnapshotWriter::has_section(std::string_view name) const {
   return false;
 }
 
-std::string SnapshotWriter::finish() const {
+std::string SnapshotWriter::finish(std::string_view magic,
+                                   std::uint32_t version) const {
+  PW_EXPECT(magic.size() == kSnapshotMagic.size());
   ByteWriter out;
-  for (const char c : kSnapshotMagic) out.u8(static_cast<std::uint8_t>(c));
-  out.u32(kSnapshotVersion);
+  for (const char c : magic) out.u8(static_cast<std::uint8_t>(c));
+  out.u32(version);
   out.u32(static_cast<std::uint32_t>(sections_.size()));
   for (const auto& section : sections_) {
     out.u16(static_cast<std::uint16_t>(section.name.size()));
@@ -96,9 +98,12 @@ std::string SnapshotWriter::finish() const {
 }
 
 std::optional<SnapshotReader> SnapshotReader::parse(std::string_view file,
-                                                    std::string& error) {
-  if (file.size() < kSnapshotMagic.size() + 4 + 4 + 8) {
-    error = "snapshot too small to hold a header";
+                                                    std::string& error,
+                                                    std::string_view magic,
+                                                    std::uint32_t version) {
+  PW_EXPECT(magic.size() == kSnapshotMagic.size());
+  if (file.size() < magic.size() + 4 + 4 + 8) {
+    error = "container too small to hold a header";
     return std::nullopt;
   }
   // Footer first: the whole-file checksum covers everything before it.
@@ -110,14 +115,14 @@ std::optional<SnapshotReader> SnapshotReader::parse(std::string_view file,
   }
 
   ByteReader in(body);
-  if (body.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
-    error = "bad magic (not a piggyweb_snapshot file)";
+  if (body.substr(0, magic.size()) != magic) {
+    error = "bad magic (expected " + std::string(magic) + " container)";
     return std::nullopt;
   }
-  for (std::size_t i = 0; i < kSnapshotMagic.size(); ++i) in.u8();
-  const auto version = in.u32();
-  if (version != kSnapshotVersion) {
-    error = "unsupported snapshot version " + std::to_string(version);
+  for (std::size_t i = 0; i < magic.size(); ++i) in.u8();
+  const auto file_version = in.u32();
+  if (file_version != version) {
+    error = "unsupported container version " + std::to_string(file_version);
     return std::nullopt;
   }
   const auto count = in.u32();

@@ -1,9 +1,11 @@
-// Versioned binary snapshot codec — the common container every durable
-// table serializes into.
+// Versioned binary container codec — the common envelope every durable
+// artifact serializes into: state snapshots ("PIGGYSNP") and columnar
+// binary traces ("PIGGYTRC", src/trace/binary.h) share the layout and
+// differ only in their 8-byte magic and the section vocabulary.
 //
-// A snapshot file is a `piggyweb_snapshot` version-1 container:
+// A container file:
 //
-//   magic    8 bytes  "PIGGYSNP"
+//   magic    8 bytes  e.g. "PIGGYSNP"
 //   version  u32      1
 //   count    u32      number of sections
 //   section* count times:
@@ -95,7 +97,7 @@ class ByteReader {
   bool ok_ = true;
 };
 
-// Assembles a snapshot file from named section payloads.
+// Assembles a container file from named section payloads.
 class SnapshotWriter {
  public:
   // Adding a duplicate name is a programming error (checked).
@@ -104,8 +106,10 @@ class SnapshotWriter {
   bool has_section(std::string_view name) const;
   std::size_t section_count() const { return sections_.size(); }
 
-  // The complete file image (header, sections, footer checksum).
-  std::string finish() const;
+  // The complete file image (header, sections, footer checksum). `magic`
+  // must be exactly 8 bytes; defaults produce a snapshot container.
+  std::string finish(std::string_view magic = kSnapshotMagic,
+                     std::uint32_t version = kSnapshotVersion) const;
 
  private:
   struct Section {
@@ -120,15 +124,18 @@ struct SnapshotSection {
   std::string_view payload;  // into the parsed buffer
 };
 
-// Parsed view of a snapshot file. Borrows the file bytes: the buffer
+// Parsed view of a container file. Borrows the file bytes: the buffer
 // passed to parse() must outlive the reader and its section views.
 class SnapshotReader {
  public:
   // Validates magic, version, structure, per-section checksums, and the
   // whole-file footer. On failure returns nullopt and describes the first
-  // problem in `error`.
-  static std::optional<SnapshotReader> parse(std::string_view file,
-                                             std::string& error);
+  // problem in `error`. Defaults accept a snapshot container; pass a
+  // different magic/version pair for other container families.
+  static std::optional<SnapshotReader> parse(
+      std::string_view file, std::string& error,
+      std::string_view magic = kSnapshotMagic,
+      std::uint32_t version = kSnapshotVersion);
 
   const SnapshotSection* find(std::string_view name) const;
   const std::vector<SnapshotSection>& sections() const { return sections_; }

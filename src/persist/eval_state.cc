@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "persist/state_access.h"
+#include "trace/binary.h"
 #include "util/expect.h"
 #include "util/hash.h"
 
@@ -32,16 +33,7 @@ void sort_unique_by_key(Pairs& pairs) {
 }  // namespace
 
 std::uint64_t trace_fingerprint(const trace::Trace& trace) {
-  std::uint64_t h = util::fnv1a("piggyweb-trace");
-  h = util::hash_combine(h, trace.requests().size());
-  for (const auto& request : trace.requests()) {
-    h = util::hash_combine(h, static_cast<std::uint64_t>(request.time.value));
-    h = util::hash_combine(
-        h, (static_cast<std::uint64_t>(request.source) << 32) | request.server);
-    h = util::hash_combine(h, static_cast<std::uint64_t>(request.path));
-    h = util::hash_combine(h, request.size);
-  }
-  return h;
+  return trace::trace_content_fingerprint(trace);
 }
 
 EvalConfigEcho make_eval_config_echo(

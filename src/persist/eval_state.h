@@ -39,10 +39,12 @@
 
 namespace piggyweb::persist {
 
-// Fingerprint of a time-sorted trace: folds every request's identifying
-// fields (time, source, server, path, size). A resume refuses to run
-// against a trace with a different fingerprint — intern ids must line up
-// with the saved run, and loading the same log the same way guarantees it.
+// Fingerprint of a time-sorted trace: trace::trace_content_fingerprint,
+// the fold over the canonical "PIGGYTRC" column encoding (requests plus
+// string tables). A resume refuses to run against a trace with a
+// different fingerprint — intern ids must line up with the saved run —
+// and the value is identical whether the trace was parsed from CLF or
+// mapped from a binary container of the same content.
 std::uint64_t trace_fingerprint(const trace::Trace& trace);
 
 // Behaviour-shaping knobs echoed into the snapshot; a resume whose flags

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/piggyback.h"
 #include "core/rpv.h"
 #include "sim/prediction_eval.h"
 #include "trace/record.h"
@@ -31,6 +32,26 @@ namespace piggyweb::sim::detail {
 
 // Sentinel "long ago" for first-touch comparisons.
 inline constexpr util::Seconds kNever = -(1LL << 60);
+
+// Requests per provider batch in the evaluators' hot loops. Batches keep
+// the VolumeRequest column and prediction slots hot in cache and amortize
+// the virtual dispatch; the per-request evaluation *sequence* is
+// unchanged, so batch size never affects results.
+inline constexpr std::size_t kEvalBatchRequests = 4096;
+
+// The provider-facing view of a trace request. `type` comes from a
+// trace::PathTypeTable so the hot loop never re-scans path strings.
+inline core::VolumeRequest make_volume_request(const trace::Request& req,
+                                               trace::ContentType type) {
+  core::VolumeRequest vr;
+  vr.server = req.server;
+  vr.source = req.source;
+  vr.path = req.path;
+  vr.time = req.time;
+  vr.size = req.size;
+  vr.type = type;
+  return vr;
+}
 
 struct ResourceState {
   util::Seconds last_access = kNever;

@@ -148,33 +148,44 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
   };
   std::vector<Staged> staged(std::min(chunk, range_end - range_begin));
 
+  // Per-provider-shard batching scratch, persistent across chunks so the
+  // steady state allocates nothing.
+  const trace::PathTypeTable types(trace.paths());
+  struct ShardScratch {
+    std::vector<std::size_t> rows;  // request indices owned this chunk
+    std::vector<core::VolumeRequest> batch;
+    std::vector<core::VolumePrediction> predictions;
+    core::PiggybackMessage message;
+  };
+  std::vector<ShardScratch> scratch(pshards);
+
   for (std::size_t begin = range_begin; begin < range_end; begin += chunk) {
     const auto end = std::min(begin + chunk, range_end);
 
-    // Stage 1: drive providers and apply the static filter. Within a
-    // shard, requests are visited in trace order, so per-volume state
-    // evolves exactly as in the serial run.
+    // Stage 1: drive providers and apply the static filter, one batched
+    // provider call per shard per chunk. Within a shard, requests are
+    // visited in trace order, so per-volume state evolves exactly as in
+    // the serial run.
     util::parallel_shards(pool, pshards, [&](std::size_t s) {
       OBS_SPAN("parallel_eval.provider_shard");
-      auto& provider = *providers[s];
+      auto& sc = scratch[s];
+      sc.rows.clear();
+      sc.batch.clear();
       for (std::size_t i = begin; i < end; ++i) {
         if (provider_shard[i - range_begin] != s) continue;
-        const auto& req = requests[i];
-        core::VolumeRequest vr;
-        vr.server = req.server;
-        vr.source = req.source;
-        vr.path = req.path;
-        vr.time = req.time;
-        vr.size = req.size;
-        vr.type = trace::classify_path(trace.paths().str(req.path));
-        const auto prediction = provider.on_request(vr);
-        const auto message =
-            core::apply_filter(prediction, vr, config_.filter, meta);
-        auto& slot = staged[i - begin];
-        slot.volume = message.volume;
+        sc.rows.push_back(i);
+        sc.batch.push_back(detail::make_volume_request(
+            requests[i], types.type_of(requests[i].path)));
+      }
+      providers[s]->on_request_batch(sc.batch, sc.predictions);
+      for (std::size_t k = 0; k < sc.rows.size(); ++k) {
+        core::apply_filter_into(sc.predictions[k], sc.batch[k],
+                                config_.filter, meta, sc.message);
+        auto& slot = staged[sc.rows[k] - begin];
+        slot.volume = sc.message.volume;
         slot.resources.clear();
-        slot.resources.reserve(message.elements.size());
-        for (const auto& element : message.elements) {
+        slot.resources.reserve(sc.message.elements.size());
+        for (const auto& element : sc.message.elements) {
           slot.resources.push_back(element.resource);
         }
       }

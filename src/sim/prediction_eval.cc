@@ -185,25 +185,37 @@ EvalResult PredictionEvaluator::run_range(const trace::Trace& trace,
                            }));
   PW_EXPECT(config_.cache_horizon > config_.prediction_window);
 
+  // Batched hot loop: provider predictions for a span of requests, then
+  // filter + metrics over the same span. Requests are visited strictly in
+  // trace order inside each half, so results are bit-identical to the
+  // per-request formulation. All buffers live across batches, so the
+  // steady state performs no allocation.
+  const trace::PathTypeTable types(trace.paths());
+  std::vector<core::VolumeRequest> batch;
+  std::vector<core::VolumePrediction> predictions;
+  core::PiggybackMessage message;
   std::vector<util::InternId> resources;
-  for (std::size_t i = begin; i < end; ++i) {
-    const auto& req = requests[i];
-    core::VolumeRequest vr;
-    vr.server = req.server;
-    vr.source = req.source;
-    vr.path = req.path;
-    vr.time = req.time;
-    vr.size = req.size;
-    vr.type = trace::classify_path(trace.paths().str(req.path));
-    const auto prediction = provider.on_request(vr);
-    const auto message =
-        core::apply_filter(prediction, vr, config_.filter, meta);
-    resources.clear();
-    resources.reserve(message.elements.size());
-    for (const auto& element : message.elements) {
-      resources.push_back(element.resource);
+  batch.reserve(std::min(detail::kEvalBatchRequests, end - begin));
+
+  for (std::size_t base = begin; base < end;
+       base += detail::kEvalBatchRequests) {
+    const auto stop = std::min(base + detail::kEvalBatchRequests, end);
+    batch.clear();
+    for (std::size_t i = base; i < stop; ++i) {
+      batch.push_back(detail::make_volume_request(
+          requests[i], types.type_of(requests[i].path)));
     }
-    acc.observe(req, message.volume, resources);
+    provider.on_request_batch(batch, predictions);
+    for (std::size_t i = base; i < stop; ++i) {
+      core::apply_filter_into(predictions[i - base], batch[i - base],
+                              config_.filter, meta, message);
+      resources.clear();
+      resources.reserve(message.elements.size());
+      for (const auto& element : message.elements) {
+        resources.push_back(element.resource);
+      }
+      acc.observe(requests[i], message.volume, resources);
+    }
   }
   if (publish) detail::publish_eval_result(acc.result());
   return acc.result();

@@ -182,6 +182,27 @@ std::vector<LogProfile> all_server_profiles() {
           sun_profile()};
 }
 
+std::optional<LogProfile> profile_by_name(std::string_view name,
+                                          double scale) {
+  if (name == "aiusa") return aiusa_profile(scale);
+  if (name == "marimba") return marimba_profile(scale);
+  if (name == "apache") return apache_profile(scale);
+  if (name == "sun") return sun_profile(scale);
+  if (name == "att_client") return att_client_profile(scale);
+  if (name == "digital_client") return digital_client_profile(scale);
+  return std::nullopt;
+}
+
+std::optional<LogProfile> profile_by_name(std::string_view name) {
+  if (name == "aiusa") return aiusa_profile();
+  if (name == "marimba") return marimba_profile();
+  if (name == "apache") return apache_profile();
+  if (name == "sun") return sun_profile();
+  if (name == "att_client") return att_client_profile();
+  if (name == "digital_client") return digital_client_profile();
+  return std::nullopt;
+}
+
 SyntheticWorkload generate(const LogProfile& profile) {
   if (profile.is_client_trace) {
     return generate_client_trace(profile.multi, profile.browse, profile.seed);

@@ -9,7 +9,9 @@
 // seconds on one core.
 #pragma once
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "trace/synthetic.h"
@@ -54,6 +56,15 @@ LogProfile digital_client_profile(double scale = 0.04);
 // All server-log profiles at their default scales (AIUSA, Marimba, Apache,
 // Sun) — the set iterated by the table/figure benches.
 std::vector<LogProfile> all_server_profiles();
+
+// Profile by log name: "aiusa", "marimba", "apache", "sun", "att_client",
+// or "digital_client"; nullopt for anything else. The single lookup shared
+// by piggyweb_generate and "synthetic:" trace-source specs.
+std::optional<LogProfile> profile_by_name(std::string_view name,
+                                          double scale);
+
+// Same lookup at each profile's declared default scale.
+std::optional<LogProfile> profile_by_name(std::string_view name);
 
 // Generate the workload for a profile.
 SyntheticWorkload generate(const LogProfile& profile);

@@ -57,6 +57,13 @@ ContentType classify_path(std::string_view path) {
   return ContentType::kOther;
 }
 
+PathTypeTable::PathTypeTable(const util::InternTable& paths) {
+  types_.reserve(paths.size());
+  for (std::size_t id = 0; id < paths.size(); ++id) {
+    types_.push_back(classify_path(paths.str(static_cast<util::InternId>(id))));
+  }
+}
+
 void Trace::add(util::TimePoint time, std::string_view source,
                 std::string_view server, std::string_view path, Method method,
                 std::uint16_t status, std::uint64_t size,

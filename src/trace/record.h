@@ -29,6 +29,20 @@ std::string_view content_type_name(ContentType t);
 // image; everything else -> other).
 ContentType classify_path(std::string_view path);
 
+// classify_path precomputed over a whole path table: one string scan per
+// distinct path instead of one per request. The evaluators' hot loops
+// resolve content types through this table.
+class PathTypeTable {
+ public:
+  explicit PathTypeTable(const util::InternTable& paths);
+
+  ContentType type_of(util::InternId path) const { return types_[path]; }
+  std::size_t size() const { return types_.size(); }
+
+ private:
+  std::vector<ContentType> types_;
+};
+
 struct Request {
   util::TimePoint time;
   util::InternId source = util::kInvalidIntern;    // client / proxy IP

@@ -1,0 +1,75 @@
+// Unified trace ingestion. Every consumer of a trace file — the evaluate
+// and analyze tools, the convert tool, the benches — goes through a
+// TraceSource instead of open-coding ifstream + load_clf. A source knows
+// how to materialize a Trace from one backing representation:
+//
+//   * CLF text logs (trace/clf.h),
+//   * "PIGGYTRC" columnar binary containers, memory-mapped and decoded
+//     zero-copy (trace/binary.h, util/mmap_file.h),
+//   * synthetic profiles, via the spec "synthetic:<profile>[:<scale>]"
+//     (e.g. "synthetic:aiusa:0.1") instead of a file path.
+//
+// The format is sniffed from the path/spec by default: a "synthetic:"
+// prefix selects generation, files starting with the 8-byte "PIGGYTRC"
+// magic are binary, everything else parses as CLF. Callers can pin the
+// format explicitly (the tools' --trace-format flag).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "trace/clf.h"
+#include "trace/record.h"
+
+namespace piggyweb::trace {
+
+enum class TraceFormat : std::uint8_t { kAuto, kClf, kBinary, kSynthetic };
+
+// "auto" / "clf" / "binary" / "synthetic"; false on anything else.
+bool parse_trace_format(std::string_view name, TraceFormat& out);
+std::string_view trace_format_name(TraceFormat format);
+
+struct TraceSourceOptions {
+  TraceFormat format = TraceFormat::kAuto;
+  ClfLoadOptions clf;  // applied only when the source parses CLF text
+};
+
+// What a load actually did, for the tools' "parsed N requests" line.
+struct TraceLoadStats {
+  TraceFormat format = TraceFormat::kClf;  // resolved, never kAuto
+  std::size_t requests = 0;
+  std::size_t skipped_malformed = 0;  // CLF only
+  std::size_t skipped_filtered = 0;   // CLF only
+};
+
+// One openable trace. load() appends nothing on failure paths it can
+// detect up front and leaves `out` unspecified once decoding has begun;
+// callers treat a false return as fatal. The loaded trace is time-sorted.
+class TraceSource {
+ public:
+  virtual ~TraceSource() = default;
+
+  // Materialize the trace into the empty `out`. Returns false with a
+  // message in `error` on malformed input.
+  virtual bool load(Trace& out, TraceLoadStats& stats,
+                    std::string& error) = 0;
+
+  // The resolved format ("clf", "binary", "synthetic").
+  virtual TraceFormat format() const = 0;
+};
+
+// Open `spec` as a trace source, resolving TraceFormat::kAuto by sniffing
+// (see file comment). Opening validates cheaply — existence, magic,
+// synthetic-spec syntax; binary containers are fully checksummed at
+// load(). Returns nullptr with a message in `error` on failure.
+std::unique_ptr<TraceSource> open_trace_source(
+    const std::string& spec, const TraceSourceOptions& options,
+    std::string& error);
+
+// Convenience: open + load + sort in one call.
+bool load_trace(const std::string& spec, const TraceSourceOptions& options,
+                Trace& out, TraceLoadStats& stats, std::string& error);
+
+}  // namespace piggyweb::trace

@@ -23,8 +23,8 @@ std::size_t DirectoryVolumes::partition_of(trace::ContentType type,
   return type_idx * 2 + size_idx;
 }
 
-core::VolumePrediction DirectoryVolumes::on_request(
-    const core::VolumeRequest& request) {
+void DirectoryVolumes::predict_into(const core::VolumeRequest& request,
+                                    core::VolumePrediction& out) {
   PW_EXPECT(paths_ != nullptr);
   const auto path = paths_->str(request.path);
   const auto prefix =
@@ -41,10 +41,25 @@ core::VolumePrediction DirectoryVolumes::on_request(
   touch(volume, request);
   trim(volume);
 
+  out.volume = config_.id_offset + config_.id_stride * it->second;
+  collect(volume, out.resources);
+  out.probs.clear();
+}
+
+core::VolumePrediction DirectoryVolumes::on_request(
+    const core::VolumeRequest& request) {
   core::VolumePrediction prediction;
-  prediction.volume = config_.id_offset + config_.id_stride * it->second;
-  prediction.resources = collect(volume);
+  predict_into(request, prediction);
   return prediction;
+}
+
+void DirectoryVolumes::on_request_batch(
+    std::span<const core::VolumeRequest> requests,
+    std::vector<core::VolumePrediction>& predictions) {
+  predictions.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    predict_into(requests[i], predictions[i]);
+  }
 }
 
 void DirectoryVolumes::touch(Volume& volume,
@@ -93,8 +108,8 @@ void DirectoryVolumes::trim(Volume& volume) {
   }
 }
 
-std::vector<util::InternId> DirectoryVolumes::collect(
-    const Volume& volume) const {
+void DirectoryVolumes::collect(const Volume& volume,
+                               std::vector<util::InternId>& out) const {
   // Merge the six MRU-ordered partition lists into one recency-ordered
   // candidate list (most recent first), up to max_candidates.
   std::array<ElementList::const_iterator, kPartitions> cursor;
@@ -103,7 +118,7 @@ std::vector<util::InternId> DirectoryVolumes::collect(
     cursor[p] = volume.parts[p].begin();
     end[p] = volume.parts[p].end();
   }
-  std::vector<util::InternId> out;
+  out.clear();
   out.reserve(std::min(volume.index.size(), config_.max_candidates));
   while (out.size() < config_.max_candidates) {
     std::size_t best = kPartitions;
@@ -118,7 +133,6 @@ std::vector<util::InternId> DirectoryVolumes::collect(
     out.push_back(cursor[best]->resource);
     ++cursor[best];
   }
-  return out;
 }
 
 core::VolumeId DirectoryVolumes::peek_volume(util::InternId server,

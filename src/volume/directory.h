@@ -53,6 +53,12 @@ class DirectoryVolumes final : public core::VolumeProvider {
   core::VolumePrediction on_request(
       const core::VolumeRequest& request) override;
 
+  // Same per-request sequence, but reuses the candidate vectors staged in
+  // `predictions`, so a steady-state batch loop performs no allocation.
+  void on_request_batch(
+      std::span<const core::VolumeRequest> requests,
+      std::vector<core::VolumePrediction>& predictions) override;
+
   std::size_t volume_count() const override { return volumes_.size(); }
   const char* scheme_name() const override { return "directory"; }
 
@@ -95,9 +101,11 @@ class DirectoryVolumes final : public core::VolumeProvider {
     return (static_cast<std::uint64_t>(server) << 32) | prefix;
   }
 
+  void predict_into(const core::VolumeRequest& request,
+                    core::VolumePrediction& out);
   void touch(Volume& volume, const core::VolumeRequest& request);
   void trim(Volume& volume);
-  std::vector<util::InternId> collect(const Volume& volume) const;
+  void collect(const Volume& volume, std::vector<util::InternId>& out) const;
 
   DirectoryVolumeConfig config_;
   // A volume's identity is (server, k-level prefix). Prefix strings are

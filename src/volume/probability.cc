@@ -152,20 +152,37 @@ ProbabilityVolumeSet build_probability_volumes(
   return set;
 }
 
+void ProbabilityVolumes::predict_into(const core::VolumeRequest& request,
+                                      core::VolumePrediction& out) const {
+  out.volume = core::kNoVolume;
+  out.resources.clear();
+  out.probs.clear();
+  const auto* entries = set_->volume_of(request.path);
+  if (entries == nullptr) return;
+  out.volume = set_->volume_id(request.path);
+  const auto n = std::min(entries->size(), max_candidates_);
+  out.resources.reserve(n);
+  out.probs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.resources.push_back((*entries)[i].resource);
+    out.probs.push_back((*entries)[i].probability);
+  }
+}
+
 core::VolumePrediction ProbabilityVolumes::on_request(
     const core::VolumeRequest& request) {
   core::VolumePrediction prediction;
-  const auto* entries = set_->volume_of(request.path);
-  if (entries == nullptr) return prediction;
-  prediction.volume = set_->volume_id(request.path);
-  const auto n = std::min(entries->size(), max_candidates_);
-  prediction.resources.reserve(n);
-  prediction.probs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    prediction.resources.push_back((*entries)[i].resource);
-    prediction.probs.push_back((*entries)[i].probability);
-  }
+  predict_into(request, prediction);
   return prediction;
+}
+
+void ProbabilityVolumes::on_request_batch(
+    std::span<const core::VolumeRequest> requests,
+    std::vector<core::VolumePrediction>& predictions) {
+  predictions.resize(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    predict_into(requests[i], predictions[i]);
+  }
 }
 
 }  // namespace piggyweb::volume

@@ -94,10 +94,18 @@ class ProbabilityVolumes final : public core::VolumeProvider {
   core::VolumePrediction on_request(
       const core::VolumeRequest& request) override;
 
+  // Reuses the candidate/probability vectors staged in `predictions`.
+  void on_request_batch(
+      std::span<const core::VolumeRequest> requests,
+      std::vector<core::VolumePrediction>& predictions) override;
+
   std::size_t volume_count() const override { return set_->volume_count(); }
   const char* scheme_name() const override { return "probability"; }
 
  private:
+  void predict_into(const core::VolumeRequest& request,
+                    core::VolumePrediction& out) const;
+
   const ProbabilityVolumeSet* set_;
   std::size_t max_candidates_;
 };

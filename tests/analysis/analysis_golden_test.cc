@@ -49,6 +49,7 @@ constexpr FixtureMap kFixtures[] = {
     {"flatmap_unsafe.cc", "src/volume/flatmap_unsafe.cc"},
     {"helper.h", "src/util/helper.h"},
     {"missing_pragma.h", "src/core/missing_pragma.h"},
+    {"os_call.cc", "src/trace/os_call.cc"},
     {"unused_include.cc", "tools/unused_include.cc"},
 };
 

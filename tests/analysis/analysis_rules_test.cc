@@ -66,6 +66,40 @@ TEST(AnalysisRules, DeclaringAFunctionNamedLikeABannedCallIsFine) {
   EXPECT_TRUE(diags.empty());
 }
 
+TEST(AnalysisRules, MmapConfinedToMmapFile) {
+  const std::string raw =
+      "#include <sys/mman.h>\n"
+      "void* f(int fd, unsigned long n) {\n"
+      "  return mmap(nullptr, n, 1, 2, fd, 0);\n"
+      "}\n";
+  const auto diags = analyze_one("src/trace/a.cc", raw);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "os-call-confined");
+  EXPECT_EQ(diags[0].line, 3u);
+  // The one allowed home: the RAII wrapper itself.
+  EXPECT_TRUE(analyze_one("src/util/mmap_file.cc", raw).empty());
+  // Applies to benches and tests too — no cold-module exemption.
+  EXPECT_EQ(rules_fired(analyze_one("bench/a.cc",
+                                    "void f(void* p) { munmap(p, 4); }\n")),
+            (std::vector<std::string>{"os-call-confined"}));
+  EXPECT_EQ(rules_fired(analyze_one(
+                "tests/a_test.cc",
+                "void f(void* p) { madvise(p, 4, 1); }\n")),
+            (std::vector<std::string>{"os-call-confined"}));
+}
+
+TEST(AnalysisRules, MmapNamesInDeclarationsAndMembersAreFine) {
+  const auto diags = analyze_one(
+      "src/util/mmap_file.h",
+      "#pragma once\n"
+      "struct MmapFile { void* mmap(int fd); };\n");
+  EXPECT_TRUE(diags.empty());
+  // A member call named like the syscall is the wrapper, not the syscall.
+  EXPECT_TRUE(analyze_one("src/trace/a.cc",
+                          "void* f(W& w, int fd) { return w.mmap(fd); }\n")
+                  .empty());
+}
+
 TEST(AnalysisRules, UnorderedContainerOnlyFlaggedWhereFlatMapMandated) {
   const std::string decl =
       "#include <unordered_map>\n"
@@ -213,7 +247,7 @@ TEST(AnalysisRules, UnknownSystemHeadersAreNeverFlagged) {
 
 TEST(AnalysisRules, RuleCatalogCoversEveryEmittedRule) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 7u);
+  EXPECT_EQ(catalog.size(), 8u);
   for (const auto& rule : catalog) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());

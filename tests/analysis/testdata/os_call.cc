@@ -1,0 +1,26 @@
+// Fixture: raw memory-mapping syscalls outside util::MmapFile (analyzed
+// as src/trace/os_call.cc). Each raw call is an os-call-confined finding.
+#include <sys/mman.h>
+
+namespace piggyweb::trace {
+
+void* map_directly(int fd, unsigned long length) {
+  void* region = mmap(nullptr, length, 1, 2, fd, 0);  // finding: mmap
+  madvise(region, length, 2);                         // finding: madvise
+  return region;
+}
+
+void unmap_directly(void* region, unsigned long length) {
+  munmap(region, length);                             // finding: munmap
+}
+
+// Not findings: a member named like the syscall, and declarations.
+struct Wrapper {
+  void* mmap(int fd);
+};
+
+void* through_wrapper(Wrapper& w, int fd) {
+  return w.mmap(fd);  // method on an object, not ::mmap()
+}
+
+}  // namespace piggyweb::trace

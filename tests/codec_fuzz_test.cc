@@ -12,6 +12,7 @@
 #include "http/message.h"
 #include "http/piggy_headers.h"
 #include "persist/codec.h"
+#include "trace/binary.h"
 #include "trace/clf.h"
 #include "util/rng.h"
 
@@ -301,6 +302,100 @@ TEST_P(CodecFuzz, SnapshotParserSurvivesArbitraryStructuredPrefixes) {
     file += random_bytes(rng_, 256);
     std::string error;
     EXPECT_FALSE(persist::SnapshotReader::parse(file, error).has_value());
+  }
+}
+
+// Binary trace container (trace/binary.h) ----------------------------------
+
+// A random trace: a handful of hosts/paths, random methods/statuses/
+// sizes, sorted times, occasional Last-Modified values.
+trace::Trace random_trace(util::Rng& rng) {
+  trace::Trace t;
+  const auto count = rng.below(200);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto method = rng.chance(0.8)   ? trace::Method::kGet
+                        : rng.chance(0.5) ? trace::Method::kPost
+                                          : trace::Method::kHead;
+    t.add(util::TimePoint{static_cast<util::Seconds>(rng.below(1 << 20))},
+          "host-" + std::to_string(rng.below(20)),
+          "server-" + std::to_string(rng.below(3)), random_path(rng),
+          method, rng.chance(0.8) ? 200 : 304, rng.below(1 << 24),
+          rng.chance(0.3) ? static_cast<std::int64_t>(rng.below(1 << 20))
+                          : -1);
+  }
+  t.sort_by_time();
+  return t;
+}
+
+TEST_P(CodecFuzz, BinaryTraceRoundTripRandomTraces) {
+  for (int i = 0; i < 25; ++i) {
+    const auto t = random_trace(rng_);
+    const auto bytes = trace::serialize_binary_trace(t);
+    trace::Trace reloaded;
+    std::string error;
+    ASSERT_TRUE(trace::load_binary_trace(bytes, reloaded, error)) << error;
+    ASSERT_EQ(reloaded.size(), t.size());
+    for (std::size_t r = 0; r < t.size(); ++r) {
+      ASSERT_EQ(reloaded.requests()[r].time, t.requests()[r].time);
+      ASSERT_EQ(reloaded.requests()[r].path, t.requests()[r].path);
+      ASSERT_EQ(reloaded.requests()[r].size, t.requests()[r].size);
+    }
+    EXPECT_EQ(trace::trace_content_fingerprint(reloaded),
+              trace::trace_content_fingerprint(t));
+    // Canonical bytes: re-serializing reproduces the file.
+    EXPECT_EQ(trace::serialize_binary_trace(reloaded), bytes);
+  }
+}
+
+TEST_P(CodecFuzz, BinaryTraceMutationsNeverLoadAndNeverCrash) {
+  // Same mutation classes as the snapshot suite: bit flips, byte stomps,
+  // truncation, extension. The shared envelope checksums make every one
+  // detectable, and the column validation must never read out of bounds
+  // (the ASan/UBSan lanes rerun this test).
+  for (int i = 0; i < 50; ++i) {
+    const auto file = trace::serialize_binary_trace(random_trace(rng_));
+    auto corrupt = file;
+    switch (rng_.below(4)) {
+      case 0: {
+        const auto pos = rng_.below(corrupt.size());
+        corrupt[pos] =
+            static_cast<char>(corrupt[pos] ^ (1 << rng_.below(8)));
+        break;
+      }
+      case 1: {
+        const auto pos = rng_.below(corrupt.size());
+        const auto run = 1 + rng_.below(16);
+        for (std::uint64_t b = 0; b < run && pos + b < corrupt.size(); ++b) {
+          corrupt[pos + b] = static_cast<char>(rng_.below(256));
+        }
+        break;
+      }
+      case 2:
+        corrupt.resize(rng_.below(corrupt.size()));
+        break;
+      case 3:
+        corrupt += random_bytes(rng_, 32) + "x";
+        break;
+    }
+    if (corrupt == file) continue;
+    trace::Trace out;
+    std::string error;
+    EXPECT_FALSE(trace::load_binary_trace(corrupt, out, error))
+        << "iteration " << i;
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST_P(CodecFuzz, BinaryTraceReaderSurvivesArbitraryStructuredPrefixes) {
+  for (int i = 0; i < 200; ++i) {
+    std::string file(trace::kBinaryTraceMagic);
+    persist::ByteWriter version;
+    version.u32(trace::kBinaryTraceVersion);
+    file += version.bytes();
+    file += random_bytes(rng_, 256);
+    trace::Trace out;
+    std::string error;
+    EXPECT_FALSE(trace::load_binary_trace(file, out, error));
   }
 }
 

@@ -1,55 +1,38 @@
-// piggyweb_analyze — characterize a web log (Common Log Format): the
-// Table 2/3-style summary plus the Figure 1 directory-locality profile.
+// piggyweb_analyze — characterize a web log: the Table 2/3-style summary
+// plus the Figure 1 directory-locality profile. Accepts CLF text, PIGGYTRC
+// binary containers, and synthetic:<profile>[:scale] specs (sniffed, or
+// pinned with --trace-format).
 //
 //   piggyweb_analyze --log=access.log
-//   piggyweb_analyze --log=proxy.log --levels=4 --exclude-images
+//   piggyweb_analyze --log=proxy.trc --levels=4 --exclude-images
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 
 #include "cli_common.h"
 #include "sim/locality.h"
 #include "sim/report.h"
-#include "trace/clf.h"
 #include "trace/log_stats.h"
+#include "trace_load.h"
 
 using namespace piggyweb;
 
 int main(int argc, char** argv) {
-  tools::FlagSet flags("summarize a CLF web log and its directory locality");
-  flags.add_string("log", "", "input CLF file (required)");
-  flags.add_string("server-name", "server",
-                   "origin name recorded for server logs");
+  tools::FlagSet flags("summarize a web log and its directory locality");
+  tools::add_trace_flags(flags);
   flags.add_int("levels", 4, "deepest directory level to profile");
   flags.add_bool("exclude-images", false,
                  "drop image requests from the locality profile");
-  flags.add_bool("keep-uncachable", false,
-                 "keep cgi/query URLs instead of the paper's cleanup");
   tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
   const auto run_scope =
       tools::make_run_scope(flags, "piggyweb_analyze", argc, argv);
 
-  const auto path = flags.get_string("log");
-  if (path.empty()) {
-    std::fprintf(stderr, "--log is required\n");
-    return 2;
-  }
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
-
   trace::Trace trace;
-  trace::ClfLoadOptions options;
-  options.server_name = flags.get_string("server-name");
-  options.drop_uncachable = !flags.get_bool("keep-uncachable");
-  const auto load = trace::load_clf(in, trace, options);
-  trace.sort_by_time();
-  std::printf("parsed %zu requests (%zu malformed, %zu filtered)\n\n",
-              load.parsed, load.skipped_malformed, load.skipped_filtered);
-  if (trace.empty()) return 1;
+  if (const int rc = tools::load_trace_from_flags(flags, stdout, trace);
+      rc != 0) {
+    return rc;
+  }
+  std::printf("\n");
 
   const auto stats = trace::compute_log_stats(trace);
   sim::Table summary({"metric", "value"});

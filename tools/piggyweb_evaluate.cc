@@ -1,10 +1,13 @@
-// piggyweb_evaluate — replay a CLF log through the piggybacking protocol
+// piggyweb_evaluate — replay a web log through the piggybacking protocol
 // and report the paper's §3.1 metrics for a chosen volume scheme/filter.
+// The input may be a CLF text log, a "PIGGYTRC" binary container (replayed
+// zero-copy via mmap; see piggyweb_convert), or a synthetic profile spec —
+// the format is sniffed unless pinned with --trace-format.
 //
 //   piggyweb_evaluate --log=site.log --scheme=directory --level=1
 //       --minfreq=10 --rpv-timeout=30
-//   piggyweb_evaluate --log=site.log --scheme=probability --pt=0.2 --eff=0.2
-//   piggyweb_evaluate --log=site.log --scheme=probability
+//   piggyweb_evaluate --log=site.trc --scheme=probability --pt=0.2 --eff=0.2
+//   piggyweb_evaluate --log=synthetic:aiusa:0.05 --scheme=probability
 //       --volumes=pretrained.txt
 //
 // Checkpoint/restore: --stop-fraction=0.5 --save-state=ckpt.snap stops the
@@ -26,7 +29,7 @@
 #include "sim/parallel_eval.h"
 #include "sim/prediction_eval.h"
 #include "sim/report.h"
-#include "trace/clf.h"
+#include "trace_load.h"
 #include "util/expect.h"
 #include "volume/directory.h"
 #include "volume/pair_counter.h"
@@ -56,9 +59,8 @@ obs::Json snapshot_note_json(const SnapshotNote& note) {
 
 int main(int argc, char** argv) {
   tools::FlagSet flags(
-      "evaluate a volume scheme + proxy filter over a CLF web log");
-  flags.add_string("log", "", "input CLF file (required)");
-  flags.add_string("server-name", "server", "origin name for server logs");
+      "evaluate a volume scheme + proxy filter over a web log");
+  tools::add_trace_flags(flags);
   flags.add_string("scheme", "directory", "directory|probability");
   flags.add_int("level", 1, "directory scheme: prefix level");
   flags.add_double("pt", 0.2, "probability scheme: threshold p_t");
@@ -109,11 +111,6 @@ int main(int argc, char** argv) {
   const auto run_scope =
       tools::make_run_scope(flags, "piggyweb_evaluate", argc, argv);
 
-  const auto path = flags.get_string("log");
-  if (path.empty()) {
-    std::fprintf(stderr, "--log is required\n");
-    return 2;
-  }
   const auto threads_flag = flags.get_int("threads");
   if (threads_flag < 0) {
     std::fprintf(stderr, "--threads must be >= 0\n");
@@ -126,19 +123,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--stop-fraction must be in (0, 1]\n");
     return 2;
   }
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
-    return 1;
-  }
   trace::Trace trace;
-  trace::ClfLoadOptions options;
-  options.server_name = flags.get_string("server-name");
-  const auto load = trace::load_clf(in, trace, options);
-  trace.sort_by_time();
-  std::fprintf(info, "parsed %zu requests (%zu malformed, %zu filtered)\n",
-               load.parsed, load.skipped_malformed, load.skipped_filtered);
-  if (trace.empty()) return 1;
+  if (const int rc = tools::load_trace_from_flags(flags, info, trace);
+      rc != 0) {
+    return rc;
+  }
 
   sim::EvalConfig config;
   config.prediction_window = flags.get_int("window");

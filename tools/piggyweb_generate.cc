@@ -21,21 +21,6 @@
 
 using namespace piggyweb;
 
-namespace {
-
-std::optional<trace::LogProfile> profile_by_name(const std::string& name,
-                                                 double scale) {
-  if (name == "aiusa") return trace::aiusa_profile(scale);
-  if (name == "marimba") return trace::marimba_profile(scale);
-  if (name == "apache") return trace::apache_profile(scale);
-  if (name == "sun") return trace::sun_profile(scale);
-  if (name == "att_client") return trace::att_client_profile(scale);
-  if (name == "digital_client") return trace::digital_client_profile(scale);
-  return std::nullopt;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   tools::FlagSet flags(
       "generate a synthetic web log (Common Log Format) from one of the "
@@ -57,8 +42,8 @@ int main(int argc, char** argv) {
   const auto run_scope =
       tools::make_run_scope(flags, "piggyweb_generate", argc, argv);
 
-  auto profile =
-      profile_by_name(flags.get_string("profile"), flags.get_double("scale"));
+  auto profile = trace::profile_by_name(flags.get_string("profile"),
+                                        flags.get_double("scale"));
   if (!profile) {
     std::fprintf(stderr, "unknown profile '%s'\n",
                  flags.get_string("profile").c_str());

@@ -1,0 +1,35 @@
+// Shared trace-input plumbing for the CLI tools. Every tool that replays a
+// trace registers the same flags and loads through the same TraceSource
+// entry point, so CLF logs, "PIGGYTRC" binary containers, and
+// "synthetic:<profile>[:scale]" specs work uniformly everywhere:
+//
+//   --log=<path|spec>      the trace to load
+//   --trace-format=auto    auto|clf|binary|synthetic (auto sniffs)
+//   --server-name=server   origin name recorded for CLF server logs
+//   --keep-uncachable      keep cgi/query URLs instead of the §A cleanup
+#pragma once
+
+#include <cstdio>
+
+#include "cli_common.h"
+#include "trace/source.h"
+
+namespace piggyweb::tools {
+
+// Register --log / --trace-format / --server-name / --keep-uncachable.
+// `primary` renames the trace flag itself (piggyweb_convert calls it --in).
+void add_trace_flags(FlagSet& flags, const char* primary = "log");
+
+// The TraceSourceOptions those flags describe; false (with a message on
+// stderr) if --trace-format names an unknown format.
+bool trace_options_from_flags(const FlagSet& flags,
+                              trace::TraceSourceOptions& out);
+
+// Load the --log trace: open the source, load, sort, and print the
+// "parsed N requests" progress line to `info`. Returns 0 on success or
+// the process exit code to propagate (2 for flag errors, 1 for load
+// failures and empty traces), after printing the error to stderr.
+int load_trace_from_flags(const FlagSet& flags, std::FILE* info,
+                          trace::Trace& out, const char* primary = "log");
+
+}  // namespace piggyweb::tools
