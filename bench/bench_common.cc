@@ -79,7 +79,13 @@ Observability::Observability(std::string run_name, int argc, char** argv) {
   options.run_name = std::move(run_name);
   options.metrics_path = string_arg(argc, argv, "--metrics-out=");
   options.trace_path = string_arg(argc, argv, "--trace-out=");
-  if (options.metrics_path.empty() && options.trace_path.empty()) return;
+  options.prom_path = string_arg(argc, argv, "--prom-out=");
+  options.flight_recorder_path =
+      string_arg(argc, argv, "--flight-recorder=");
+  if (options.metrics_path.empty() && options.trace_path.empty() &&
+      options.prom_path.empty() && options.flight_recorder_path.empty()) {
+    return;
+  }
   options.argv.reserve(static_cast<std::size_t>(argc > 1 ? argc - 1 : 0));
   for (int i = 1; i < argc; ++i) options.argv.emplace_back(argv[i]);
   scope_ = std::make_unique<obs::RunScope>(std::move(options));

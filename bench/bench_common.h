@@ -44,9 +44,10 @@ std::size_t threads_arg(int argc, char** argv, std::size_t fallback = 1);
 // Parse "--json=<path>" from argv; empty when absent (no JSON report).
 std::string json_arg(int argc, char** argv);
 
-// Per-run observability: parses --metrics-out=FILE / --trace-out=FILE and,
-// when either is present, installs the process-global registry/tracer for
-// the binary's lifetime and writes the manifest/trace on destruction.
+// Per-run observability: parses --metrics-out=FILE / --trace-out=FILE /
+// --prom-out=FILE / --flight-recorder=FILE and, when any is present,
+// installs the process-global registry/tracer/flight-recorder for the
+// binary's lifetime and writes the artifacts on destruction.
 // Declared first in main() so it outlives everything instrumented:
 //
 //   bench::Observability obs("fig3_directory_accuracy", argc, argv);

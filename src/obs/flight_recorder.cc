@@ -1,0 +1,255 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/tracer.h"
+#include "util/expect.h"
+
+namespace piggyweb::obs {
+
+namespace {
+std::atomic<std::uint64_t> g_next_recorder_id{1};
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity_per_thread)
+    : id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity_per_thread) {
+  PW_EXPECT(capacity_ >= 1);
+}
+
+std::uint64_t FlightRecorder::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+          .count());
+}
+
+FlightRecorder::Ring& FlightRecorder::local_ring() {
+  // Same registration scheme as Tracer::local_buffer: a thread_local
+  // cache keyed by the recorder's process-unique id, so a new recorder
+  // at a reused address never hits a stale cache.
+  thread_local std::uint64_t cached_id = 0;
+  thread_local Ring* cached_ring = nullptr;
+  if (cached_id != id_) {
+    auto ring = std::make_unique<Ring>();
+    ring->slots.resize(capacity_, Entry{nullptr, 0, 0});
+    cached_ring = ring.get();
+    cached_id = id_;
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(std::move(ring));
+  }
+  return *cached_ring;
+}
+
+void FlightRecorder::record(const char* name, std::uint64_t start_us,
+                            std::uint64_t dur_us) {
+  auto& ring = local_ring();
+  std::lock_guard<std::mutex> lock(ring.mutex);
+  ring.slots[ring.next] = Entry{name, start_us, dur_us};
+  ring.next = (ring.next + 1) % capacity_;
+  ++ring.total;
+}
+
+std::size_t FlightRecorder::thread_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rings_.size();
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    total += ring->total;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& ring : rings_) {
+    std::lock_guard<std::mutex> ring_lock(ring->mutex);
+    if (ring->total > capacity_) total += ring->total - capacity_;
+  }
+  return total;
+}
+
+std::uint64_t FlightRecorder::retained() const {
+  return recorded() - dropped();
+}
+
+void FlightRecorder::ordered_entries(const Ring& ring,
+                                     std::vector<Entry>& out) {
+  const auto cap = ring.slots.size();
+  if (ring.total >= cap) {
+    // Full ring: the slot about to be overwritten is the oldest.
+    for (std::size_t i = 0; i < cap; ++i) {
+      out.push_back(ring.slots[(ring.next + i) % cap]);
+    }
+  } else {
+    for (std::size_t i = 0; i < ring.total; ++i) {
+      out.push_back(ring.slots[i]);
+    }
+  }
+}
+
+Json FlightRecorder::chrome_trace() const {
+  auto events = Json::array();
+  std::vector<Entry> entries;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+    const auto& ring = *rings_[tid];
+    entries.clear();
+    {
+      std::lock_guard<std::mutex> ring_lock(ring.mutex);
+      ordered_entries(ring, entries);
+    }
+    for (const auto& entry : entries) {
+      auto item = Json::object();
+      item.set("name", entry.name == nullptr ? "" : entry.name);
+      item.set("cat", "piggyweb");
+      item.set("ph", "X");
+      item.set("ts", entry.ts_us);
+      item.set("dur", entry.dur_us);
+      item.set("pid", 1);
+      item.set("tid", tid);
+      events.push_back(std::move(item));
+    }
+  }
+  auto out = Json::object();
+  out.set("traceEvents", std::move(events));
+  out.set("displayTimeUnit", "ms");
+  return out;
+}
+
+std::string FlightRecorder::chrome_trace_json() const {
+  return chrome_trace().dump(1);
+}
+
+bool FlightRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "obs: cannot write flight recording to %s\n",
+                 path.c_str());
+    return false;
+  }
+  out << chrome_trace_json();
+  return out.good();
+}
+
+bool FlightRecorder::dump_for_crash(const char* path) const {
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  const auto emit = [fd](const char* data, std::size_t size) {
+    std::size_t done = 0;
+    while (done < size) {
+      const auto n = ::write(fd, data + done, size - done);
+      if (n <= 0) return;
+      done += static_cast<std::size_t>(n);
+    }
+  };
+  const auto emit_str = [&emit](const char* s) {
+    std::size_t n = 0;
+    while (s[n] != '\0') ++n;
+    emit(s, n);
+  };
+  emit_str("{\"traceEvents\":[");
+  bool first = true;
+  char buf[320];
+  // try_lock everywhere: a thread that died holding a ring lock must
+  // not deadlock the crash handler; its ring is simply omitted.
+  std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+  if (lock.owns_lock()) {
+    for (std::size_t tid = 0; tid < rings_.size(); ++tid) {
+      const auto& ring = *rings_[tid];
+      std::unique_lock<std::mutex> ring_lock(ring.mutex, std::try_to_lock);
+      if (!ring_lock.owns_lock()) continue;
+      const auto cap = ring.slots.size();
+      const auto count = ring.total >= cap ? cap : ring.total;
+      const auto oldest = ring.total >= cap ? ring.next : 0;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto& entry = ring.slots[(oldest + i) % cap];
+        // OBS_SPAN names are plain-identifier string literals, so no
+        // JSON escaping is needed (enforced by convention, not here —
+        // this path cannot allocate).
+        const int n = std::snprintf(
+            buf, sizeof buf,
+            "%s{\"name\":\"%s\",\"cat\":\"piggyweb\",\"ph\":\"X\","
+            "\"ts\":%llu,\"dur\":%llu,\"pid\":1,\"tid\":%zu}",
+            first ? "" : ",", entry.name == nullptr ? "" : entry.name,
+            static_cast<unsigned long long>(entry.ts_us),
+            static_cast<unsigned long long>(entry.dur_us), tid);
+        if (n > 0) {
+          emit(buf, static_cast<std::size_t>(n) < sizeof buf
+                        ? static_cast<std::size_t>(n)
+                        : sizeof buf - 1);
+        }
+        first = false;
+      }
+    }
+  }
+  emit_str("],\"displayTimeUnit\":\"ms\"}\n");
+  ::close(fd);
+  return true;
+}
+
+namespace {
+
+std::atomic<FlightRecorder*> g_flight_recorder{nullptr};
+
+// Crash-dump destination for the signal handler; fixed storage so the
+// handler never touches std::string.
+char g_crash_path[512] = {0};
+std::atomic<bool> g_handlers_armed{false};
+
+void crash_dump_handler(int sig) {
+  FlightRecorder* recorder = global_flight_recorder();
+  if (recorder != nullptr && g_crash_path[0] != '\0') {
+    recorder->dump_for_crash(g_crash_path);
+  }
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder* global_flight_recorder() {
+  return g_flight_recorder.load(std::memory_order_acquire);
+}
+
+void set_global_flight_recorder(FlightRecorder* recorder) {
+  g_flight_recorder.store(recorder, std::memory_order_release);
+}
+
+void install_crash_handler(const std::string& path) {
+  std::size_t n = path.size();
+  if (n >= sizeof g_crash_path) n = sizeof g_crash_path - 1;
+  for (std::size_t i = 0; i < n; ++i) g_crash_path[i] = path[i];
+  g_crash_path[n] = '\0';
+  if (path.empty() || g_handlers_armed.exchange(true)) return;
+  // SIGABRT covers PW_EXPECT/PW_ENSURE failures (contract_failure calls
+  // std::abort); the rest are the classic fatal faults.
+  for (const int sig : {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT}) {
+    std::signal(sig, crash_dump_handler);
+  }
+}
+
+std::uint64_t flight_now_us(const FlightRecorder& recorder) {
+  return recorder.now_us();
+}
+
+void flight_record(FlightRecorder& recorder, const char* name,
+                   std::uint64_t start_us, std::uint64_t dur_us) {
+  recorder.record(name, start_us, dur_us);
+}
+
+}  // namespace piggyweb::obs

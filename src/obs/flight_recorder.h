@@ -1,0 +1,106 @@
+// obs::FlightRecorder — a bounded per-thread ring of the most recent
+// OBS_SPAN completions, kept so a crashing or wedged run can explain
+// its last milliseconds.
+//
+// Unlike obs::Tracer (which keeps every span for a full post-run export
+// and is bounded only by its drop cap), the flight recorder is a fixed
+// budget: each thread owns a ring of `capacity_per_thread` slots, new
+// spans overwrite the oldest, and the overwrite count is exported as
+// the drop counter. Entries store the span name as a `const char*` —
+// OBS_SPAN names are string literals, so recording allocates nothing
+// and the crash path can read them safely.
+//
+// Dump paths, in decreasing orderliness:
+//   * RunScope::finish() writes chrome_trace_json() to
+//     --flight-recorder=FILE on every normal exit;
+//   * install_crash_handler(path) arms fatal-signal handlers (SIGSEGV,
+//     SIGBUS, SIGFPE, SIGILL, and SIGABRT — which PW_EXPECT failures
+//     reach via std::abort) that best-effort dump the global recorder
+//     with dump_for_crash() and then re-raise with default disposition.
+//
+// dump_for_crash() stays on async-signal-safe ground where it matters:
+// open/write/close only, fixed stack buffers, no allocation. Ring
+// mutexes are try_lock'd; a ring whose owner died mid-append is
+// skipped rather than deadlocking the handler.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace piggyweb::obs {
+
+class Json;
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity_per_thread = 4096);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Microseconds since construction (steady clock).
+  std::uint64_t now_us() const;
+
+  // Record a completed span on the calling thread's ring. `name` must
+  // outlive the recorder (string literals do).
+  void record(const char* name, std::uint64_t start_us,
+              std::uint64_t dur_us);
+
+  std::size_t capacity_per_thread() const { return capacity_; }
+  std::size_t thread_count() const;
+  // Lifetime record() calls across all rings.
+  std::uint64_t recorded() const;
+  // Entries overwritten because their ring was full.
+  std::uint64_t dropped() const;
+  // Entries currently held (= recorded - dropped).
+  std::uint64_t retained() const;
+
+  // Chrome trace-event export of the retained entries, oldest-first per
+  // ring. Call from quiesced code (normal exits).
+  Json chrome_trace() const;
+  std::string chrome_trace_json() const;
+  bool write_chrome_trace(const std::string& path) const;
+
+  // Crash-path dump: writes the same Chrome-trace shape to `path` using
+  // only async-signal-safe I/O. Rings that cannot be try_lock'd are
+  // skipped. Returns false when the file cannot be opened.
+  bool dump_for_crash(const char* path) const;
+
+ private:
+  struct Entry {
+    const char* name;
+    std::uint64_t ts_us;
+    std::uint64_t dur_us;
+  };
+  struct Ring {
+    mutable std::mutex mutex;
+    std::vector<Entry> slots;   // size == capacity_, fixed at creation
+    std::size_t next = 0;       // slot the next record overwrites
+    std::uint64_t total = 0;    // lifetime records into this ring
+  };
+
+  Ring& local_ring();
+  // Append `ring`'s retained entries oldest-first to `out`.
+  static void ordered_entries(const Ring& ring, std::vector<Entry>& out);
+
+  const std::uint64_t id_;  // process-unique, same scheme as Tracer
+  const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+// Process-global flight recorder; null (the default) disables recording.
+// obs::RunScope installs/uninstalls it around a run.
+FlightRecorder* global_flight_recorder();
+void set_global_flight_recorder(FlightRecorder* recorder);
+
+// Arm fatal-signal handlers that dump the global flight recorder to
+// `path` and re-raise. Idempotent; the latest path wins. An empty path
+// disarms the dump (handlers stay installed but do nothing).
+void install_crash_handler(const std::string& path);
+
+}  // namespace piggyweb::obs

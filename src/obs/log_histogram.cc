@@ -1,0 +1,149 @@
+#include "obs/log_histogram.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/expect.h"
+
+namespace piggyweb::obs {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LogHistogram::LogHistogram(double lo, double hi,
+                           std::size_t buckets_per_decade)
+    : lo_(lo), hi_(hi), buckets_per_decade_(buckets_per_decade) {
+  PW_EXPECT(lo > 0.0 && hi > lo && buckets_per_decade >= 1);
+  inv_log_step_ =
+      static_cast<double>(buckets_per_decade) / std::log(10.0);
+  const double decades = std::log10(hi / lo);
+  const auto interior = static_cast<std::size_t>(
+      std::ceil(decades * static_cast<double>(buckets_per_decade) -
+                1e-9));
+  PW_EXPECT(interior >= 1);
+  edges_.reserve(interior + 1);
+  for (std::size_t i = 0; i < interior; ++i) {
+    edges_.push_back(
+        lo * std::pow(10.0, static_cast<double>(i) /
+                                static_cast<double>(buckets_per_decade)));
+  }
+  // The last interior bucket is truncated at hi: values >= hi overflow.
+  edges_.push_back(hi);
+  counts_ = std::vector<std::atomic<std::uint64_t>>(interior + 2);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::size_t LogHistogram::bucket_index(double x) const {
+  if (!(x >= lo_)) return 0;  // underflow; NaN lands here too
+  if (x >= hi_) return bucket_count() + 1;
+  const double t = std::log(x / lo_) * inv_log_step_;
+  std::size_t i = t <= 0.0 ? 0 : static_cast<std::size_t>(t);
+  if (i >= bucket_count()) i = bucket_count() - 1;
+  // Guard against the float log landing one edge off.
+  if (x < edges_[i] && i > 0) {
+    --i;
+  } else if (x >= edges_[i + 1] && i + 1 < bucket_count()) {
+    ++i;
+  }
+  return i + 1;  // counts_ slot 0 is the underflow bucket
+}
+
+void LogHistogram::record(double x) {
+  counts_[bucket_index(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, x);
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+void LogHistogram::merge_from(const LogHistogram& other) {
+  PW_EXPECT(lo_ == other.lo_ && hi_ == other.hi_ &&
+            buckets_per_decade_ == other.buckets_per_decade_);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i].fetch_add(other.counts_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+  atomic_add(sum_, other.sum_.load(std::memory_order_relaxed));
+  if (other.count() > 0) {
+    atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+    atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+  }
+}
+
+double LogHistogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::max() const {
+  return count() == 0 ? 0.0 : max_.load(std::memory_order_relaxed);
+}
+
+double LogHistogram::mean() const {
+  const auto n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double LogHistogram::percentile(double q) const {
+  const auto total = count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the requested sample.
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t slot = 0; slot < counts_.size(); ++slot) {
+    cumulative += counts_[slot].load(std::memory_order_relaxed);
+    if (cumulative < rank) continue;
+    if (slot == 0) {
+      // Underflow: every sample here is < lo.
+      const double upper = lo_;
+      return upper < max() ? upper : max();
+    }
+    if (slot == counts_.size() - 1) return max();  // overflow
+    const double upper = edges_[slot];  // interior bucket slot-1
+    return upper < max() ? upper : max();
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> LogHistogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace piggyweb::obs

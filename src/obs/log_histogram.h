@@ -1,0 +1,91 @@
+// obs::LogHistogram — HDR-style log-bucketed histogram for latency-shaped
+// distributions (queue waits, task run times, per-stripe contention),
+// where interesting values span four or more orders of magnitude and the
+// tail matters more than the mean.
+//
+// Layout: `buckets_per_decade` geometrically spaced buckets per factor of
+// ten between `lo` and `hi`, plus an underflow bucket (x < lo, including
+// zero and negatives) and an overflow bucket (x >= hi). Bucket edges are
+// fixed at construction, so two histograms with the same (lo, hi,
+// buckets_per_decade) merge bucket-wise by addition — the same
+// associative, grouping-independent composition the Registry relies on
+// for per-shard accumulation.
+//
+// Recording is lock-free: one relaxed fetch_add on the bucket counter
+// plus relaxed CAS loops for sum/min/max. There is no per-histogram
+// mutex, so worker threads recording into a shared histogram never
+// serialize against each other or against snapshot readers. Reads
+// (percentile(), snapshot helpers) are racy-by-design while writers are
+// active; call them after the measured phase quiesced, which is when
+// RunScope takes its snapshot.
+//
+// percentile(q) returns the upper edge of the bucket holding the q-th
+// ranked sample, clamped to the observed max — the standard HDR
+// convention: the reported quantile is an upper bound with relative
+// error bounded by one bucket width (~ 10^(1/buckets_per_decade) - 1).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace piggyweb::obs {
+
+class LogHistogram {
+ public:
+  // Requires 0 < lo < hi and buckets_per_decade >= 1. The default
+  // (1 microsecond .. 100 seconds at 8 buckets/decade = 64 buckets)
+  // suits seconds-valued timing metrics.
+  explicit LogHistogram(double lo = 1e-6, double hi = 1e2,
+                        std::size_t buckets_per_decade = 8);
+
+  LogHistogram(const LogHistogram&) = delete;
+  LogHistogram& operator=(const LogHistogram&) = delete;
+
+  // Record one sample. Thread-safe and lock-free.
+  void record(double x);
+
+  // Bucket-wise merge; layouts must match exactly. Safe against
+  // concurrent record() on either side (totals remain exact).
+  void merge_from(const LogHistogram& other);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  // 0 when empty.
+  double min() const;
+  double max() const;
+  double mean() const;
+
+  // q in [0, 1]; q = 1 (and anything landing in the overflow bucket)
+  // reports the observed max. Returns 0 when empty.
+  double percentile(double q) const;
+
+  // Layout accessors (stable after construction).
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t buckets_per_decade() const { return buckets_per_decade_; }
+  // Interior bucket count, excluding underflow/overflow.
+  std::size_t bucket_count() const { return edges_.size() - 1; }
+  // Upper edge of interior bucket i, i.e. bucket i covers
+  // [edge(i), edge(i+1)) with edge(0) == lo.
+  double edge(std::size_t i) const { return edges_[i]; }
+  // Counts in order [underflow, b0, ..., bn-1, overflow].
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::size_t bucket_index(double x) const;
+
+  double lo_, hi_;
+  std::size_t buckets_per_decade_;
+  double inv_log_step_;         // buckets_per_decade / ln(10)
+  std::vector<double> edges_;   // size bucket_count() + 1; edges_[0] == lo
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bucket_count() + 2
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // valid only when count_ > 0
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace piggyweb::obs

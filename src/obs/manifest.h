@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
 #include "obs/registry.h"
 #include "obs/tracer.h"
@@ -71,8 +72,15 @@ class RunScope {
  public:
   struct Options {
     std::string run_name;
-    std::string metrics_path;  // empty = metrics disabled
+    std::string metrics_path;  // empty = manifest disabled
     std::string trace_path;    // empty = tracing disabled
+    // Prometheus text exposition of the metrics registry; empty = off.
+    // Enables the registry even when metrics_path is empty.
+    std::string prom_path;
+    // Flight-recorder ring dump (Chrome-trace JSON): written here on
+    // finish() and, via the fatal-signal handler, on a crash or
+    // PW_EXPECT failure mid-run. Empty = recorder disabled.
+    std::string flight_recorder_path;
     std::vector<std::string> argv;
   };
 
@@ -81,11 +89,17 @@ class RunScope {
   RunScope(const RunScope&) = delete;
   RunScope& operator=(const RunScope&) = delete;
 
-  bool metrics_enabled() const { return !options_.metrics_path.empty(); }
+  bool metrics_enabled() const {
+    return !options_.metrics_path.empty() || !options_.prom_path.empty();
+  }
   bool trace_enabled() const { return !options_.trace_path.empty(); }
+  bool flight_recorder_enabled() const {
+    return !options_.flight_recorder_path.empty();
+  }
 
   Registry& registry() { return registry_; }
   Tracer& tracer() { return tracer_; }
+  FlightRecorder& flight_recorder() { return flight_recorder_; }
 
   // Attach an extra top-level manifest entry (e.g. a result section).
   void note(std::string key, Json value);
@@ -99,6 +113,7 @@ class RunScope {
   Options options_;
   Registry registry_;
   Tracer tracer_;
+  FlightRecorder flight_recorder_;
   RunTimer timer_;
   Json extra_ = Json::object();
   bool finished_ = false;

@@ -12,21 +12,39 @@ ThreadPoolMetrics::ThreadPoolMetrics(Registry& registry,
                                      std::string_view prefix)
     : tasks_(registry.counter(with_suffix(prefix, ".tasks"),
                               /*deterministic=*/false)),
+      handoffs_(registry.counter(with_suffix(prefix, ".handoffs"),
+                                 /*deterministic=*/false)),
       queue_depth_max_(registry.gauge(with_suffix(prefix, ".queue_depth_max"),
                                       /*deterministic=*/false)),
-      // Task granularity here is a whole shard/range, so most tasks take
-      // milliseconds to seconds; the overflow bucket catches stragglers.
-      task_seconds_(registry.histogram(with_suffix(prefix, ".task_seconds"),
-                                       0.0, 1.0, 50,
-                                       /*deterministic=*/false)) {}
+      queue_depth_(registry.gauge(with_suffix(prefix, ".queue_depth"),
+                                  /*deterministic=*/false)),
+      // Log-bucketed: task grain ranges from microsecond no-ops in tests
+      // to multi-second shard scans, and the default 1 µs .. 100 s layout
+      // covers both with ~33% relative bucket error.
+      task_seconds_(
+          registry.log_histogram(with_suffix(prefix, ".task_seconds"))),
+      queue_seconds_(
+          registry.log_histogram(with_suffix(prefix, ".queue_seconds"))),
+      idle_seconds_(
+          registry.log_histogram(with_suffix(prefix, ".idle_seconds"))) {}
 
 void ThreadPoolMetrics::on_post(std::size_t queue_depth) {
+  queue_depth_.set(static_cast<double>(queue_depth));
   queue_depth_max_.set_max(static_cast<double>(queue_depth));
 }
 
 void ThreadPoolMetrics::on_task_complete(double run_seconds) {
   tasks_.add(1);
-  task_seconds_.add(run_seconds);
+  task_seconds_.record(run_seconds);
+}
+
+void ThreadPoolMetrics::on_dequeue(double queue_seconds, bool handoff) {
+  queue_seconds_.record(queue_seconds);
+  if (handoff) handoffs_.add(1);
+}
+
+void ThreadPoolMetrics::on_worker_idle(double idle_seconds) {
+  idle_seconds_.record(idle_seconds);
 }
 
 std::unique_ptr<ThreadPoolMetrics> make_pool_metrics(

@@ -1,14 +1,21 @@
-// Bridges util::ThreadPool's observer hook into a Registry: a queue-depth
-// high-watermark gauge, a completed-task counter, and a task wall-time
-// histogram. All three are timing-dependent and therefore registered
-// non-deterministic — they vary with thread count and scheduling and are
-// excluded from cross-run snapshot diffs.
+// Bridges util::ThreadPool's observer hook into a Registry — the
+// wait-state profile of a pool: where time goes between posting a task
+// and finishing it.
 //
 //   obs::ThreadPoolMetrics metrics(registry, "parallel_eval.pool");
 //   util::ThreadPool pool(threads, &metrics);
 //
-// Metric names under `prefix`: <prefix>.tasks, <prefix>.queue_depth_max,
-// <prefix>.task_seconds.
+// Metric names under `prefix`:
+//   <prefix>.tasks            counter   completed tasks
+//   <prefix>.handoffs         counter   dequeues that woke a sleeping worker
+//   <prefix>.queue_depth_max  gauge     backlog high-watermark
+//   <prefix>.queue_depth      gauge     backlog at the last post
+//   <prefix>.task_seconds     log hist  task run time (p50/p99/... exported)
+//   <prefix>.queue_seconds    log hist  enqueue→dequeue wait
+//   <prefix>.idle_seconds     log hist  per-worker empty-queue waits
+//
+// Everything here is timing- and scheduling-dependent and therefore
+// registered non-deterministic — excluded from cross-run snapshot diffs.
 #pragma once
 
 #include <memory>
@@ -26,11 +33,17 @@ class ThreadPoolMetrics : public util::ThreadPoolObserver {
 
   void on_post(std::size_t queue_depth) override;
   void on_task_complete(double run_seconds) override;
+  void on_dequeue(double queue_seconds, bool handoff) override;
+  void on_worker_idle(double idle_seconds) override;
 
  private:
   Counter& tasks_;
+  Counter& handoffs_;
   Gauge& queue_depth_max_;
-  HistogramMetric& task_seconds_;
+  Gauge& queue_depth_;
+  LogHistogram& task_seconds_;
+  LogHistogram& queue_seconds_;
+  LogHistogram& idle_seconds_;
 };
 
 // Convenience for pool creators: a null registry yields a null observer.

@@ -58,7 +58,7 @@ Counter& Registry::counter(std::string_view name, bool deterministic) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kCounter, deterministic, std::make_unique<Counter>(),
-                nullptr, nullptr};
+                nullptr, nullptr, nullptr};
     it = entries_.emplace(std::string(name), std::move(entry)).first;
   }
   PW_EXPECT(it->second.kind == Kind::kCounter);
@@ -70,7 +70,7 @@ Gauge& Registry::gauge(std::string_view name, bool deterministic) {
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kGauge, deterministic, nullptr,
-                std::make_unique<Gauge>(), nullptr};
+                std::make_unique<Gauge>(), nullptr, nullptr};
     it = entries_.emplace(std::string(name), std::move(entry)).first;
   }
   PW_EXPECT(it->second.kind == Kind::kGauge);
@@ -84,11 +84,27 @@ HistogramMetric& Registry::histogram(std::string_view name, double lo,
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     Entry entry{Kind::kHistogram, deterministic, nullptr, nullptr,
-                std::make_unique<HistogramMetric>(lo, hi, buckets)};
+                std::make_unique<HistogramMetric>(lo, hi, buckets), nullptr};
     it = entries_.emplace(std::string(name), std::move(entry)).first;
   }
   PW_EXPECT(it->second.kind == Kind::kHistogram);
   return *it->second.histogram;
+}
+
+LogHistogram& Registry::log_histogram(std::string_view name, double lo,
+                                      double hi,
+                                      std::size_t buckets_per_decade,
+                                      bool deterministic) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry{Kind::kLogHistogram, deterministic, nullptr, nullptr,
+                nullptr,
+                std::make_unique<LogHistogram>(lo, hi, buckets_per_decade)};
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  PW_EXPECT(it->second.kind == Kind::kLogHistogram);
+  return *it->second.log_histogram;
 }
 
 void Registry::merge_from(const Registry& other) {
@@ -114,6 +130,13 @@ void Registry::merge_from(const Registry& other) {
         histogram(name, entry->histogram->lo(), entry->histogram->hi(),
                   entry->histogram->buckets(), entry->deterministic)
             .merge_from(*entry->histogram);
+        break;
+      case Kind::kLogHistogram:
+        log_histogram(name, entry->log_histogram->lo(),
+                      entry->log_histogram->hi(),
+                      entry->log_histogram->buckets_per_decade(),
+                      entry->deterministic)
+            .merge_from(*entry->log_histogram);
         break;
     }
   }
@@ -159,6 +182,28 @@ Json Registry::snapshot() const {
         item.set("lo", entry.histogram->lo());
         item.set("hi", entry.histogram->hi());
         item.set("buckets", entry.histogram->snapshot_buckets());
+        item.set("deterministic", entry.deterministic);
+        histograms.push_back(std::move(item));
+        break;
+      }
+      case Kind::kLogHistogram: {
+        const auto& h = *entry.log_histogram;
+        item.set("scale", "log");
+        item.set("count", h.count());
+        item.set("sum", h.sum());
+        item.set("mean", h.mean());
+        item.set("min", h.min());
+        item.set("max", h.max());
+        item.set("p50", h.percentile(0.50));
+        item.set("p90", h.percentile(0.90));
+        item.set("p99", h.percentile(0.99));
+        item.set("p999", h.percentile(0.999));
+        item.set("lo", h.lo());
+        item.set("hi", h.hi());
+        item.set("buckets_per_decade", h.buckets_per_decade());
+        auto buckets_json = Json::array();
+        for (const auto c : h.bucket_counts()) buckets_json.push_back(c);
+        item.set("buckets", std::move(buckets_json));
         item.set("deterministic", entry.deterministic);
         histograms.push_back(std::move(item));
         break;
@@ -239,6 +284,45 @@ std::string Registry::to_prometheus() const {
         append_prometheus_number(out, stats.sum());
         out += "\n";
         out += metric + "_count " + std::to_string(stats.count()) + "\n";
+        break;
+      }
+      case Kind::kLogHistogram: {
+        const auto& h = *entry.log_histogram;
+        const auto counts = h.bucket_counts();
+        out += "# TYPE " + metric + " histogram\n";
+        // le edges: lo covers the underflow bucket, then each interior
+        // bucket's upper edge; overflow folds into +Inf.
+        std::uint64_t cumulative = counts[0];
+        out += metric + "_bucket{le=\"";
+        append_prometheus_number(out, h.lo());
+        out += "\"} " + std::to_string(cumulative) + "\n";
+        for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+          cumulative += counts[i + 1];
+          out += metric + "_bucket{le=\"";
+          append_prometheus_number(out, h.edge(i + 1));
+          out += "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"} " +
+               std::to_string(h.count()) + "\n";
+        out += metric + "_sum ";
+        append_prometheus_number(out, h.sum());
+        out += "\n";
+        out += metric + "_count " + std::to_string(h.count()) + "\n";
+        // Precomputed quantiles as companion gauges, so a scrape needs
+        // no server-side histogram_quantile() to see the tail.
+        const std::pair<const char*, double> quantiles[] = {
+            {"_p50", 0.50}, {"_p90", 0.90}, {"_p99", 0.99},
+            {"_p999", 0.999}};
+        for (const auto& [suffix, q] : quantiles) {
+          out += "# TYPE " + metric + suffix + " gauge\n";
+          out += metric + suffix + " ";
+          append_prometheus_number(out, h.percentile(q));
+          out += "\n";
+        }
+        out += "# TYPE " + metric + "_max gauge\n";
+        out += metric + "_max ";
+        append_prometheus_number(out, h.max());
+        out += "\n";
         break;
       }
     }

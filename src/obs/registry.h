@@ -32,6 +32,7 @@
 #include <string>
 #include <string_view>
 
+#include "obs/log_histogram.h"
 #include "util/stats.h"
 
 namespace piggyweb::obs {
@@ -103,6 +104,14 @@ class Registry {
   HistogramMetric& histogram(std::string_view name, double lo, double hi,
                              std::size_t buckets,
                              bool deterministic = false);
+  // Log-bucketed latency histogram (obs::LogHistogram): lock-free
+  // recording, p50/p90/p99/p99.9/max in snapshots and Prometheus
+  // export. The default layout spans 1 µs .. 100 s. Timing metrics are
+  // non-deterministic by nature, hence the default.
+  LogHistogram& log_histogram(std::string_view name, double lo = 1e-6,
+                              double hi = 1e2,
+                              std::size_t buckets_per_decade = 8,
+                              bool deterministic = false);
 
   // Merge another registry's metrics into this one: counters add, gauges
   // max, histograms (same bucket layout required) add bucket-wise.
@@ -123,13 +132,14 @@ class Registry {
   std::string to_prometheus() const;
 
  private:
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kLogHistogram };
   struct Entry {
     Kind kind;
     bool deterministic;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<HistogramMetric> histogram;
+    std::unique_ptr<LogHistogram> log_histogram;
   };
 
   mutable std::mutex mutex_;

@@ -12,9 +12,10 @@ namespace {
 std::atomic<std::uint64_t> g_next_tracer_id{1};
 }  // namespace
 
-Tracer::Tracer()
+Tracer::Tracer(std::size_t max_events_per_thread)
     : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
-      epoch_(std::chrono::steady_clock::now()) {}
+      epoch_(std::chrono::steady_clock::now()),
+      max_events_(max_events_per_thread) {}
 
 std::uint64_t Tracer::now_us() const {
   const auto elapsed = std::chrono::steady_clock::now() - epoch_;
@@ -42,6 +43,10 @@ void Tracer::complete(std::string name, std::uint64_t start_us,
                       std::uint64_t dur_us) {
   auto& buffer = local_buffer();
   std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buffer.events.push_back({std::move(name), start_us, dur_us, 'X'});
 }
 
@@ -49,6 +54,10 @@ void Tracer::instant(std::string name) {
   auto& buffer = local_buffer();
   const auto ts = now_us();
   std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   buffer.events.push_back({std::move(name), ts, 0, 'i'});
 }
 

@@ -22,6 +22,7 @@
 // them (unlike registry snapshots).
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
@@ -35,7 +36,16 @@ class Json;
 
 class Tracer {
  public:
-  Tracer();
+  // Per-thread buffers stop growing at `max_events_per_thread`; events
+  // beyond the cap are dropped (newest-lost — the flight recorder is
+  // the keep-newest structure) and counted, so a long replay can leave
+  // tracing on without unbounded memory. The default caps a buffer at
+  // ~48 MB of events.
+  static constexpr std::size_t kDefaultMaxEventsPerThread =
+      std::size_t{1} << 20;
+
+  explicit Tracer(
+      std::size_t max_events_per_thread = kDefaultMaxEventsPerThread);
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -52,6 +62,11 @@ class Tracer {
 
   std::size_t event_count() const;
   std::size_t thread_count() const;
+  std::size_t max_events_per_thread() const { return max_events_; }
+  // Events discarded because their thread's buffer hit the cap.
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   // {"traceEvents": [...], "displayTimeUnit": "ms"} — call after the
   // traced threads have quiesced (joined pools).
@@ -78,31 +93,60 @@ class Tracer {
 
   const std::uint64_t id_;  // process-unique, never reused
   const std::chrono::steady_clock::time_point epoch_;
+  const std::size_t max_events_;
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
+// The flight recorder (obs/flight_recorder.h) also taps OBS_SPAN; the
+// Span below reaches it through these forwarders so this header stays
+// free of the flight-recorder definition.
+class FlightRecorder;
+FlightRecorder* global_flight_recorder();
+void set_global_flight_recorder(FlightRecorder* recorder);
+std::uint64_t flight_now_us(const FlightRecorder& recorder);
+void flight_record(FlightRecorder& recorder, const char* name,
+                   std::uint64_t start_us, std::uint64_t dur_us);
+
 // RAII span: records [construction, destruction) on `tracer`'s calling
-// thread; a null tracer makes it a no-op.
+// thread, and on the global flight recorder's ring when one is
+// installed; with neither active it is a no-op. When both are active
+// timestamps use the tracer's epoch (the two are constructed together
+// by RunScope, so the bases agree to within microseconds).
 class Span {
  public:
-  Span(Tracer* tracer, const char* name) : tracer_(tracer), name_(name) {
-    if (tracer_ != nullptr) start_us_ = tracer_->now_us();
+  Span(Tracer* tracer, const char* name)
+      : tracer_(tracer), recorder_(global_flight_recorder()), name_(name) {
+    if (tracer_ != nullptr) {
+      start_us_ = tracer_->now_us();
+    } else if (recorder_ != nullptr) {
+      start_us_ = flight_now_us(*recorder_);
+    }
   }
   ~Span() { end(); }
   // Close the span before scope exit; later end()s and the destructor
   // become no-ops.
   void end() {
     if (tracer_ != nullptr) {
-      tracer_->complete(name_, start_us_, tracer_->now_us() - start_us_);
-      tracer_ = nullptr;
+      const auto dur_us = tracer_->now_us() - start_us_;
+      tracer_->complete(name_, start_us_, dur_us);
+      if (recorder_ != nullptr) {
+        flight_record(*recorder_, name_, start_us_, dur_us);
+      }
+    } else if (recorder_ != nullptr) {
+      flight_record(*recorder_, name_, start_us_,
+                    flight_now_us(*recorder_) - start_us_);
     }
+    tracer_ = nullptr;
+    recorder_ = nullptr;
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
  private:
   Tracer* tracer_;
+  FlightRecorder* recorder_;
   const char* name_;
   std::uint64_t start_us_ = 0;
 };

@@ -203,6 +203,11 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
         acc.observe(req, slot.volume, slot.resources);
       }
     });
+
+    if (config_.on_progress) {
+      config_.on_progress(
+          {end - range_begin, range_end - range_begin, pool.queue_depth()});
+    }
   }
 
   if (hooks != nullptr && hooks->capture) {

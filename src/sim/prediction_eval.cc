@@ -216,6 +216,9 @@ EvalResult PredictionEvaluator::run_range(const trace::Trace& trace,
       }
       acc.observe(requests[i], message.volume, resources);
     }
+    if (config_.on_progress) {
+      config_.on_progress({stop - begin, end - begin, 0});
+    }
   }
   if (publish) detail::publish_eval_result(acc.result());
   return acc.result();

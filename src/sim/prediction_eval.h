@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 
 #include "core/filter.h"
 #include "core/piggyback.h"
@@ -29,6 +30,12 @@ namespace piggyweb::sim {
 namespace detail {
 class MetricAccumulator;
 }
+
+struct EvalProgress {
+  std::size_t done = 0;         // requests completed within the range
+  std::size_t total = 0;        // requests in the evaluated range
+  std::size_t queue_depth = 0;  // pending pool tasks (parallel path only)
+};
 
 struct EvalConfig {
   util::Seconds prediction_window = 300;       // T
@@ -44,6 +51,14 @@ struct EvalConfig {
   // Frequency control: minimum time between piggybacks from the same
   // server to the same source (0 = off).
   util::Seconds min_piggyback_interval = 0;
+
+  // Progress heartbeat, fired on the evaluating (calling) thread after
+  // each internal batch (serial path) or chunk barrier (parallel path)
+  // with the requests completed so far within the evaluated range.
+  // queue_depth is the worker-pool backlog at that instant — always 0 on
+  // the serial path. Purely observational: results are bit-identical
+  // with or without a callback installed. Null = off.
+  std::function<void(const EvalProgress&)> on_progress;
 };
 
 struct EvalResult {

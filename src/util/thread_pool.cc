@@ -27,15 +27,24 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   PW_EXPECT(task != nullptr);
+  Task entry{std::move(task), {}};
+  if (observer_ != nullptr) {
+    entry.enqueued = std::chrono::steady_clock::now();
+  }
   std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     PW_EXPECT(!stopping_);
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(entry));
     depth = queue_.size();
   }
   wake_.notify_one();
   if (observer_ != nullptr) observer_->on_post(depth);
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 std::size_t ThreadPool::hardware_threads() {
@@ -45,22 +54,41 @@ std::size_t ThreadPool::hardware_threads() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Task task;
+    bool waited = false;
+    double idle_seconds = 0;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (observer_ != nullptr && queue_.empty() && !stopping_) {
+        // The worker is about to block: time the idle interval. The
+        // wakeup that ends it is a handoff — the task it dequeues was
+        // handed to a sleeping worker rather than drained by a busy one.
+        const auto idle_start = std::chrono::steady_clock::now();
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+        idle_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - idle_start)
+                           .count();
+        waited = true;
+      } else {
+        wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      }
       if (queue_.empty()) return;  // stopping_ and drained
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     if (observer_ != nullptr) {
+      const auto dequeued = std::chrono::steady_clock::now();
+      if (waited) observer_->on_worker_idle(idle_seconds);
+      observer_->on_dequeue(
+          std::chrono::duration<double>(dequeued - task.enqueued).count(),
+          waited);
       const auto start = std::chrono::steady_clock::now();
-      task();
+      task.fn();
       observer_->on_task_complete(std::chrono::duration<double>(
                                       std::chrono::steady_clock::now() - start)
                                       .count());
     } else {
-      task();
+      task.fn();
     }
   }
 }

@@ -13,6 +13,7 @@
 //     where nobody could catch them.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -27,6 +28,8 @@ namespace piggyweb::util {
 // the production implementation). Methods are called concurrently from
 // posting threads and workers, so implementations must be thread-safe.
 // The hook lives in util so the pool does not depend on the obs layer.
+// All timing is measured only while an observer is attached; the
+// unobserved pool never reads the clock.
 class ThreadPoolObserver {
  public:
   virtual ~ThreadPoolObserver() = default;
@@ -34,6 +37,15 @@ class ThreadPoolObserver {
   virtual void on_post(std::size_t queue_depth) = 0;
   // After a task ran for `run_seconds` of wall time.
   virtual void on_task_complete(double run_seconds) = 0;
+  // After a task was dequeued: `queue_seconds` is its enqueue→dequeue
+  // wait, `handoff` is true when the dequeuing worker had been blocked
+  // on the condition variable (a producer→consumer wakeup, as opposed
+  // to a busy worker draining the backlog). Default no-ops keep
+  // pre-existing observers source-compatible.
+  virtual void on_dequeue(double /*queue_seconds*/, bool /*handoff*/) {}
+  // After a worker woke from an idle (empty-queue) wait that lasted
+  // `idle_seconds`. Shutdown waits are not reported.
+  virtual void on_worker_idle(double /*idle_seconds*/) {}
 };
 
 class ThreadPool {
@@ -55,15 +67,27 @@ class ThreadPool {
   // Enqueues a task; it runs on some worker, at some point, once.
   void post(std::function<void()> task);
 
+  // Instantaneous backlog (tasks enqueued but not yet dequeued). A
+  // point-in-time read for progress reporting, stale by the time the
+  // caller looks at it.
+  std::size_t queue_depth() const;
+
   // Best-effort hardware concurrency, never 0.
   static std::size_t hardware_threads();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    // Set only when an observer is attached (post() reads the clock
+    // once per task in that case, never otherwise).
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void worker_loop();
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stopping_ = false;
   ThreadPoolObserver* const observer_;  // fixed at construction
   std::vector<std::thread> workers_;

@@ -26,11 +26,16 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "util/flat_map.h"
 #include "volume/pair_counter.h"
+
+namespace piggyweb::obs {
+class Registry;
+}
 
 namespace piggyweb::volume {
 
@@ -53,6 +58,23 @@ class ShardedPairCounterTable {
   std::size_t counter_count() const;
   std::size_t stripe_count() const { return stripes_; }
 
+  // Total/contended stripe-lock acquisitions since construction. A
+  // contended acquisition is one whose initial try_lock failed — the
+  // writer actually blocked on another thread. Cheap enough to keep on
+  // by default: the counters are plain fields mutated under the stripe
+  // lock the writer already holds.
+  std::uint64_t lock_acquisitions() const;
+  std::uint64_t lock_contended() const;
+
+  // Publish the table's wait-state profile into `registry` under
+  // `prefix`: lock_acquisitions/lock_contended counters, a per-stripe
+  // contended-count log-histogram (p50/p99 across stripes — a skewed
+  // distribution means a hot stripe, a uniform one means the stripe
+  // count is just too low), and occupancy gauges including the max/mean
+  // imbalance. All non-deterministic: contention depends on scheduling.
+  void publish_metrics(obs::Registry& registry,
+                       std::string_view prefix) const;
+
   // Snapshot of all pair counters as (key, count), unordered. Callers that
   // need a canonical order sort by key.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> pair_entries() const;
@@ -71,7 +93,16 @@ class ShardedPairCounterTable {
     mutable std::mutex mutex;
     util::FlatMap<std::uint64_t, std::uint64_t> pairs;
     util::FlatMap<util::InternId, std::uint64_t> occurrences;
+    // Guarded by `mutex`; bumped by writers that already hold it, so
+    // contention accounting adds no atomics to the hot path.
+    std::uint64_t lock_acquisitions = 0;
+    std::uint64_t lock_contended = 0;
   };
+
+  // Lock `stripe` for a write and account the acquisition, counting it
+  // as contended when the opportunistic try_lock lost the race. Read
+  // paths use a plain lock_guard so the counters profile writers only.
+  static std::unique_lock<std::mutex> lock_stripe(Stripe& stripe);
 
   Stripe& pair_stripe(std::uint64_t key) const;
   Stripe& occurrence_stripe(util::InternId r) const;

@@ -1,0 +1,148 @@
+// FlightRecorder: ring wraparound and drop accounting, oldest-first
+// Chrome-trace export, multi-thread ring registration, and the crash-path
+// dump (which must produce parseable trace JSON using only
+// async-signal-safe I/O).
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/tracer.h"
+
+namespace piggyweb::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(FlightRecorder, EmptyRecorder) {
+  FlightRecorder recorder(8);
+  EXPECT_EQ(recorder.capacity_per_thread(), 8u);
+  EXPECT_EQ(recorder.thread_count(), 0u);
+  EXPECT_EQ(recorder.recorded(), 0u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.retained(), 0u);
+  const auto trace = recorder.chrome_trace();
+  const auto* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->items().empty());
+}
+
+TEST(FlightRecorder, RetainsEverythingBelowCapacity) {
+  FlightRecorder recorder(16);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("span", static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+  EXPECT_EQ(recorder.retained(), 10u);
+  EXPECT_EQ(recorder.thread_count(), 1u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsNewestAndCountsDrops) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record("span", static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(recorder.recorded(), 10u);
+  EXPECT_EQ(recorder.dropped(), 6u);
+  EXPECT_EQ(recorder.retained(), 4u);
+  // The export holds exactly the newest four entries, oldest first.
+  const auto trace = recorder.chrome_trace();
+  const auto* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 4u);
+  std::vector<double> stamps;
+  for (const auto& event : events->items()) {
+    stamps.push_back(event.find("ts")->number());
+  }
+  EXPECT_EQ(stamps, (std::vector<double>{6, 7, 8, 9}));
+}
+
+TEST(FlightRecorder, EachThreadGetsItsOwnRing) {
+  FlightRecorder recorder(4);
+  recorder.record("main", 0, 1);
+  std::thread worker([&recorder] {
+    for (int i = 0; i < 6; ++i) {
+      recorder.record("worker", static_cast<std::uint64_t>(i), 1);
+    }
+  });
+  worker.join();
+  EXPECT_EQ(recorder.thread_count(), 2u);
+  EXPECT_EQ(recorder.recorded(), 7u);
+  // Only the worker ring wrapped; main's single entry survives.
+  EXPECT_EQ(recorder.dropped(), 2u);
+  EXPECT_EQ(recorder.retained(), 5u);
+}
+
+TEST(FlightRecorder, SpansFeedTheGlobalRecorder) {
+  FlightRecorder recorder(8);
+  set_global_flight_recorder(&recorder);
+  {
+    OBS_SPAN("unit.test.span");
+  }
+  set_global_flight_recorder(nullptr);
+  EXPECT_EQ(recorder.recorded(), 1u);
+  const auto json = recorder.chrome_trace_json();
+  EXPECT_NE(json.find("unit.test.span"), std::string::npos);
+}
+
+TEST(FlightRecorder, WriteChromeTraceRoundTrips) {
+  FlightRecorder recorder(8);
+  recorder.record("a", 1, 2);
+  recorder.record("b", 3, 4);
+  const auto path = temp_path("flight-normal.json");
+  ASSERT_TRUE(recorder.write_chrome_trace(path));
+  std::string error;
+  const auto parsed = parse_json(slurp(path), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->items().size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, CrashDumpIsParseableChromeTrace) {
+  FlightRecorder recorder(4);
+  for (int i = 0; i < 7; ++i) {
+    recorder.record("crash.span", static_cast<std::uint64_t>(i), 2);
+  }
+  const auto path = temp_path("flight-crash.json");
+  ASSERT_TRUE(recorder.dump_for_crash(path.c_str()));
+  std::string error;
+  const auto parsed = parse_json(slurp(path), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  const auto* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 4u);  // ring capacity survived
+  for (const auto& event : events->items()) {
+    EXPECT_EQ(event.find("name")->string(), "crash.span");
+    EXPECT_EQ(event.find("ph")->string(), "X");
+    EXPECT_EQ(event.find("dur")->number(), 2.0);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, CrashDumpToUnwritablePathFails) {
+  FlightRecorder recorder(4);
+  recorder.record("x", 0, 1);
+  EXPECT_FALSE(recorder.dump_for_crash("/nonexistent-dir/nope.json"));
+}
+
+}  // namespace
+}  // namespace piggyweb::obs

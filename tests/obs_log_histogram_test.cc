@@ -1,0 +1,253 @@
+// LogHistogram: bucket edge geometry, underflow/overflow routing,
+// percentile error bounds, and the merge algebra (associative,
+// shard-count-invariant) the registry's per-shard accumulation relies on.
+#include "obs/log_histogram.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "obs/registry.h"
+
+namespace piggyweb::obs {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZeros) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(LogHistogram, EdgesAreMonotoneAndAnchored) {
+  LogHistogram h(1e-6, 1e2, 8);
+  ASSERT_GE(h.bucket_count(), 1u);
+  EXPECT_EQ(h.edge(0), 1e-6);
+  EXPECT_EQ(h.edge(h.bucket_count()), 1e2);
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) {
+    EXPECT_LT(h.edge(i), h.edge(i + 1)) << "edge " << i;
+  }
+  // 8 decades at 8 buckets per decade.
+  EXPECT_EQ(h.bucket_count(), 64u);
+}
+
+TEST(LogHistogram, SingleSampleIsItsOwnPercentile) {
+  LogHistogram h;
+  h.record(0.01);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0.01);
+  EXPECT_EQ(h.max(), 0.01);
+  // The bucket upper edge is clamped to the observed max, so every
+  // quantile of a singleton distribution is the sample itself.
+  EXPECT_EQ(h.percentile(0.0), 0.01);
+  EXPECT_EQ(h.percentile(0.5), 0.01);
+  EXPECT_EQ(h.percentile(1.0), 0.01);
+}
+
+TEST(LogHistogram, BoundaryValuesRouteToTheRightBuckets) {
+  LogHistogram h(1e-3, 1.0, 4);
+  h.record(1e-3);                          // exactly lo: first interior
+  h.record(std::nextafter(1e-3, 0.0));     // just below lo: underflow
+  h.record(1.0);                           // exactly hi: overflow
+  h.record(0.0);                           // underflow
+  h.record(-5.0);                          // underflow
+  h.record(123.0);                         // overflow
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), h.bucket_count() + 2);
+  EXPECT_EQ(counts.front(), 3u);  // underflow
+  EXPECT_EQ(counts[1], 1u);       // first interior bucket
+  EXPECT_EQ(counts.back(), 2u);   // overflow
+  EXPECT_EQ(h.count(), 6u);
+}
+
+TEST(LogHistogram, NanDoesNotDisturbMinMax) {
+  LogHistogram h;
+  h.record(0.5);
+  h.record(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 0.5);
+}
+
+TEST(LogHistogram, EverySampleLandsInItsBucket) {
+  LogHistogram h(1e-6, 1e2, 8);
+  // Sweep values across the whole range, including points at and around
+  // every edge; each must land in a bucket whose [lower, upper) span
+  // contains it.
+  std::vector<double> samples;
+  for (std::size_t i = 0; i <= h.bucket_count(); ++i) {
+    const double e = h.edge(i);
+    samples.push_back(e);
+    samples.push_back(std::nextafter(e, 0.0));
+    samples.push_back(std::nextafter(e, 1e9));
+  }
+  for (const double x : samples) {
+    LogHistogram one(1e-6, 1e2, 8);
+    one.record(x);
+    const auto counts = one.bucket_counts();
+    std::size_t slot = 0;
+    for (; slot < counts.size(); ++slot) {
+      if (counts[slot] != 0) break;
+    }
+    ASSERT_LT(slot, counts.size());
+    if (slot == 0) {
+      EXPECT_LT(x, one.lo()) << x;
+    } else if (slot == counts.size() - 1) {
+      EXPECT_GE(x, one.hi()) << x;
+    } else {
+      EXPECT_GE(x, one.edge(slot - 1)) << x;
+      EXPECT_LT(x, one.edge(slot)) << x;
+    }
+  }
+}
+
+TEST(LogHistogram, PercentilesAreOrderedAndBucketAccurate) {
+  LogHistogram h;
+  // 1000 samples spread linearly over [1 ms, 1 s]: exact median 0.5005.
+  for (int i = 1; i <= 1000; ++i) {
+    h.record(static_cast<double>(i) / 1000.0);
+  }
+  const double p50 = h.percentile(0.50);
+  const double p90 = h.percentile(0.90);
+  const double p99 = h.percentile(0.99);
+  const double p999 = h.percentile(0.999);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  EXPECT_LE(p999, h.max());
+  // Upper-edge convention: each quantile is >= the exact order statistic
+  // and within one bucket width (10^(1/8) ~ 1.334x) above it.
+  const double step = std::pow(10.0, 1.0 / 8.0) * 1.001;  // + float slack
+  EXPECT_GE(p50, 0.500);
+  EXPECT_LE(p50, 0.500 * step);
+  EXPECT_GE(p99, 0.990);
+  EXPECT_LE(p99, 0.990 * step);
+  EXPECT_EQ(h.percentile(1.0), h.max());
+}
+
+TEST(LogHistogram, OverflowPercentileReportsMax) {
+  LogHistogram h(1e-3, 1.0, 4);
+  for (int i = 0; i < 100; ++i) h.record(50.0);
+  h.record(123.0);
+  EXPECT_EQ(h.percentile(0.5), 123.0);
+  EXPECT_EQ(h.max(), 123.0);
+}
+
+TEST(LogHistogram, MergeMatchesSingleStream) {
+  LogHistogram a, b, all;
+  for (int i = 1; i <= 500; ++i) {
+    const double x = 1e-5 * static_cast<double>(i * i);
+    (i % 2 == 0 ? a : b).record(x);
+    all.record(x);
+  }
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_EQ(a.bucket_counts(), all.bucket_counts());
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+  EXPECT_NEAR(a.sum(), all.sum(), 1e-9 * all.sum());
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.percentile(q), all.percentile(q)) << "q " << q;
+  }
+}
+
+TEST(LogHistogram, MergeIsAssociativeOnBuckets) {
+  const auto fill = [](LogHistogram& h, int salt) {
+    for (int i = 0; i < 200; ++i) {
+      h.record(1e-6 * static_cast<double>((i * 37 + salt * 101) % 100000));
+    }
+  };
+  LogHistogram left_a, left_b, left_c;
+  fill(left_a, 1);
+  fill(left_b, 2);
+  fill(left_c, 3);
+  // (a + b) + c
+  left_a.merge_from(left_b);
+  left_a.merge_from(left_c);
+
+  LogHistogram right_a, right_b, right_c;
+  fill(right_a, 1);
+  fill(right_b, 2);
+  fill(right_c, 3);
+  // a + (b + c)
+  right_b.merge_from(right_c);
+  right_a.merge_from(right_b);
+
+  EXPECT_EQ(left_a.bucket_counts(), right_a.bucket_counts());
+  EXPECT_EQ(left_a.count(), right_a.count());
+  EXPECT_EQ(left_a.min(), right_a.min());
+  EXPECT_EQ(left_a.max(), right_a.max());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_EQ(left_a.percentile(q), right_a.percentile(q)) << "q " << q;
+  }
+}
+
+TEST(LogHistogram, ShardCountInvariance) {
+  // The same sample stream split round-robin over k shards and merged
+  // must produce identical buckets and percentiles for every k.
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back(1e-6 * static_cast<double>((i * 7919) % 1000000));
+  }
+  std::vector<std::uint64_t> reference_buckets;
+  double reference_p99 = 0;
+  for (const std::size_t shards : {1u, 2u, 4u, 8u}) {
+    std::vector<std::unique_ptr<LogHistogram>> shard(shards);
+    for (auto& s : shard) s = std::make_unique<LogHistogram>();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      shard[i % shards]->record(samples[i]);
+    }
+    LogHistogram merged;
+    for (const auto& s : shard) merged.merge_from(*s);
+    if (shards == 1) {
+      reference_buckets = merged.bucket_counts();
+      reference_p99 = merged.percentile(0.99);
+      continue;
+    }
+    EXPECT_EQ(merged.bucket_counts(), reference_buckets) << shards;
+    EXPECT_EQ(merged.percentile(0.99), reference_p99) << shards;
+  }
+}
+
+TEST(LogHistogram, RegistrySnapshotCarriesPercentiles) {
+  Registry registry;
+  auto& h = registry.log_histogram("queue.seconds");
+  for (int i = 1; i <= 100; ++i) {
+    h.record(static_cast<double>(i) * 1e-4);
+  }
+  const auto snapshot = registry.snapshot();
+  const auto* histograms = snapshot.find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  ASSERT_EQ(histograms->items().size(), 1u);
+  const auto& entry = histograms->items()[0];
+  EXPECT_EQ(entry.find("name")->string(), "queue.seconds");
+  EXPECT_EQ(entry.find("scale")->string(), "log");
+  EXPECT_EQ(entry.find("count")->number(), 100.0);
+  EXPECT_FALSE(entry.find("deterministic")->boolean());
+  for (const char* field : {"p50", "p90", "p99", "p999", "min", "max"}) {
+    ASSERT_NE(entry.find(field), nullptr) << field;
+    EXPECT_GT(entry.find(field)->number(), 0.0) << field;
+  }
+}
+
+TEST(LogHistogram, RegistryMergeAddsBuckets) {
+  Registry a, b;
+  a.log_histogram("h").record(0.5);
+  b.log_histogram("h").record(0.25);
+  b.log_histogram("h").record(0.5);
+  a.merge_from(b);
+  EXPECT_EQ(a.log_histogram("h").count(), 3u);
+  EXPECT_EQ(a.log_histogram("h").min(), 0.25);
+  EXPECT_EQ(a.log_histogram("h").max(), 0.5);
+}
+
+}  // namespace
+}  // namespace piggyweb::obs

@@ -3,6 +3,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -91,6 +92,33 @@ TEST(Tracer, GlobalInstallUninstall) {
   set_global_tracer(nullptr);
   { OBS_SPAN("after_uninstall"); }  // no-op again
   EXPECT_EQ(tracer.event_count(), 1u);
+}
+
+TEST(Tracer, PerThreadCapDropsNewestAndCounts) {
+  Tracer tracer(/*max_events_per_thread=*/5);
+  EXPECT_EQ(tracer.max_events_per_thread(), 5u);
+  for (int i = 0; i < 12; ++i) tracer.instant("event");
+  // The first five survive (drop-newest: the full post-run export keeps
+  // the run's beginning; the flight recorder covers the end).
+  EXPECT_EQ(tracer.event_count(), 5u);
+  EXPECT_EQ(tracer.dropped(), 7u);
+}
+
+TEST(Tracer, CapIsPerThread) {
+  Tracer tracer(/*max_events_per_thread=*/4);
+  tracer.instant("main");
+  std::thread worker([&tracer] {
+    for (int i = 0; i < 10; ++i) tracer.instant("worker");
+  });
+  worker.join();
+  EXPECT_EQ(tracer.event_count(), 5u);  // 1 main + 4 worker
+  EXPECT_EQ(tracer.dropped(), 6u);
+}
+
+TEST(Tracer, DefaultCapIsGenerous) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.max_events_per_thread(), std::size_t{1} << 20);
+  EXPECT_EQ(tracer.dropped(), 0u);
 }
 
 TEST(Tracer, SecondTracerDoesNotInheritStaleThreadCache) {

@@ -1,6 +1,11 @@
 #include "cli_common.h"
 
+#include <string>
+
 #include <gtest/gtest.h>
+
+#include "bench_compare.h"
+#include "obs/json.h"
 
 namespace piggyweb::tools {
 namespace {
@@ -113,6 +118,172 @@ TEST(FlagSet, LastValueWins) {
   Argv argv({"--count=1", "--count=2"});
   ASSERT_TRUE(flags.parse(argv.argc(), argv.argv()));
   EXPECT_EQ(flags.get_int("count"), 2);
+}
+
+obs::Json parse(const char* text) {
+  std::string error;
+  auto parsed = obs::parse_json(text, &error);
+  EXPECT_TRUE(parsed.has_value()) << error;
+  return parsed.has_value() ? *parsed : obs::Json::object();
+}
+
+TEST(BenchCompare, ClassifiesKeysByName) {
+  EXPECT_EQ(classify_bench_key("flat_seconds", false),
+            BenchKeyKind::kTiming);
+  EXPECT_EQ(classify_bench_key("wall_seconds", false),
+            BenchKeyKind::kTiming);
+  EXPECT_EQ(classify_bench_key("requests_per_second", false),
+            BenchKeyKind::kRate);
+  EXPECT_EQ(classify_bench_key("speedup", false), BenchKeyKind::kRate);
+  EXPECT_EQ(classify_bench_key("ops", false), BenchKeyKind::kWorkload);
+  EXPECT_EQ(classify_bench_key("requests", false),
+            BenchKeyKind::kWorkload);
+  EXPECT_EQ(classify_bench_key("checksums_match", true),
+            BenchKeyKind::kBoolean);
+}
+
+TEST(BenchCompare, IdenticalReportsHaveNoRegression) {
+  const auto doc = parse(
+      R"({"ops": 100, "flat_seconds": 0.5, "speedup": 1.4,
+          "checksums_match": true})");
+  const auto report = compare_bench_reports(doc, doc, {});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_GT(report.gated_comparisons(), 0u);
+  EXPECT_TRUE(report.notes.empty());
+}
+
+TEST(BenchCompare, FlagsTimingBeyondThreshold) {
+  const auto base = parse(R"({"eval_seconds": 1.0})");
+  const auto slow = parse(R"({"eval_seconds": 1.2})");
+  const auto fast = parse(R"({"eval_seconds": 0.8})");
+  const auto close = parse(R"({"eval_seconds": 1.05})");
+  BenchCompareOptions options;
+  options.threshold = 0.10;
+  EXPECT_TRUE(compare_bench_reports(base, slow, options).has_regression());
+  EXPECT_FALSE(compare_bench_reports(base, fast, options).has_regression());
+  EXPECT_FALSE(
+      compare_bench_reports(base, close, options).has_regression());
+  const auto improvement = compare_bench_reports(base, fast, options);
+  ASSERT_EQ(improvement.deltas.size(), 1u);
+  EXPECT_EQ(improvement.deltas[0].status,
+            BenchDelta::Status::kImprovement);
+}
+
+TEST(BenchCompare, RatesGateInTheOppositeDirection) {
+  const auto base = parse(R"({"speedup": 2.0})");
+  const auto worse = parse(R"({"speedup": 1.5})");
+  const auto better = parse(R"({"speedup": 2.5})");
+  EXPECT_TRUE(compare_bench_reports(base, worse, {}).has_regression());
+  EXPECT_FALSE(compare_bench_reports(base, better, {}).has_regression());
+}
+
+TEST(BenchCompare, SubMinimumTimingsAreNoiseNotSignal) {
+  // 5x slower but both sides under the floor: quick-mode noise.
+  const auto base = parse(R"({"tiny_seconds": 0.00002})");
+  const auto cand = parse(R"({"tiny_seconds": 0.0001})");
+  BenchCompareOptions options;
+  options.min_seconds = 1e-3;
+  const auto report = compare_bench_reports(base, cand, options);
+  EXPECT_FALSE(report.has_regression());
+  ASSERT_EQ(report.deltas.size(), 1u);
+  EXPECT_EQ(report.deltas[0].status,
+            BenchDelta::Status::kSkippedNoise);
+}
+
+TEST(BenchCompare, WorkloadMismatchSkipsSubtree) {
+  const auto base = parse(R"({"mix": {"ops": 100, "run_seconds": 1.0}})");
+  const auto cand = parse(R"({"mix": {"ops": 200, "run_seconds": 9.0}})");
+  const auto report = compare_bench_reports(base, cand, {});
+  // 9x slower, but on 2x the ops: incomparable, noted, not flagged.
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_TRUE(report.deltas.empty());
+  ASSERT_EQ(report.notes.size(), 1u);
+  EXPECT_NE(report.notes[0].find("workload differs"), std::string::npos);
+}
+
+TEST(BenchCompare, BooleanFlipTrueToFalseIsARegression) {
+  const auto base = parse(R"({"checksums_match": true})");
+  const auto cand = parse(R"({"checksums_match": false})");
+  EXPECT_TRUE(compare_bench_reports(base, cand, {}).has_regression());
+  // The other direction is an improvement, not a failure.
+  EXPECT_FALSE(compare_bench_reports(cand, base, {}).has_regression());
+}
+
+TEST(BenchCompare, RatioOnlyDemotesTimings) {
+  const auto base = parse(R"({"run_seconds": 1.0, "speedup": 2.0})");
+  const auto cand = parse(R"({"run_seconds": 3.0, "speedup": 2.0})");
+  BenchCompareOptions options;
+  options.ratio_only = true;
+  const auto report = compare_bench_reports(base, cand, options);
+  EXPECT_FALSE(report.has_regression());
+  // ... but a rate drop still fails in ratio-only mode.
+  const auto worse = parse(R"({"run_seconds": 1.0, "speedup": 1.0})");
+  EXPECT_TRUE(compare_bench_reports(base, worse, options).has_regression());
+}
+
+TEST(BenchCompare, NamedArrayEntriesPairByName) {
+  const auto base = parse(
+      R"({"runs": [{"name": "a", "wall_seconds": 1.0},
+                   {"name": "b", "wall_seconds": 2.0}]})");
+  const auto reordered = parse(
+      R"({"runs": [{"name": "b", "wall_seconds": 2.0},
+                   {"name": "a", "wall_seconds": 1.0}]})");
+  EXPECT_FALSE(
+      compare_bench_reports(base, reordered, {}).has_regression());
+  const auto slow_b = parse(
+      R"({"runs": [{"name": "a", "wall_seconds": 1.0},
+                   {"name": "b", "wall_seconds": 3.0}]})");
+  const auto report = compare_bench_reports(base, slow_b, {});
+  EXPECT_TRUE(report.has_regression());
+  bool found = false;
+  for (const auto& delta : report.deltas) {
+    if (delta.status == BenchDelta::Status::kRegression) {
+      EXPECT_EQ(delta.path, "runs[b].wall_seconds");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(BenchCompare, MissingKeysAreNotesNotRegressions) {
+  const auto base = parse(R"({"a_seconds": 1.0, "b_seconds": 2.0})");
+  const auto cand = parse(R"({"a_seconds": 1.0, "c_seconds": 9.0})");
+  const auto report = compare_bench_reports(base, cand, {});
+  EXPECT_FALSE(report.has_regression());
+  EXPECT_EQ(report.notes.size(), 2u);  // b missing, c new
+}
+
+TEST(BenchCompare, InjectSlowdownScalesTimingsAndRates) {
+  const auto doc = parse(
+      R"({"ops": 100, "run_seconds": 1.0, "speedup": 2.0,
+          "ok": true})");
+  const auto slow = inject_slowdown(doc, 1.25);
+  EXPECT_DOUBLE_EQ(slow.find("run_seconds")->number(), 1.25);
+  EXPECT_DOUBLE_EQ(slow.find("speedup")->number(), 1.6);
+  EXPECT_DOUBLE_EQ(slow.find("ops")->number(), 100.0);
+  EXPECT_TRUE(slow.find("ok")->boolean());
+  // The injected report must trip the gate against its own source.
+  EXPECT_TRUE(compare_bench_reports(doc, slow, {}).has_regression());
+  // Identity factor compares clean.
+  const auto same = inject_slowdown(doc, 1.0);
+  EXPECT_FALSE(compare_bench_reports(doc, same, {}).has_regression());
+}
+
+TEST(BenchCompare, ReportJsonShape) {
+  const auto base = parse(R"({"run_seconds": 1.0})");
+  const auto cand = parse(R"({"run_seconds": 2.0})");
+  BenchCompareOptions options;
+  const auto json =
+      compare_bench_reports(base, cand, options).to_json(options);
+  EXPECT_EQ(json.find("piggyweb_benchdiff")->number(), 1.0);
+  EXPECT_EQ(json.find("regressions")->number(), 1.0);
+  const auto* deltas = json.find("deltas");
+  ASSERT_NE(deltas, nullptr);
+  ASSERT_EQ(deltas->items().size(), 1u);
+  const auto& delta = deltas->items()[0];
+  EXPECT_EQ(delta.find("status")->string(), "regression");
+  EXPECT_EQ(delta.find("kind")->string(), "timing");
+  EXPECT_DOUBLE_EQ(delta.find("worse_ratio")->number(), 2.0);
 }
 
 }  // namespace

@@ -136,10 +136,24 @@ class CountingObserver : public ThreadPoolObserver {
     completions.fetch_add(1, std::memory_order_relaxed);
     if (run_seconds >= 0) nonnegative.fetch_add(1, std::memory_order_relaxed);
   }
+  void on_dequeue(double queue_seconds, bool handoff) override {
+    dequeues.fetch_add(1, std::memory_order_relaxed);
+    if (queue_seconds >= 0) {
+      nonnegative_queue.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (handoff) handoffs.fetch_add(1, std::memory_order_relaxed);
+  }
+  void on_worker_idle(double idle_seconds) override {
+    if (idle_seconds >= 0) idles.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::atomic<std::uint64_t> posts{0};
   std::atomic<std::uint64_t> completions{0};
   std::atomic<std::uint64_t> nonnegative{0};
+  std::atomic<std::uint64_t> dequeues{0};
+  std::atomic<std::uint64_t> nonnegative_queue{0};
+  std::atomic<std::uint64_t> handoffs{0};
+  std::atomic<std::uint64_t> idles{0};
   std::atomic<std::size_t> max_depth{0};
 };
 
@@ -156,6 +170,13 @@ TEST(ThreadPoolObserver, SeesEveryPostAndCompletion) {
   // Task wall times are monotone-clock differences: never negative.
   EXPECT_EQ(observer.nonnegative.load(), 500u);
   EXPECT_GE(observer.max_depth.load(), 1u);
+  // Every task is dequeued exactly once, with a non-negative queue wait.
+  EXPECT_EQ(observer.dequeues.load(), 500u);
+  EXPECT_EQ(observer.nonnegative_queue.load(), 500u);
+  // Handoffs (dequeues after an actual condvar sleep) are a subset of
+  // dequeues, and each one reports its idle interval.
+  EXPECT_LE(observer.handoffs.load(), 500u);
+  EXPECT_EQ(observer.idles.load(), observer.handoffs.load());
 }
 
 TEST(ThreadPoolObserver, NullObserverIsTheDefaultPath) {
@@ -186,12 +207,25 @@ TEST(ThreadPoolMetrics, PopulatesRegistry) {
                        /*deterministic=*/false)
                 .value(),
             1.0);
-  const auto stats = registry
-                         .histogram("test.pool.task_seconds", 0.0, 1.0, 50,
-                                    /*deterministic=*/false)
-                         .stats();
-  EXPECT_EQ(stats.count(), 64u);
-  EXPECT_GE(stats.min(), 0.0);
+  const auto& task_seconds =
+      registry.log_histogram("test.pool.task_seconds");
+  EXPECT_EQ(task_seconds.count(), 64u);
+  EXPECT_GE(task_seconds.min(), 0.0);
+  // Every dequeue records a queue latency; handoffs are a subset of
+  // dequeues (only the ones where the worker actually slept).
+  const auto& queue_seconds =
+      registry.log_histogram("test.pool.queue_seconds");
+  EXPECT_EQ(queue_seconds.count(), 64u);
+  EXPECT_GE(queue_seconds.min(), 0.0);
+  EXPECT_LE(registry.counter("test.pool.handoffs",
+                             /*deterministic=*/false)
+                .value(),
+            64u);
+  // Idle time is recorded once per handoff.
+  EXPECT_EQ(registry.log_histogram("test.pool.idle_seconds").count(),
+            registry.counter("test.pool.handoffs",
+                             /*deterministic=*/false)
+                .value());
 }
 
 TEST(ThreadPoolMetrics, MakePoolMetricsNullRegistry) {

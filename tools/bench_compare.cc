@@ -1,0 +1,353 @@
+#include "bench_compare.h"
+
+#include <utility>
+
+namespace piggyweb::tools {
+
+namespace {
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+std::string join_path(const std::string& path, std::string_view key) {
+  if (path.empty()) return std::string(key);
+  return path + "." + std::string(key);
+}
+
+const char* kind_name(BenchKeyKind kind) {
+  switch (kind) {
+    case BenchKeyKind::kTiming:
+      return "timing";
+    case BenchKeyKind::kRate:
+      return "rate";
+    case BenchKeyKind::kBoolean:
+      return "boolean";
+    case BenchKeyKind::kWorkload:
+      return "workload";
+  }
+  return "unknown";
+}
+
+const char* status_name(BenchDelta::Status status) {
+  switch (status) {
+    case BenchDelta::Status::kOk:
+      return "ok";
+    case BenchDelta::Status::kImprovement:
+      return "improvement";
+    case BenchDelta::Status::kRegression:
+      return "regression";
+    case BenchDelta::Status::kSkippedNoise:
+      return "skipped_noise";
+  }
+  return "unknown";
+}
+
+// Walks baseline and candidate in lockstep, appending deltas and notes.
+class Comparator {
+ public:
+  Comparator(const BenchCompareOptions& options, BenchCompareReport& report)
+      : options_(options), report_(report) {}
+
+  void compare(const obs::Json& base, const obs::Json& cand,
+               const std::string& path, std::string_view key) {
+    if (base.is_object() && cand.is_object()) {
+      compare_objects(base, cand, path);
+      return;
+    }
+    if (base.is_array() && cand.is_array()) {
+      compare_arrays(base, cand, path, key);
+      return;
+    }
+    if (base.is_bool() && cand.is_bool()) {
+      compare_booleans(base.boolean(), cand.boolean(), path);
+      return;
+    }
+    if (base.is_number() && cand.is_number()) {
+      compare_numbers(base.number(), cand.number(), path, key);
+      return;
+    }
+    if (base.is_string() && cand.is_string()) {
+      if (base.string() != cand.string()) {
+        note(path + ": string differs (\"" + base.string() + "\" vs \"" +
+             cand.string() + "\")");
+      }
+      return;
+    }
+    if (base.type() != cand.type()) {
+      note(path + ": type differs between baseline and candidate");
+    }
+  }
+
+ private:
+  void note(std::string text) { report_.notes.push_back(std::move(text)); }
+
+  void compare_objects(const obs::Json& base, const obs::Json& cand,
+                       const std::string& path) {
+    // Workload guard: two runs that did different amounts of work are
+    // not comparable, so a descriptor mismatch skips the whole subtree.
+    for (const auto& [key, value] : base.members()) {
+      if (!value.is_number()) continue;
+      if (classify_bench_key(key, false) != BenchKeyKind::kWorkload) {
+        continue;
+      }
+      const auto* other = cand.find(key);
+      if (other != nullptr && other->is_number() &&
+          other->number() != value.number()) {
+        note(join_path(path, key) + ": workload differs (" +
+             obs::Json(value.number()).dump() + " vs " +
+             obs::Json(other->number()).dump() + ") — subtree skipped");
+        return;
+      }
+    }
+    for (const auto& [key, value] : base.members()) {
+      const auto child = join_path(path, key);
+      const auto* other = cand.find(key);
+      if (other == nullptr) {
+        note(child + ": missing from candidate");
+        continue;
+      }
+      compare(value, *other, child, key);
+    }
+    for (const auto& [key, value] : cand.members()) {
+      (void)value;
+      if (base.find(key) == nullptr) {
+        note(join_path(path, key) + ": new in candidate (not compared)");
+      }
+    }
+  }
+
+  void compare_arrays(const obs::Json& base, const obs::Json& cand,
+                      const std::string& path, std::string_view key) {
+    if (base.items().size() != cand.items().size()) {
+      note(path + ": array length differs (" +
+           std::to_string(base.items().size()) + " vs " +
+           std::to_string(cand.items().size()) + ") — skipped");
+      return;
+    }
+    // Arrays of named records (e.g. e2e replica lists) pair by name so a
+    // reordering is not misread as a swap of measurements.
+    const auto name_of = [](const obs::Json& entry) -> const std::string* {
+      if (!entry.is_object()) return nullptr;
+      const auto* name = entry.find("name");
+      return (name != nullptr && name->is_string()) ? &name->string()
+                                                    : nullptr;
+    };
+    bool all_named = !base.items().empty();
+    for (const auto& entry : base.items()) {
+      if (name_of(entry) == nullptr) all_named = false;
+    }
+    for (const auto& entry : cand.items()) {
+      if (name_of(entry) == nullptr) all_named = false;
+    }
+    if (all_named) {
+      for (const auto& entry : base.items()) {
+        const auto& name = *name_of(entry);
+        const obs::Json* match = nullptr;
+        for (const auto& other : cand.items()) {
+          if (*name_of(other) == name) {
+            match = &other;
+            break;
+          }
+        }
+        const auto child = path + "[" + name + "]";
+        if (match == nullptr) {
+          note(child + ": missing from candidate");
+          continue;
+        }
+        compare(entry, *match, child, key);
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < base.items().size(); ++i) {
+      compare(base.items()[i], cand.items()[i],
+              path + "[" + std::to_string(i) + "]", key);
+    }
+  }
+
+  void compare_booleans(bool base, bool cand, const std::string& path) {
+    BenchDelta delta;
+    delta.path = path;
+    delta.kind = BenchKeyKind::kBoolean;
+    delta.baseline = base ? 1.0 : 0.0;
+    delta.candidate = cand ? 1.0 : 0.0;
+    delta.worse_ratio = 0;
+    // Booleans in bench reports are invariants (checksums_match, ...):
+    // losing one is a regression regardless of --ratio-only.
+    delta.gated = true;
+    if (base && !cand) {
+      delta.status = BenchDelta::Status::kRegression;
+    } else if (!base && cand) {
+      delta.status = BenchDelta::Status::kImprovement;
+    } else {
+      delta.status = BenchDelta::Status::kOk;
+    }
+    report_.deltas.push_back(std::move(delta));
+  }
+
+  void compare_numbers(double base, double cand, const std::string& path,
+                       std::string_view key) {
+    const auto kind = classify_bench_key(key, false);
+    if (kind == BenchKeyKind::kWorkload) {
+      return;  // equal by the guard above, or a bare top-level number
+    }
+    BenchDelta delta;
+    delta.path = path;
+    delta.kind = kind;
+    delta.baseline = base;
+    delta.candidate = cand;
+    if (kind == BenchKeyKind::kTiming) {
+      delta.gated = !options_.ratio_only;
+      if ((base < options_.min_seconds && cand < options_.min_seconds) ||
+          base <= 0) {
+        delta.status = BenchDelta::Status::kSkippedNoise;
+        delta.gated = false;
+      } else {
+        delta.worse_ratio = cand / base;
+        if (cand > base * (1 + options_.threshold)) {
+          delta.status = BenchDelta::Status::kRegression;
+        } else if (cand < base * (1 - options_.threshold)) {
+          delta.status = BenchDelta::Status::kImprovement;
+        } else {
+          delta.status = BenchDelta::Status::kOk;
+        }
+      }
+    } else {  // kRate: higher is better
+      delta.gated = true;
+      if (base <= 0) {
+        delta.status = BenchDelta::Status::kSkippedNoise;
+        delta.gated = false;
+      } else if (cand <= 0) {
+        delta.status = BenchDelta::Status::kRegression;
+      } else {
+        delta.worse_ratio = base / cand;
+        if (cand < base * (1 - options_.threshold)) {
+          delta.status = BenchDelta::Status::kRegression;
+        } else if (cand > base * (1 + options_.threshold)) {
+          delta.status = BenchDelta::Status::kImprovement;
+        } else {
+          delta.status = BenchDelta::Status::kOk;
+        }
+      }
+    }
+    report_.deltas.push_back(std::move(delta));
+  }
+
+  const BenchCompareOptions& options_;
+  BenchCompareReport& report_;
+};
+
+}  // namespace
+
+BenchKeyKind classify_bench_key(std::string_view key, bool is_boolean) {
+  if (is_boolean) return BenchKeyKind::kBoolean;
+  // Rates first: "per_second" would otherwise be caught by a sloppy
+  // timing match.
+  if (contains(key, "per_second") || contains(key, "speedup")) {
+    return BenchKeyKind::kRate;
+  }
+  if (contains(key, "seconds")) return BenchKeyKind::kTiming;
+  return BenchKeyKind::kWorkload;
+}
+
+std::size_t BenchCompareReport::gated_comparisons() const {
+  std::size_t gated = 0;
+  for (const auto& delta : deltas) {
+    if (delta.gated) ++gated;
+  }
+  return gated;
+}
+
+bool BenchCompareReport::has_regression() const {
+  for (const auto& delta : deltas) {
+    if (delta.gated && delta.status == BenchDelta::Status::kRegression) {
+      return true;
+    }
+  }
+  return false;
+}
+
+obs::Json BenchCompareReport::to_json(
+    const BenchCompareOptions& options) const {
+  auto root = obs::Json::object();
+  root.set("piggyweb_benchdiff", 1);
+  auto opts = obs::Json::object();
+  opts.set("threshold", options.threshold);
+  opts.set("min_seconds", options.min_seconds);
+  opts.set("ratio_only", options.ratio_only);
+  root.set("options", std::move(opts));
+  std::size_t regressions = 0;
+  auto list = obs::Json::array();
+  for (const auto& delta : deltas) {
+    if (delta.gated && delta.status == BenchDelta::Status::kRegression) {
+      ++regressions;
+    }
+    auto entry = obs::Json::object();
+    entry.set("path", delta.path);
+    entry.set("kind", kind_name(delta.kind));
+    entry.set("status", status_name(delta.status));
+    entry.set("baseline", delta.baseline);
+    entry.set("candidate", delta.candidate);
+    entry.set("worse_ratio", delta.worse_ratio);
+    entry.set("gated", delta.gated);
+    list.push_back(std::move(entry));
+  }
+  root.set("compared", gated_comparisons());
+  root.set("regressions", regressions);
+  root.set("deltas", std::move(list));
+  auto note_list = obs::Json::array();
+  for (const auto& text : notes) note_list.push_back(text);
+  root.set("notes", std::move(note_list));
+  return root;
+}
+
+BenchCompareReport compare_bench_reports(const obs::Json& baseline,
+                                         const obs::Json& candidate,
+                                         const BenchCompareOptions& options) {
+  BenchCompareReport report;
+  if (!baseline.is_object() || !candidate.is_object()) {
+    report.notes.push_back("top level is not an object on both sides");
+    return report;
+  }
+  Comparator(options, report).compare(baseline, candidate, "", "");
+  return report;
+}
+
+namespace {
+
+obs::Json scale_node(const obs::Json& node, std::string_view key,
+                     double factor) {
+  if (node.is_object()) {
+    auto out = obs::Json::object();
+    for (const auto& [child_key, value] : node.members()) {
+      out.set(child_key, scale_node(value, child_key, factor));
+    }
+    return out;
+  }
+  if (node.is_array()) {
+    auto out = obs::Json::array();
+    for (const auto& value : node.items()) {
+      out.push_back(scale_node(value, key, factor));
+    }
+    return out;
+  }
+  if (node.is_number()) {
+    switch (classify_bench_key(key, false)) {
+      case BenchKeyKind::kTiming:
+        return obs::Json(node.number() * factor);
+      case BenchKeyKind::kRate:
+        return obs::Json(node.number() / factor);
+      default:
+        break;
+    }
+  }
+  return node;
+}
+
+}  // namespace
+
+obs::Json inject_slowdown(const obs::Json& report, double factor) {
+  return scale_node(report, "", factor);
+}
+
+}  // namespace piggyweb::tools

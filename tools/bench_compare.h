@@ -1,0 +1,98 @@
+// Noise-aware comparison of two benchmark reports (BENCH_*.json) or run
+// manifests. The comparator walks both JSON trees in parallel and
+// classifies every shared leaf by its key name:
+//
+//   *seconds*                  timing — lower is better
+//   *per_second* / *speedup*   rate   — higher is better
+//   booleans                   must not flip true -> false
+//   other numbers              workload descriptors (ops, requests, ...)
+//
+// Workload descriptors act as a guard, not a measurement: when any two
+// sibling descriptors differ the containing subtree is incomparable (the
+// two runs measured different work) and its timings are skipped with a
+// note instead of being flagged. Timings where both sides are below the
+// minimum-seconds floor are skipped as noise — quick-mode benches produce
+// sub-millisecond sections whose relative error dwarfs any real shift.
+//
+// Regression = a gated comparison worse than the relative threshold.
+// piggyweb_benchdiff turns has_regression() into its exit code; the CI
+// release-bench lane runs the quick benches twice and requires the pair
+// to compare clean.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace piggyweb::tools {
+
+// What a key name says about the value it holds.
+enum class BenchKeyKind { kTiming, kRate, kBoolean, kWorkload };
+
+// Classify a leaf key by name. Rates are checked first so "per_second"
+// never falls into the timing bucket.
+BenchKeyKind classify_bench_key(std::string_view key, bool is_boolean);
+
+struct BenchCompareOptions {
+  // Relative change that counts as a regression: timings may grow and
+  // rates may shrink by up to this fraction.
+  double threshold = 0.10;
+  // Timings where both sides are below this floor are noise, not signal.
+  double min_seconds = 1e-3;
+  // Gate only dimensionless comparisons (rates and booleans); absolute
+  // timings are still reported but cannot fail the run. For comparing
+  // reports from different machines.
+  bool ratio_only = false;
+};
+
+struct BenchDelta {
+  enum class Status {
+    kOk,           // within threshold
+    kImprovement,  // beyond threshold in the good direction
+    kRegression,   // beyond threshold in the bad direction
+    kSkippedNoise, // both sides under min_seconds
+  };
+
+  std::string path;  // dotted path into the report, e.g. "micro.flat_seconds"
+  BenchKeyKind kind = BenchKeyKind::kTiming;
+  Status status = Status::kOk;
+  double baseline = 0;
+  double candidate = 0;
+  // Normalised so that > 1 means "candidate is worse": candidate/baseline
+  // for timings, baseline/candidate for rates. 0 when undefined.
+  double worse_ratio = 0;
+  // False when --ratio-only demoted this comparison to informational.
+  bool gated = true;
+};
+
+struct BenchCompareReport {
+  std::vector<BenchDelta> deltas;
+  // Structural findings: workload mismatches, missing keys, skipped
+  // subtrees. Never affect the exit code.
+  std::vector<std::string> notes;
+
+  std::size_t gated_comparisons() const;
+  bool has_regression() const;
+
+  // Machine-readable form (written by --json=): options echo, per-delta
+  // records, notes, and a top-level "regressions" count.
+  obs::Json to_json(const BenchCompareOptions& options) const;
+};
+
+// Compare candidate against baseline. Both should be JSON objects (a
+// bench report or a run manifest); anything else yields a note and no
+// comparisons.
+BenchCompareReport compare_bench_reports(const obs::Json& baseline,
+                                         const obs::Json& candidate,
+                                         const BenchCompareOptions& options);
+
+// Fault injector for testing the gate end to end: returns a copy of the
+// report with every timing multiplied and every rate divided by `factor`
+// — the signature of a uniformly slower build. factor 1.0 is an identity
+// copy.
+obs::Json inject_slowdown(const obs::Json& report, double factor);
+
+}  // namespace piggyweb::tools

@@ -1,0 +1,163 @@
+// piggyweb_benchdiff — noise-aware perf-regression gate over two bench
+// reports (BENCH_*.json) or run manifests.
+//
+//   piggyweb_benchdiff --baseline=a.json --candidate=b.json
+//   piggyweb_benchdiff --baseline=a.json --candidate=b.json
+//       --threshold=0.15 --min-seconds=0.005 --json=diff.json
+//   piggyweb_benchdiff --baseline=a.json --inject-slowdown=1.25
+//       --inject-out=slow.json       # fault injector for testing the gate
+//
+// Keys are classified by name (timings lower-better, rates higher-better,
+// booleans must not flip true->false, other numbers are workload
+// descriptors that gate comparability); see bench_compare.h for the
+// exact rules. Exit codes: 0 = no regression, 1 = regression beyond the
+// threshold, 2 = usage or I/O error. --ratio-only restricts the gate to
+// dimensionless comparisons for cross-machine diffs.
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "bench_compare.h"
+#include "cli_common.h"
+#include "obs/json.h"
+
+using namespace piggyweb;
+
+namespace {
+
+std::optional<obs::Json> load_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "benchdiff: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string error;
+  auto parsed = obs::parse_json(buffer.str(), &error);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr, "benchdiff: %s: invalid JSON: %s\n", path.c_str(),
+                 error.c_str());
+  }
+  return parsed;
+}
+
+bool write_json_file(const std::string& path, const obs::Json& value) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "benchdiff: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << value.dump(2) << "\n";
+  return out.good();
+}
+
+const char* kind_label(tools::BenchKeyKind kind) {
+  switch (kind) {
+    case tools::BenchKeyKind::kTiming:
+      return "timing";
+    case tools::BenchKeyKind::kRate:
+      return "rate";
+    case tools::BenchKeyKind::kBoolean:
+      return "boolean";
+    case tools::BenchKeyKind::kWorkload:
+      return "workload";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tools::FlagSet flags(
+      "compare two bench reports / run manifests for perf regressions");
+  flags.add_string("baseline", "", "reference report (the 'before' run)");
+  flags.add_string("candidate", "", "report under test (the 'after' run)");
+  flags.add_double("threshold", 0.10,
+                   "relative change that counts as a regression");
+  flags.add_double("min-seconds", 1e-3,
+                   "timings below this on both sides are skipped as noise");
+  flags.add_bool("ratio-only", false,
+                 "gate only dimensionless comparisons (rates, booleans); "
+                 "for reports from different machines");
+  flags.add_string("json", "", "write the machine-readable diff here");
+  flags.add_double("inject-slowdown", 0,
+                   "fault injector: scale --baseline's timings by this "
+                   "factor and write the result to --inject-out");
+  flags.add_string("inject-out", "",
+                   "output path for --inject-slowdown");
+  if (!flags.parse(argc, argv)) return 2;
+
+  const auto baseline_path = flags.get_string("baseline");
+  if (baseline_path.empty()) {
+    std::fprintf(stderr, "benchdiff: --baseline is required\n");
+    return 2;
+  }
+  const auto baseline = load_json_file(baseline_path);
+  if (!baseline.has_value()) return 2;
+
+  const double inject = flags.get_double("inject-slowdown");
+  if (inject > 0) {
+    const auto inject_path = flags.get_string("inject-out");
+    if (inject_path.empty()) {
+      std::fprintf(stderr,
+                   "benchdiff: --inject-slowdown requires --inject-out\n");
+      return 2;
+    }
+    const auto scaled = tools::inject_slowdown(*baseline, inject);
+    if (!write_json_file(inject_path, scaled)) return 2;
+    std::printf("benchdiff: wrote %s (timings x%.3f)\n", inject_path.c_str(),
+                inject);
+    return 0;
+  }
+
+  const auto candidate_path = flags.get_string("candidate");
+  if (candidate_path.empty()) {
+    std::fprintf(stderr, "benchdiff: --candidate is required\n");
+    return 2;
+  }
+  const auto candidate = load_json_file(candidate_path);
+  if (!candidate.has_value()) return 2;
+
+  tools::BenchCompareOptions options;
+  options.threshold = flags.get_double("threshold");
+  options.min_seconds = flags.get_double("min-seconds");
+  options.ratio_only = flags.get_bool("ratio-only");
+  if (options.threshold <= 0) {
+    std::fprintf(stderr, "benchdiff: --threshold must be positive\n");
+    return 2;
+  }
+
+  const auto report =
+      tools::compare_bench_reports(*baseline, *candidate, options);
+
+  for (const auto& delta : report.deltas) {
+    const bool interesting =
+        delta.status == tools::BenchDelta::Status::kRegression ||
+        delta.status == tools::BenchDelta::Status::kImprovement;
+    if (!interesting) continue;
+    const char* verdict =
+        delta.status == tools::BenchDelta::Status::kRegression
+            ? (delta.gated ? "REGRESSION" : "regression (ungated)")
+            : "improvement";
+    std::printf("%s %s %s: %g -> %g (worse-ratio %.3f)\n", verdict,
+                kind_label(delta.kind), delta.path.c_str(), delta.baseline,
+                delta.candidate, delta.worse_ratio);
+  }
+  for (const auto& text : report.notes) {
+    std::fprintf(stderr, "benchdiff: note: %s\n", text.c_str());
+  }
+  std::printf("benchdiff: %zu gated comparison(s), %s\n",
+              report.gated_comparisons(),
+              report.has_regression() ? "regression detected"
+                                      : "no regression");
+
+  const auto json_path = flags.get_string("json");
+  if (!json_path.empty() &&
+      !write_json_file(json_path, report.to_json(options))) {
+    return 2;
+  }
+  return report.has_regression() ? 1 : 0;
+}

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "cli_common.h"
+#include "obs/manifest.h"
 #include "persist/eval_state.h"
 #include "server/meta.h"
 #include "sim/eval_core.h"
@@ -97,6 +98,10 @@ int main(int argc, char** argv) {
   flags.add_double("stop-fraction", 1.0,
                    "stop the replay after this fraction of the trace "
                    "(use with --save-state)");
+  flags.add_int("progress-every", 0,
+                "emit a JSON-lines heartbeat on stderr every N completed "
+                "requests (0 = off): done/total, worker queue depth, "
+                "elapsed seconds, requests per second");
   tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
 
@@ -139,6 +144,31 @@ int main(int argc, char** argv) {
   config.use_rpv = flags.get_int("rpv-timeout") > 0;
   config.rpv.timeout = flags.get_int("rpv-timeout");
   config.min_piggyback_interval = flags.get_int("min-interval");
+
+  // Heartbeat: one JSON line on stderr per --progress-every completed
+  // requests (and always at 100%). Observational only — the evaluators
+  // fire the hook outside any result-affecting path.
+  const auto progress_every = flags.get_int("progress-every");
+  const obs::RunTimer progress_timer;
+  std::size_t progress_last = 0;
+  if (progress_every > 0) {
+    const auto every = static_cast<std::size_t>(progress_every);
+    config.on_progress = [&progress_timer, &progress_last,
+                          every](const sim::EvalProgress& p) {
+      if (p.done < p.total && p.done - progress_last < every) return;
+      progress_last = p.done;
+      const double elapsed = progress_timer.wall_seconds();
+      auto line = obs::Json::object();
+      line.set("piggyweb_progress", 1);
+      line.set("done", static_cast<std::uint64_t>(p.done));
+      line.set("total", static_cast<std::uint64_t>(p.total));
+      line.set("queue_depth", static_cast<std::uint64_t>(p.queue_depth));
+      line.set("elapsed_seconds", elapsed);
+      line.set("requests_per_second",
+               elapsed > 0 ? static_cast<double>(p.done) / elapsed : 0.0);
+      std::fprintf(stderr, "%s\n", line.dump().c_str());
+    };
+  }
 
   const auto threads = static_cast<std::size_t>(threads_flag);
   sim::ParallelEvalConfig par;

@@ -14,6 +14,7 @@
 #include "analysis/rules.h"
 #include "cli_common.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 
 namespace {
 
@@ -55,7 +56,10 @@ int main(int argc, char** argv) {
                  "mode)");
   flags.add_bool("json", false, "emit machine-readable JSON on stdout");
   flags.add_bool("list-rules", false, "print the rule catalog and exit");
+  piggyweb::tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
+  const auto scope =
+      piggyweb::tools::make_run_scope(flags, "staticcheck", argc, argv);
 
   if (flags.get_bool("list-rules")) {
     for (const auto& rule : piggyweb::analysis::rule_catalog()) {
@@ -104,6 +108,14 @@ int main(int argc, char** argv) {
   }
 
   const AnalyzeResult result = piggyweb::analysis::analyze_tree(options);
+  if (auto* metrics = piggyweb::obs::global_metrics(); metrics != nullptr) {
+    metrics->counter("staticcheck.files_scanned", /*deterministic=*/true)
+        .add(result.files_scanned);
+    metrics->counter("staticcheck.findings", /*deterministic=*/true)
+        .add(result.diagnostics.size());
+    metrics->counter("staticcheck.suppressed", /*deterministic=*/true)
+        .add(result.suppressed.size());
+  }
   const bool suppressions_violation =
       flags.get_bool("require-empty-suppressions") &&
       suppression_entries > 0;

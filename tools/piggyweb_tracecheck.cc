@@ -19,12 +19,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cli_common.h"
 #include "obs/json.h"
 #include "obs/manifest.h"
 #include "persist/codec.h"
+#include "util/strings.h"
 
 using namespace piggyweb;
 
@@ -207,6 +209,67 @@ void check_snapshot_checksums(const obs::Json& manifest,
   }
 }
 
+// --require-metric=a,b,c: each named metric must appear in some section
+// of the manifest's metrics object. Histograms must additionally carry a
+// positive count and the percentile fields the registry emits — the shape
+// the acceptance checks assert for queue-latency and stripe-contention
+// profiles.
+void check_required_metrics(const obs::Json& manifest,
+                            const std::string& manifest_path,
+                            const std::string& required,
+                            std::vector<std::string>& problems) {
+  const auto* metrics = manifest.find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    problems.push_back(manifest_path +
+                       ": --require-metric given but metrics section missing");
+    return;
+  }
+  std::size_t checked = 0;
+  for (const auto piece : util::split_trimmed(required, ',')) {
+    if (piece.empty()) continue;
+    const std::string want(piece);
+    const obs::Json* found = nullptr;
+    const char* found_in = nullptr;
+    for (const char* section : {"counters", "gauges", "histograms"}) {
+      const auto* list = metrics->find(section);
+      if (list == nullptr || !list->is_array()) continue;
+      for (const auto& entry : list->items()) {
+        const auto* name = entry.find("name");
+        if (name != nullptr && name->is_string() && name->string() == want) {
+          found = &entry;
+          found_in = section;
+          break;
+        }
+      }
+      if (found != nullptr) break;
+    }
+    if (found == nullptr) {
+      problems.push_back(manifest_path + ": required metric '" + want +
+                         "' not present");
+      continue;
+    }
+    if (std::string_view(found_in) == "histograms") {
+      const auto* count = found->find("count");
+      if (count == nullptr || !count->is_number() || count->number() <= 0) {
+        problems.push_back(manifest_path + ": required metric '" + want +
+                           "' has no samples");
+      }
+      for (const char* field : {"p50", "p90", "p99", "p999"}) {
+        const auto* value = found->find(field);
+        if (value == nullptr || !value->is_number()) {
+          problems.push_back(manifest_path + ": required metric '" + want +
+                             "' lacks " + field);
+        }
+      }
+    }
+    ++checked;
+  }
+  if (checked != 0) {
+    std::printf("%s: %zu required metric(s) present\n", manifest_path.c_str(),
+                checked);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,7 +279,13 @@ int main(int argc, char** argv) {
   flags.add_string("same-metrics-as", "",
                    "second manifest whose deterministic counters/gauges "
                    "must equal --manifest's exactly");
+  flags.add_string("require-metric", "",
+                   "comma-separated metric names that must be present in "
+                   "--manifest (histograms also need samples and "
+                   "percentiles)");
+  tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
+  const auto scope = tools::make_run_scope(flags, "tracecheck", argc, argv);
 
   const auto trace_path = flags.get_string("trace");
   const auto manifest_path = flags.get_string("manifest");
@@ -247,6 +316,10 @@ int main(int argc, char** argv) {
         problems.push_back(manifest_path + ": " + std::move(problem));
       }
       check_snapshot_checksums(*manifest, manifest_path, problems);
+      if (const auto required = flags.get_string("require-metric");
+          !required.empty()) {
+        check_required_metrics(*manifest, manifest_path, required, problems);
+      }
       if (!other_path.empty()) {
         if (const auto other = load_json_file(other_path, problems)) {
           const auto before = problems.size();
