@@ -1,9 +1,10 @@
 // Hot-path data-structure microbenchmarks: util::FlatMap vs the
 // std::unordered_map it replaced, the arena-backed interner, the CLF
-// loader fast path, and end-to-end replicas of the fig3/fig5/table1
-// pipelines. Key streams come from a synthetic workload, so the mixes see
-// the same Zipf-skewed, collision-heavy distributions the real counters
-// see — not uniform random keys.
+// loader fast path, the wide (SSE2/SWAR) byte scanner and field splitter
+// vs their scalar references, and end-to-end replicas of the
+// fig3/fig5/table1 pipelines. Key streams come from a synthetic workload,
+// so the mixes see the same Zipf-skewed, collision-heavy distributions
+// the real counters see — not uniform random keys.
 //
 //   hot_path_microbench [--scale=0.3] [--quick] [--json=BENCH_hot_paths.json]
 //                       [--e2e-before=fig3=1.69,fig5=0.88,table1=0.10]
@@ -15,6 +16,7 @@
 // the flat-table swap; they are embedded verbatim in the JSON report so
 // the committed artifact carries the measured binary-level deltas
 // alongside the in-process numbers.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <deque>
@@ -30,6 +32,7 @@
 #include "sim/report.h"
 #include "trace/clf.h"
 #include "util/flat_map.h"
+#include "util/scan.h"
 #include "util/strings.h"
 #include "volume/pair_counter.h"
 
@@ -260,6 +263,78 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Scanner: the wide (SSE2/SWAR) delimiter finder vs the byte-at-a-time
+  // reference, splitting the workload's CLF bytes at newlines — the
+  // load_clf_text bulk-scan pattern, ~one delimiter per 80-odd bytes —
+  // then the full field splitter wide vs scalar over the same lines.
+  // Reference first, wide second, with a discarded warmup of each — the
+  // same discipline as the mixes. The checksums fold every match position
+  // / parsed field in, so a scanner that skips or misplaces a delimiter
+  // fails the gate, not just the timing.
+  std::vector<std::string_view> clf_lines;
+  {
+    std::string_view rest = clf_text;
+    while (!rest.empty()) {
+      const auto nl = rest.find('\n');
+      clf_lines.push_back(rest.substr(0, nl));
+      if (nl == std::string_view::npos) break;
+      rest.remove_prefix(nl + 1);
+    }
+  }
+  // Pass count sized to scan ~64 MB total regardless of workload scale:
+  // the scanner is cheap per byte, and the rerun-stability gate diffs the
+  // speedups below, so even --quick runs need timings comfortably above
+  // timer and scheduler noise.
+  const int scan_passes = static_cast<int>(std::max<std::size_t>(
+      4, (std::size_t{64} << 20) /
+             std::max<std::size_t>(std::size_t{1}, clf_text.size())));
+  const auto scan_all = [&](auto find) {
+    std::uint64_t checksum = 0;
+    const std::string_view text = clf_text;
+    const auto start = now_seconds();
+    for (int pass = 0; pass < scan_passes; ++pass) {
+      for (std::size_t from = 0;;) {
+        const auto at = find(text, '\n', from);
+        if (at == std::string_view::npos) break;
+        checksum += at;
+        from = at + 1;
+      }
+    }
+    return std::pair<double, std::uint64_t>{now_seconds() - start, checksum};
+  };
+  const auto parse_all = [&](auto parse) {
+    std::uint64_t checksum = 0;
+    trace::ClfFields fields;
+    const auto start = now_seconds();
+    for (int pass = 0; pass < scan_passes; ++pass) {
+      for (const auto line : clf_lines) {
+        if (parse(line, fields)) {
+          checksum += static_cast<std::uint64_t>(fields.status) +
+                      fields.size + fields.path.size() + fields.host.size();
+        }
+      }
+    }
+    return std::pair<double, std::uint64_t>{now_seconds() - start, checksum};
+  };
+  const auto wide_find = [](std::string_view text, char needle,
+                            std::size_t from) {
+    return util::find_byte(text, needle, from);
+  };
+  const auto scalar_find = [](std::string_view text, char needle,
+                              std::size_t from) {
+    return util::find_byte_scalar(text, needle, from);
+  };
+  (void)scan_all(scalar_find);
+  (void)scan_all(wide_find);
+  const auto [scan_scalar_seconds, scan_scalar_sum] = scan_all(scalar_find);
+  const auto [scan_wide_seconds, scan_wide_sum] = scan_all(wide_find);
+  (void)parse_all(trace::parse_clf_fields_scalar);
+  (void)parse_all(trace::parse_clf_fields);
+  const auto [fields_scalar_seconds, fields_scalar_sum] =
+      parse_all(trace::parse_clf_fields_scalar);
+  const auto [fields_wide_seconds, fields_wide_sum] =
+      parse_all(trace::parse_clf_fields);
+
   // Interner: total bytes held for the workload's path strings, against
   // the pre-arena layout that stored every string twice (id->string
   // vector + string->id map keys).
@@ -298,7 +373,9 @@ int main(int argc, char** argv) {
   const bool checks_ok =
       pair_mix.flat_checksum == pair_mix.umap_checksum &&
       eval_mix.flat_checksum == eval_mix.umap_checksum &&
-      churn_mix.flat_checksum == churn_mix.umap_checksum;
+      churn_mix.flat_checksum == churn_mix.umap_checksum &&
+      scan_wide_sum == scan_scalar_sum &&
+      fields_wide_sum == fields_scalar_sum;
 
   sim::Table table({"mix", "ops", "flat s", "umap s", "speedup"});
   const auto row = [&table](const char* name, const MixResult& r) {
@@ -313,6 +390,19 @@ int main(int argc, char** argv) {
   std::printf("\nloader: %zu lines, fast %.3fs vs legacy %.3fs (%.2fx)\n",
               loader_lines, loader_fast, loader_legacy,
               loader_fast > 0 ? loader_legacy / loader_fast : 0);
+  std::printf("scanner: find_byte over %zu bytes x%d, wide %.3fs vs scalar "
+              "%.3fs (%.2fx)\n",
+              clf_text.size(), scan_passes, scan_wide_seconds,
+              scan_scalar_seconds,
+              scan_wide_seconds > 0 ? scan_scalar_seconds / scan_wide_seconds
+                                    : 0.0);
+  std::printf("scanner: clf_fields over %zu lines x%d, wide %.3fs vs scalar "
+              "%.3fs (%.2fx)\n",
+              clf_lines.size(), scan_passes, fields_wide_seconds,
+              fields_scalar_seconds,
+              fields_wide_seconds > 0
+                  ? fields_scalar_seconds / fields_wide_seconds
+                  : 0.0);
   std::printf("intern: %zu paths, %zu payload bytes held once (was twice)\n",
               workload.trace.paths().size(), intern_payload);
   for (const auto& run : e2e) {
@@ -336,6 +426,28 @@ int main(int argc, char** argv) {
   loader.set("speedup",
              loader_fast > 0 ? loader_legacy / loader_fast : 0.0);
   report.set("loader", std::move(loader));
+  auto scanner = obs::Json::object();
+  {
+    auto fb = obs::Json::object();
+    fb.set("bytes", clf_text.size());
+    fb.set("wide_seconds", scan_wide_seconds);
+    fb.set("scalar_seconds", scan_scalar_seconds);
+    fb.set("speedup", scan_wide_seconds > 0
+                          ? scan_scalar_seconds / scan_wide_seconds
+                          : 0.0);
+    fb.set("checksums_match", scan_wide_sum == scan_scalar_sum);
+    scanner.set("find_byte", std::move(fb));
+    auto cf = obs::Json::object();
+    cf.set("lines", clf_lines.size());
+    cf.set("wide_seconds", fields_wide_seconds);
+    cf.set("scalar_seconds", fields_scalar_seconds);
+    cf.set("speedup", fields_wide_seconds > 0
+                          ? fields_scalar_seconds / fields_wide_seconds
+                          : 0.0);
+    cf.set("checksums_match", fields_wide_sum == fields_scalar_sum);
+    scanner.set("clf_fields", std::move(cf));
+  }
+  report.set("scanner", std::move(scanner));
   auto intern = obs::Json::object();
   intern.set("paths", workload.trace.paths().size());
   intern.set("payload_bytes", intern_payload);

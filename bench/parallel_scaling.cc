@@ -15,9 +15,14 @@
 // The binary also runs a trace-replay sweep: the same requests are staged
 // once as CLF text and once as a PIGGYTRC binary container, then each
 // format is loaded and replayed through the sharded evaluator at 1/2/4/8
-// threads. Load time is where the formats differ (text parse vs mmap
-// column decode); metrics must stay bit-identical across formats and
-// thread counts. --replay-json writes the format x threads rows;
+// threads — plus a "stream" row set that drives the evaluator straight
+// off the mmap'd container through the TraceView batch cursor, with no
+// materialized Trace at all. Load time is where the formats differ (text
+// parse vs mmap column decode vs mmap open); metrics must stay
+// bit-identical across formats, modes, and thread counts. --replay-json
+// writes the format x threads rows; --ratios-json writes a small
+// dimensionless summary (stream-vs-materialized speedups) whose keys are
+// hardware-portable enough to benchdiff against a committed baseline;
 // --quick shrinks the workload for CI smoke runs.
 #include <algorithm>
 #include <chrono>
@@ -36,6 +41,7 @@
 #include "trace/binary.h"
 #include "trace/clf.h"
 #include "trace/source.h"
+#include "trace/stream.h"
 #include "util/thread_pool.h"
 
 using namespace piggyweb;
@@ -250,27 +256,76 @@ int main(int argc, char** argv) {
       "load (best of %d): clf %.3f s, binary %.3f s, speedup %.2fx\n\n",
       load_reps, clf_load, bin_load, clf_load / bin_load);
 
+  // Each (format, threads) row is best-of-N like the load comparison
+  // above: hosts with frequency scaling drift on a timescale comparable
+  // to one full sweep, and a single-shot row confounds the format effect
+  // with whatever phase the clock happened to be in. Every rep must still
+  // produce bit-identical metrics; the row keeps the rep with the
+  // smallest load+eval total.
+  const int replay_reps = quick ? 2 : 3;
   std::vector<ReplayRow> replay;
-  for (const char* format_name : {"clf", "binary"}) {
+  for (const char* format_name : {"clf", "binary", "stream"}) {
+    const bool is_stream = std::string_view(format_name) == "stream";
     const bool is_binary = std::string_view(format_name) == "binary";
     const auto format =
         is_binary ? trace::TraceFormat::kBinary : trace::TraceFormat::kClf;
     const auto& path = is_binary ? bin_path : clf_path;
     for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
-      ReplayRow row;
-      row.format = format_name;
-      row.threads = threads;
-      trace::Trace t;
-      if (!timed_load(path, format, t, row.load_seconds)) return 1;
-      server::TraceMetaOracle replay_meta(t);
-      sim::ParallelEvalConfig par;
-      par.threads = threads;
-      const auto spec = sim::shard_directory_volumes(dvc, t);
-      const auto start = now_seconds();
-      row.result =
-          sim::ParallelEvaluator(config, par).run(t, spec, replay_meta);
-      row.eval_seconds = now_seconds() - start;
-      replay.push_back(std::move(row));
+      ReplayRow best;
+      for (int rep = 0; rep < replay_reps; ++rep) {
+        ReplayRow row;
+        row.format = format_name;
+        row.threads = threads;
+        sim::ParallelEvalConfig par;
+        par.threads = threads;
+        if (is_stream) {
+          // Zero-materialization mode: "load" is the mmap open + container
+          // validation; training state (the meta oracle) is built window by
+          // window off the batch cursor, like the tools' --stream path.
+          std::string error;
+          auto load_start = now_seconds();
+          auto view = trace::StreamingTraceSource::open(bin_path, error);
+          if (view == nullptr) {
+            std::fprintf(stderr, "replay: cannot stream %s: %s\n",
+                         bin_path.c_str(), error.c_str());
+            return 1;
+          }
+          row.load_seconds = now_seconds() - load_start;
+          server::TraceMetaOracle replay_meta;
+          constexpr std::size_t kScanWindow = std::size_t{1} << 16;
+          const auto total = view->request_count();
+          for (std::size_t base = 0; base < total; base += kScanWindow) {
+            const auto n = std::min(kScanWindow, total - base);
+            replay_meta.observe_window(view->window(base, n), view->paths());
+          }
+          const auto spec = sim::shard_directory_volumes(dvc, view->paths());
+          const auto start = now_seconds();
+          row.result = sim::ParallelEvaluator(config, par).run(*view, spec,
+                                                               replay_meta);
+          row.eval_seconds = now_seconds() - start;
+        } else {
+          trace::Trace t;
+          if (!timed_load(path, format, t, row.load_seconds)) return 1;
+          server::TraceMetaOracle replay_meta(t);
+          const auto spec = sim::shard_directory_volumes(dvc, t);
+          const auto start = now_seconds();
+          row.result =
+              sim::ParallelEvaluator(config, par).run(t, spec, replay_meta);
+          row.eval_seconds = now_seconds() - start;
+        }
+        if (rep > 0 &&
+            std::memcmp(&row.result, &best.result, sizeof row.result) != 0) {
+          std::fprintf(stderr, "REPLAY METRIC MISMATCH across reps in %s "
+                               "threads=%zu\n",
+                       row.format.c_str(), threads);
+          return 1;
+        }
+        if (rep == 0 || row.load_seconds + row.eval_seconds <
+                            best.load_seconds + best.eval_seconds) {
+          best = std::move(row);
+        }
+      }
+      replay.push_back(std::move(best));
     }
   }
   std::remove(clf_path.c_str());
@@ -316,6 +371,7 @@ int main(int argc, char** argv) {
   load_report.set("binary_seconds", bin_load);
   load_report.set("speedup", clf_load / bin_load);
   replay_report.set("load", std::move(load_report));
+  replay_report.set("replay_reps_best_of", replay_reps);
   auto replay_rows = obs::Json::array();
   for (const auto& row : replay) {
     const double total = row.load_seconds + row.eval_seconds;
@@ -340,5 +396,58 @@ int main(int argc, char** argv) {
     std::printf("wrote %s\n", replay_json_path.c_str());
   }
   observability.note("trace_replay", std::move(replay_report));
+
+  // Dimensionless stream-vs-materialized summary. Every numeric key ends
+  // in "speedup", so `piggyweb_benchdiff --ratio-only` gates all of them
+  // against a committed baseline — ratios of runs on the same host are
+  // hardware-portable where raw req/s are not. Only single-thread ratios:
+  // multi-thread speedups collapse on core-starved CI runners.
+  const auto row_of = [&](std::string_view fmt,
+                          std::size_t threads) -> const ReplayRow* {
+    for (const auto& row : replay) {
+      if (row.format == fmt && row.threads == threads) return &row;
+    }
+    return nullptr;
+  };
+  const auto* clf_t1 = row_of("clf", 1);
+  const auto* bin_t1 = row_of("binary", 1);
+  const auto* stream_t1 = row_of("stream", 1);
+  if (clf_t1 == nullptr || bin_t1 == nullptr || stream_t1 == nullptr) {
+    std::fprintf(stderr, "replay: missing t1 rows for the ratio summary\n");
+    return 1;
+  }
+  const auto total_of = [](const ReplayRow& row) {
+    return row.load_seconds + row.eval_seconds;
+  };
+  auto ratio_report = obs::Json::object();
+  ratio_report.set("benchmark", "trace_replay_ratios");
+  ratio_report.set("workload", "att_client");
+  ratio_report.set("metrics_identical", replay_identical);
+  ratio_report.set("binary_vs_clf_load_speedup", clf_load / bin_load);
+  ratio_report.set("stream_vs_binary_total_speedup_t1",
+                   total_of(*bin_t1) / total_of(*stream_t1));
+  ratio_report.set("stream_vs_clf_total_speedup_t1",
+                   total_of(*clf_t1) / total_of(*stream_t1));
+  ratio_report.set("stream_vs_binary_eval_speedup_t1",
+                   bin_t1->eval_seconds / stream_t1->eval_seconds);
+  std::printf(
+      "\nstream vs binary (t1): total %.2fx, eval %.2fx; "
+      "stream vs clf (t1): total %.2fx\n",
+      total_of(*bin_t1) / total_of(*stream_t1),
+      bin_t1->eval_seconds / stream_t1->eval_seconds,
+      total_of(*clf_t1) / total_of(*stream_t1));
+
+  const auto ratios_json_path =
+      bench::string_arg(argc, argv, "--ratios-json=");
+  if (!ratios_json_path.empty()) {
+    std::ofstream out(ratios_json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", ratios_json_path.c_str());
+      return 1;
+    }
+    out << ratio_report.dump(2) << "\n";
+    std::printf("wrote %s\n", ratios_json_path.c_str());
+  }
+  observability.note("trace_replay_ratios", std::move(ratio_report));
   return (identical && replay_identical) ? 0 : 1;
 }

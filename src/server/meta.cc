@@ -18,14 +18,23 @@ core::ResourceMeta SiteMetaOracle::lookup(util::InternId /*server*/,
 }
 
 TraceMetaOracle::TraceMetaOracle(const trace::Trace& trace) {
-  for (const auto& r : trace.requests()) {
+  observe_window(trace.requests(), trace.paths());
+}
+
+void TraceMetaOracle::observe_window(std::span<const trace::Request> window,
+                                     util::StringTableView paths) {
+  for (const auto& r : window) {
     auto& meta = meta_[key(r.server, r.path)];
     ++meta.access_count;
     if (r.status == 200 && r.size > meta.size) meta.size = r.size;
     if (r.last_modified > meta.last_modified) {
       meta.last_modified = r.last_modified;
     }
-    meta.type = trace::classify_path(trace.paths().str(r.path));
+    // The type depends only on the path, so one scan at first touch
+    // matches re-assigning it on every access.
+    if (meta.access_count == 1) {
+      meta.type = trace::classify_path(paths.str(r.path));
+    }
   }
 }
 

@@ -10,11 +10,13 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 
 #include "core/filter.h"
 #include "trace/record.h"
 #include "trace/synthetic.h"
+#include "util/flat_map.h"
 
 namespace piggyweb::server {
 
@@ -42,10 +44,23 @@ class SiteMetaOracle final : public core::MetaOracle {
 // Whole-trace oracle used by the evaluation benches: sizes are the largest
 // observed 200-response body, access counts are totals over the trace,
 // Last-Modified the last observed value. Works for multi-server traces
-// (keys combine server and resource ids).
+// (keys combine server and resource ids). Backed by a flat table — the
+// filter performs up to max_elements lookups per request, so this is on
+// the replay hot path.
+//
+// Streaming construction: default-construct, then feed the whole trace
+// through observe_window() one batch at a time (any batch partition gives
+// the same table — every field is an order-independent fold). The Trace
+// constructor is the one-shot form of the same pass.
 class TraceMetaOracle final : public core::MetaOracle {
  public:
+  TraceMetaOracle() = default;
   explicit TraceMetaOracle(const trace::Trace& trace);
+
+  // Folds one span of requests into the table. `paths` must be the id ->
+  // string table the requests' path ids resolve against.
+  void observe_window(std::span<const trace::Request> window,
+                      util::StringTableView paths);
 
   core::ResourceMeta lookup(util::InternId server,
                             util::InternId resource) const override;
@@ -54,7 +69,7 @@ class TraceMetaOracle final : public core::MetaOracle {
   static std::uint64_t key(util::InternId server, util::InternId resource) {
     return (static_cast<std::uint64_t>(server) << 32) | resource;
   }
-  std::unordered_map<std::uint64_t, core::ResourceMeta> meta_;
+  util::FlatMap<std::uint64_t, core::ResourceMeta> meta_;
 };
 
 }  // namespace piggyweb::server

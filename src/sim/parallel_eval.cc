@@ -7,6 +7,7 @@
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "sim/eval_core.h"
+#include "trace/stream.h"
 #include "util/expect.h"
 #include "util/hash.h"
 #include "util/parallel.h"
@@ -16,28 +17,39 @@
 namespace piggyweb::sim {
 
 ShardedProviderSpec shard_directory_volumes(
-    const volume::DirectoryVolumeConfig& config, const trace::Trace& trace) {
+    const volume::DirectoryVolumeConfig& config, util::StringTableView paths) {
   ShardedProviderSpec spec;
-  const trace::Trace* trace_ptr = &trace;
-  spec.make = [config, trace_ptr](std::size_t shard, std::size_t shards) {
+  spec.make = [config, paths](std::size_t shard, std::size_t shards) {
     auto shard_config = config;
     shard_config.id_offset = static_cast<core::VolumeId>(shard);
     shard_config.id_stride = static_cast<core::VolumeId>(shards);
     auto provider = std::make_unique<volume::DirectoryVolumes>(shard_config);
-    provider->bind_paths(trace_ptr->paths());
+    provider->bind_paths(paths);
     return provider;
   };
-  const int level = config.level;
-  spec.shard_of = [trace_ptr, level](const trace::Request& request,
-                                     std::size_t shards) {
-    // Must agree with DirectoryVolumes::volume_key: same (server, prefix)
-    // -> same shard, so each volume's state lives wholly in one shard.
-    const auto path = trace_ptr->paths().str(request.path);
-    const auto prefix = util::directory_prefix(path, level);
+  // Must agree with DirectoryVolumes::volume_key: same (server, prefix)
+  // -> same shard, so each volume's state lives wholly in one shard. A
+  // path's prefix hash never changes, so one precomputed hash per distinct
+  // path replaces a directory_prefix scan + string hash per request.
+  auto prefix_hash = std::make_shared<std::vector<std::uint64_t>>();
+  prefix_hash->reserve(paths.size());
+  for (std::size_t id = 0; id < paths.size(); ++id) {
+    prefix_hash->push_back(util::fnv1a(util::directory_prefix(
+        paths.str(static_cast<util::InternId>(id)), config.level)));
+  }
+  spec.shard_of = [prefix_hash = std::move(prefix_hash)](
+                      const trace::Request& request, std::size_t shards) {
     return static_cast<std::size_t>(
-        util::hash_combine(request.server, util::fnv1a(prefix)) % shards);
+        util::hash_combine(request.server, (*prefix_hash)[request.path]) %
+        shards);
   };
   return spec;
+}
+
+ShardedProviderSpec shard_directory_volumes(
+    const volume::DirectoryVolumeConfig& config, const trace::Trace& trace) {
+  return shard_directory_volumes(config,
+                                 util::StringTableView(trace.paths()));
 }
 
 ShardedProviderSpec shard_probability_volumes(
@@ -72,14 +84,28 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
                                         std::size_t range_end, bool publish,
                                         const EvalResumeHooks* hooks,
                                         ParallelEvalStats* stats) {
+  trace::MaterializedTraceView view(trace);
+  return run_range(view, spec, meta, range_begin, range_end, publish, hooks,
+                   stats);
+}
+
+EvalResult ParallelEvaluator::run(trace::TraceView& view,
+                                  const ShardedProviderSpec& spec,
+                                  const core::MetaOracle& meta,
+                                  ParallelEvalStats* stats) {
+  return run_range(view, spec, meta, 0, view.request_count(),
+                   /*publish=*/true, /*hooks=*/nullptr, stats);
+}
+
+EvalResult ParallelEvaluator::run_range(trace::TraceView& view,
+                                        const ShardedProviderSpec& spec,
+                                        const core::MetaOracle& meta,
+                                        std::size_t range_begin,
+                                        std::size_t range_end, bool publish,
+                                        const EvalResumeHooks* hooks,
+                                        ParallelEvalStats* stats) {
   OBS_SPAN("parallel_eval.run");
-  const auto& requests = trace.requests();
-  PW_EXPECT(range_begin <= range_end && range_end <= requests.size());
-  PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
-                           [](const trace::Request& a,
-                              const trace::Request& b) {
-                             return a.time < b.time;
-                           }));
+  PW_EXPECT(range_begin <= range_end && range_end <= view.request_count());
   PW_EXPECT(config_.cache_horizon > config_.prediction_window);
   PW_EXPECT(spec.make != nullptr);
   PW_EXPECT(spec.shard_of != nullptr);
@@ -113,17 +139,11 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
     }
   }
 
-  // Each request's provider shard is a pure function of the request;
-  // compute the range's column up front, in parallel.
-  std::vector<std::uint32_t> provider_shard(range_end - range_begin);
-  util::parallel_ranges(
-      pool, range_end - range_begin, [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto s = spec.shard_of(requests[range_begin + i], pshards);
-          PW_EXPECT(s < pshards);
-          provider_shard[i] = static_cast<std::uint32_t>(s);
-        }
-      });
+  // Each request's provider shard is a pure function of the request; the
+  // column is computed chunk by chunk over the current window (in
+  // parallel), so its memory is bounded by the chunk size, not the range.
+  std::vector<std::uint32_t> provider_shard(
+      std::min(chunk, range_end - range_begin));
 
   const auto source_shard = [sshards](util::InternId source) {
     return static_cast<std::size_t>(util::mix64(source) % sshards);
@@ -150,17 +170,41 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
 
   // Per-provider-shard batching scratch, persistent across chunks so the
   // steady state allocates nothing.
-  const trace::PathTypeTable types(trace.paths());
+  const trace::PathTypeTable types(view.paths());
   struct ShardScratch {
-    std::vector<std::size_t> rows;  // request indices owned this chunk
+    std::vector<std::size_t> rows;  // window-relative indices owned this chunk
     std::vector<core::VolumeRequest> batch;
     std::vector<core::VolumePrediction> predictions;
     core::PiggybackMessage message;
   };
   std::vector<ShardScratch> scratch(pshards);
+  util::Seconds last_time = detail::kNever;
 
   for (std::size_t begin = range_begin; begin < range_end; begin += chunk) {
     const auto end = std::min(begin + chunk, range_end);
+    // One window per chunk: a subspan for materialized traces, a bounded
+    // decode off the mapped columns for streaming ones. Workers only read
+    // the span, so sharing it across the two stage barriers is safe.
+    const auto window = view.window(begin, end - begin);
+
+    // Incremental sortedness contract, window by window.
+    PW_EXPECT(window.empty() || window.front().time.value >= last_time);
+    PW_EXPECT(std::is_sorted(window.begin(), window.end(),
+                             [](const trace::Request& a,
+                                const trace::Request& b) {
+                               return a.time < b.time;
+                             }));
+    if (!window.empty()) last_time = window.back().time.value;
+
+    // Provider-shard column for this window, computed in parallel.
+    util::parallel_ranges(
+        pool, window.size(), [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto s = spec.shard_of(window[i], pshards);
+            PW_EXPECT(s < pshards);
+            provider_shard[i] = static_cast<std::uint32_t>(s);
+          }
+        });
 
     // Stage 1: drive providers and apply the static filter, one batched
     // provider call per shard per chunk. Within a shard, requests are
@@ -171,17 +215,17 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
       auto& sc = scratch[s];
       sc.rows.clear();
       sc.batch.clear();
-      for (std::size_t i = begin; i < end; ++i) {
-        if (provider_shard[i - range_begin] != s) continue;
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        if (provider_shard[i] != s) continue;
         sc.rows.push_back(i);
         sc.batch.push_back(detail::make_volume_request(
-            requests[i], types.type_of(requests[i].path)));
+            window[i], types.type_of(window[i].path)));
       }
       providers[s]->on_request_batch(sc.batch, sc.predictions);
       for (std::size_t k = 0; k < sc.rows.size(); ++k) {
         core::apply_filter_into(sc.predictions[k], sc.batch[k],
                                 config_.filter, meta, sc.message);
-        auto& slot = staged[sc.rows[k] - begin];
+        auto& slot = staged[sc.rows[k]];
         slot.volume = sc.message.volume;
         slot.resources.clear();
         slot.resources.reserve(sc.message.elements.size());
@@ -196,10 +240,10 @@ EvalResult ParallelEvaluator::run_range(const trace::Trace& trace,
     util::parallel_shards(pool, sshards, [&](std::size_t w) {
       OBS_SPAN("parallel_eval.metric_shard");
       auto& acc = accumulators[w];
-      for (std::size_t i = begin; i < end; ++i) {
-        const auto& req = requests[i];
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        const auto& req = window[i];
         if (source_shard(req.source) != w) continue;
-        const auto& slot = staged[i - begin];
+        const auto& slot = staged[i];
         acc.observe(req, slot.volume, slot.resources);
       }
     });

@@ -61,7 +61,12 @@ struct ShardedProviderSpec {
 // Directory volumes: shard by (server, directory-prefix) — the volume key —
 // so each volume's FIFO state lives wholly in one shard. Shard k of S gets
 // volume ids k, k+S, k+2S, ... (see DirectoryVolumeConfig::id_offset).
-// The spec borrows the trace's path table; it must not outlive `trace`.
+// The spec borrows the path table (a view into a Trace or an mmap'd
+// container); the table's backing must outlive the spec. Building the spec
+// precomputes one prefix hash per distinct path, so shard_of never hashes
+// a string per request.
+ShardedProviderSpec shard_directory_volumes(
+    const volume::DirectoryVolumeConfig& config, util::StringTableView paths);
 ShardedProviderSpec shard_directory_volumes(
     const volume::DirectoryVolumeConfig& config, const trace::Trace& trace);
 
@@ -115,6 +120,21 @@ class ParallelEvaluator {
   // resume hooks (nullptr = cold start). Publishes the eval.* metrics only
   // when `publish` is set — a partial run's counters are not final.
   EvalResult run_range(const trace::Trace& trace,
+                       const ShardedProviderSpec& provider,
+                       const core::MetaOracle& meta, std::size_t begin,
+                       std::size_t end, bool publish,
+                       const EvalResumeHooks* hooks,
+                       ParallelEvalStats* stats = nullptr);
+
+  // Batch-cursor variants over a TraceView (streaming or wrapped
+  // in-memory): one chunk-sized window is decoded per chunk and the
+  // provider-shard column is computed per chunk, so memory stays bounded
+  // by the chunk size regardless of trace length. Bit-identical to the
+  // Trace overloads, which delegate here.
+  EvalResult run(trace::TraceView& view, const ShardedProviderSpec& provider,
+                 const core::MetaOracle& meta,
+                 ParallelEvalStats* stats = nullptr);
+  EvalResult run_range(trace::TraceView& view,
                        const ShardedProviderSpec& provider,
                        const core::MetaOracle& meta, std::size_t begin,
                        std::size_t end, bool publish,

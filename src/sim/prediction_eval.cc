@@ -6,6 +6,7 @@
 #include "obs/registry.h"
 #include "obs/tracer.h"
 #include "sim/eval_core.h"
+#include "trace/stream.h"
 #include "util/expect.h"
 
 namespace piggyweb::sim {
@@ -175,46 +176,72 @@ EvalResult PredictionEvaluator::run_range(const trace::Trace& trace,
                                           std::size_t begin, std::size_t end,
                                           detail::MetricAccumulator& acc,
                                           bool publish) {
+  trace::MaterializedTraceView view(trace);
+  return run_range(view, provider, meta, begin, end, acc, publish);
+}
+
+EvalResult PredictionEvaluator::run(trace::TraceView& view,
+                                    core::VolumeProvider& provider,
+                                    const core::MetaOracle& meta) {
+  detail::MetricAccumulator acc(config_);
+  return run_range(view, provider, meta, 0, view.request_count(), acc,
+                   /*publish=*/true);
+}
+
+EvalResult PredictionEvaluator::run_range(trace::TraceView& view,
+                                          core::VolumeProvider& provider,
+                                          const core::MetaOracle& meta,
+                                          std::size_t begin, std::size_t end,
+                                          detail::MetricAccumulator& acc,
+                                          bool publish) {
   OBS_SPAN("prediction_eval.run");
-  const auto& requests = trace.requests();
-  PW_EXPECT(begin <= end && end <= requests.size());
-  PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
-                           [](const trace::Request& a,
-                              const trace::Request& b) {
-                             return a.time < b.time;
-                           }));
+  PW_EXPECT(begin <= end && end <= view.request_count());
   PW_EXPECT(config_.cache_horizon > config_.prediction_window);
 
-  // Batched hot loop: provider predictions for a span of requests, then
-  // filter + metrics over the same span. Requests are visited strictly in
-  // trace order inside each half, so results are bit-identical to the
+  // Batched hot loop: one view window per batch (a subspan for
+  // materialized traces, a bounded decode straight off the mapped columns
+  // for streaming ones), provider predictions for the span, then filter +
+  // metrics over the same span. Requests are visited strictly in trace
+  // order inside each half, so results are bit-identical to the
   // per-request formulation. All buffers live across batches, so the
-  // steady state performs no allocation.
-  const trace::PathTypeTable types(trace.paths());
+  // steady state performs no allocation and memory stays bounded by the
+  // batch size regardless of trace length.
+  const trace::PathTypeTable types(view.paths());
   std::vector<core::VolumeRequest> batch;
   std::vector<core::VolumePrediction> predictions;
   core::PiggybackMessage message;
   std::vector<util::InternId> resources;
   batch.reserve(std::min(detail::kEvalBatchRequests, end - begin));
+  util::Seconds last_time = detail::kNever;
 
   for (std::size_t base = begin; base < end;
        base += detail::kEvalBatchRequests) {
     const auto stop = std::min(base + detail::kEvalBatchRequests, end);
+    const auto window = view.window(base, stop - base);
+    // Incremental sortedness contract: each window in order, and ordered
+    // against the previous window's tail.
+    PW_EXPECT(window.empty() || window.front().time.value >= last_time);
+    PW_EXPECT(std::is_sorted(window.begin(), window.end(),
+                             [](const trace::Request& a,
+                                const trace::Request& b) {
+                               return a.time < b.time;
+                             }));
+    if (!window.empty()) last_time = window.back().time.value;
     batch.clear();
-    for (std::size_t i = base; i < stop; ++i) {
-      batch.push_back(detail::make_volume_request(
-          requests[i], types.type_of(requests[i].path)));
+    for (const trace::Request& req : window) {
+      batch.push_back(
+          detail::make_volume_request(req, types.type_of(req.path)));
     }
     provider.on_request_batch(batch, predictions);
-    for (std::size_t i = base; i < stop; ++i) {
-      core::apply_filter_into(predictions[i - base], batch[i - base],
-                              config_.filter, meta, message);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      core::apply_filter_into(predictions[i], batch[i], config_.filter, meta,
+                              message);
       resources.clear();
       resources.reserve(message.elements.size());
       for (const auto& element : message.elements) {
         resources.push_back(element.resource);
       }
-      acc.observe(requests[i], message.volume, resources);
+      acc.observe(window[i], message.volume, resources);
     }
     if (config_.on_progress) {
       config_.on_progress({stop - begin, end - begin, 0});

@@ -25,6 +25,10 @@
 #include "core/rpv.h"
 #include "trace/record.h"
 
+namespace piggyweb::trace {
+class TraceView;
+}
+
 namespace piggyweb::sim {
 
 namespace detail {
@@ -122,6 +126,18 @@ class PredictionEvaluator {
   // counters are not final.
   EvalResult run_range(const trace::Trace& trace,
                        core::VolumeProvider& provider,
+                       const core::MetaOracle& meta, std::size_t begin,
+                       std::size_t end, detail::MetricAccumulator& acc,
+                       bool publish);
+
+  // Batch-cursor variants: replay straight off a TraceView (a streaming
+  // PIGGYTRC cursor or a wrapped in-memory trace) without materializing a
+  // Trace. Results are bit-identical to the Trace overloads — the Trace
+  // overloads delegate here through a MaterializedTraceView. The view's
+  // windows must be time-sorted (checked incrementally, window by window).
+  EvalResult run(trace::TraceView& view, core::VolumeProvider& provider,
+                 const core::MetaOracle& meta);
+  EvalResult run_range(trace::TraceView& view, core::VolumeProvider& provider,
                        const core::MetaOracle& meta, std::size_t begin,
                        std::size_t end, detail::MetricAccumulator& acc,
                        bool publish);

@@ -306,6 +306,18 @@ std::size_t BinaryTraceReader::read_batch(std::size_t begin,
   return n;
 }
 
+void BinaryTraceReader::decode_string_views(
+    std::size_t table, std::vector<std::string_view>& out) const {
+  PW_EXPECT(table < 3);
+  persist::ByteReader r(strings_[table]);
+  const std::uint32_t n = r.u32();
+  out.clear();
+  out.reserve(n);
+  // open() validated the table structure, so every str() read succeeds.
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(r.str());
+  PW_EXPECT(r.ok() && r.at_end());
+}
+
 bool BinaryTraceReader::load(Trace& out, std::string& error) const {
   PW_EXPECT(out.empty() && out.sources().empty() && out.servers().empty() &&
             out.paths().empty());

@@ -36,6 +36,7 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "trace/record.h"
 
@@ -78,6 +79,14 @@ class BinaryTraceReader {
   // straight from the mapped columns; returns the number decoded (0 at
   // end of trace).
   std::size_t read_batch(std::size_t begin, std::span<Request> out) const;
+
+  // Decode string table `table` (0 sources, 1 servers, 2 paths) as id ->
+  // view entries pointing into the open()ed buffer — no copies. The views
+  // are valid for the buffer's lifetime. This is the id->string surface
+  // the streaming replay path hands to consumers in place of a live
+  // InternTable.
+  void decode_string_views(std::size_t table,
+                           std::vector<std::string_view>& out) const;
 
   // Materialize the whole trace (string tables in id order, then all
   // requests column-major) into the empty trace `out`. Fails only on a

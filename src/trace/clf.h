@@ -17,6 +17,8 @@
 
 namespace piggyweb::trace {
 
+class TraceView;
+
 struct ClfEntry {
   std::string host;         // remote client
   util::TimePoint time;     // seconds since Unix epoch
@@ -45,6 +47,13 @@ struct ClfFields {
 };
 bool parse_clf_fields(std::string_view line, ClfFields& out);
 
+// Reference implementation of parse_clf_fields using one-byte-at-a-time
+// scanning. parse_clf_fields itself locates delimiters with the wide
+// (SSE2/SWAR) scanner in util/scan.h; the two must agree on every input —
+// a randomized differential test enforces it. Exposed for that test and
+// for the hot-path microbench.
+bool parse_clf_fields_scalar(std::string_view line, ClfFields& out);
+
 // Serialize an entry back to a CLF line (UTC zone).
 std::string format_clf_line(const ClfEntry& entry);
 
@@ -68,8 +77,19 @@ struct ClfLoadResult {
 ClfLoadResult load_clf(std::istream& in, Trace& trace,
                        const ClfLoadOptions& options = {});
 
-// Write a trace as CLF lines (server logs: one line per request).
+// As load_clf, but over an in-memory buffer (typically an mmap'd log
+// file): lines are split with the wide byte scanner and parsed without
+// any istream or per-line copy. Behaves exactly like load_clf over the
+// same bytes, including blank-line and final-unterminated-line handling.
+ClfLoadResult load_clf_text(std::string_view text, Trace& trace,
+                            const ClfLoadOptions& options = {});
+
+// Write a trace as CLF lines (server logs: one line per request). The
+// TraceView overload walks bounded windows, so a streaming (mmap-backed)
+// view converts to CLF without materializing; the Trace overload
+// delegates to it and writes identical bytes.
 void write_clf(std::ostream& out, const Trace& trace);
+void write_clf(std::ostream& out, TraceView& view);
 
 // §A cleanup predicate: true if the URL should be treated as uncachable.
 bool is_uncachable_url(std::string_view path);

@@ -57,7 +57,7 @@ ContentType classify_path(std::string_view path) {
   return ContentType::kOther;
 }
 
-PathTypeTable::PathTypeTable(const util::InternTable& paths) {
+PathTypeTable::PathTypeTable(util::StringTableView paths) {
   types_.reserve(paths.size());
   for (std::size_t id = 0; id < paths.size(); ++id) {
     types_.push_back(classify_path(paths.str(static_cast<util::InternId>(id))));

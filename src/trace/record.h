@@ -34,7 +34,10 @@ ContentType classify_path(std::string_view path);
 // resolve content types through this table.
 class PathTypeTable {
  public:
-  explicit PathTypeTable(const util::InternTable& paths);
+  // Accepts a live InternTable (implicitly) or a StringTableView over
+  // decoded container strings — the streaming path builds type tables
+  // without materializing an InternTable.
+  explicit PathTypeTable(util::StringTableView paths);
 
   ContentType type_of(util::InternId path) const { return types_[path]; }
   std::size_t size() const { return types_.size(); }

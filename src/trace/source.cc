@@ -18,12 +18,24 @@ class ClfTraceSource final : public TraceSource {
       : path_(std::move(path)), options_(std::move(options)) {}
 
   bool load(Trace& out, TraceLoadStats& stats, std::string& error) override {
-    std::ifstream in(path_, std::ios::binary);
-    if (!in) {
-      error = path_ + ": cannot open";
-      return false;
+    ClfLoadResult result;
+    // Prefer parsing straight out of an mmap'd buffer (wide-scanner line
+    // splitting, no per-line copy); fall back to the ifstream path when
+    // the file cannot be mapped (e.g. process substitution pipes).
+    std::string mmap_error;
+    if (auto mapping = util::MmapFile::open(path_, mmap_error)) {
+      mapping->advise_sequential();
+      result = load_clf_text(mapping->bytes(), out, options_);
+      stats.backing = TraceBacking::kMmap;
+    } else {
+      std::ifstream in(path_, std::ios::binary);
+      if (!in) {
+        error = path_ + ": cannot open";
+        return false;
+      }
+      result = load_clf(in, out, options_);
+      stats.backing = TraceBacking::kReadCopy;
     }
-    const ClfLoadResult result = load_clf(in, out, options_);
     out.sort_by_time();
     stats.format = TraceFormat::kClf;
     stats.requests = result.parsed;
@@ -54,6 +66,7 @@ class BinaryTraceSource final : public TraceSource {
       return false;
     }
     stats.format = TraceFormat::kBinary;
+    stats.backing = TraceBacking::kMmap;
     stats.requests = out.size();
     return true;
   }
@@ -75,6 +88,7 @@ class SyntheticTraceSource final : public TraceSource {
     out = std::move(workload.trace);
     out.sort_by_time();
     stats.format = TraceFormat::kSynthetic;
+    stats.backing = TraceBacking::kGenerated;
     stats.requests = out.size();
     return true;
   }
@@ -150,6 +164,16 @@ std::string_view trace_format_name(TraceFormat format) {
     case TraceFormat::kSynthetic: return "synthetic";
   }
   return "auto";
+}
+
+std::string_view trace_backing_name(TraceBacking backing) {
+  switch (backing) {
+    case TraceBacking::kReadCopy: return "read-copy";
+    case TraceBacking::kMmap: return "mmap";
+    case TraceBacking::kStream: return "stream";
+    case TraceBacking::kGenerated: return "generated";
+  }
+  return "read-copy";
 }
 
 std::unique_ptr<TraceSource> open_trace_source(

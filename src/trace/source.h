@@ -31,6 +31,14 @@ enum class TraceFormat : std::uint8_t { kAuto, kClf, kBinary, kSynthetic };
 bool parse_trace_format(std::string_view name, TraceFormat& out);
 std::string_view trace_format_name(TraceFormat format);
 
+// Which backing path actually served a load — distinct from the format:
+// CLF text parses out of an mmap'd buffer when the file maps (read-copy
+// through an ifstream otherwise), binary containers decode out of a
+// mapping either into a materialized Trace (kMmap) or batch-by-batch
+// without materializing (kStream), and synthetic traces are generated.
+enum class TraceBacking : std::uint8_t { kReadCopy, kMmap, kStream, kGenerated };
+std::string_view trace_backing_name(TraceBacking backing);
+
 struct TraceSourceOptions {
   TraceFormat format = TraceFormat::kAuto;
   ClfLoadOptions clf;  // applied only when the source parses CLF text
@@ -39,6 +47,7 @@ struct TraceSourceOptions {
 // What a load actually did, for the tools' "parsed N requests" line.
 struct TraceLoadStats {
   TraceFormat format = TraceFormat::kClf;  // resolved, never kAuto
+  TraceBacking backing = TraceBacking::kReadCopy;  // path that served it
   std::size_t requests = 0;
   std::size_t skipped_malformed = 0;  // CLF only
   std::size_t skipped_filtered = 0;   // CLF only

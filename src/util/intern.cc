@@ -9,6 +9,9 @@ namespace {
 constexpr std::size_t kMinSlots = 16;
 }  // namespace
 
+StringTableView::StringTableView(const InternTable& table)
+    : views_(table.views()) {}
+
 InternTable::InternTable(const InternTable& other)
     : hashes_(other.hashes_), slots_(other.slots_) {
   views_.reserve(other.views_.size());

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -21,6 +22,32 @@ namespace piggyweb::util {
 
 using InternId = std::uint32_t;
 inline constexpr InternId kInvalidIntern = 0xffffffffu;
+
+class InternTable;
+
+// Non-owning, read-only id -> string table. This is the lookup surface the
+// replay pipeline hands around: it is satisfied equally by a live
+// InternTable and by string views decoded straight out of an mmap'd
+// PIGGYTRC string section, so consumers (path classification, directory
+// prefixes, report labels) need not care whether the trace was
+// materialized. Lifetime: the view borrows the backing storage (arena or
+// mapped file); it must not outlive it.
+class StringTableView {
+ public:
+  StringTableView() = default;
+  explicit StringTableView(std::span<const std::string_view> views)
+      : views_(views) {}
+  // Implicit: every `bind(trace.paths())` call site keeps compiling.
+  StringTableView(const InternTable& table);  // NOLINT(google-explicit-constructor)
+
+  std::string_view str(InternId id) const { return views_[id]; }
+  std::size_t size() const { return views_.size(); }
+  bool empty() const { return views_.empty(); }
+  std::span<const std::string_view> views() const { return views_; }
+
+ private:
+  std::span<const std::string_view> views_;
+};
 
 class InternTable {
  public:
@@ -43,6 +70,12 @@ class InternTable {
 
   std::size_t size() const { return views_.size(); }
   bool empty() const { return views_.empty(); }
+
+  // Stable id -> string views (into the arena). Valid until the table is
+  // destroyed or moved-from; interning more strings does not invalidate
+  // already-handed-out string_views (the arena never relocates payload),
+  // but it may reallocate this span, so re-fetch after inserts.
+  std::span<const std::string_view> views() const { return views_; }
 
   // Pre-size the probe table and id arrays for `expected` strings.
   void reserve(std::size_t expected);

@@ -11,7 +11,9 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
+#include <functional>
 #include <mutex>
+#include <vector>
 
 #include "util/thread_pool.h"
 
@@ -54,8 +56,13 @@ void parallel_shards(ThreadPool& pool, std::size_t shards, const Fn& fn) {
   }
   detail::JoinState join;
   join.pending = shards;
+  // All shard tasks enqueue under one pool-mutex acquisition; workers
+  // wake once and drain. Posting one at a time made the pool queue the
+  // hottest lock on the chunked replay path (two forks per chunk).
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    pool.post([&join, &fn, s] {
+    tasks.emplace_back([&join, &fn, s] {
       std::exception_ptr error;
       try {
         fn(s);
@@ -65,6 +72,7 @@ void parallel_shards(ThreadPool& pool, std::size_t shards, const Fn& fn) {
       join.finish(error);
     });
   }
+  pool.post_batch(tasks);
   join.wait();
 }
 

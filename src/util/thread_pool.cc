@@ -42,6 +42,35 @@ void ThreadPool::post(std::function<void()> task) {
   if (observer_ != nullptr) observer_->on_post(depth);
 }
 
+void ThreadPool::post_batch(std::span<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  std::chrono::steady_clock::time_point enqueued;
+  if (observer_ != nullptr) {
+    enqueued = std::chrono::steady_clock::now();
+  }
+  std::size_t depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PW_EXPECT(!stopping_);
+    for (auto& task : tasks) {
+      PW_EXPECT(task != nullptr);
+      queue_.push_back(Task{std::move(task), enqueued});
+    }
+    depth = queue_.size();
+  }
+  if (tasks.size() == 1) {
+    wake_.notify_one();
+  } else {
+    wake_.notify_all();
+  }
+  if (observer_ != nullptr) {
+    // Report the post-batch depth for every task: the batch became
+    // visible to workers atomically, so intermediate depths never
+    // existed outside the lock.
+    for (std::size_t i = 0; i < tasks.size(); ++i) observer_->on_post(depth);
+  }
+}
+
 std::size_t ThreadPool::queue_depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.size();

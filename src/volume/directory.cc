@@ -23,12 +23,23 @@ std::size_t DirectoryVolumes::partition_of(trace::ContentType type,
   return type_idx * 2 + size_idx;
 }
 
+util::InternId DirectoryVolumes::prefix_of(util::InternId path) {
+  if (path >= prefix_ids_.size()) {
+    prefix_ids_.resize(static_cast<std::size_t>(path) + 1,
+                       util::kInvalidIntern);
+  }
+  auto& cached = prefix_ids_[path];
+  if (cached == util::kInvalidIntern) {
+    cached = prefixes_.intern(
+        util::directory_prefix(path_str(path), config_.level));
+  }
+  return cached;
+}
+
 void DirectoryVolumes::predict_into(const core::VolumeRequest& request,
                                     core::VolumePrediction& out) {
-  PW_EXPECT(paths_ != nullptr);
-  const auto path = paths_->str(request.path);
-  const auto prefix =
-      prefixes_.intern(util::directory_prefix(path, config_.level));
+  PW_EXPECT(live_paths_ != nullptr || !fixed_paths_.empty());
+  const auto prefix = prefix_of(request.path);
   const auto key = volume_key(request.server, prefix);
 
   // ids_ holds the dense local index; the public id applies the

@@ -107,6 +107,17 @@ class DirectoryVolumes final : public core::VolumeProvider {
   void trim(Volume& volume);
   void collect(const Volume& volume, std::vector<util::InternId>& out) const;
 
+  // Path string for an id from whichever table is bound (see bind_paths).
+  std::string_view path_str(util::InternId path) const {
+    return live_paths_ != nullptr ? live_paths_->str(path)
+                                  : fixed_paths_.str(path);
+  }
+
+  // Interned prefix id for a path id, via the derived per-path cache:
+  // a path's prefix string never changes, so the directory_prefix scan +
+  // prefix intern runs once per distinct path instead of once per request.
+  util::InternId prefix_of(util::InternId path);
+
   DirectoryVolumeConfig config_;
   // A volume's identity is (server, k-level prefix). Prefix strings are
   // interned once, so the per-request lookup packs two dense ids instead
@@ -114,14 +125,24 @@ class DirectoryVolumes final : public core::VolumeProvider {
   util::InternTable prefixes_;
   util::FlatMap<std::uint64_t, core::VolumeId> ids_;
   std::vector<Volume> volumes_;
-  // The path table is owned by the caller's Trace; we only need prefix
-  // strings, resolved per request from the request's path string.
-  const util::InternTable* paths_ = nullptr;
+  // The path table is owned by the caller. Two binding modes: a live
+  // InternTable pointer (online servers keep interning new paths — the
+  // table may grow after binding), or a fixed StringTableView (replay over
+  // a loaded trace or an mmap'd container, where the table is immutable).
+  const util::InternTable* live_paths_ = nullptr;
+  util::StringTableView fixed_paths_;
+  // path id -> interned prefix id; kInvalidIntern = not yet computed.
+  // Derived state: rebuilt lazily, never serialized.
+  std::vector<util::InternId> prefix_ids_;
 
  public:
   // The provider needs to turn interned path ids back into strings to
-  // compute directory prefixes; bind the trace's path table once.
-  void bind_paths(const util::InternTable& paths) { paths_ = &paths; }
+  // compute directory prefixes; bind the trace's path table once. The
+  // InternTable overload tracks a table that keeps growing (live servers);
+  // the view overload serves replay from an immutable table without
+  // touching the InternTable at all.
+  void bind_paths(const util::InternTable& paths) { live_paths_ = &paths; }
+  void bind_paths(util::StringTableView paths) { fixed_paths_ = paths; }
 };
 
 }  // namespace piggyweb::volume

@@ -42,6 +42,20 @@ std::vector<double> PairCounts::all_probabilities() const {
   return out;
 }
 
+void PairObservations::observe_window(
+    std::span<const trace::Request> window) {
+  for (const auto& r : window) {
+    if (r.source >= by_source_.size()) {
+      by_source_.resize(static_cast<std::size_t>(r.source) + 1);
+    }
+    if (r.path >= popularity_.size()) {
+      popularity_.resize(static_cast<std::size_t>(r.path) + 1, 0);
+    }
+    by_source_[r.source].push_back(Entry{r.time, r.path});
+    ++popularity_[r.path];
+  }
+}
+
 PairCounterBuilder::PairCounterBuilder(const PairCounterConfig& config)
     : config_(config) {
   PW_EXPECT(config.window > 0);
@@ -56,54 +70,45 @@ PairCounts PairCounterBuilder::build(const trace::Trace& trace,
                               const trace::Request& b) {
                              return a.time < b.time;
                            }));
+  PairObservations observations;
+  observations.observe_window(requests);
+  return build(observations, util::StringTableView(trace.paths()),
+               min_resource_count);
+}
 
-  // Pre-count resource popularity for the min-count cut and for the
-  // sampler's freq(r) term. The paths intern table bounds the id space, so
-  // size the array once instead of growing it request by request.
-  std::vector<std::uint64_t> popularity(trace.paths().size(), 0);
-  for (const auto& req : requests) {
-    if (req.path >= popularity.size()) popularity.resize(req.path + 1, 0);
-    ++popularity[req.path];
-  }
-
-  // Group request indices by source (stable within a source, so each
-  // source's slice stays time-ordered).
-  std::vector<std::uint32_t> order(requests.size());
-  for (std::uint32_t i = 0; i < requests.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(),
-                   [&requests](std::uint32_t a, std::uint32_t b) {
-                     return requests[a].source < requests[b].source;
-                   });
+PairCounts PairCounterBuilder::build(const PairObservations& observations,
+                                     util::StringTableView paths,
+                                     std::uint64_t min_resource_count) {
+  // Popularity feeds the min-count cut and the sampler's freq(r) term.
+  // Padding the vector to the path-table size keeps c_r_ the same shape
+  // the whole-trace pass produced (ids interned but never requested).
+  auto popularity = observations.popularity();
+  if (popularity.size() < paths.size()) popularity.resize(paths.size(), 0);
 
   util::Rng rng(config_.seed);
   PairCounts counts;
   counts.c_r_.assign(popularity.size(), 0);
 
   const auto prefix_of = [&](util::InternId path) {
-    return util::directory_prefix(trace.paths().str(path),
+    return util::directory_prefix(paths.str(path),
                                   config_.restrict_prefix_level);
   };
 
   std::vector<util::InternId> successors;  // distinct, per request
-  std::size_t begin = 0;
-  while (begin < order.size()) {
-    std::size_t end = begin;
-    const auto source = requests[order[begin]].source;
-    while (end < order.size() && requests[order[end]].source == source) {
-      ++end;
-    }
+  for (std::size_t src = 0; src < observations.source_count(); ++src) {
+    const auto slice = observations.slice(src);
 
     // Two-pointer forward scan over this source's requests.
-    for (std::size_t i = begin; i < end; ++i) {
-      const auto& ri = requests[order[i]];
+    for (std::size_t i = 0; i < slice.size(); ++i) {
+      const auto& ri = slice[i];
       const auto r = ri.path;
       if (popularity[r] < min_resource_count) continue;
       ++counts.c_r_[r];
       const auto cr_now = counts.c_r_[r];
 
       successors.clear();
-      for (std::size_t j = i + 1; j < end; ++j) {
-        const auto& rj = requests[order[j]];
+      for (std::size_t j = i + 1; j < slice.size(); ++j) {
+        const auto& rj = slice[j];
         if (rj.time - ri.time > config_.window) break;
         const auto s = rj.path;
         if (popularity[s] < min_resource_count) continue;
@@ -137,7 +142,6 @@ PairCounts PairCounterBuilder::build(const trace::Trace& trace,
         ++it->second.count;
       }
     }
-    begin = end;
   }
   return counts;
 }

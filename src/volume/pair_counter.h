@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "trace/record.h"
 #include "util/flat_map.h"
+#include "util/intern.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -83,6 +85,36 @@ class PairCounts {
   util::FlatMap<std::uint64_t, PairCount> pairs_;
 };
 
+// Compact per-source observation log — the only training state pair
+// counting actually needs from a trace: (time, path) per request grouped
+// by source, plus resource popularity. Feed time-ordered request windows
+// through observe_window() (a streaming TraceView batch at a time, or one
+// whole materialized span); per-source slices inherit the feed order, so
+// the result is independent of the window partition. ~12 bytes/request
+// instead of a full materialized Request — this is what bounds streaming
+// probability-volume training memory.
+class PairObservations {
+ public:
+  struct Entry {
+    util::TimePoint time;
+    util::InternId path = 0;
+  };
+
+  void observe_window(std::span<const trace::Request> window);
+
+  // Number of per-source slices (max observed source id + 1).
+  std::size_t source_count() const { return by_source_.size(); }
+  std::span<const Entry> slice(std::size_t source) const {
+    return by_source_[source];
+  }
+  // Occurrence totals indexed by path id (max observed path id + 1).
+  const std::vector<std::uint64_t>& popularity() const { return popularity_; }
+
+ private:
+  std::vector<std::vector<Entry>> by_source_;
+  std::vector<std::uint64_t> popularity_;
+};
+
 // Streams a time-sorted trace and produces PairCounts. Single server logs
 // only (pairs are per-source, within one server's resource space).
 class PairCounterBuilder {
@@ -92,7 +124,18 @@ class PairCounterBuilder {
   // The trace must be sorted by time. Only requests whose resource was
   // seen at least `min_resource_count` times are considered (the paper
   // drops resources with <10 accesses before volume construction).
+  // Delegates to the observation overload below.
   PairCounts build(const trace::Trace& trace,
+                   std::uint64_t min_resource_count = 1);
+
+  // Counts from a pre-built observation log. `paths` must resolve the
+  // log's path ids (it also sizes the occurrence vector, so results are
+  // identical to the Trace overload). Sources are processed in ascending
+  // id order with each slice in feed order — exactly the serial trace
+  // pass, so the sampler's RNG draw sequence (and therefore the counter
+  // set) is bit-identical.
+  PairCounts build(const PairObservations& observations,
+                   util::StringTableView paths,
                    std::uint64_t min_resource_count = 1);
 
  private:

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/stream.h"
 #include "util/expect.h"
 #include "util/strings.h"
 
@@ -71,13 +72,21 @@ VolumeSetStats ProbabilityVolumeSet::stats() const {
 ProbabilityVolumeSet build_probability_volumes(
     const trace::Trace& trace, const PairCounts& counts,
     const ProbabilityVolumeConfig& config) {
+  trace::MaterializedTraceView view(trace);
+  return build_probability_volumes(view, counts, config);
+}
+
+ProbabilityVolumeSet build_probability_volumes(
+    trace::TraceView& view, const PairCounts& counts,
+    const ProbabilityVolumeConfig& config) {
   PW_EXPECT(config.probability_threshold > 0);
 
   // Candidate volumes: all counted pairs passing p_t (and the prefix
   // restriction when combining).
   util::FlatMap<util::InternId, std::vector<VolumeEntry>> candidates;
+  const auto paths = view.paths();
   const auto prefix_of = [&](util::InternId path) {
-    return util::directory_prefix(trace.paths().str(path),
+    return util::directory_prefix(paths.str(path),
                                   config.combine_prefix_level);
   };
   for (const auto& [key, pc] : counts.pairs()) {
@@ -101,19 +110,27 @@ ProbabilityVolumeSet build_probability_volumes(
     const auto state_key = [](util::InternId source, util::InternId res) {
       return (static_cast<std::uint64_t>(source) << 32) | res;
     };
-    for (const auto& req : trace.requests()) {
-      const auto it = candidates.find(req.path);
-      if (it == candidates.end()) continue;
-      for (const auto& entry : it->second) {
-        const auto sk = state_key(req.source, entry.resource);
-        const auto lp = last_predicted.find(sk);
-        const bool is_new =
-            lp == last_predicted.end() ||
-            req.time.value - lp->second > config.window;
-        if (is_new) {
-          ++effective[PairCounts::key(req.path, entry.resource)];
+    // Replay one bounded window at a time — the pass only needs (time,
+    // source, path) in time order, so streaming views train in O(window)
+    // request memory.
+    constexpr std::size_t kEffectivenessWindow = 4096;
+    const auto total = view.request_count();
+    for (std::size_t base = 0; base < total; base += kEffectivenessWindow) {
+      const auto n = std::min(kEffectivenessWindow, total - base);
+      for (const auto& req : view.window(base, n)) {
+        const auto it = candidates.find(req.path);
+        if (it == candidates.end()) continue;
+        for (const auto& entry : it->second) {
+          const auto sk = state_key(req.source, entry.resource);
+          const auto lp = last_predicted.find(sk);
+          const bool is_new =
+              lp == last_predicted.end() ||
+              req.time.value - lp->second > config.window;
+          if (is_new) {
+            ++effective[PairCounts::key(req.path, entry.resource)];
+          }
+          last_predicted[sk] = req.time.value;
         }
-        last_predicted[sk] = req.time.value;
       }
     }
     for (auto& [r, entries] : candidates) {

@@ -15,6 +15,10 @@
 #include "util/flat_map.h"
 #include "volume/pair_counter.h"
 
+namespace piggyweb::trace {
+class TraceView;
+}
+
 namespace piggyweb::volume {
 
 struct ProbabilityVolumeConfig {
@@ -81,6 +85,14 @@ class ProbabilityVolumeSet {
 // dropped.
 ProbabilityVolumeSet build_probability_volumes(
     const trace::Trace& trace, const PairCounts& counts,
+    const ProbabilityVolumeConfig& config);
+
+// Batch-cursor variant: the effectiveness pass replays the view one
+// bounded window at a time, so a streaming (mmap-backed) trace trains
+// without materializing. Bit-identical to the Trace overload, which
+// delegates here.
+ProbabilityVolumeSet build_probability_volumes(
+    trace::TraceView& view, const PairCounts& counts,
     const ProbabilityVolumeConfig& config);
 
 // Provider adapter: candidates are the precomputed volume entries, best

@@ -49,6 +49,30 @@ void ShardedPairCounterTable::add_pair_key(std::uint64_t key,
   stripe.pairs[key] += delta;
 }
 
+void ShardedPairCounterTable::add_pairs(
+    std::span<const std::pair<std::uint64_t, std::uint64_t>> entries) {
+  if (entries.empty()) return;
+  // Sort entry indices by owning stripe, then sweep: one lock per touched
+  // stripe per flush. Addition commutes, so the reordering within a
+  // stripe cannot change the merged table.
+  std::vector<std::pair<std::size_t, std::size_t>> order;
+  order.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    order.emplace_back(util::mix64(entries[i].first) % stripes_, i);
+  }
+  std::sort(order.begin(), order.end());
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const auto stripe_index = order[i].first;
+    auto& stripe = table_[stripe_index];
+    const auto lock = lock_stripe(stripe);
+    for (; i < order.size() && order[i].first == stripe_index; ++i) {
+      const auto& [key, delta] = entries[order[i].second];
+      stripe.pairs[key] += delta;
+    }
+  }
+}
+
 void ShardedPairCounterTable::add_occurrence(util::InternId r,
                                              std::uint64_t delta) {
   auto& stripe = occurrence_stripe(r);
@@ -218,59 +242,43 @@ ParallelPairCounterBuilder::ParallelPairCounterBuilder(
 
 PairCounts ParallelPairCounterBuilder::build(
     const trace::Trace& trace, std::uint64_t min_resource_count) {
-  if (threads_ <= 1 || config_.sample_counters) {
-    return PairCounterBuilder(config_).build(trace, min_resource_count);
-  }
-  OBS_SPAN("pair_counter.parallel_build");
   const auto& requests = trace.requests();
   PW_EXPECT(std::is_sorted(requests.begin(), requests.end(),
                            [](const trace::Request& a,
                               const trace::Request& b) {
                              return a.time < b.time;
                            }));
+  PairObservations observations;
+  observations.observe_window(requests);
+  return build(observations, util::StringTableView(trace.paths()),
+               min_resource_count);
+}
+
+PairCounts ParallelPairCounterBuilder::build(
+    const PairObservations& observations, util::StringTableView paths,
+    std::uint64_t min_resource_count) {
+  if (threads_ <= 1 || config_.sample_counters) {
+    return PairCounterBuilder(config_).build(observations, paths,
+                                             min_resource_count);
+  }
+  OBS_SPAN("pair_counter.parallel_build");
 
   const auto pool_metrics =
       obs::make_pool_metrics(obs::global_metrics(), "pair_counter.pool");
   util::ThreadPool pool(threads_, pool_metrics.get());
 
-  // Resource popularity for the min-count cut: per-range local counts
-  // merged by addition.
-  std::size_t path_count = 0;
-  for (const auto& req : requests) {
-    path_count = std::max<std::size_t>(path_count, req.path + 1);
-  }
-  std::vector<std::uint64_t> popularity(path_count, 0);
-  {
-    std::vector<std::vector<std::uint64_t>> partial(
-        pool.thread_count(), std::vector<std::uint64_t>(path_count, 0));
-    std::mutex slot_mutex;
-    std::size_t next_slot = 0;
-    util::parallel_ranges(
-        pool, requests.size(),
-        [&](std::size_t begin, std::size_t end) {
-          std::size_t slot;
-          {
-            std::lock_guard<std::mutex> lock(slot_mutex);
-            slot = next_slot++;
-          }
-          auto& local = partial[slot];
-          for (std::size_t i = begin; i < end; ++i) ++local[requests[i].path];
-        });
-    for (const auto& local : partial) {
-      for (std::size_t r = 0; r < path_count; ++r) popularity[r] += local[r];
-    }
-  }
+  // Popularity for the min-count cut, padded to the path-table size so
+  // c_r_ matches the serial builder's shape.
+  auto popularity = observations.popularity();
+  if (popularity.size() < paths.size()) popularity.resize(paths.size(), 0);
+  const auto path_count = popularity.size();
 
-  // Bucket request indices by source; buckets inherit the trace's time
-  // order, so each bucket is exactly the serial builder's source slice.
-  const auto source_count = trace.sources().size();
-  std::vector<std::vector<std::uint32_t>> by_source(source_count);
-  for (std::uint32_t i = 0; i < requests.size(); ++i) {
-    by_source[requests[i].source].push_back(i);
-  }
+  // The observation log's per-source slices inherit the trace's time
+  // order, so each slice is exactly the serial builder's source slice.
+  const auto source_count = observations.source_count();
 
   const auto prefix_of = [&](util::InternId path) {
-    return util::directory_prefix(trace.paths().str(path),
+    return util::directory_prefix(paths.str(path),
                                   config_.restrict_prefix_level);
   };
 
@@ -289,21 +297,22 @@ PairCounts ParallelPairCounterBuilder::build(
         util::FlatMap<util::InternId, std::uint64_t> local_cr;
         util::FlatMap<std::uint64_t, LocalPair> local_pairs;
         std::vector<util::InternId> successors;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> flush;
         for (std::size_t src = worker; src < source_count;
              src += pool.thread_count()) {
-          const auto& slice = by_source[src];
+          const auto slice = observations.slice(src);
           if (slice.empty()) continue;
           local_cr.clear();
           local_pairs.clear();
           for (std::size_t i = 0; i < slice.size(); ++i) {
-            const auto& ri = requests[slice[i]];
+            const auto& ri = slice[i];
             const auto r = ri.path;
             if (popularity[r] < min_resource_count) continue;
             const auto cr_now = ++local_cr[r];
 
             successors.clear();
             for (std::size_t j = i + 1; j < slice.size(); ++j) {
-              const auto& rj = requests[slice[j]];
+              const auto& rj = slice[j];
               if (rj.time - ri.time > config_.window) break;
               const auto s = rj.path;
               if (popularity[s] < min_resource_count) continue;
@@ -328,10 +337,13 @@ PairCounts ParallelPairCounterBuilder::build(
           }
           auto& log = logs[src];
           log.creations.reserve(local_pairs.size());
+          flush.clear();
+          flush.reserve(local_pairs.size());
           for (const auto& [key, pair] : local_pairs) {
-            table.add_pair_key(key, pair.count);
+            flush.emplace_back(key, pair.count);
             log.creations.push_back({key, pair.local_before});
           }
+          table.add_pairs(flush);
           log.local_cr.assign(local_cr.begin(), local_cr.end());
         }
       });

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -46,6 +47,15 @@ class ShardedPairCounterTable {
   // Adds `delta` co-occurrences to c(s|r). Thread-safe.
   void add_pair(util::InternId r, util::InternId s, std::uint64_t delta = 1);
   void add_pair_key(std::uint64_t key, std::uint64_t delta = 1);
+
+  // Batched flush: adds every (key, delta) entry, grouping keys by stripe
+  // so each touched stripe is locked once per call instead of once per
+  // key. Thread-safe; the merged table is identical to per-key adds
+  // (counter sums commute). This is the writer the parallel builder's
+  // per-source flush uses — the per-key path showed up as
+  // pair_counter.stripes.lock_contended under the batch replay audit.
+  void add_pairs(
+      std::span<const std::pair<std::uint64_t, std::uint64_t>> entries);
 
   // Adds `delta` occurrences to c(r). Thread-safe.
   void add_occurrence(util::InternId r, std::uint64_t delta = 1);
@@ -120,8 +130,16 @@ class ParallelPairCounterBuilder {
 
   // Same contract as PairCounterBuilder::build. Bit-identical to the
   // serial builder when config.sample_counters is false (the default);
-  // sampled configs run serially.
+  // sampled configs run serially. Delegates to the observation overload.
   PairCounts build(const trace::Trace& trace,
+                   std::uint64_t min_resource_count = 1);
+
+  // Counts from a pre-built observation log (the streaming replay path
+  // feeds PairObservations window by window, then trains here without
+  // ever materializing the trace). Bit-identical to the serial
+  // observation build at every thread count for exact counters.
+  PairCounts build(const PairObservations& observations,
+                   util::StringTableView paths,
                    std::uint64_t min_resource_count = 1);
 
  private:

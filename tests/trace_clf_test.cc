@@ -1,8 +1,11 @@
 #include "trace/clf.h"
 
 #include <sstream>
+#include <string>
 
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace piggyweb::trace {
 namespace {
@@ -147,6 +150,91 @@ TEST(WriteClf, RoundTripsThroughLoad) {
   EXPECT_EQ(loaded.requests()[0].time.value, 875000000);
   EXPECT_EQ(loaded.paths().str(loaded.requests()[0].path), "/a/b.html");
   EXPECT_EQ(loaded.requests()[1].status, 304);
+}
+
+// ---------------------------------------------------------------------------
+// Wide (SSE2/SWAR) vs scalar parse_clf_fields differential. The wide
+// parser is the production path; the scalar one is the reference. They
+// must agree — same accept/reject verdict and, on accept, identical
+// fields — on every input, including malformed ones.
+
+void expect_parsers_agree(std::string_view line) {
+  ClfFields wide, scalar;
+  const bool ok_wide = parse_clf_fields(line, wide);
+  const bool ok_scalar = parse_clf_fields_scalar(line, scalar);
+  ASSERT_EQ(ok_wide, ok_scalar) << "line: " << line;
+  if (!ok_wide) return;
+  EXPECT_EQ(wide.host, scalar.host) << "line: " << line;
+  EXPECT_EQ(wide.time, scalar.time) << "line: " << line;
+  EXPECT_EQ(wide.method, scalar.method) << "line: " << line;
+  EXPECT_EQ(wide.path, scalar.path) << "line: " << line;
+  EXPECT_EQ(wide.status, scalar.status) << "line: " << line;
+  EXPECT_EQ(wide.size, scalar.size) << "line: " << line;
+}
+
+TEST(ParseClfFieldsDifferential, HandWrittenCases) {
+  const std::string long_path =
+      "/very" + std::string(300, 'x') + "/deep/path.html";
+  const std::string_view cases[] = {
+      kLine,
+      // well-formed variants
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET / HTTP/1.0\" 200 0",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"HEAD /a HTTP/1.0\" 304 -",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"POST /cgi-bin/x HTTP/1.0\" 500 1",
+      "  h - - [10/Oct/1998:13:55:36 +0000] \"GET /pad HTTP/1.0\" 200 5  ",
+      // quoted request line with extra spaces inside the quotes
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET   /sp aced  HTTP/1.0\" 200 1",
+      // malformed: truncations and missing delimiters
+      "",
+      " ",
+      "h",
+      "h - -",
+      "h - - [10/Oct/1998:13:55:36 +0000]",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET /a HTTP/1.0\"",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET /a HTTP/1.0\" abc 5",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"GET /a HTTP/1.0\" 2000 5",
+      "h - - [not-a-date] \"GET /a HTTP/1.0\" 200 5",
+      "h - - 10/Oct/1998:13:55:36 \"GET /a HTTP/1.0\" 200 5",
+      "h - - [10/Oct/1998:13:55:36 +0000] GET /a HTTP/1.0 200 5",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"FROB /a HTTP/1.0\" 200 5",
+      "h - - [10/Oct/1998:13:55:36 +0000] \"\" 200 5",
+  };
+  for (const auto line : cases) expect_parsers_agree(line);
+  expect_parsers_agree("h - - [10/Oct/1998:13:55:36 +0000] \"GET " +
+                       long_path + " HTTP/1.0\" 200 12345");
+}
+
+TEST(ParseClfFieldsDifferential, RandomizedMutations) {
+  util::Rng rng(0xC1F);
+  const std::string_view methods[] = {"GET", "POST", "HEAD", "FROB"};
+  for (int round = 0; round < 3000; ++round) {
+    // Compose a mostly-valid line with randomized pieces...
+    std::string path = "/";
+    const auto segments = rng.below(4);
+    for (std::uint64_t s = 0; s <= segments; ++s) {
+      path += "d" + std::to_string(rng.below(30));
+      path += rng.chance(0.8) ? "/" : "";
+    }
+    if (rng.chance(0.1)) path += std::string(rng.below(400), 'q');
+    std::string line = "host" + std::to_string(rng.below(9)) +
+                       " - - [10/Oct/1998:13:55:36 +0000] \"" +
+                       std::string(methods[rng.below(4)]) + " " + path +
+                       " HTTP/1.0\" " + std::to_string(rng.below(1200)) +
+                       " " + std::to_string(rng.below(100000));
+    // ...then mutate it: truncate, damage a byte, or duplicate a chunk.
+    const auto mutation = rng.below(5);
+    if (mutation == 1 && !line.empty()) {
+      line.resize(rng.below(line.size() + 1));
+    } else if (mutation == 2 && !line.empty()) {
+      const auto at = rng.below(line.size());
+      line[at] = static_cast<char>(rng.below(256));
+    } else if (mutation == 3) {
+      const auto at = rng.below(line.size() + 1);
+      line.insert(at, rng.chance(0.5) ? "\"" : "]");
+    }
+    expect_parsers_agree(line);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,306 @@
+// Streaming replay (trace/stream.h) and BinaryTraceReader::read_batch
+// edge cases: empty containers, windows spanning end-of-trace, out-spans
+// smaller/larger than the remainder, and the randomized differential the
+// whole batch-cursor API rests on — streaming batches, concatenated in
+// order, are exactly the materialized Trace. Plus the TraceView
+// implementations themselves: window contents, string-table views,
+// content fingerprints, open_trace_view backing selection, LimitedTraceView
+// clamping, and the windowed CLF writer.
+#include "trace/stream.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "persist/codec.h"
+#include "trace/binary.h"
+#include "trace/clf.h"
+#include "util/rng.h"
+
+namespace piggyweb {
+namespace {
+
+trace::Trace make_trace() {
+  trace::Trace t;
+  t.add({100}, "10.0.0.1", "www.a.org", "/index.html", trace::Method::kGet,
+        200, 1024, 90);
+  t.add({105}, "10.0.0.2", "www.a.org", "/img/logo.gif", trace::Method::kGet,
+        200, 4096);
+  t.add({110}, "10.0.0.1", "www.b.org", "/form", trace::Method::kPost, 302,
+        0, -1);
+  t.add({120}, "10.0.0.3", "www.a.org", "/index.html", trace::Method::kHead,
+        304, 0, 90);
+  t.add({130}, "10.0.0.2", "www.b.org", "/data.bin", trace::Method::kGet,
+        404, 17, 125);
+  return t;
+}
+
+trace::Trace make_random_trace(std::uint64_t seed, std::size_t requests) {
+  util::Rng rng(seed);
+  trace::Trace t;
+  std::int64_t now = 1000;
+  for (std::size_t i = 0; i < requests; ++i) {
+    now += static_cast<std::int64_t>(rng.below(30));
+    const auto src = "10.0.0." + std::to_string(rng.below(12));
+    const auto server = "www." + std::to_string(rng.below(3)) + ".org";
+    const auto path = "/dir" + std::to_string(rng.below(5)) + "/file" +
+                      std::to_string(rng.below(40)) + ".html";
+    t.add({now}, src, server, path, trace::Method::kGet,
+          static_cast<std::uint16_t>(200 + 100 * rng.below(3)),
+          rng.below(10000), static_cast<std::int64_t>(rng.below(2000)) - 1);
+  }
+  return t;
+}
+
+void expect_request_eq(const trace::Request& x, const trace::Request& y,
+                       std::size_t i) {
+  EXPECT_EQ(x.time, y.time) << "request " << i;
+  EXPECT_EQ(x.source, y.source) << "request " << i;
+  EXPECT_EQ(x.server, y.server) << "request " << i;
+  EXPECT_EQ(x.path, y.path) << "request " << i;
+  EXPECT_EQ(x.method, y.method) << "request " << i;
+  EXPECT_EQ(x.status, y.status) << "request " << i;
+  EXPECT_EQ(x.size, y.size) << "request " << i;
+  EXPECT_EQ(x.last_modified, y.last_modified) << "request " << i;
+}
+
+class TraceStreamFiles : public ::testing::Test {
+ protected:
+  std::string path(const std::string& name) const {
+    return ::testing::TempDir() + "trace_stream_" + name;
+  }
+
+  std::string write_binary(const trace::Trace& t, const std::string& name) {
+    const auto file = path(name);
+    std::string error;
+    EXPECT_TRUE(persist::write_file_bytes(
+        file, trace::serialize_binary_trace(t), error))
+        << error;
+    return file;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// read_batch edge cases
+
+TEST(ReadBatch, EmptyTraceDecodesNothing) {
+  const auto bytes = trace::serialize_binary_trace(trace::Trace{});
+  std::string error;
+  const auto reader = trace::BinaryTraceReader::open(bytes, error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->request_count(), 0u);
+  std::vector<trace::Request> out(4);
+  EXPECT_EQ(reader->read_batch(0, out), 0u);
+  EXPECT_EQ(reader->read_batch(7, out), 0u);
+}
+
+TEST(ReadBatch, EmptyOutSpanDecodesNothing) {
+  const auto bytes = trace::serialize_binary_trace(make_trace());
+  std::string error;
+  const auto reader = trace::BinaryTraceReader::open(bytes, error);
+  ASSERT_TRUE(reader.has_value()) << error;
+  EXPECT_EQ(reader->read_batch(0, {}), 0u);
+}
+
+TEST(ReadBatch, WindowSpanningEndOfTraceIsClamped) {
+  const auto source = make_trace();  // 5 requests
+  const auto bytes = trace::serialize_binary_trace(source);
+  std::string error;
+  const auto reader = trace::BinaryTraceReader::open(bytes, error);
+  ASSERT_TRUE(reader.has_value()) << error;
+
+  std::vector<trace::Request> out(5);
+  // Begin inside, span larger than the remainder: decodes the tail only.
+  EXPECT_EQ(reader->read_batch(3, out), 2u);
+  expect_request_eq(out[0], source.requests()[3], 3);
+  expect_request_eq(out[1], source.requests()[4], 4);
+  // Begin exactly at the end, and past it: nothing.
+  EXPECT_EQ(reader->read_batch(5, out), 0u);
+  EXPECT_EQ(reader->read_batch(100, out), 0u);
+}
+
+TEST(ReadBatch, OutSpanSmallerThanRemainderFills) {
+  const auto source = make_trace();
+  const auto bytes = trace::serialize_binary_trace(source);
+  std::string error;
+  const auto reader = trace::BinaryTraceReader::open(bytes, error);
+  ASSERT_TRUE(reader.has_value()) << error;
+
+  std::vector<trace::Request> out(2);
+  EXPECT_EQ(reader->read_batch(1, out), 2u);
+  expect_request_eq(out[0], source.requests()[1], 1);
+  expect_request_eq(out[1], source.requests()[2], 2);
+}
+
+TEST(ReadBatch, RandomBatchesConcatenateToMaterializedTrace) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const auto source = make_random_trace(seed, 257);
+    const auto bytes = trace::serialize_binary_trace(source);
+    std::string error;
+    const auto reader = trace::BinaryTraceReader::open(bytes, error);
+    ASSERT_TRUE(reader.has_value()) << error;
+
+    trace::Trace materialized;
+    ASSERT_TRUE(reader->load(materialized, error)) << error;
+    ASSERT_EQ(materialized.size(), source.size());
+
+    // Decode with a random batch-size schedule and concatenate.
+    util::Rng rng(seed ^ 0xBA7C4);
+    std::vector<trace::Request> got;
+    std::vector<trace::Request> batch;
+    std::size_t begin = 0;
+    while (begin < reader->request_count()) {
+      batch.assign(1 + rng.below(64), trace::Request{});
+      const auto n = reader->read_batch(begin, batch);
+      ASSERT_GT(n, 0u);
+      got.insert(got.end(), batch.begin(),
+                 batch.begin() + static_cast<std::ptrdiff_t>(n));
+      begin += n;
+    }
+    ASSERT_EQ(got.size(), materialized.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      expect_request_eq(got[i], materialized.requests()[i], i);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceView implementations
+
+TEST(MaterializedView, WindowsAreSubspans) {
+  const auto source = make_trace();
+  trace::MaterializedTraceView view(source);
+  EXPECT_EQ(view.request_count(), source.size());
+  const auto window = view.window(1, 3);
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window.data(), source.requests().data() + 1);
+  EXPECT_EQ(view.content_fingerprint(),
+            trace::trace_content_fingerprint(source));
+  EXPECT_EQ(view.paths().size(), source.paths().size());
+}
+
+TEST_F(TraceStreamFiles, StreamingSourceMatchesMaterialized) {
+  const auto source = make_random_trace(7, 100);
+  const auto file = write_binary(source, "stream_match.trc");
+  std::string error;
+  auto streaming = trace::StreamingTraceSource::open(file, error);
+  ASSERT_NE(streaming, nullptr) << error;
+
+  EXPECT_EQ(streaming->request_count(), source.size());
+  EXPECT_EQ(streaming->content_fingerprint(),
+            trace::trace_content_fingerprint(source));
+
+  // String tables resolve id-for-id against the source intern tables.
+  ASSERT_EQ(streaming->paths().size(), source.paths().size());
+  for (std::size_t id = 0; id < source.paths().size(); ++id) {
+    EXPECT_EQ(streaming->paths().str(static_cast<util::InternId>(id)),
+              source.paths().str(static_cast<util::InternId>(id)));
+  }
+  ASSERT_EQ(streaming->sources().size(), source.sources().size());
+  ASSERT_EQ(streaming->servers().size(), source.servers().size());
+
+  // Windows decode the same requests; the buffer is reused across calls.
+  const auto w1 = streaming->window(0, 60);
+  ASSERT_EQ(w1.size(), 60u);
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    expect_request_eq(w1[i], source.requests()[i], i);
+  }
+  const auto w2 = streaming->window(60, 40);
+  ASSERT_EQ(w2.size(), 40u);
+  for (std::size_t i = 0; i < w2.size(); ++i) {
+    expect_request_eq(w2[i], source.requests()[60 + i], 60 + i);
+  }
+  // Revisiting an earlier window works (the cursor is random-access).
+  const auto w3 = streaming->window(10, 5);
+  ASSERT_EQ(w3.size(), 5u);
+  expect_request_eq(w3[0], source.requests()[10], 10);
+}
+
+TEST_F(TraceStreamFiles, StreamingOpenRejectsCorruptContainer) {
+  const auto source = make_trace();
+  auto bytes = trace::serialize_binary_trace(source);
+  bytes[bytes.size() / 2] ^= 0x40;  // flip a payload bit
+  const auto file = path("corrupt.trc");
+  std::string error;
+  ASSERT_TRUE(persist::write_file_bytes(file, bytes, error)) << error;
+  auto streaming = trace::StreamingTraceSource::open(file, error);
+  EXPECT_EQ(streaming, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(TraceStreamFiles, OpenTraceViewStreamsBinary) {
+  const auto source = make_trace();
+  const auto file = write_binary(source, "view_binary.trc");
+  trace::TraceLoadStats stats;
+  std::string error;
+  auto view = trace::open_trace_view(file, {}, stats, error);
+  ASSERT_NE(view, nullptr) << error;
+  EXPECT_EQ(stats.format, trace::TraceFormat::kBinary);
+  EXPECT_EQ(stats.backing, trace::TraceBacking::kStream);
+  EXPECT_EQ(stats.requests, source.size());
+  EXPECT_EQ(view->request_count(), source.size());
+  EXPECT_EQ(view->content_fingerprint(),
+            trace::trace_content_fingerprint(source));
+}
+
+TEST_F(TraceStreamFiles, OpenTraceViewMaterializesClf) {
+  const auto file = path("view_clf.log");
+  {
+    trace::Trace t;
+    t.add({100}, "10.0.0.1", "server", "/index.html");
+    t.add({130}, "10.0.0.2", "server", "/about.html");
+    std::ofstream out(file);
+    trace::write_clf(out, t);
+  }
+  trace::TraceLoadStats stats;
+  std::string error;
+  auto view = trace::open_trace_view(file, {}, stats, error);
+  ASSERT_NE(view, nullptr) << error;
+  EXPECT_EQ(stats.format, trace::TraceFormat::kClf);
+  EXPECT_EQ(stats.backing, trace::TraceBacking::kMmap);
+  EXPECT_EQ(view->request_count(), 2u);
+}
+
+TEST(OpenTraceView, SyntheticIsGenerated) {
+  trace::TraceLoadStats stats;
+  std::string error;
+  auto view = trace::open_trace_view("synthetic:aiusa:0.01", {}, stats, error);
+  ASSERT_NE(view, nullptr) << error;
+  EXPECT_EQ(stats.backing, trace::TraceBacking::kGenerated);
+  EXPECT_GT(view->request_count(), 0u);
+}
+
+TEST(LimitedView, ClampsAndDelegates) {
+  const auto source = make_trace();
+  trace::MaterializedTraceView inner(source);
+  trace::LimitedTraceView limited(inner, 3);
+  EXPECT_EQ(limited.request_count(), 3u);
+  const auto window = limited.window(1, 2);
+  ASSERT_EQ(window.size(), 2u);
+  expect_request_eq(window[0], source.requests()[1], 1);
+  EXPECT_EQ(limited.paths().size(), source.paths().size());
+
+  // A limit past the end clamps to the inner count.
+  trace::LimitedTraceView all(inner, 100);
+  EXPECT_EQ(all.request_count(), source.size());
+}
+
+TEST_F(TraceStreamFiles, WindowedClfWriterMatchesTraceWriter) {
+  const auto source = make_random_trace(11, 150);
+  std::ostringstream from_trace;
+  trace::write_clf(from_trace, source);
+
+  const auto file = write_binary(source, "clf_writer.trc");
+  std::string error;
+  auto streaming = trace::StreamingTraceSource::open(file, error);
+  ASSERT_NE(streaming, nullptr) << error;
+  std::ostringstream from_view;
+  trace::write_clf(from_view, *streaming);
+  EXPECT_EQ(from_trace.str(), from_view.str());
+}
+
+}  // namespace
+}  // namespace piggyweb

@@ -1,0 +1,81 @@
+// Wide byte scanner (util/scan.h): randomized differential against the
+// scalar reference, plus the boundary cases the word-at-a-time loop has
+// to get right — needles at the head/tail of a word, `from` offsets that
+// start mid-word, haystacks shorter than one word, and byte values with
+// the high bit set (where a naive SWAR mask goes wrong).
+#include "util/scan.h"
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace piggyweb::util {
+namespace {
+
+TEST(FindByte, EmptyAndMissing) {
+  EXPECT_EQ(find_byte("", 'x'), std::string_view::npos);
+  EXPECT_EQ(find_byte("abc", 'x'), std::string_view::npos);
+  EXPECT_EQ(find_byte("abc", 'a', 1), std::string_view::npos);
+  EXPECT_EQ(find_byte("abc", 'c', 3), std::string_view::npos);
+  EXPECT_EQ(find_byte("abc", 'c', 100), std::string_view::npos);
+}
+
+TEST(FindByte, MatchesStringViewFind) {
+  const std::string_view s = "host - - [01/Jan/1998:00:00:00 +0000] "
+                             "\"GET /a/b.html HTTP/1.0\" 200 17";
+  for (const char needle : {' ', '[', ']', '"', '/', 'z'}) {
+    for (std::size_t from = 0; from <= s.size(); ++from) {
+      EXPECT_EQ(find_byte(s, needle, from), s.find(needle, from))
+          << "needle '" << needle << "' from " << from;
+    }
+  }
+}
+
+TEST(FindByte, NeedleAtEveryPosition) {
+  // One needle placed at each index of buffers sized around the 8/16-byte
+  // word boundaries: head of word, tail of word, inside the scalar tail.
+  for (std::size_t size : {1u, 7u, 8u, 9u, 15u, 16u, 17u, 31u, 32u, 33u}) {
+    for (std::size_t at = 0; at < size; ++at) {
+      std::string s(size, 'a');
+      s[at] = '|';
+      EXPECT_EQ(find_byte(s, '|'), at) << "size " << size << " at " << at;
+      EXPECT_EQ(find_byte(s, '|', at), at);
+      EXPECT_EQ(find_byte(s, '|', at + 1), std::string_view::npos);
+    }
+  }
+}
+
+TEST(FindByte, HighBitBytes) {
+  // 0x80.. bytes are where sloppy SWAR masks produce false positives.
+  std::string s(24, '\x80');
+  s[13] = '\xff';
+  EXPECT_EQ(find_byte(s, '\xff'), 13u);
+  EXPECT_EQ(find_byte(s, '\x80'), 0u);
+  EXPECT_EQ(find_byte(s, '\x7f'), std::string_view::npos);
+  EXPECT_EQ(find_byte(s, '\0'), std::string_view::npos);
+}
+
+TEST(FindByte, RandomizedDifferentialAgainstScalar) {
+  Rng rng(0x5CA11ED);
+  for (int round = 0; round < 2000; ++round) {
+    const auto size = rng.below(80);
+    std::string s;
+    s.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      // Small alphabet so matches are common; occasionally any byte value.
+      s.push_back(rng.chance(0.9)
+                      ? static_cast<char>('a' + rng.below(4))
+                      : static_cast<char>(rng.below(256)));
+    }
+    const char needle = rng.chance(0.5) ? 'a' : static_cast<char>(rng.below(256));
+    const auto from = rng.below(size + 8);
+    EXPECT_EQ(find_byte(s, needle, from), find_byte_scalar(s, needle, from))
+        << "round " << round << " size " << size << " from " << from;
+  }
+}
+
+}  // namespace
+}  // namespace piggyweb::util

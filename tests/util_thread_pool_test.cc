@@ -249,5 +249,61 @@ TEST(ParallelShards, ManyRoundsReuseOnePool) {
   EXPECT_EQ(total.load(), 1600u);
 }
 
+TEST(PostBatch, RunsEveryTaskExactlyOnce) {
+  std::vector<std::atomic<int>> hits(256);
+  {
+    ThreadPool pool(4);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(hits.size());
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      tasks.emplace_back([&hits, i] {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    pool.post_batch(tasks);
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(PostBatch, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  std::vector<std::function<void()>> none;
+  pool.post_batch(none);
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  // The pool stays usable after the no-op.
+  std::atomic<int> runs{0};
+  parallel_shards(pool, 4, [&runs](std::size_t) { ++runs; });
+  EXPECT_EQ(runs.load(), 4);
+}
+
+TEST(PostBatch, SingleTaskBatch) {
+  std::atomic<int> runs{0};
+  {
+    ThreadPool pool(2);
+    std::vector<std::function<void()>> tasks;
+    tasks.emplace_back([&runs] { ++runs; });
+    pool.post_batch(tasks);
+  }
+  EXPECT_EQ(runs.load(), 1);
+}
+
+TEST(PostBatch, ObserverSeesEveryTaskOnceAtBatchDepth) {
+  CountingObserver observer;
+  {
+    ThreadPool pool(4, &observer);
+    std::vector<std::function<void()>> tasks(100, [] {});
+    pool.post_batch(tasks);
+  }
+  EXPECT_EQ(observer.posts.load(), 100u);
+  EXPECT_EQ(observer.completions.load(), 100u);
+  EXPECT_EQ(observer.dequeues.load(), 100u);
+  EXPECT_EQ(observer.nonnegative_queue.load(), 100u);
+  // The whole batch becomes visible under one lock: every task reports
+  // the post-batch depth, captured before any worker could dequeue.
+  EXPECT_EQ(observer.max_depth.load(), 100u);
+}
+
 }  // namespace
 }  // namespace piggyweb::util

@@ -1,8 +1,15 @@
 #include "volume/pair_counter.h"
 
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "trace/record.h"
+#include "util/rng.h"
+#include "volume/sharded_pair_counter.h"
 
 namespace piggyweb::volume {
 namespace {
@@ -193,6 +200,131 @@ TEST(PairCounter, EmptyTrace) {
   const auto counts = PairCounterBuilder(exact()).build(t);
   EXPECT_EQ(counts.counter_count(), 0u);
   EXPECT_TRUE(counts.all_probabilities().empty());
+}
+
+// ---------------------------------------------------------------------------
+// PairObservations: the streaming training path must reproduce the Trace
+// builds exactly, regardless of how the request stream is cut into windows.
+
+trace::Trace make_random_pair_trace(std::uint64_t seed, std::size_t n) {
+  util::Rng rng(seed);
+  trace::Trace t;
+  util::Seconds now = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    now += static_cast<util::Seconds>(rng.below(120));
+    t.add({now}, "c" + std::to_string(rng.below(8)), "server",
+          "/d" + std::to_string(rng.below(3)) + "/p" +
+              std::to_string(rng.below(25)));
+  }
+  t.sort_by_time();
+  return t;
+}
+
+void expect_counts_equal(const PairCounts& a, const PairCounts& b) {
+  EXPECT_EQ(a.resource_occurrences(), b.resource_occurrences());
+  ASSERT_EQ(a.counter_count(), b.counter_count());
+  for (const auto& [key, pc] : a.pairs()) {
+    const auto r = static_cast<util::InternId>(key >> 32);
+    const auto s = static_cast<util::InternId>(key & 0xffffffffu);
+    EXPECT_EQ(b.pair_count(r, s), pc.count) << "r " << r << " s " << s;
+    EXPECT_DOUBLE_EQ(b.probability(r, s), a.probability(r, s))
+        << "r " << r << " s " << s;
+  }
+}
+
+PairObservations observe_whole(const trace::Trace& t) {
+  PairObservations obs;
+  obs.observe_window(t.requests());
+  return obs;
+}
+
+TEST(PairObservations, ObservationBuildMatchesTraceBuild) {
+  const auto t = make_random_pair_trace(31, 400);
+  auto config = exact();
+  config.restrict_prefix_level = 1;
+  const auto from_trace = PairCounterBuilder(config).build(t, 2);
+  const auto obs = observe_whole(t);
+  const auto from_obs =
+      PairCounterBuilder(config).build(obs, t.paths(), 2);
+  expect_counts_equal(from_trace, from_obs);
+}
+
+TEST(PairObservations, WindowPartitionInvariance) {
+  const auto t = make_random_pair_trace(32, 500);
+  const auto whole = observe_whole(t);
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    util::Rng rng(seed);
+    PairObservations pieces;
+    std::size_t base = 0;
+    const auto requests = std::span<const trace::Request>(t.requests());
+    while (base < requests.size()) {
+      const auto n =
+          std::min<std::size_t>(1 + rng.below(64), requests.size() - base);
+      pieces.observe_window(requests.subspan(base, n));
+      base += n;
+    }
+    // Same builds from both logs, exact and sampled.
+    for (const bool sampled : {false, true}) {
+      auto config = exact();
+      config.sample_counters = sampled;
+      expect_counts_equal(
+          PairCounterBuilder(config).build(whole, t.paths()),
+          PairCounterBuilder(config).build(pieces, t.paths()));
+    }
+  }
+}
+
+TEST(PairObservations, SampledObservationBuildMatchesTraceBuild) {
+  // The sampler draws from one RNG stream; the observation build must
+  // visit candidates in exactly the serial trace order to reproduce it.
+  const auto t = make_random_pair_trace(33, 600);
+  auto config = exact();
+  config.sample_counters = true;
+  config.sample_threshold = 0.2;
+  const auto from_trace = PairCounterBuilder(config).build(t);
+  const auto from_obs =
+      PairCounterBuilder(config).build(observe_whole(t), t.paths());
+  expect_counts_equal(from_trace, from_obs);
+}
+
+TEST(PairObservations, ParallelObservationBuildMatchesSerial) {
+  const auto t = make_random_pair_trace(34, 500);
+  const auto obs = observe_whole(t);
+  const auto serial = PairCounterBuilder(exact()).build(obs, t.paths());
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelPairCounterBuilder builder(exact(), threads);
+    expect_counts_equal(serial, builder.build(obs, t.paths()));
+  }
+}
+
+TEST(ShardedTable, AddPairsMatchesPerKeyAdds) {
+  util::Rng rng(0xADD);
+  ShardedPairCounterTable batched(8);
+  ShardedPairCounterTable per_key(8);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+  for (int round = 0; round < 50; ++round) {
+    entries.clear();
+    const auto n = rng.below(40);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      // A small key space forces duplicate keys within one batch.
+      entries.emplace_back(rng.below(64), 1 + rng.below(3));
+    }
+    batched.add_pairs(entries);
+    for (const auto& [key, delta] : entries) {
+      per_key.add_pair_key(key, delta);
+    }
+  }
+  auto a = batched.pair_entries();
+  auto b = per_key.pair_entries();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShardedTable, AddPairsEmptyIsANoOp) {
+  ShardedPairCounterTable table(4);
+  table.add_pairs({});
+  EXPECT_EQ(table.counter_count(), 0u);
 }
 
 }  // namespace

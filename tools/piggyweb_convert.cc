@@ -12,6 +12,7 @@
 // columns, same string tables, same content fingerprint.
 #include <cstdio>
 #include <fstream>
+#include <memory>
 
 #include "cli_common.h"
 #include "persist/codec.h"
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
   flags.add_bool("verify", false,
                  "binary output: map the written file back and require a "
                  "bit-exact round trip");
+  flags.add_bool("stream", false,
+                 "binary -> clf only: convert window by window straight "
+                 "off the mmap'd container without materializing the "
+                 "trace (bounded memory; identical output bytes)");
   tools::add_observability_flags(flags);
   if (!flags.parse(argc, argv)) return 2;
   const auto run_scope =
@@ -87,10 +92,44 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const bool stream = flags.get_bool("stream");
+  if (stream && to != "clf") {
+    // Binary -> binary would be a file copy; CLF input materializes while
+    // parsing anyway. The windowed path only pays off for binary -> clf.
+    std::fprintf(stderr, "--stream requires --to=clf\n");
+    return 2;
+  }
+  if (stream) {
+    std::unique_ptr<trace::TraceView> view;
+    trace::TraceLoadStats load_stats;
+    if (const int rc = tools::load_view_from_flags(flags, stdout, view, "in",
+                                                   &load_stats);
+        rc != 0) {
+      return rc;
+    }
+    if (run_scope != nullptr) {
+      run_scope->note("trace", tools::trace_stats_note(load_stats));
+    }
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+    trace::write_clf(out, *view);
+    std::printf("wrote %s (clf, %zu requests, streamed)\n", out_path.c_str(),
+                view->request_count());
+    return 0;
+  }
+
   trace::Trace trace;
-  if (const int rc = tools::load_trace_from_flags(flags, stdout, trace, "in");
+  trace::TraceLoadStats load_stats;
+  if (const int rc = tools::load_trace_from_flags(flags, stdout, trace, "in",
+                                                  &load_stats);
       rc != 0) {
     return rc;
+  }
+  if (run_scope != nullptr) {
+    run_scope->note("trace", tools::trace_stats_note(load_stats));
   }
 
   if (to == "clf") {

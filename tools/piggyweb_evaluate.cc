@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -86,6 +87,16 @@ int main(int argc, char** argv) {
                 "worker threads for the sharded evaluator (1 = serial, "
                 "0 = hardware concurrency); metrics are identical for "
                 "any value");
+  flags.add_bool("stream", false,
+                 "replay without materializing the trace: binary "
+                 "containers are decoded window by window straight off "
+                 "the mmap (bounded memory); metrics are identical to the "
+                 "materializing path. Incompatible with --save-state, "
+                 "--load-state, and --volumes");
+  flags.add_int("limit", 0,
+                "replay only the first N requests, as if the log ended "
+                "there (0 = all); incompatible with --save-state and "
+                "--load-state");
   flags.add_string("report", "text",
                    "report format: text (aligned table) or json (same "
                    "fields, machine-readable, alone on stdout)");
@@ -128,10 +139,60 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--stop-fraction must be in (0, 1]\n");
     return 2;
   }
+  const bool stream = flags.get_bool("stream");
+  const auto limit_flag = flags.get_int("limit");
+  if (limit_flag < 0) {
+    std::fprintf(stderr, "--limit must be >= 0\n");
+    return 2;
+  }
+  const auto limit = static_cast<std::size_t>(limit_flag);
+  if ((stream || limit > 0) &&
+      (!save_state.empty() || !load_state.empty())) {
+    std::fprintf(stderr,
+                 "--stream and --limit cannot be combined with "
+                 "--save-state/--load-state\n");
+    return 2;
+  }
+  if (stream && !flags.get_string("volumes").empty()) {
+    std::fprintf(stderr,
+                 "--stream cannot load pretrained --volumes (the file "
+                 "references the materialized path table)\n");
+    return 2;
+  }
+
+  // Streaming mode drives everything through the batch-cursor TraceView;
+  // materializing mode loads a Trace as before. Both paths produce
+  // bit-identical metrics for the same log and flags.
   trace::Trace trace;
-  if (const int rc = tools::load_trace_from_flags(flags, info, trace);
-      rc != 0) {
-    return rc;
+  std::unique_ptr<trace::TraceView> view_owner;
+  std::optional<trace::LimitedTraceView> limited;
+  trace::TraceView* view = nullptr;
+  trace::TraceLoadStats load_stats;
+  if (stream) {
+    if (const int rc = tools::load_view_from_flags(flags, info, view_owner,
+                                                   "log", &load_stats);
+        rc != 0) {
+      return rc;
+    }
+    view = view_owner.get();
+    if (limit > 0 && limit < view->request_count()) {
+      limited.emplace(*view, limit);
+      view = &*limited;
+    }
+  } else {
+    if (const int rc = tools::load_trace_from_flags(flags, info, trace,
+                                                    "log", &load_stats);
+        rc != 0) {
+      return rc;
+    }
+    // --limit truncates the loaded trace outright, so training, the meta
+    // oracle, and the replay all see exactly the first N requests.
+    if (limit > 0 && limit < trace.requests().size()) {
+      trace.requests().resize(limit);
+    }
+  }
+  if (run_scope != nullptr) {
+    run_scope->note("trace", tools::trace_stats_note(load_stats));
   }
 
   sim::EvalConfig config;
@@ -177,8 +238,11 @@ int main(int argc, char** argv) {
   // Checkpoint plumbing shared by both schemes. The replayed range is
   // [range_begin, range_end): a resume starts where the snapshot stopped,
   // --stop-fraction moves the end short of the trace.
-  const auto total = trace.requests().size();
-  const auto fingerprint = persist::trace_fingerprint(trace);
+  const auto total =
+      stream ? view->request_count() : trace.requests().size();
+  // Checkpointing (the fingerprint's only consumer) is materializing-only.
+  const auto fingerprint =
+      stream ? std::uint64_t{0} : persist::trace_fingerprint(trace);
   std::optional<persist::EvalSnapshot> snapshot;
   std::optional<SnapshotNote> loaded_note;
   if (!load_state.empty()) {
@@ -211,7 +275,24 @@ int main(int argc, char** argv) {
   }
   const bool publish = range_end == total;
 
-  server::TraceMetaOracle meta(trace);
+  // One bounded pass per training consumer in streaming mode; each pass
+  // re-decodes windows off the mapping instead of holding the trace.
+  constexpr std::size_t kScanWindow = std::size_t{1} << 16;
+  const auto for_each_window = [&](auto&& fn) {
+    for (std::size_t base = 0; base < total; base += kScanWindow) {
+      const auto n = std::min(kScanWindow, total - base);
+      fn(view->window(base, n));
+    }
+  };
+
+  server::TraceMetaOracle meta;
+  if (stream) {
+    for_each_window([&](std::span<const trace::Request> window) {
+      meta.observe_window(window, view->paths());
+    });
+  } else {
+    meta.observe_window(trace.requests(), trace.paths());
+  }
   sim::EvalResult result;
   std::optional<persist::EvalSnapshot> captured;
   const auto scheme = flags.get_string("scheme");
@@ -261,7 +342,9 @@ int main(int argc, char** argv) {
     if (!check_resume(echo)) return 1;
     if (threads != 1) {
       sim::ParallelEvalStats stats;
-      const auto spec = sim::shard_directory_volumes(dvc, trace);
+      const auto spec = stream
+                            ? sim::shard_directory_volumes(dvc, view->paths())
+                            : sim::shard_directory_volumes(dvc, trace);
       std::optional<persist::EvalRestore> restore;
       sim::EvalResumeHooks hooks;
       if (snapshot.has_value()) {
@@ -272,23 +355,37 @@ int main(int argc, char** argv) {
         hooks.capture = make_capture_hook(echo, /*directory=*/true);
       }
       const bool use_hooks = snapshot.has_value() || !save_state.empty();
-      result = sim::ParallelEvaluator(config, par)
-                   .run_range(trace, spec, meta, range_begin, range_end,
-                              publish, use_hooks ? &hooks : nullptr, &stats);
+      result =
+          stream
+              ? sim::ParallelEvaluator(config, par)
+                    .run_range(*view, spec, meta, range_begin, range_end,
+                               publish, nullptr, &stats)
+              : sim::ParallelEvaluator(config, par)
+                    .run_range(trace, spec, meta, range_begin, range_end,
+                               publish, use_hooks ? &hooks : nullptr, &stats);
       std::fprintf(info,
                    "scheme: directory level-%d (%zu volumes, %zu threads)\n",
                    dvc.level, stats.volume_count, stats.threads);
     } else {
       volume::DirectoryVolumes volumes(dvc);
-      volumes.bind_paths(trace.paths());
+      if (stream) {
+        volumes.bind_paths(view->paths());
+      } else {
+        volumes.bind_paths(trace.paths());
+      }
       sim::detail::MetricAccumulator acc(config);
       if (snapshot.has_value()) {
         persist::EvalRestore restore(*snapshot);
         restore.warm_provider(volumes, 0, 1);
         restore.seed_accumulator(acc, 0, 1);
       }
-      result = sim::PredictionEvaluator(config).run_range(
-          trace, volumes, meta, range_begin, range_end, acc, publish);
+      result = stream
+                   ? sim::PredictionEvaluator(config).run_range(
+                         *view, volumes, meta, range_begin, range_end, acc,
+                         publish)
+                   : sim::PredictionEvaluator(config).run_range(
+                         trace, volumes, meta, range_begin, range_end, acc,
+                         publish);
       if (!save_state.empty()) {
         const volume::DirectoryVolumes* dirs[] = {&volumes};
         const sim::detail::MetricAccumulator* accs[] = {&acc};
@@ -320,18 +417,35 @@ int main(int argc, char** argv) {
       pcc.window = config.prediction_window;
       const auto min_count =
           static_cast<std::uint64_t>(flags.get_int("min-count"));
-      const auto counts =
-          threads != 1
-              ? volume::ParallelPairCounterBuilder(pcc, threads)
-                    .build(trace, min_count)
-              : volume::PairCounterBuilder(pcc).build(trace, min_count);
+      volume::PairCounts counts;
+      if (stream) {
+        // Training never materializes the trace either: one windowed pass
+        // builds the compact per-source observation log, the builders
+        // count from it, and the effectiveness pass replays windows.
+        volume::PairObservations observations;
+        for_each_window([&](std::span<const trace::Request> window) {
+          observations.observe_window(window);
+        });
+        counts = threads != 1
+                     ? volume::ParallelPairCounterBuilder(pcc, threads)
+                           .build(observations, view->paths(), min_count)
+                     : volume::PairCounterBuilder(pcc).build(
+                           observations, view->paths(), min_count);
+      } else {
+        counts = threads != 1
+                     ? volume::ParallelPairCounterBuilder(pcc, threads)
+                           .build(trace, min_count)
+                     : volume::PairCounterBuilder(pcc).build(trace,
+                                                            min_count);
+      }
       volume::ProbabilityVolumeConfig pvc;
       pvc.probability_threshold = flags.get_double("pt");
       pvc.effectiveness_threshold = flags.get_double("eff");
       pvc.combine_prefix_level =
           static_cast<int>(flags.get_int("combine-level"));
       pvc.window = config.prediction_window;
-      set = volume::build_probability_volumes(trace, counts, pvc);
+      set = stream ? volume::build_probability_volumes(*view, counts, pvc)
+                   : volume::build_probability_volumes(trace, counts, pvc);
     }
     // Probability volumes are rebuilt deterministically from the trace and
     // training flags, so only the shared eval knobs are echoed; the trace
@@ -351,9 +465,14 @@ int main(int argc, char** argv) {
         hooks.capture = make_capture_hook(echo, /*directory=*/false);
       }
       const bool use_hooks = snapshot.has_value() || !save_state.empty();
-      result = sim::ParallelEvaluator(config, par)
-                   .run_range(trace, spec, meta, range_begin, range_end,
-                              publish, use_hooks ? &hooks : nullptr);
+      result = stream
+                   ? sim::ParallelEvaluator(config, par)
+                         .run_range(*view, spec, meta, range_begin,
+                                    range_end, publish, nullptr)
+                   : sim::ParallelEvaluator(config, par)
+                         .run_range(trace, spec, meta, range_begin,
+                                    range_end, publish,
+                                    use_hooks ? &hooks : nullptr);
     } else {
       volume::ProbabilityVolumes provider(&set, 200);
       sim::detail::MetricAccumulator acc(config);
@@ -361,8 +480,13 @@ int main(int argc, char** argv) {
         persist::EvalRestore restore(*snapshot);
         restore.seed_accumulator(acc, 0, 1);
       }
-      result = sim::PredictionEvaluator(config).run_range(
-          trace, provider, meta, range_begin, range_end, acc, publish);
+      result = stream
+                   ? sim::PredictionEvaluator(config).run_range(
+                         *view, provider, meta, range_begin, range_end, acc,
+                         publish)
+                   : sim::PredictionEvaluator(config).run_range(
+                         trace, provider, meta, range_begin, range_end, acc,
+                         publish);
       if (!save_state.empty()) {
         const sim::detail::MetricAccumulator* accs[] = {&acc};
         captured = persist::capture_eval_state({}, accs, echo, range_end,

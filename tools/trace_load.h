@@ -10,9 +10,12 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 
 #include "cli_common.h"
+#include "obs/manifest.h"
 #include "trace/source.h"
+#include "trace/stream.h"
 
 namespace piggyweb::tools {
 
@@ -26,10 +29,26 @@ bool trace_options_from_flags(const FlagSet& flags,
                               trace::TraceSourceOptions& out);
 
 // Load the --log trace: open the source, load, sort, and print the
-// "parsed N requests" progress line to `info`. Returns 0 on success or
-// the process exit code to propagate (2 for flag errors, 1 for load
-// failures and empty traces), after printing the error to stderr.
+// "parsed N requests" progress line to `info` (including which backing
+// path served the load: mmap, read-copy, stream, or generated). Returns 0
+// on success or the process exit code to propagate (2 for flag errors, 1
+// for load failures and empty traces), after printing the error to
+// stderr. When `stats_out` is non-null the load stats are copied there so
+// the caller can note them in its run manifest.
 int load_trace_from_flags(const FlagSet& flags, std::FILE* info,
-                          trace::Trace& out, const char* primary = "log");
+                          trace::Trace& out, const char* primary = "log",
+                          trace::TraceLoadStats* stats_out = nullptr);
+
+// Streaming variant: opens the --log trace as a TraceView (binary
+// containers stream off the mapping, other formats materialize inside the
+// view) and prints the same progress line. Same return convention.
+int load_view_from_flags(const FlagSet& flags, std::FILE* info,
+                         std::unique_ptr<trace::TraceView>& out,
+                         const char* primary = "log",
+                         trace::TraceLoadStats* stats_out = nullptr);
+
+// Manifest section describing a load: requests/malformed/filtered counts
+// plus the format and backing names — attach with run_scope->note("trace").
+obs::Json trace_stats_note(const trace::TraceLoadStats& stats);
 
 }  // namespace piggyweb::tools
