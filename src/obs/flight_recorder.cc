@@ -39,8 +39,7 @@ FlightRecorder::Ring& FlightRecorder::local_ring() {
   thread_local std::uint64_t cached_id = 0;
   thread_local Ring* cached_ring = nullptr;
   if (cached_id != id_) {
-    auto ring = std::make_unique<Ring>();
-    ring->slots.resize(capacity_, Entry{nullptr, 0, 0});
+    auto ring = std::make_unique<Ring>(capacity_);
     cached_ring = ring.get();
     cached_id = id_;
     std::lock_guard<std::mutex> lock(mutex_);

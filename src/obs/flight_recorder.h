@@ -76,6 +76,11 @@ class FlightRecorder {
     std::uint64_t dur_us;
   };
   struct Ring {
+    // Slots are sized once here rather than by a post-construction
+    // resize: the ring is born full-capacity, so no code path ever
+    // touches `slots` outside its mutex.
+    explicit Ring(std::size_t capacity)
+        : slots(capacity, Entry{nullptr, 0, 0}) {}
     mutable std::mutex mutex;
     std::vector<Entry> slots;   // size == capacity_, fixed at creation
     std::size_t next = 0;       // slot the next record overwrites
