@@ -11,19 +11,32 @@ enum class ScopeKind { kNamespace, kClass, kEnum, kOther };
 struct Scope {
   ScopeKind kind = ScopeKind::kOther;
   bool public_access = true;
+  std::string_view name;  // class name for kClass scopes, else empty
 };
+
+// Member types that exempt a declaration from atomic-plain-mix: the
+// synchronization primitives themselves, atomics (already safe), and
+// const/static members (never raced).
+bool type_exempt_ident(std::string_view t) {
+  return t == "mutex" || t == "shared_mutex" || t == "recursive_mutex" ||
+         t == "timed_mutex" || t == "shared_timed_mutex" ||
+         t == "condition_variable" || t == "condition_variable_any" ||
+         t == "once_flag" || t == "atomic" || t == "atomic_flag" ||
+         t == "const" || t == "constexpr" || t == "static" ||
+         t == "friend" || t == "unique_lock" || t == "lock_guard";
+}
 
 class Scanner {
  public:
   explicit Scanner(const SourceFile& file) : toks_(file.tokens) {}
 
-  std::vector<FunctionDef> run() {
+  ScanResult run() {
     while (i_ < toks_.size()) {
       const Token& t = toks_[i_];
       if (t.is_punct("#")) {
         skip_directive();
       } else if (t.is_punct("{")) {
-        scopes_.push_back({ScopeKind::kOther, true});
+        scopes_.push_back({ScopeKind::kOther, true, {}});
         ++i_;
       } else if (t.is_punct("}")) {
         if (!scopes_.empty()) scopes_.pop_back();
@@ -48,10 +61,13 @@ class Scanner {
         skip_angles();
       } else if (t.text == "using" || t.text == "typedef") {
         skip_to_semicolon();
+      } else if (t.text.starts_with("PW_") && peek_punct(i_ + 1, "(")) {
+        handle_annotation_macro();
       } else if (in_code_scope() && peek_punct(i_ + 1, "(") &&
                  !is_cpp_keyword(t.text)) {
         try_function();
       } else {
+        if (at_class_scope()) maybe_member(i_);
         ++i_;
       }
     }
@@ -64,12 +80,23 @@ class Scanner {
            scopes_.back().kind == ScopeKind::kClass;
   }
 
+  bool at_class_scope() const {
+    return !scopes_.empty() && scopes_.back().kind == ScopeKind::kClass;
+  }
+
   bool peek_punct(std::size_t idx, std::string_view text) const {
     return idx < toks_.size() && toks_[idx].is_punct(text);
   }
 
-  bool peek_ident(std::size_t idx, std::string_view text) const {
-    return idx < toks_.size() && toks_[idx].is_ident(text);
+  // Lexical class scopes, outermost first (unnamed scopes skipped).
+  std::vector<std::string_view> class_path() const {
+    std::vector<std::string_view> path;
+    for (const Scope& s : scopes_) {
+      if (s.kind == ScopeKind::kClass && !s.name.empty()) {
+        path.push_back(s.name);
+      }
+    }
+    return path;
   }
 
   // Skip the rest of a preprocessor directive (same physical line; a
@@ -124,7 +151,7 @@ class Scanner {
       ++i_;
     }
     if (i_ < toks_.size() && toks_[i_].is_punct("{")) {
-      scopes_.push_back({ScopeKind::kNamespace, true});
+      scopes_.push_back({ScopeKind::kNamespace, true, {}});
       ++i_;
     } else if (i_ < toks_.size()) {
       ++i_;  // namespace alias
@@ -144,6 +171,7 @@ class Scanner {
     }
     // Optional (possibly qualified, possibly templated) name.
     bool saw_name = false;
+    std::string_view class_name;
     while (j < toks_.size() &&
            (toks_[j].kind == TokKind::kIdent || toks_[j].is_punct("::"))) {
       if (toks_[j].kind == TokKind::kIdent) {
@@ -155,6 +183,7 @@ class Scanner {
           return;
         }
         saw_name = true;
+        class_name = toks_[j].text;
       }
       ++j;
       if (j < toks_.size() && toks_[j].is_punct("<")) {
@@ -179,7 +208,7 @@ class Scanner {
       }
     }
     if (j < toks_.size() && toks_[j].is_punct("{")) {
-      scopes_.push_back({ScopeKind::kClass, default_public});
+      scopes_.push_back({ScopeKind::kClass, default_public, class_name});
       i_ = j + 1;
     } else {
       ++i_;  // forward declaration / elaborated specifier
@@ -193,7 +222,7 @@ class Scanner {
       ++j;
     }
     if (j < toks_.size() && toks_[j].is_punct("{")) {
-      scopes_.push_back({ScopeKind::kEnum, true});
+      scopes_.push_back({ScopeKind::kEnum, true, {}});
       i_ = j + 1;
     } else {
       i_ = j < toks_.size() ? j + 1 : j;
@@ -209,6 +238,78 @@ class Scanner {
       if (toks_[j].is_punct(closer) && --depth == 0) return j;
     }
     return toks_.size();
+  }
+
+  // Normalized annotation-argument text for the macro call whose '(' is
+  // at `open`: token texts concatenated with '->' folded to '.', so
+  // `stripe->mutex` and `stripe.mutex` compare equal.
+  std::string normalize_args(std::size_t open, std::size_t close) const {
+    std::string out;
+    for (std::size_t j = open + 1; j < close; ++j) {
+      if (toks_[j].is_punct("->")) {
+        out += '.';
+      } else {
+        out += toks_[j].text;
+      }
+    }
+    return out;
+  }
+
+  // toks_[i_] is a `PW_*` identifier followed by '('. At class scope a
+  // PW_GUARDED_BY annotates the member declared immediately before it;
+  // everything else (PW_EXPECT at namespace scope, stray macros) is
+  // skipped without being mistaken for a function named PW_*.
+  void handle_annotation_macro() {
+    const std::size_t close = match(i_ + 1, "(", ")");
+    if (toks_[i_].text == "PW_GUARDED_BY" && at_class_scope() && i_ > 0 &&
+        toks_[i_ - 1].kind == TokKind::kIdent &&
+        !is_cpp_keyword(toks_[i_ - 1].text)) {
+      out_.guarded_members.push_back({class_path(), toks_[i_ - 1].text,
+                                      normalize_args(i_ + 1, close),
+                                      toks_[i_ - 1].line});
+    }
+    i_ = close < toks_.size() ? close + 1 : toks_.size();
+  }
+
+  // toks_[idx] is a plain identifier at class scope that is not a
+  // function candidate. Record it as a data member when it matches the
+  // declaration shape `<type tokens> name (';' | '=' | '{' | PW_*)`.
+  void maybe_member(std::size_t idx) {
+    const Token& t = toks_[idx];
+    if (is_cpp_keyword(t.text)) return;
+    if (idx == 0 || idx + 1 >= toks_.size()) return;
+    const Token& prev = toks_[idx - 1];
+    const bool declish_prev =
+        prev.kind == TokKind::kIdent || prev.is_punct(">") ||
+        prev.is_punct("*") || prev.is_punct("&") || prev.is_punct("]");
+    if (!declish_prev) return;
+    if (prev.kind == TokKind::kIdent && is_cpp_keyword(prev.text) &&
+        prev.text != "const" && prev.text != "unsigned" &&
+        prev.text != "signed" && prev.text != "long" &&
+        prev.text != "short" && prev.text != "int" && prev.text != "char" &&
+        prev.text != "bool" && prev.text != "double" &&
+        prev.text != "float" && prev.text != "mutable") {
+      return;
+    }
+    const Token& next = toks_[idx + 1];
+    const bool decl_end =
+        next.is_punct(";") || next.is_punct("=") || next.is_punct("{") ||
+        (next.kind == TokKind::kIdent && next.text.starts_with("PW_"));
+    if (!decl_end) return;
+    // Walk the declaration's type tokens back to the statement start.
+    bool exempt = false;
+    for (std::size_t j = idx; j-- > 0;) {
+      const Token& b = toks_[j];
+      if (b.is_punct(";") || b.is_punct("{") || b.is_punct("}") ||
+          b.is_punct(":")) {
+        break;
+      }
+      if (b.kind == TokKind::kIdent && type_exempt_ident(b.text)) {
+        exempt = true;
+        break;
+      }
+    }
+    out_.members.push_back({class_path(), t.text, exempt, t.line});
   }
 
   // toks_[i_] is a non-keyword identifier followed by '('.
@@ -238,7 +339,9 @@ class Scanner {
       i_ = toks_.size();
       return;
     }
-    // Skip declarator suffixes after the parameter list.
+    // Skip declarator suffixes after the parameter list, collecting any
+    // PW_* annotation macros along the way.
+    std::vector<AnnotationInfo> annotations;
     std::size_t j = close + 1;
     while (j < toks_.size()) {
       const Token& t = toks_[j];
@@ -248,6 +351,12 @@ class Scanner {
       } else if (t.is_ident("noexcept")) {
         ++j;
         if (peek_punct(j, "(")) j = match(j, "(", ")") + 1;
+      } else if (t.kind == TokKind::kIdent && t.text.starts_with("PW_") &&
+                 peek_punct(j + 1, "(")) {
+        const std::size_t args_close = match(j + 1, "(", ")");
+        annotations.push_back(
+            {t.text, normalize_args(j + 1, args_close)});
+        j = args_close + 1;
       } else if (t.is_punct("->")) {
         // Trailing return type: identifiers, qualifiers, templates.
         ++j;
@@ -290,7 +399,16 @@ class Scanner {
     }
     if (j >= toks_.size() || !toks_[j].is_punct("{")) {
       // Declaration, `= default`, macro invocation, call, variable —
-      // no body to record. Resume right after the parameter list.
+      // no body to record. An annotated declaration is still worth
+      // remembering: the definition may live in another file.
+      if (!annotations.empty()) {
+        AnnotatedDecl decl;
+        decl.classes = qualified_classes(name_idx);
+        decl.name = toks_[name_idx].text;
+        decl.params = parse_params(name_idx + 1, close);
+        decl.annotations = std::move(annotations);
+        out_.annotated_decls.push_back(std::move(decl));
+      }
       i_ = close + 1;
       return;
     }
@@ -306,13 +424,49 @@ class Scanner {
     def.at_class_scope =
         !scopes_.empty() && scopes_.back().kind == ScopeKind::kClass;
     def.is_public = true;
+    def.classes = qualified_classes(name_idx);
+    def.annotations = std::move(annotations);
     for (const Scope& s : scopes_) {
       if (s.kind == ScopeKind::kClass && !s.public_access) {
         def.is_public = false;
       }
     }
-    out_.push_back(std::move(def));
+    out_.functions.push_back(std::move(def));
     i_ = body_close < toks_.size() ? body_close + 1 : toks_.size();
+  }
+
+  // Lexical class scopes plus the `A::B::` qualifiers preceding the
+  // function name at `name_idx` (out-of-line definitions), outermost
+  // first. A destructor's '~' is skipped; qualifiers that are template
+  // specializations (`FlatMap<K, V>::`) contribute the template's name.
+  std::vector<std::string_view> qualified_classes(
+      std::size_t name_idx) const {
+    std::vector<std::string_view> quals;
+    std::size_t k = name_idx;
+    if (k > 0 && toks_[k - 1].is_punct("~")) --k;
+    while (k >= 2 && toks_[k - 1].is_punct("::")) {
+      std::size_t q = k - 2;
+      if (toks_[q].is_punct(">")) {
+        // Backward-skip the template argument block.
+        std::size_t depth = 0;
+        while (true) {
+          if (toks_[q].is_punct(">")) ++depth;
+          if (toks_[q].is_punct("<") && --depth == 0) break;
+          if (q == 0) return quals;
+          --q;
+        }
+        if (q == 0) return quals;
+        --q;  // the template's name
+      }
+      if (toks_[q].kind != TokKind::kIdent || is_cpp_keyword(toks_[q].text)) {
+        break;
+      }
+      quals.insert(quals.begin(), toks_[q].text);
+      k = q;
+    }
+    std::vector<std::string_view> path = class_path();
+    path.insert(path.end(), quals.begin(), quals.end());
+    return path;
   }
 
   // Parameters between toks_[open] == '(' and toks_[close] == ')'.
@@ -380,13 +534,15 @@ class Scanner {
   const std::vector<Token>& toks_;
   std::size_t i_ = 0;
   std::vector<Scope> scopes_;
-  std::vector<FunctionDef> out_;
+  ScanResult out_;
 };
 
 }  // namespace
 
 std::vector<FunctionDef> scan_functions(const SourceFile& file) {
-  return Scanner(file).run();
+  return Scanner(file).run().functions;
 }
+
+ScanResult scan_file(const SourceFile& file) { return Scanner(file).run(); }
 
 }  // namespace piggyweb::analysis

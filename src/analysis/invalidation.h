@@ -1,0 +1,62 @@
+// Shared ref-after-mutate dataflow core. Several container-like types in
+// this codebase hand out references, iterators, or spans that a later
+// call on the same object invalidates (FlatMap rehashes, TraceView
+// reuses its decode buffer, InternTable reallocates its view table).
+// The per-rule logic is identical — track bindings obtained from an
+// accessor call, track later mutating calls on the same receiver, flag
+// any use of a binding after its receiver mutates — so it lives here and
+// the rules supply a small config: which declared type marks tracked
+// variables, which methods mutate, which accessors produce bindings.
+//
+// The walk is per-function-body, token-level, and receiver-sensitive
+// (mutating `state.volume_of` does not invalidate a reference into
+// `pending_`). Bodies come from the scope-stack function scanner.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace piggyweb::analysis {
+
+struct InvalidationConfig {
+  std::string_view rule;  // diagnostic rule id
+
+  // A variable is tracked when its declaration mentions one of these
+  // type names: `FlatMap<K, V> m`, `TraceView& view`,
+  // `std::unique_ptr<StreamingTraceSource> src`.
+  std::vector<std::string_view> type_names;
+
+  // Require `<...>` template arguments right after the type name
+  // (FlatMap is always written with them; a bare mention is not a
+  // declaration).
+  bool require_template_args = false;
+
+  // `m[k]` counts as a mutation (FlatMap's operator[] may rehash) and,
+  // bound by reference, as a binding.
+  bool subscript_mutates = false;
+
+  // Flag mutating calls on the receiver inside a range-for over it.
+  bool check_range_for = false;
+
+  bool (*mutating)(std::string_view method) = nullptr;
+  bool (*accessor)(std::string_view method) = nullptr;
+
+  // Accessors whose plain-copy result is safe to keep (`auto v =
+  // m.at(k)` copies the value): binding them requires an explicit '&'.
+  // Null means no accessor is copy-safe — even a by-value binding (a
+  // span, an iterator) dangles after a mutation.
+  bool (*reference_only)(std::string_view method) = nullptr;
+
+  // Message tails: "... used after mutating 'recv.m' on line N — <tail>"
+  // and "... inside a range-for over 'recv' — <tail>".
+  std::string_view use_after_text;
+  std::string_view range_for_text;
+};
+
+void check_invalidation(const SourceFile& file,
+                        const InvalidationConfig& config,
+                        std::vector<Diagnostic>& out);
+
+}  // namespace piggyweb::analysis

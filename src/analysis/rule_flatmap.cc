@@ -6,14 +6,12 @@
 //     later mutating call on the same map expression;
 //   * a mutating call on a FlatMap inside a range-for over that map.
 //
-// Heuristic, token-level, and deliberately receiver-sensitive: mutating
-// `state.volume_of` does not invalidate a reference into `pending_`.
-#include <string>
+// The tracking itself lives in the shared invalidation core
+// (invalidation.h); this file only supplies the FlatMap method tables.
 #include <string_view>
 #include <vector>
 
-#include "analysis/functions.h"
-#include "analysis/lexer.h"
+#include "analysis/invalidation.h"
 #include "analysis/rules.h"
 
 namespace piggyweb::analysis {
@@ -34,126 +32,6 @@ bool accessor_method(std::string_view m) {
 // binding them requires an explicit '&' in the declaration.
 bool reference_only_method(std::string_view m) { return m == "at"; }
 
-std::size_t match_punct(const std::vector<Token>& toks, std::size_t open,
-                        std::string_view opener, std::string_view closer,
-                        std::size_t limit) {
-  std::size_t depth = 0;
-  for (std::size_t j = open; j < limit; ++j) {
-    if (toks[j].is_punct(opener)) ++depth;
-    if (toks[j].is_punct(closer) && --depth == 0) return j;
-  }
-  return limit;
-}
-
-struct Chain {
-  std::vector<std::size_t> parts;  // token indices of the identifiers
-  std::size_t end = 0;             // index just past the last identifier
-};
-
-// Parse `a.b->c` starting at token `i` (an identifier).
-Chain parse_chain(const std::vector<Token>& toks, std::size_t i,
-                  std::size_t limit) {
-  Chain chain;
-  chain.parts.push_back(i);
-  std::size_t j = i + 1;
-  while (j + 1 < limit &&
-         (toks[j].is_punct(".") || toks[j].is_punct("->")) &&
-         toks[j + 1].kind == TokKind::kIdent) {
-    chain.parts.push_back(j + 1);
-    j += 2;
-  }
-  chain.end = j;
-  return chain;
-}
-
-std::string chain_text(const std::vector<Token>& toks, const Chain& chain,
-                       std::size_t n_parts) {
-  std::string out;
-  for (std::size_t k = 0; k < n_parts; ++k) {
-    if (k > 0) out += '.';
-    out += toks[chain.parts[k]].text;
-  }
-  return out;
-}
-
-struct Binding {
-  std::string_view name;
-  std::string receiver;
-  std::string_view method;
-  std::size_t name_pos = 0;
-  std::size_t rhs_end = 0;  // end of the initializing expression's call
-  std::uint32_t line = 0;
-};
-
-struct Mutation {
-  std::string receiver;
-  std::string_view method;
-  std::size_t start = 0;
-  std::size_t end = 0;  // just past the call's closing ')' / ']'
-  std::uint32_t line = 0;
-};
-
-// Declared-with-auto binding ending right before the '=' at `eq`:
-//   auto it = ..., auto& v = ..., const auto* p = ..., auto [a, b] = ...
-// Returns bound names (empty when the tokens before '=' are not a
-// declaration) and whether the declaration takes a reference.
-struct DeclInfo {
-  std::vector<std::string_view> names;
-  bool is_reference = false;
-};
-
-bool has_auto(const std::vector<Token>& toks, std::size_t begin,
-              std::size_t end);
-
-DeclInfo parse_decl(const std::vector<Token>& toks, std::size_t eq,
-                    std::size_t begin) {
-  DeclInfo decl;
-  if (eq == 0) return decl;
-  std::size_t j = eq - 1;
-  if (toks[j].is_punct("]")) {  // structured binding
-    std::vector<std::string_view> names;
-    while (j > begin && !toks[j].is_punct("[")) {
-      if (toks[j].kind == TokKind::kIdent) names.push_back(toks[j].text);
-      --j;
-    }
-    if (j <= begin || !toks[j].is_punct("[")) return decl;
-    if (j == begin || !has_auto(toks, begin, j)) return decl;
-    decl.names = std::move(names);
-    decl.is_reference = true;  // holds an iterator either way
-    return decl;
-  }
-  if (toks[j].kind != TokKind::kIdent || is_cpp_keyword(toks[j].text)) {
-    return decl;
-  }
-  const std::string_view name = toks[j].text;
-  bool saw_auto = false;
-  bool saw_ref = false;
-  while (j > begin) {
-    --j;
-    const Token& t = toks[j];
-    if (t.is_ident("auto")) saw_auto = true;
-    if (t.is_punct("&") || t.is_punct("*")) saw_ref = true;
-    if (t.is_ident("const")) continue;
-    if (!t.is_ident("auto") && !t.is_punct("&") && !t.is_punct("*")) break;
-  }
-  if (!saw_auto) return decl;
-  decl.names = {name};
-  decl.is_reference = saw_ref;
-  return decl;
-}
-
-bool has_auto(const std::vector<Token>& toks, std::size_t begin,
-              std::size_t end) {
-  for (std::size_t j = end; j-- > begin;) {
-    if (toks[j].is_ident("auto")) return true;
-    if (toks[j].is_punct(";") || toks[j].is_punct("{") ||
-        toks[j].is_punct("}")) {
-      return false;
-    }
-  }
-  return false;
-}
-
 }  // namespace
 
 void check_flatmap_safety(const Project& /*project*/,
@@ -163,189 +41,19 @@ void check_flatmap_safety(const Project& /*project*/,
       !file.path.starts_with("bench/")) {
     return;
   }
-  const auto& toks = file.tokens;
-
-  // Names declared with a FlatMap type anywhere in the file.
-  std::vector<std::string_view> map_names;
-  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
-    if (!toks[i].is_ident("FlatMap") || !toks[i + 1].is_punct("<")) continue;
-    std::size_t depth = 0;
-    std::size_t j = i + 1;
-    while (j < toks.size()) {
-      if (toks[j].is_punct("<")) ++depth;
-      if (toks[j].is_punct(">") && --depth == 0) {
-        ++j;
-        break;
-      }
-      if (toks[j].is_punct("{") || toks[j].is_punct(";")) break;
-      ++j;
-    }
-    while (j < toks.size() &&
-           (toks[j].is_punct("&") || toks[j].is_punct("*"))) {
-      ++j;
-    }
-    if (j < toks.size() && toks[j].kind == TokKind::kIdent &&
-        !is_cpp_keyword(toks[j].text)) {
-      map_names.push_back(toks[j].text);
-    }
-  }
-  if (map_names.empty()) return;
-  const auto is_map_name = [&](std::string_view text) {
-    for (const auto name : map_names) {
-      if (name == text) return true;
-    }
-    return false;
-  };
-
-  for (const FunctionDef& fn : scan_functions(file)) {
-    std::vector<Binding> bindings;
-    std::vector<Mutation> mutations;
-
-    for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
-      if (toks[i].kind != TokKind::kIdent) continue;
-      if (i > fn.body_begin && (toks[i - 1].is_punct(".") ||
-                                toks[i - 1].is_punct("->"))) {
-        continue;  // chain continuation, already handled
-      }
-      const Chain chain = parse_chain(toks, i, fn.body_end);
-
-      // Range-for over a FlatMap: `for (... : chain)` — the iterated
-      // map's name is the chain's last identifier.
-      if (toks[i].is_ident("for") && i + 1 < fn.body_end &&
-          toks[i + 1].is_punct("(")) {
-        const std::size_t close =
-            match_punct(toks, i + 1, "(", ")", fn.body_end);
-        std::size_t colon = close;
-        std::size_t depth = 0;
-        for (std::size_t j = i + 1; j < close; ++j) {
-          if (toks[j].is_punct("(") || toks[j].is_punct("[")) ++depth;
-          if (toks[j].is_punct(")") || toks[j].is_punct("]")) --depth;
-          if (depth == 1 && toks[j].is_punct(":")) {
-            colon = j;
-            break;
-          }
-        }
-        if (colon < close && colon + 1 < close &&
-            toks[colon + 1].kind == TokKind::kIdent) {
-          const Chain range = parse_chain(toks, colon + 1, close);
-          if (is_map_name(toks[range.parts.back()].text) &&
-              close + 1 < fn.body_end && toks[close + 1].is_punct("{")) {
-            const std::string key =
-                chain_text(toks, range, range.parts.size());
-            const std::size_t body_close =
-                match_punct(toks, close + 1, "{", "}", fn.body_end);
-            for (std::size_t j = close + 2; j < body_close; ++j) {
-              if (toks[j].kind != TokKind::kIdent) continue;
-              if (j > 0 && (toks[j - 1].is_punct(".") ||
-                            toks[j - 1].is_punct("->"))) {
-                continue;
-              }
-              const Chain inner = parse_chain(toks, j, body_close);
-              if (inner.parts.size() < 2) continue;
-              const std::string_view method =
-                  toks[inner.parts.back()].text;
-              if (!mutating_method(method)) continue;
-              if (chain_text(toks, inner, inner.parts.size() - 1) != key) {
-                continue;
-              }
-              if (inner.end >= body_close ||
-                  !toks[inner.end].is_punct("(")) {
-                continue;
-              }
-              out.push_back(
-                  {file.path, toks[j].line, "flatmap-ref-after-mutate",
-                   "'" + key + "." + std::string(method) +
-                       "' inside a range-for over '" + key +
-                       "' — FlatMap mutation invalidates the loop "
-                       "iterators"});
-            }
-          }
-        }
-        i = close;
-        continue;
-      }
-
-      if (chain.parts.size() < 2) continue;
-      const std::string_view last = toks[chain.parts.back()].text;
-      const std::string_view map_part =
-          toks[chain.parts[chain.parts.size() - 2]].text;
-
-      // Method call on a FlatMap: receiver is the chain minus the
-      // method name.
-      if (is_map_name(map_part) && chain.end < fn.body_end &&
-          toks[chain.end].is_punct("(")) {
-        const std::string receiver =
-            chain_text(toks, chain, chain.parts.size() - 1);
-        const std::size_t call_close =
-            match_punct(toks, chain.end, "(", ")", fn.body_end);
-        if (mutating_method(last)) {
-          mutations.push_back({receiver, last, i, call_close + 1,
-                               toks[i].line});
-        }
-        if (accessor_method(last) && i > fn.body_begin &&
-            toks[i - 1].is_punct("=")) {
-          DeclInfo decl = parse_decl(toks, i - 1, fn.body_begin);
-          const bool binds =
-              !decl.names.empty() &&
-              (decl.is_reference || !reference_only_method(last));
-          if (binds) {
-            for (const auto name : decl.names) {
-              bindings.push_back({name, receiver, last, i,
-                                  call_close + 1, toks[i].line});
-            }
-          }
-        }
-        i = chain.end;
-        continue;
-      }
-
-      // operator[] on a FlatMap: both a mutation (may rehash) and, with
-      // `auto& v = m[k]`, a reference binding.
-      if (is_map_name(last) && chain.end < fn.body_end &&
-          toks[chain.end].is_punct("[")) {
-        const std::string receiver =
-            chain_text(toks, chain, chain.parts.size());
-        const std::size_t close =
-            match_punct(toks, chain.end, "[", "]", fn.body_end);
-        mutations.push_back(
-            {receiver, "operator[]", i, close + 1, toks[i].line});
-        if (i > fn.body_begin && toks[i - 1].is_punct("=")) {
-          DeclInfo decl = parse_decl(toks, i - 1, fn.body_begin);
-          if (!decl.names.empty() && decl.is_reference) {
-            for (const auto name : decl.names) {
-              bindings.push_back({name, receiver, "operator[]", i,
-                                  close + 1, toks[i].line});
-            }
-          }
-        }
-        i = chain.end;
-      }
-    }
-
-    // A binding is dead once its map is mutated again; any later use of
-    // the bound name is a finding.
-    for (const Binding& b : bindings) {
-      for (const Mutation& m : mutations) {
-        if (m.receiver != b.receiver) continue;
-        if (m.start <= b.rhs_end) continue;  // the originating call itself
-        for (std::size_t u = m.end; u < fn.body_end; ++u) {
-          if (toks[u].kind == TokKind::kIdent && toks[u].text == b.name) {
-            out.push_back(
-                {file.path, toks[u].line, "flatmap-ref-after-mutate",
-                 "'" + std::string(b.name) + "' (from '" + b.receiver +
-                     "." + std::string(b.method) + "', line " +
-                     std::to_string(b.line) + ") used after mutating '" +
-                     m.receiver + "." + std::string(m.method) +
-                     "' on line " + std::to_string(m.line) +
-                     " — FlatMap mutation invalidates references and "
-                     "iterators"});
-            break;  // one finding per binding/mutation pair
-          }
-        }
-        break;  // report against the first invalidating mutation only
-      }
-    }
-  }
+  InvalidationConfig config;
+  config.rule = "flatmap-ref-after-mutate";
+  config.type_names = {"FlatMap"};
+  config.require_template_args = true;
+  config.subscript_mutates = true;
+  config.check_range_for = true;
+  config.mutating = mutating_method;
+  config.accessor = accessor_method;
+  config.reference_only = reference_only_method;
+  config.use_after_text =
+      "FlatMap mutation invalidates references and iterators";
+  config.range_for_text = "FlatMap mutation invalidates the loop iterators";
+  check_invalidation(file, config, out);
 }
 
 }  // namespace piggyweb::analysis

@@ -36,9 +36,12 @@ std_header_symbols() {
             "generate", "iota", "for_each", "swap"}},
           {"array", {"array", "to_array"}},
           {"atomic",
-           {"atomic", "atomic_flag", "memory_order", "memory_order_relaxed",
+           {"atomic", "atomic_flag", "atomic_ref", "memory_order",
+            "memory_order_relaxed", "memory_order_consume",
             "memory_order_acquire", "memory_order_release",
-            "memory_order_seq_cst", "atomic_thread_fence"}},
+            "memory_order_acq_rel", "memory_order_seq_cst",
+            "atomic_thread_fence", "atomic_signal_fence",
+            "kill_dependency"}},
           {"bit",
            {"bit_cast", "popcount", "countl_zero", "countr_zero",
             "bit_ceil", "bit_floor", "bit_width", "rotl", "rotr",
@@ -139,7 +142,8 @@ std_header_symbols() {
           {"mutex",
            {"mutex", "recursive_mutex", "timed_mutex", "lock_guard",
             "unique_lock", "scoped_lock", "once_flag", "call_once",
-            "try_lock", "lock", "adopt_lock", "defer_lock"}},
+            "try_lock", "lock", "adopt_lock", "defer_lock",
+            "try_to_lock"}},
           {"new",
            {"nothrow", "bad_alloc", "launder", "align_val_t",
             "hardware_destructive_interference_size",
@@ -163,6 +167,8 @@ std_header_symbols() {
            {"regex", "smatch", "cmatch", "regex_match", "regex_search",
             "regex_replace", "regex_iterator", "sregex_iterator"}},
           {"set", {"set", "multiset"}},
+          {"shared_mutex",
+           {"shared_mutex", "shared_timed_mutex", "shared_lock"}},
           {"span", {"span", "dynamic_extent", "as_bytes", "as_writable_bytes"}},
           {"sstream",
            {"stringstream", "istringstream", "ostringstream", "stringbuf"}},

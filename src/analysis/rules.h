@@ -65,4 +65,22 @@ void check_contracts(const Project& project, const SourceFile& file,
 void check_headers(const Project& project, const SourceFile& file,
                    std::vector<Diagnostic>& out);
 
+// lock-guarded-state: access to a PW_GUARDED_BY member without its
+// mutex held; atomic-plain-mix: plain member of an annotated class
+// written under a lock but also accessed lock-free.
+void check_concurrency(const Project& project, const SourceFile& file,
+                       std::vector<Diagnostic>& out);
+
+// view-after-advance: TraceView window / read_batch spans and
+// InternTable::views() used after an advancing/mutating call on the
+// same receiver (shared invalidation core with the flatmap rule).
+void check_view_invalidation(const Project& project, const SourceFile& file,
+                             std::vector<Diagnostic>& out);
+
+// persist-serializer-symmetry: serialize_X / deserialize_X codec-op
+// streams in src/persist/ must mirror each other in order and type.
+void check_serializer_symmetry(const Project& project,
+                               const SourceFile& file,
+                               std::vector<Diagnostic>& out);
+
 }  // namespace piggyweb::analysis

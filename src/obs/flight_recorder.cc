@@ -87,7 +87,8 @@ std::uint64_t FlightRecorder::retained() const {
 }
 
 void FlightRecorder::ordered_entries(const Ring& ring,
-                                     std::vector<Entry>& out) {
+                                     std::vector<Entry>& out)
+    PW_REQUIRES(ring.mutex) {
   const auto cap = ring.slots.size();
   if (ring.total >= cap) {
     // Full ring: the slot about to be overwritten is the oldest.

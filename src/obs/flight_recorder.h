@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "util/expect.h"
+
 namespace piggyweb::obs {
 
 class Json;
@@ -82,20 +84,24 @@ class FlightRecorder {
     explicit Ring(std::size_t capacity)
         : slots(capacity, Entry{nullptr, 0, 0}) {}
     mutable std::mutex mutex;
-    std::vector<Entry> slots;   // size == capacity_, fixed at creation
-    std::size_t next = 0;       // slot the next record overwrites
-    std::uint64_t total = 0;    // lifetime records into this ring
+    // size == capacity_, fixed at creation
+    std::vector<Entry> slots PW_GUARDED_BY(mutex);
+    // slot the next record overwrites
+    std::size_t next PW_GUARDED_BY(mutex) = 0;
+    // lifetime records into this ring
+    std::uint64_t total PW_GUARDED_BY(mutex) = 0;
   };
 
   Ring& local_ring();
   // Append `ring`'s retained entries oldest-first to `out`.
-  static void ordered_entries(const Ring& ring, std::vector<Entry>& out);
+  static void ordered_entries(const Ring& ring, std::vector<Entry>& out)
+      PW_REQUIRES(ring.mutex);
 
   const std::uint64_t id_;  // process-unique, same scheme as Tracer
   const std::chrono::steady_clock::time_point epoch_;
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Ring>> rings_;
+  std::vector<std::unique_ptr<Ring>> rings_ PW_GUARDED_BY(mutex_);
 };
 
 // Process-global flight recorder; null (the default) disables recording.

@@ -33,6 +33,7 @@
 #include <string_view>
 
 #include "obs/log_histogram.h"
+#include "util/expect.h"
 #include "util/stats.h"
 
 namespace piggyweb::obs {
@@ -86,8 +87,8 @@ class HistogramMetric {
   double lo_, hi_;
   std::size_t buckets_;
   mutable std::mutex mutex_;
-  util::Histogram histogram_;
-  util::RunningStats stats_;
+  util::Histogram histogram_ PW_GUARDED_BY(mutex_);
+  util::RunningStats stats_ PW_GUARDED_BY(mutex_);
 };
 
 class Registry {
@@ -144,7 +145,7 @@ class Registry {
 
   mutable std::mutex mutex_;
   // Sorted map: snapshot order == name order, deterministic by design.
-  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, Entry, std::less<>> entries_ PW_GUARDED_BY(mutex_);
 };
 
 // Process-global metrics sink. Null (the default) disables all metric

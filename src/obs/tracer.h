@@ -30,6 +30,8 @@
 #include <string>
 #include <vector>
 
+#include "util/expect.h"
+
 namespace piggyweb::obs {
 
 class Json;
@@ -86,7 +88,7 @@ class Tracer {
   };
   struct ThreadBuffer {
     mutable std::mutex mutex;
-    std::vector<Event> events;
+    std::vector<Event> events PW_GUARDED_BY(mutex);
   };
 
   ThreadBuffer& local_buffer();
@@ -96,7 +98,7 @@ class Tracer {
   const std::size_t max_events_;
   std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ PW_GUARDED_BY(mutex_);
 };
 
 // The flight recorder (obs/flight_recorder.h) also taps OBS_SPAN; the

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "util/expect.h"
 #include "util/thread_pool.h"
 
 namespace piggyweb::util {
@@ -25,8 +26,8 @@ namespace detail {
 struct JoinState {
   std::mutex mutex;
   std::condition_variable done;
-  std::size_t pending = 0;
-  std::exception_ptr error;
+  std::size_t pending PW_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error PW_GUARDED_BY(mutex);
 
   void finish(std::exception_ptr e) {
     std::lock_guard<std::mutex> lock(mutex);

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/expect.h"
+
 namespace piggyweb::util {
 
 // Observation hook for pool instrumentation (obs::ThreadPoolMetrics is
@@ -95,8 +97,8 @@ class ThreadPool {
 
   mutable std::mutex mutex_;
   std::condition_variable wake_;
-  std::deque<Task> queue_;
-  bool stopping_ = false;
+  std::deque<Task> queue_ PW_GUARDED_BY(mutex_);
+  bool stopping_ PW_GUARDED_BY(mutex_) = false;
   ThreadPoolObserver* const observer_;  // fixed at construction
   std::vector<std::thread> workers_;
 };

@@ -33,7 +33,7 @@ void ShardedPairCounterTable::add_pair(util::InternId r, util::InternId s,
 }
 
 std::unique_lock<std::mutex> ShardedPairCounterTable::lock_stripe(
-    Stripe& stripe) {
+    Stripe& stripe) PW_RETURNS_LOCK(stripe.mutex) {
   std::unique_lock<std::mutex> lock(stripe.mutex, std::try_to_lock);
   const bool contended = !lock.owns_lock();
   if (contended) lock.lock();

@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/expect.h"
 #include "util/flat_map.h"
 #include "volume/pair_counter.h"
 
@@ -101,18 +102,20 @@ class ShardedPairCounterTable {
  private:
   struct Stripe {
     mutable std::mutex mutex;
-    util::FlatMap<std::uint64_t, std::uint64_t> pairs;
-    util::FlatMap<util::InternId, std::uint64_t> occurrences;
-    // Guarded by `mutex`; bumped by writers that already hold it, so
+    util::FlatMap<std::uint64_t, std::uint64_t> pairs PW_GUARDED_BY(mutex);
+    util::FlatMap<util::InternId, std::uint64_t> occurrences
+        PW_GUARDED_BY(mutex);
+    // Bumped by writers that already hold the stripe mutex, so
     // contention accounting adds no atomics to the hot path.
-    std::uint64_t lock_acquisitions = 0;
-    std::uint64_t lock_contended = 0;
+    std::uint64_t lock_acquisitions PW_GUARDED_BY(mutex) = 0;
+    std::uint64_t lock_contended PW_GUARDED_BY(mutex) = 0;
   };
 
   // Lock `stripe` for a write and account the acquisition, counting it
   // as contended when the opportunistic try_lock lost the race. Read
   // paths use a plain lock_guard so the counters profile writers only.
-  static std::unique_lock<std::mutex> lock_stripe(Stripe& stripe);
+  static std::unique_lock<std::mutex> lock_stripe(Stripe& stripe)
+      PW_RETURNS_LOCK(stripe.mutex);
 
   Stripe& pair_stripe(std::uint64_t key) const;
   Stripe& occurrence_stripe(util::InternId r) const;

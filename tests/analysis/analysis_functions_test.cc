@@ -140,5 +140,89 @@ TEST(AnalysisFunctions, BodyRangeCoversTheBody) {
   EXPECT_TRUE(saw_return);
 }
 
+TEST(AnalysisFunctions, ClassPathTrackedOnFunctions) {
+  const auto file = make_file(
+      "class Outer {\n"
+      "  struct Inner {\n"
+      "    void poke() { touch(); }\n"
+      "  };\n"
+      "  void prod() { touch(); }\n"
+      "};\n");
+  const auto fns = scan_functions(file);
+  ASSERT_EQ(fns.size(), 2u);
+  EXPECT_EQ(fns[0].classes,
+            (std::vector<std::string_view>{"Outer", "Inner"}));
+  EXPECT_EQ(fns[1].classes, (std::vector<std::string_view>{"Outer"}));
+}
+
+TEST(AnalysisFunctions, OutOfLineQualifiersJoinTheClassPath) {
+  const auto file = make_file(
+      "void Outer::Inner::poke() { touch(); }\n");
+  const auto fns = scan_functions(file);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "poke");
+  EXPECT_EQ(fns[0].classes,
+            (std::vector<std::string_view>{"Outer", "Inner"}));
+}
+
+TEST(AnalysisFunctions, GuardedByAnnotationsCollected) {
+  const auto file = make_file(
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "  std::vector<int> items PW_GUARDED_BY(mutex);\n"
+      "};\n");
+  const auto scan = scan_file(file);
+  ASSERT_EQ(scan.guarded_members.size(), 2u);
+  EXPECT_EQ(scan.guarded_members[0].member, "value");
+  EXPECT_EQ(scan.guarded_members[0].mutex, "mutex");
+  EXPECT_EQ(scan.guarded_members[0].classes,
+            (std::vector<std::string_view>{"Counter"}));
+  EXPECT_EQ(scan.guarded_members[0].line, 3u);
+  EXPECT_EQ(scan.guarded_members[1].member, "items");
+}
+
+TEST(AnalysisFunctions, FunctionAnnotationsInDeclaratorSuffix) {
+  const auto file = make_file(
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  void bump() PW_REQUIRES(mutex) { touch(); }\n"
+      "  static std::unique_lock<std::mutex> take(Counter& c)\n"
+      "      PW_RETURNS_LOCK(c.mutex);\n"
+      "};\n");
+  const auto scan = scan_file(file);
+  ASSERT_EQ(scan.functions.size(), 1u);
+  ASSERT_EQ(scan.functions[0].annotations.size(), 1u);
+  EXPECT_EQ(scan.functions[0].annotations[0].macro, "PW_REQUIRES");
+  EXPECT_EQ(scan.functions[0].annotations[0].args, "mutex");
+  // The body-less factory declaration still surfaces its annotation.
+  ASSERT_EQ(scan.annotated_decls.size(), 1u);
+  EXPECT_EQ(scan.annotated_decls[0].name, "take");
+  ASSERT_EQ(scan.annotated_decls[0].annotations.size(), 1u);
+  EXPECT_EQ(scan.annotated_decls[0].annotations[0].macro,
+            "PW_RETURNS_LOCK");
+  EXPECT_EQ(scan.annotated_decls[0].annotations[0].args, "c.mutex");
+}
+
+TEST(AnalysisFunctions, MemberDeclsSeparateExemptTypes) {
+  const auto file = make_file(
+      "struct Stats {\n"
+      "  std::mutex mutex;\n"
+      "  std::atomic<long> hits;\n"
+      "  long plain = 0;\n"
+      "  static constexpr int kMax = 4;\n"
+      "};\n");
+  const auto scan = scan_file(file);
+  ASSERT_EQ(scan.members.size(), 4u);
+  EXPECT_EQ(scan.members[0].name, "mutex");
+  EXPECT_TRUE(scan.members[0].type_exempt);
+  EXPECT_EQ(scan.members[1].name, "hits");
+  EXPECT_TRUE(scan.members[1].type_exempt);
+  EXPECT_EQ(scan.members[2].name, "plain");
+  EXPECT_FALSE(scan.members[2].type_exempt);
+  EXPECT_EQ(scan.members[3].name, "kMax");
+  EXPECT_TRUE(scan.members[3].type_exempt);
+}
+
 }  // namespace
 }  // namespace piggyweb::analysis

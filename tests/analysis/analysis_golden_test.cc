@@ -42,15 +42,19 @@ struct FixtureMap {
   const char* analyzed_path;
 };
 constexpr FixtureMap kFixtures[] = {
+    {"atomic_mix.cc", "src/util/atomic_mix.cc"},
     {"clean.cc", "src/core/clean.cc"},
     {"contract_missing.h", "src/proxy/contract_missing.h"},
     {"det_banned.cc", "src/core/det_banned.cc"},
     {"det_unordered.cc", "src/sim/det_unordered.cc"},
     {"flatmap_unsafe.cc", "src/volume/flatmap_unsafe.cc"},
+    {"guarded_state.cc", "src/util/guarded_state.cc"},
     {"helper.h", "src/util/helper.h"},
     {"missing_pragma.h", "src/core/missing_pragma.h"},
     {"os_call.cc", "src/trace/os_call.cc"},
+    {"serializer_asym.cc", "src/persist/serializer_asym.cc"},
     {"unused_include.cc", "tools/unused_include.cc"},
+    {"view_after_advance.cc", "src/trace/view_after_advance.cc"},
 };
 
 TEST(AnalysisGolden, FixtureDiagnosticsMatchGoldenFile) {

@@ -4,12 +4,15 @@
 // full diagnostic text; these pin the decision logic.
 #include "analysis/rules.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "analysis/project.h"
+#include "util/rng.h"
 
 namespace piggyweb::analysis {
 namespace {
@@ -245,9 +248,360 @@ TEST(AnalysisRules, UnknownSystemHeadersAreNeverFlagged) {
                   .empty());
 }
 
+TEST(AnalysisRules, ConcurrencyHeadersKnowTheirSymbols) {
+  // Each include is justified by a symbol the table must know about;
+  // a gap would misreport the include as unused.
+  EXPECT_TRUE(analyze_one(
+                  "src/core/a.cc",
+                  "#include <shared_mutex>\n"
+                  "std::shared_mutex g_lock;\n"
+                  "long f(long x) { std::shared_lock lock(g_lock);"
+                  " return x; }\n")
+                  .empty());
+  EXPECT_TRUE(analyze_one(
+                  "src/core/b.cc",
+                  "#include <atomic>\n"
+                  "void f(std::atomic<long>& a) {"
+                  " a.fetch_add(1, std::memory_order_acq_rel); }\n")
+                  .empty());
+  EXPECT_TRUE(analyze_one(
+                  "src/core/c.cc",
+                  "#include <mutex>\n"
+                  "void f(std::mutex& m) {"
+                  " std::unique_lock<std::mutex> l(m, std::try_to_lock); }\n")
+                  .empty());
+  EXPECT_TRUE(analyze_one(
+                  "src/core/d.cc",
+                  "#include <span>\n"
+                  "long f(std::span<const long> s) { return s[0]; }\n")
+                  .empty());
+}
+
+TEST(AnalysisRules, GuardedMemberAccessOutsideLockIsFlagged) {
+  const std::string bad =
+      "#include <mutex>\n"
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "  void add() {\n"
+      "    std::lock_guard<std::mutex> lock(mutex);\n"
+      "    value += 1;\n"
+      "  }\n"
+      "  long peek() const { return value; }\n"
+      "};\n";
+  const auto diags = analyze_one("src/util/counter.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-guarded-state");
+  EXPECT_EQ(diags[0].line, 9u);
+}
+
+TEST(AnalysisRules, GuardedMemberUnderRequiresOrGuardIsClean) {
+  const std::string good =
+      "#include <mutex>\n"
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "  void add() {\n"
+      "    std::scoped_lock lock(mutex);\n"
+      "    value += 1;\n"
+      "  }\n"
+      "  void bump() PW_REQUIRES(mutex) { value += 1; }\n"
+      "};\n";
+  EXPECT_TRUE(analyze_one("src/util/counter.cc", good).empty());
+}
+
+TEST(AnalysisRules, GuardedMemberInConstructorIsExempt) {
+  const std::string ctor =
+      "#include <mutex>\n"
+      "struct Counter {\n"
+      "  Counter() { value = 1; }\n"
+      "  ~Counter() { value = 0; }\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(analyze_one("src/util/counter.cc", ctor).empty());
+}
+
+TEST(AnalysisRules, GuardedMemberHonorsReturnsLockFactory) {
+  const std::string factory =
+      "#include <mutex>\n"
+      "struct Table {\n"
+      "  struct Stripe {\n"
+      "    std::mutex mutex;\n"
+      "    long hits PW_GUARDED_BY(mutex) = 0;\n"
+      "  };\n"
+      "  static std::unique_lock<std::mutex> lock_stripe(Stripe& s)\n"
+      "      PW_RETURNS_LOCK(s.mutex);\n"
+      "  Stripe stripe;\n"
+      "  void add() {\n"
+      "    auto lock = lock_stripe(stripe);\n"
+      "    stripe.hits += 1;\n"
+      "  }\n"
+      "  long bad() { return stripe.hits; }\n"
+      "};\n";
+  const auto diags = analyze_one("src/util/table.cc", factory);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-guarded-state");
+  EXPECT_EQ(diags[0].line, 14u);
+}
+
+TEST(AnalysisRules, GuardedStateRespectsUnlockAndDeferLock) {
+  const std::string unlock_then_touch =
+      "#include <mutex>\n"
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "  void f() {\n"
+      "    std::unique_lock<std::mutex> lock(mutex);\n"
+      "    value += 1;\n"
+      "    lock.unlock();\n"
+      "    value += 1;\n"
+      "  }\n"
+      "};\n";
+  const auto diags = analyze_one("src/util/counter.cc", unlock_then_touch);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "lock-guarded-state");
+  EXPECT_EQ(diags[0].line, 9u);
+  const std::string deferred =
+      "#include <mutex>\n"
+      "struct Counter {\n"
+      "  std::mutex mutex;\n"
+      "  long value PW_GUARDED_BY(mutex) = 0;\n"
+      "  void f() {\n"
+      "    std::unique_lock<std::mutex> lock(mutex, std::defer_lock);\n"
+      "    lock.lock();\n"
+      "    value += 1;\n"
+      "  }\n"
+      "};\n";
+  EXPECT_TRUE(analyze_one("src/util/counter.cc", deferred).empty());
+}
+
+TEST(AnalysisRules, AtomicPlainMixFlagsLockedWritePlusBareRead) {
+  const std::string mixed =
+      "#include <mutex>\n"
+      "struct Stats {\n"
+      "  std::mutex mutex;\n"
+      "  long guarded PW_GUARDED_BY(mutex) = 0;\n"
+      "  long plain = 0;\n"
+      "  void add() {\n"
+      "    std::lock_guard<std::mutex> lock(mutex);\n"
+      "    guarded += 1;\n"
+      "    plain += 1;\n"
+      "  }\n"
+      "  long read() const { return plain; }\n"
+      "};\n";
+  const auto diags = analyze_one("src/util/stats.cc", mixed);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "atomic-plain-mix");
+  EXPECT_EQ(diags[0].line, 11u);
+}
+
+TEST(AnalysisRules, AtomicPlainMixNeedsBothSidesOfTheMix) {
+  // Only ever written under the lock: consistent, no mix.
+  const std::string consistent =
+      "#include <mutex>\n"
+      "struct Stats {\n"
+      "  std::mutex mutex;\n"
+      "  long guarded PW_GUARDED_BY(mutex) = 0;\n"
+      "  long plain = 0;\n"
+      "  void add() {\n"
+      "    std::lock_guard<std::mutex> lock(mutex);\n"
+      "    guarded += 1;\n"
+      "    plain += 1;\n"
+      "  }\n"
+      "};\n";
+  EXPECT_TRUE(analyze_one("src/util/stats.cc", consistent).empty());
+  // Class has no PW_GUARDED_BY member at all: not a concurrent class,
+  // the rule stays out of the way.
+  const std::string unannotated =
+      "#include <mutex>\n"
+      "struct Stats {\n"
+      "  std::mutex mutex;\n"
+      "  long plain = 0;\n"
+      "  void add() {\n"
+      "    std::lock_guard<std::mutex> lock(mutex);\n"
+      "    plain += 1;\n"
+      "  }\n"
+      "  long read() const { return plain; }\n"
+      "};\n";
+  EXPECT_TRUE(analyze_one("src/util/stats.cc", unannotated).empty());
+}
+
+TEST(AnalysisRules, TraceWindowSpanUsedAfterNextWindow) {
+  const std::string bad =
+      "#include \"trace/stream.h\"\n"
+      "unsigned long f(trace::TraceView& view) {\n"
+      "  auto w = view.window(16);\n"
+      "  auto w2 = view.window(16);\n"
+      "  return w.size() + w2.size();\n"
+      "}\n";
+  const auto diags = analyze_one("src/trace/a.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "view-after-advance");
+  EXPECT_EQ(diags[0].line, 5u);
+  const std::string good =
+      "#include \"trace/stream.h\"\n"
+      "unsigned long f(trace::TraceView& view) {\n"
+      "  unsigned long total = 0;\n"
+      "  auto w = view.window(16);\n"
+      "  total += w.size();\n"
+      "  w = view.window(16);\n"
+      "  total += w.size();\n"
+      "  return total;\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/trace/a.cc", good).empty());
+}
+
+TEST(AnalysisRules, InternTableViewsStaleAfterIntern) {
+  const std::string bad =
+      "#include \"util/intern.h\"\n"
+      "unsigned long f(util::InternTable& table) {\n"
+      "  auto views = table.views();\n"
+      "  table.intern(\"x\");\n"
+      "  return views.size();\n"
+      "}\n";
+  const auto diags = analyze_one("src/core/a.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "view-after-advance");
+  EXPECT_EQ(diags[0].line, 5u);
+}
+
+TEST(AnalysisRules, SerializerDriftFlaggedAtFirstDivergingOp) {
+  const std::string bad =
+      "#include \"persist/codec.h\"\n"
+      "void serialize_point(ByteWriter& out, const Point& p) {\n"
+      "  out.u32(p.x);\n"
+      "  out.u64(p.y);\n"
+      "}\n"
+      "bool deserialize_point(ByteReader& in, Point& p) {\n"
+      "  p.y = in.u64();\n"
+      "  p.x = in.u32();\n"
+      "  return in.ok();\n"
+      "}\n";
+  const auto diags = analyze_one("src/persist/point.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "persist-serializer-symmetry");
+  EXPECT_EQ(diags[0].line, 7u);
+}
+
+TEST(AnalysisRules, SerializerLengthMismatchFlaggedOnReader) {
+  const std::string bad =
+      "#include \"persist/codec.h\"\n"
+      "void serialize_point(ByteWriter& out, const Point& p) {\n"
+      "  out.u32(p.x);\n"
+      "  out.u64(p.y);\n"
+      "}\n"
+      "bool deserialize_point(ByteReader& in, Point& p) {\n"
+      "  p.x = in.u32();\n"
+      "  return in.ok();\n"
+      "}\n";
+  const auto diags = analyze_one("src/persist/point.cc", bad);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "persist-serializer-symmetry");
+  EXPECT_EQ(diags[0].line, 6u);
+}
+
+TEST(AnalysisRules, SerializerMirroredPairsAndHelpersAreClean) {
+  const std::string good =
+      "#include \"persist/codec.h\"\n"
+      "void serialize_name(ByteWriter& out, const Name& n) {\n"
+      "  out.str(n.text);\n"
+      "}\n"
+      "bool deserialize_name(ByteReader& in, Name& n) {\n"
+      "  n.text = in.str();\n"
+      "  return in.ok();\n"
+      "}\n"
+      "void serialize_point(ByteWriter& out, const Point& p) {\n"
+      "  out.u32(p.x);\n"
+      "  serialize_name(out, p.name);\n"
+      "}\n"
+      "bool deserialize_point(ByteReader& in, Point& p) {\n"
+      "  p.x = in.u32();\n"
+      "  deserialize_name(in, p.name);\n"
+      "  return in.ok();\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/persist/point.cc", good).empty());
+  // The rule is scoped to src/persist/: the same drift elsewhere is not
+  // a serializer pair.
+  const std::string elsewhere =
+      "void serialize_point(ByteWriter& out, const Point& p) {\n"
+      "  out.u32(p.x);\n"
+      "}\n"
+      "bool deserialize_point(ByteReader& in, Point& p) {\n"
+      "  p.x = in.u64();\n"
+      "  return in.ok();\n"
+      "}\n";
+  EXPECT_TRUE(analyze_one("src/core/point.cc", elsewhere).empty());
+}
+
+// Differential check of the shared invalidation core against a direct
+// reference oracle of the original flatmap rule's semantics: a binding
+// taken from an accessor goes stale at the first subsequent mutation,
+// and every later use of it is one diagnostic at the use line. Random
+// straight-line programs, deterministic seed.
+TEST(AnalysisRules, FlatMapRuleMatchesReferenceOracleOnRandomPrograms) {
+  util::Rng rng(0x5eed0001u);
+  for (int trial = 0; trial < 200; ++trial) {
+    struct Binding {
+      std::size_t line;
+      bool used;
+    };
+    std::string body;
+    std::vector<std::size_t> mutations;
+    std::vector<Binding> bindings;
+    std::vector<std::size_t> expected;
+    std::size_t line = 3;  // body statements start after the signature
+    const auto statements = 4 + rng.below(8);
+    for (std::uint64_t s = 0; s < statements; ++s, ++line) {
+      switch (rng.below(3)) {
+        case 0:
+          body += "  auto b" + std::to_string(bindings.size()) +
+                  " = m.find(" + std::to_string(rng.below(9)) + ");\n";
+          bindings.push_back({line, false});
+          break;
+        case 1:
+          body += "  m.insert({" + std::to_string(rng.below(9)) + ", 1});\n";
+          mutations.push_back(line);
+          break;
+        default: {
+          std::vector<std::size_t> fresh;
+          for (std::size_t b = 0; b < bindings.size(); ++b) {
+            if (!bindings[b].used) fresh.push_back(b);
+          }
+          if (fresh.empty()) {
+            body += "  touch();\n";
+            break;
+          }
+          const auto pick = fresh[rng.below(fresh.size())];
+          bindings[pick].used = true;
+          body += "  use(b" + std::to_string(pick) + "->second);\n";
+          for (const auto mutation : mutations) {
+            if (mutation > bindings[pick].line) {
+              expected.push_back(line);
+              break;
+            }
+          }
+          break;
+        }
+      }
+    }
+    const std::string text =
+        "#include \"util/flat_map.h\"\n"
+        "void f(util::FlatMap<unsigned, unsigned>& m) {\n" +
+        body + "}\n";
+    const auto diags = analyze_one("src/core/random.cc", text);
+    std::vector<std::size_t> actual;
+    for (const auto& d : diags) {
+      ASSERT_EQ(d.rule, "flatmap-ref-after-mutate") << text;
+      actual.push_back(d.line);
+    }
+    EXPECT_EQ(actual, expected) << "trial " << trial << "\n" << text;
+  }
+}
+
 TEST(AnalysisRules, RuleCatalogCoversEveryEmittedRule) {
   const auto& catalog = rule_catalog();
-  EXPECT_EQ(catalog.size(), 8u);
+  EXPECT_EQ(catalog.size(), 12u);
   for (const auto& rule : catalog) {
     EXPECT_FALSE(rule.id.empty());
     EXPECT_FALSE(rule.summary.empty());

@@ -1,0 +1,41 @@
+// Fixture: atomic-plain-mix. Analyzed as src/util/atomic_mix.cc.
+// The class is "concurrent" (it has a PW_GUARDED_BY member), and
+// `pending_` is written under the mutex but also read bare — the mix
+// the rule exists to catch. `hits_` is a std::atomic (type-exempt) and
+// `settled_` is only ever touched under the lock, so neither fires.
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+namespace piggyweb::util {
+
+class WorkTracker {
+ public:
+  void submit(long item) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(item);
+    pending_ += 1;
+    settled_ = false;
+    hits_.fetch_add(1);
+  }
+
+  bool idle() const {
+    return pending_ == 0;  // BAD: lock-free read of a locked-write field
+  }
+
+  bool settled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return settled_;
+  }
+
+  long hit_count() const { return hits_.load(); }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<long> queue_ PW_GUARDED_BY(mutex_);
+  long pending_ = 0;
+  bool settled_ = true;
+  std::atomic<long> hits_{0};
+};
+
+}  // namespace piggyweb::util

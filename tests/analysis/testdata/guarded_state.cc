@@ -1,0 +1,60 @@
+// Fixture: lock-guarded-state. Analyzed as src/util/guarded_state.cc.
+// One class with PW_GUARDED_BY members, exercised by clean accessors
+// (RAII guards, PW_REQUIRES, a PW_RETURNS_LOCK factory, ctor/dtor) and
+// two violations: a bare read and a use after an explicit unlock.
+#include <mutex>
+#include <vector>
+
+namespace piggyweb::util {
+
+class GuardedCounter {
+ public:
+  GuardedCounter() { value_ = 0; }   // ctor: exempt by design
+  ~GuardedCounter() { value_ = 0; }  // dtor: exempt by design
+
+  void add(long delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    value_ += delta;
+    history_.push_back(delta);
+  }
+
+  // Whole-body precondition: the caller holds mutex_.
+  void add_locked(long delta) PW_REQUIRES(mutex_) { value_ += delta; }
+
+  long snapshot() const {
+    std::scoped_lock lock(mutex_);
+    return value_;
+  }
+
+  long racy_peek() const {
+    return value_;  // BAD: no lock held
+  }
+
+  void drain() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    history_.clear();
+    lock.unlock();
+    history_.shrink_to_fit();  // BAD: guard released above
+  }
+
+  static std::unique_lock<std::mutex> take(GuardedCounter& counter)
+      PW_RETURNS_LOCK(counter.mutex_);
+
+  static long drain_via_factory(GuardedCounter& counter) {
+    auto lock = take(counter);
+    counter.history_.clear();  // fine: factory returns the lock
+    return counter.value_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  long value_ PW_GUARDED_BY(mutex_) = 0;
+  std::vector<long> history_ PW_GUARDED_BY(mutex_);
+};
+
+std::unique_lock<std::mutex> GuardedCounter::take(GuardedCounter& counter)
+    PW_RETURNS_LOCK(counter.mutex_) {
+  return std::unique_lock<std::mutex>(counter.mutex_);
+}
+
+}  // namespace piggyweb::util

@@ -1,0 +1,55 @@
+// Fixture: persist-serializer-symmetry. Analyzed as
+// src/persist/serializer_asym.cc. Three pairs: `header` drifts (writer
+// emits u32 magic then u64 count; reader consumes them swapped),
+// `record` loses an op (reader skips the checksum), and `blob` mirrors
+// correctly through a shared helper call, proving nesting unifies.
+#include "persist/codec.h"
+
+namespace piggyweb::persist {
+
+void serialize_header(ByteWriter& out, const Header& header) {
+  out.u32(header.magic);
+  out.u64(header.count);
+}
+
+bool deserialize_header(ByteReader& in, Header& header) {
+  header.count = in.u64();  // BAD: writer emitted u32 first
+  header.magic = in.u32();
+  return in.ok();
+}
+
+void serialize_record(ByteWriter& out, const Record& record) {
+  out.str(record.name);
+  out.u64(record.bytes);
+  out.u32(record.checksum);
+}
+
+bool deserialize_record(ByteReader& in, Record& record) {  // BAD: 2 != 3
+  record.name = in.str();
+  record.bytes = in.u64();
+  return in.ok();
+}
+
+void serialize_span(ByteWriter& out, const Span& span) {
+  out.u64(span.offset);
+  out.u64(span.length);
+}
+
+bool deserialize_span(ByteReader& in, Span& span) {
+  span.offset = in.u64();
+  span.length = in.u64();
+  return in.ok();
+}
+
+void serialize_blob(ByteWriter& out, const Blob& blob) {
+  out.u8(blob.kind);
+  serialize_span(out, blob.span);
+}
+
+bool deserialize_blob(ByteReader& in, Blob& blob) {
+  blob.kind = in.u8();
+  deserialize_span(in, blob.span);
+  return in.ok();
+}
+
+}  // namespace piggyweb::persist

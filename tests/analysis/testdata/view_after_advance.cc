@@ -1,0 +1,43 @@
+// Fixture: view-after-advance. Analyzed as src/trace/view_after_advance.cc.
+// Streaming trace sources decode each window into one reused buffer, so
+// the span returned by window()/read_batch() dies at the next call.
+// InternTable::views() spans die when an intern() reallocates the table.
+#include "trace/stream.h"
+#include "util/intern.h"
+
+namespace piggyweb::trace {
+
+unsigned long stale_window(TraceView& view) {
+  auto first = view.window(64);
+  auto second = view.window(64);      // invalidates `first`
+  return first.size() + second.size();  // BAD
+}
+
+unsigned long refetched_window(TraceView& view) {
+  unsigned long total = 0;
+  auto window = view.window(64);
+  total += window.size();
+  window = view.window(64);  // fine: rebound before reuse
+  total += window.size();
+  return total;
+}
+
+unsigned long stale_batch(StreamingTraceSource& source) {
+  auto batch = source.read_batch(128);
+  source.read_batch(128);  // invalidates `batch`
+  return batch.size();     // BAD
+}
+
+unsigned long stale_intern_views(util::InternTable& table) {
+  auto views = table.views();
+  table.intern("resource");  // may reallocate the id->view table
+  return views.size();       // BAD
+}
+
+unsigned long fresh_intern_views(util::InternTable& table) {
+  table.intern("resource");
+  auto views = table.views();  // fine: fetched after the insert
+  return views.size();
+}
+
+}  // namespace piggyweb::trace

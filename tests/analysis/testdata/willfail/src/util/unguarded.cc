@@ -1,0 +1,25 @@
+// Injected violation for the WILL_FAIL lint-lane control: `count_` is
+// declared PW_GUARDED_BY(mutex_) but peeked without the lock. If the
+// lint lane ever stops failing on this tree, the concurrency gate has
+// silently gone dark.
+#include <mutex>
+
+namespace piggyweb::util {
+
+class Injected {
+ public:
+  void add(long delta) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count_ += delta;
+  }
+
+  long peek() const {
+    return count_;  // unguarded read: the gate must catch this
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  long count_ PW_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace piggyweb::util

@@ -4,6 +4,7 @@
 #include "util/expect.h"
 
 #include <cstddef>
+#include <mutex>
 
 #include <gtest/gtest.h>
 
@@ -53,6 +54,44 @@ TEST(ExpectDeathTest, BoundsEvaluatesArgumentsOnce) {
 
 TEST(ExpectDeathTest, UnreachableAlwaysAborts) {
   EXPECT_DEATH(PW_UNREACHABLE(), "piggyweb: unreachable failed");
+}
+
+// The lock annotations are assertions for the static checker, not the
+// runtime: they must expand to nothing, cost nothing, and never
+// evaluate their argument. A class using all three compiles and runs
+// exactly like its unannotated twin.
+namespace lock_annotations {
+
+struct Annotated {
+  std::mutex mutex;
+  int value PW_GUARDED_BY(mutex) = 7;
+
+  void bump() PW_REQUIRES(mutex) { ++value; }
+
+  static std::unique_lock<std::mutex> take(Annotated& a)
+      PW_RETURNS_LOCK(a.mutex) {
+    return std::unique_lock<std::mutex>(a.mutex);
+  }
+};
+
+}  // namespace lock_annotations
+
+TEST(ExpectTest, LockAnnotationsAreRuntimeNoOps) {
+  lock_annotations::Annotated annotated;
+  EXPECT_EQ(annotated.value, 7);
+  {
+    auto lock = lock_annotations::Annotated::take(annotated);
+    EXPECT_TRUE(lock.owns_lock());
+    annotated.bump();
+  }
+  EXPECT_EQ(annotated.value, 8);
+  // An annotated member is layout-identical to a plain one: the macro
+  // added no storage.
+  struct Plain {
+    std::mutex mutex;
+    int value = 7;
+  };
+  EXPECT_EQ(sizeof(lock_annotations::Annotated), sizeof(Plain));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // label pass), only when the suppression file is empty too.
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -28,6 +29,15 @@ std::optional<std::string> read_file(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return std::move(buf).str();
+}
+
+// Findings per rule id, ordered by id (map order) so the summary is
+// stable across runs.
+std::map<std::string, std::size_t> count_by_rule(
+    const std::vector<Diagnostic>& diagnostics) {
+  std::map<std::string, std::size_t> counts;
+  for (const auto& d : diagnostics) ++counts[d.rule];
+  return counts;
 }
 
 piggyweb::obs::Json diagnostic_json(const Diagnostic& d) {
@@ -134,6 +144,11 @@ int main(int argc, char** argv) {
       suppressed.push_back(diagnostic_json(d));
     }
     report.set("suppressed", std::move(suppressed));
+    auto rule_counts = piggyweb::obs::Json::object();
+    for (const auto& [rule, count] : count_by_rule(result.diagnostics)) {
+      rule_counts.set(rule, static_cast<std::uint64_t>(count));
+    }
+    report.set("rule_counts", std::move(rule_counts));
     report.set("suppression_entries",
                static_cast<std::uint64_t>(suppression_entries));
     report.set("suppressions_must_be_empty",
@@ -151,6 +166,14 @@ int main(int argc, char** argv) {
                  "%zu file(s) scanned\n",
                  result.diagnostics.size(), result.suppressed.size(),
                  result.files_scanned);
+    // On failure, break the total down by rule so a CI log tells you
+    // which checker fired without grepping the finding lines.
+    if (!result.diagnostics.empty()) {
+      for (const auto& [rule, count] : count_by_rule(result.diagnostics)) {
+        std::fprintf(stderr, "piggyweb_staticcheck:   %-26s %zu\n",
+                     rule.c_str(), count);
+      }
+    }
   }
 
   if (suppressions_violation) {
